@@ -1,0 +1,126 @@
+// Microbenchmarks (google-benchmark) for the performance-critical kernels:
+// bit-parallel simulation, topological sorting, enclosing-subgraph
+// extraction, GNN inference/training, structural attack, SAT solving, and
+// locking transforms. These are the knobs that determine how large a GA run
+// a given machine can afford.
+#include <benchmark/benchmark.h>
+
+#include "attacks/gnn.hpp"
+#include "attacks/muxlink.hpp"
+#include "attacks/structural.hpp"
+#include "locking/mux_lock.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/simulator.hpp"
+#include "sat/cnf.hpp"
+
+namespace {
+
+using namespace autolock;
+
+void BM_SimulatorRunWord(benchmark::State& state) {
+  const auto circuit = netlist::gen::make_profile(
+      static_cast<netlist::gen::ProfileId>(state.range(0)), 1);
+  const netlist::Simulator sim(circuit);
+  util::Rng rng(1);
+  std::vector<std::uint64_t> inputs(circuit.primary_inputs().size());
+  for (auto& word : inputs) word = rng();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_word(inputs, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);  // 64 vectors per word
+}
+BENCHMARK(BM_SimulatorRunWord)
+    ->Arg(static_cast<int>(netlist::gen::ProfileId::kC432))
+    ->Arg(static_cast<int>(netlist::gen::ProfileId::kC1908))
+    ->Arg(static_cast<int>(netlist::gen::ProfileId::kC7552));
+
+void BM_TopologicalOrder(benchmark::State& state) {
+  const auto circuit =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC7552, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.topological_order());
+  }
+}
+BENCHMARK(BM_TopologicalOrder);
+
+void BM_DmuxLock(benchmark::State& state) {
+  const auto circuit =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC1908, 1);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lock::dmux_lock(circuit, static_cast<std::size_t>(state.range(0)),
+                        ++seed));
+  }
+}
+BENCHMARK(BM_DmuxLock)->Arg(32)->Arg(64);
+
+void BM_SubgraphExtraction(benchmark::State& state) {
+  const auto circuit =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC1908, 1);
+  const auto design = lock::dmux_lock(circuit, 32, 1);
+  const attack::AttackGraph graph(design.netlist);
+  const auto& links = graph.known_links();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& link = links[i++ % links.size()];
+    benchmark::DoNotOptimize(
+        attack::extract_subgraph(graph, link.u, link.v, {}));
+  }
+}
+BENCHMARK(BM_SubgraphExtraction);
+
+void BM_GnnPredict(benchmark::State& state) {
+  const auto circuit =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC880, 1);
+  const auto design = lock::dmux_lock(circuit, 16, 1);
+  const attack::AttackGraph graph(design.netlist);
+  const auto& link = graph.known_links().front();
+  const auto sub = attack::extract_subgraph(graph, link.u, link.v, {});
+  const attack::Gnn model(attack::GnnConfig{}, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(sub));
+  }
+}
+BENCHMARK(BM_GnnPredict);
+
+void BM_StructuralAttack(benchmark::State& state) {
+  const auto circuit =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC880, 1);
+  const auto design = lock::dmux_lock(circuit, 32, 1);
+  const attack::StructuralLinkPredictor attacker;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacker.attack(design.netlist));
+  }
+}
+BENCHMARK(BM_StructuralAttack);
+
+void BM_MuxLinkAttackFast(benchmark::State& state) {
+  const auto circuit =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 1);
+  const auto design = lock::dmux_lock(circuit, 16, 1);
+  attack::MuxLinkConfig config;
+  config.epochs = 5;
+  config.max_train_links = 200;
+  const attack::MuxLinkAttack attacker(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacker.attack(design.netlist));
+  }
+}
+BENCHMARK(BM_MuxLinkAttackFast)->Unit(benchmark::kMillisecond);
+
+void BM_SatEquivalenceCheck(benchmark::State& state) {
+  const auto circuit =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 1);
+  const auto design = lock::dmux_lock(circuit, 16, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sat::check_equivalent(design.netlist, design.key, circuit, {}));
+  }
+  state.SetLabel("miter UNSAT proof");
+}
+BENCHMARK(BM_SatEquivalenceCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

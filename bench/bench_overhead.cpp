@@ -1,0 +1,59 @@
+// X5: locking overhead — area (gate count) and depth cost of each scheme as
+// a function of key length, across the benchmark suite.
+//
+// Expected shape: RLL adds K gates (one XOR/XNOR per bit); MUX locking adds
+// 2K gates (one MUX pair per bit); relative overhead shrinks with circuit
+// size; depth overhead is bounded by a small constant per locked path.
+#include "bench/common.hpp"
+
+#include "locking/rll.hpp"
+
+int main(int argc, char** argv) {
+  using namespace autolock;
+  const auto args = benchx::parse_args(argc, argv);
+
+  const std::vector<netlist::gen::ProfileId> profiles =
+      args.quick
+          ? std::vector<netlist::gen::ProfileId>{netlist::gen::ProfileId::kC432}
+          : std::vector<netlist::gen::ProfileId>{
+                netlist::gen::ProfileId::kC432, netlist::gen::ProfileId::kC880,
+                netlist::gen::ProfileId::kC1355,
+                netlist::gen::ProfileId::kC1908,
+                netlist::gen::ProfileId::kC2670,
+                netlist::gen::ProfileId::kC3540,
+                netlist::gen::ProfileId::kC5315,
+                netlist::gen::ProfileId::kC6288,
+                netlist::gen::ProfileId::kC7552};
+  const std::vector<std::size_t> key_lengths =
+      args.quick ? std::vector<std::size_t>{16}
+                 : std::vector<std::size_t>{32, 64, 128};
+
+  util::Table table({"circuit", "gates", "K", "scheme", "gates after",
+                     "area overhead", "depth before", "depth after"});
+  for (const auto profile : profiles) {
+    const auto original = netlist::gen::make_profile(profile, 1);
+    const auto base = original.stats();
+    for (const std::size_t key_bits : key_lengths) {
+      struct Row {
+        const char* scheme;
+        lock::LockedDesign design;
+      };
+      std::vector<Row> rows;
+      rows.push_back({"RLL", lock::rll_lock(original, key_bits, 3)});
+      rows.push_back({"D-MUX", lock::dmux_lock(original, key_bits, 3)});
+      for (const auto& [scheme, design] : rows) {
+        const auto after = design.netlist.stats();
+        const double overhead =
+            static_cast<double>(after.gates - base.gates) /
+            static_cast<double>(base.gates);
+        table.add_row({original.name(), std::to_string(base.gates),
+                       std::to_string(key_bits), scheme,
+                       std::to_string(after.gates), util::fmt_pct(overhead),
+                       std::to_string(base.depth),
+                       std::to_string(after.depth)});
+      }
+    }
+  }
+  benchx::emit(table, args, "X5 — area/depth overhead by scheme and K");
+  return 0;
+}

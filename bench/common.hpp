@@ -1,0 +1,81 @@
+// Shared helpers for the experiment harness binaries.
+//
+// Every bench binary regenerates one experiment from DESIGN.md §2 and prints
+// its rows as an aligned ASCII table (plus CSV when --csv is passed).
+// Binaries honour a --quick flag that shrinks parameters for smoke runs;
+// defaults are sized for a single-core machine.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "attacks/muxlink.hpp"
+#include "attacks/structural.hpp"
+#include "core/autolock.hpp"
+#include "netlist/generator.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace autolock::benchx {
+
+struct BenchArgs {
+  bool quick = false;
+  bool csv = false;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) args.quick = true;
+    if (std::strcmp(argv[i], "--csv") == 0) args.csv = true;
+  }
+  return args;
+}
+
+inline void emit(const util::Table& table, const BenchArgs& args,
+                 const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+  if (args.csv) {
+    std::cout << "\n-- csv --\n";
+    table.write_csv(std::cout);
+  }
+  std::cout.flush();
+}
+
+/// MuxLink preset used inside GA fitness loops (cheap, single-core budget).
+inline attack::MuxLinkConfig muxlink_fast() {
+  attack::MuxLinkConfig config;
+  config.epochs = 10;
+  config.max_train_links = 400;
+  config.subgraph.max_nodes = 48;
+  return config;
+}
+
+/// MuxLink preset used for final evaluation (closer to the real attack).
+inline attack::MuxLinkConfig muxlink_thorough() {
+  attack::MuxLinkConfig config;
+  config.epochs = 24;
+  config.max_train_links = 900;
+  config.subgraph.hops = 2;
+  config.subgraph.max_nodes = 64;
+  config.ensemble = 3;  // average candidate probabilities over 3 GNNs
+  return config;
+}
+
+/// Mean thorough-MuxLink accuracy over `seeds` independent attack runs
+/// (the GNN is stochastic in its init/sampling seed).
+inline double mean_muxlink_accuracy(const lock::LockedDesign& design,
+                                    int seeds) {
+  double total = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    attack::MuxLinkConfig config = muxlink_thorough();
+    config.seed = 0xBEEF + static_cast<std::uint64_t>(s) * 7919;
+    total += attack::MuxLinkAttack(config).run(design).accuracy;
+  }
+  return total / seeds;
+}
+
+}  // namespace autolock::benchx

@@ -1,0 +1,123 @@
+// Example: a small command-line tool over the public API, working on real
+// `.bench` files — the artifact a downstream user would actually run on
+// their own netlists (ISCAS .bench files drop in unchanged).
+//
+// Commands:
+//   lock_file_tool gen <profile> <out.bench> [seed]      write a benchmark circuit
+//   lock_file_tool lock <in.bench> <out.bench> <K> [scheme] [seed]
+//        scheme: dmux (default) | rll | autolock
+//   lock_file_tool attack <locked.bench>                  run MuxLink (prints key guess)
+//   lock_file_tool stats <in.bench>                       print circuit statistics
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "attacks/muxlink.hpp"
+#include "core/autolock.hpp"
+#include "locking/rll.hpp"
+#include "locking/verify.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/generator.hpp"
+
+namespace {
+
+using namespace autolock;
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 4) return 1;
+  const auto profile = netlist::gen::profile_by_name(argv[2]);
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  const auto circuit = netlist::gen::make_profile(profile, seed);
+  netlist::bench::save_file(circuit, argv[3]);
+  std::printf("wrote %s (%zu gates)\n", argv[3], circuit.stats().gates);
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return 1;
+  const auto circuit = netlist::bench::load_file(argv[2]);
+  const auto stats = circuit.stats();
+  std::printf("%s: %zu PIs, %zu key inputs, %zu POs, %zu gates, depth %zu\n",
+              circuit.name().c_str(), stats.primary_inputs, stats.key_inputs,
+              stats.outputs, stats.gates, stats.depth);
+  return 0;
+}
+
+int cmd_lock(int argc, char** argv) {
+  if (argc < 5) return 1;
+  const auto original = netlist::bench::load_file(argv[2]);
+  const auto key_bits = static_cast<std::size_t>(std::atoi(argv[4]));
+  const std::string scheme = argc > 5 ? argv[5] : "dmux";
+  const std::uint64_t seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1;
+
+  lock::LockedDesign design;
+  if (scheme == "rll") {
+    design = lock::rll_lock(original, key_bits, seed);
+  } else if (scheme == "autolock") {
+    AutoLockConfig config;
+    config.fitness_attack = FitnessAttack::kMuxLinkGnn;
+    config.muxlink.epochs = 10;
+    config.muxlink.max_train_links = 400;
+    config.ga.population = 10;
+    config.ga.generations = 5;
+    config.ga.seed = seed;
+    design = AutoLock(config).run(original, key_bits).locked;
+  } else {
+    design = lock::dmux_lock(original, key_bits, seed);
+  }
+
+  if (!lock::verify_unlocks(design, original)) {
+    std::fprintf(stderr, "internal error: locking failed verification\n");
+    return 2;
+  }
+  netlist::bench::save_file(design.netlist, argv[3]);
+  std::printf("wrote %s  scheme=%s  K=%zu\nkey = ", argv[3], scheme.c_str(),
+              key_bits);
+  for (const bool bit : design.key) std::printf("%d", bit ? 1 : 0);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_attack(int argc, char** argv) {
+  if (argc < 3) return 1;
+  const auto locked = netlist::bench::load_file(argv[2]);
+  if (locked.key_inputs().empty()) {
+    std::printf("no key inputs found — nothing to attack\n");
+    return 0;
+  }
+  attack::MuxLinkConfig config;
+  config.epochs = 20;
+  config.max_train_links = 800;
+  const auto result = attack::MuxLinkAttack(config).attack(locked);
+  if (result.predicted_bits.empty()) {
+    std::printf("no MUX key-gates found (not a MUX-locked design)\n");
+    return 0;
+  }
+  std::printf("predicted key = ");
+  for (const int bit : result.predicted_bits) std::printf("%d", bit);
+  std::printf("\nconfidence margins: ");
+  for (const double margin : result.margins) std::printf("%.2f ", margin);
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "";
+  int status = 1;
+  if (command == "gen") status = cmd_gen(argc, argv);
+  else if (command == "stats") status = cmd_stats(argc, argv);
+  else if (command == "lock") status = cmd_lock(argc, argv);
+  else if (command == "attack") status = cmd_attack(argc, argv);
+  if (status == 1) {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  lock_file_tool gen <profile> <out.bench> [seed]\n"
+                 "  lock_file_tool stats <in.bench>\n"
+                 "  lock_file_tool lock <in.bench> <out.bench> <K> "
+                 "[dmux|rll|autolock] [seed]\n"
+                 "  lock_file_tool attack <locked.bench>\n");
+  }
+  return status;
+}

@@ -1,0 +1,63 @@
+// Example: the oracle-guided SAT attack across locking schemes.
+//
+// Demonstrates why logic-locking research separates SAT resilience from
+// learning resilience: the SAT attack breaks both RLL and MUX-based
+// locking given oracle access, while the learning attack (MuxLink) only
+// threatens MUX locking — and only when the locality structure leaks.
+//
+// Usage: sat_attack_demo [circuit] [key_bits]
+//   circuit:  c17 | c432 | c880 | ... (default c432)
+//   key_bits: default 16
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "attacks/sat_attack.hpp"
+#include "locking/rll.hpp"
+#include "netlist/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace autolock;
+
+  const std::string circuit_name = argc > 1 ? argv[1] : "c432";
+  const std::size_t key_bits =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 16;
+
+  const auto profile = netlist::gen::profile_by_name(circuit_name);
+  const netlist::Netlist original = netlist::gen::make_profile(profile, 1);
+  std::printf("circuit %s: %zu gates, locking with K=%zu\n\n",
+              original.name().c_str(), original.stats().gates, key_bits);
+
+  const attack::SatAttack attacker;
+
+  const auto run_one = [&](const char* scheme,
+                           const lock::LockedDesign& design) {
+    std::printf("%-8s ", scheme);
+    std::fflush(stdout);
+    const auto result = attacker.attack(design.netlist, original);
+    std::printf("success=%s  DIPs=%zu  conflicts=%llu  time=%.2fs",
+                result.success ? "yes" : "NO", result.dip_iterations,
+                static_cast<unsigned long long>(result.total_conflicts),
+                result.seconds);
+    if (result.success) {
+      std::size_t matching = 0;
+      for (std::size_t b = 0; b < design.key.size(); ++b) {
+        if (result.recovered_key[b] == design.key[b]) ++matching;
+      }
+      // The recovered key is functionally correct even when some bits
+      // differ (MUX pairs whose swapped paths are equivalent).
+      std::printf("  bits matching inserted key: %zu/%zu", matching,
+                  design.key.size());
+    }
+    std::printf("\n");
+  };
+
+  run_one("RLL", lock::rll_lock(original, key_bits, 7));
+  run_one("D-MUX", lock::dmux_lock(original, key_bits, 7));
+
+  std::printf(
+      "\nBoth schemes fall to the oracle-guided SAT attack — the security\n"
+      "objective AutoLock optimizes is resilience to *oracle-less learning*\n"
+      "attacks (see dmux_vs_autolock), which the SAT attack does not model.\n");
+  return 0;
+}

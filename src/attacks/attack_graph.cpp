@@ -1,0 +1,99 @@
+#include "attacks/attack_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace autolock::attack {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+AttackGraph::AttackGraph(const Netlist& locked) : locked_(&locked) {
+  const std::size_t n = locked.size();
+  present_.assign(n, true);
+
+  // Identify key inputs and key-MUX gates (MUX whose select is a key input).
+  std::vector<bool> is_key_mux(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& node = locked.node(v);
+    if (node.type == GateType::kInput && node.is_key_input) {
+      present_[v] = false;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& node = locked.node(v);
+    if (node.type == GateType::kMux && !node.fanins.empty()) {
+      const auto& sel = locked.node(node.fanins[0]);
+      if (sel.type == GateType::kInput && sel.is_key_input) {
+        is_key_mux[v] = true;
+        present_[v] = false;
+      }
+    }
+  }
+
+  // Adjacency + positives over present nodes only.
+  adjacency_.assign(n, {});
+  for (NodeId v = 0; v < n; ++v) {
+    if (!present_[v]) continue;
+    for (NodeId fanin : locked.node(v).fanins) {
+      if (!present_[fanin]) continue;
+      adjacency_[v].push_back(fanin);
+      adjacency_[fanin].push_back(v);
+      known_links_.push_back(CandidateLink{fanin, v});
+    }
+  }
+  for (auto& list : adjacency_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  std::sort(known_links_.begin(), known_links_.end(),
+            [](const CandidateLink& a, const CandidateLink& b) {
+              return a.u < b.u || (a.u == b.u && a.v < b.v);
+            });
+  known_links_.erase(
+      std::unique(known_links_.begin(), known_links_.end(),
+                  [](const CandidateLink& a, const CandidateLink& b) {
+                    return a.u == b.u && a.v == b.v;
+                  }),
+      known_links_.end());
+
+  // Decision problems: group key-MUXes by their key input's bit index.
+  const auto fanouts = locked.fanouts();
+  std::map<int, KeyBitProblem> by_bit;
+  const auto key_nodes = locked.key_inputs();
+  std::vector<int> bit_of_node(n, -1);
+  for (std::size_t i = 0; i < key_nodes.size(); ++i) {
+    bit_of_node[key_nodes[i]] = static_cast<int>(i);
+  }
+  for (NodeId m = 0; m < n; ++m) {
+    if (!is_key_mux[m]) continue;
+    const auto& mux = locked.node(m);
+    const int bit = bit_of_node[mux.fanins[0]];
+    if (bit < 0) {
+      throw std::logic_error("AttackGraph: key MUX select is not a key input");
+    }
+    const NodeId in0 = mux.fanins[1];
+    const NodeId in1 = mux.fanins[2];
+    if (!present_[in0] || !present_[in1]) {
+      // A MUX fed by another key MUX (chained locking). Skip such
+      // candidates: MuxLink cannot place them in the clean graph either.
+      continue;
+    }
+    auto& problem = by_bit[bit];
+    problem.key_bit_index = bit;
+    for (NodeId sink : fanouts[m]) {
+      if (!present_[sink]) continue;
+      // Key value 0 selects in0 as the true driver of `sink`.
+      problem.if_zero.push_back(CandidateLink{in0, sink});
+      problem.if_one.push_back(CandidateLink{in1, sink});
+    }
+  }
+  problems_.reserve(by_bit.size());
+  for (auto& [bit, problem] : by_bit) {
+    if (!problem.if_zero.empty()) problems_.push_back(std::move(problem));
+  }
+}
+
+}  // namespace autolock::attack

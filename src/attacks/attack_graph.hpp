@@ -1,0 +1,80 @@
+// Attacker's view of a MUX-locked netlist.
+//
+// MuxLink models the locked design as a graph in which every key-controlled
+// MUX is *removed*: the attacker knows which gate each MUX feeds (its
+// fanout) and which two signals are its candidate drivers (the MUX data
+// inputs), and must predict which candidate link is the true one. Key
+// inputs and key-MUX nodes therefore do not appear in the graph at all —
+// they carry no usable structure by construction of D-MUX-style locking.
+//
+// This module builds that view from a locked netlist alone (no ground
+// truth): the undirected adjacency over non-key nodes, per-node structural
+// features, and the list of key-bit decision problems.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace autolock::attack {
+
+/// One candidate link (u, v): "signal u drives gate v".
+struct CandidateLink {
+  netlist::NodeId u = netlist::kNoNode;
+  netlist::NodeId v = netlist::kNoNode;
+};
+
+/// The decision problem for one key bit: every key-MUX controlled by that
+/// key input contributes one (link-if-0, link-if-1) candidate pair per
+/// fanout gate.
+struct KeyBitProblem {
+  int key_bit_index = -1;
+  /// Pairs are aligned: choosing key value 0 asserts all `if_zero` links,
+  /// key value 1 asserts all `if_one` links.
+  std::vector<CandidateLink> if_zero;
+  std::vector<CandidateLink> if_one;
+};
+
+class AttackGraph {
+ public:
+  /// Builds the attacker view. `locked` must contain MUX key-gates whose
+  /// select input is a key input (the convention every scheme in this repo
+  /// follows). Non-MUX key gates (e.g. RLL XORs) are left in the graph —
+  /// MuxLink does not attack them, and their presence mirrors reality.
+  explicit AttackGraph(const netlist::Netlist& locked);
+
+  const netlist::Netlist& locked() const noexcept { return *locked_; }
+
+  /// True for nodes that exist in the attacker graph (false for key inputs
+  /// and key-MUX nodes).
+  bool in_graph(netlist::NodeId v) const { return present_[v]; }
+
+  /// Undirected adjacency over present nodes (ids are netlist ids; lists of
+  /// absent nodes are empty).
+  const std::vector<std::vector<netlist::NodeId>>& adjacency() const noexcept {
+    return adjacency_;
+  }
+
+  /// All existing directed wires (driver, sink) between present nodes —
+  /// the self-supervision positives.
+  const std::vector<CandidateLink>& known_links() const noexcept {
+    return known_links_;
+  }
+
+  /// One decision problem per key bit, sorted by key bit index.
+  const std::vector<KeyBitProblem>& problems() const noexcept {
+    return problems_;
+  }
+
+  std::size_t key_bits() const noexcept { return problems_.size(); }
+
+ private:
+  const netlist::Netlist* locked_;
+  std::vector<bool> present_;
+  std::vector<std::vector<netlist::NodeId>> adjacency_;
+  std::vector<CandidateLink> known_links_;
+  std::vector<KeyBitProblem> problems_;
+};
+
+}  // namespace autolock::attack

@@ -1,0 +1,123 @@
+#include "attacks/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace autolock::attack {
+
+using netlist::NodeId;
+
+namespace {
+
+/// BFS distances within the subgraph, skipping `blocked` (DRNL's
+/// "remove the other endpoint" rule). Unreachable = UINT32_MAX.
+std::vector<std::uint32_t> bfs_from(
+    const std::vector<std::vector<std::uint32_t>>& adjacency,
+    std::uint32_t source, std::uint32_t blocked) {
+  std::vector<std::uint32_t> dist(adjacency.size(),
+                                  std::numeric_limits<std::uint32_t>::max());
+  std::queue<std::uint32_t> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const std::uint32_t x = queue.front();
+    queue.pop();
+    for (std::uint32_t y : adjacency[x]) {
+      if (y == blocked) continue;
+      if (dist[y] != std::numeric_limits<std::uint32_t>::max()) continue;
+      dist[y] = dist[x] + 1;
+      queue.push(y);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> drnl_labels(
+    const std::vector<std::vector<std::uint32_t>>& adjacency) {
+  const std::size_t n = adjacency.size();
+  std::vector<std::uint32_t> labels(n, 0);
+  if (n < 2) return labels;
+  const auto du = bfs_from(adjacency, 0, 1);
+  const auto dv = bfs_from(adjacency, 1, 0);
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  labels[0] = 1;
+  labels[1] = 1;
+  for (std::size_t x = 2; x < n; ++x) {
+    if (du[x] == kInf || dv[x] == kInf) {
+      labels[x] = 0;  // reachable from at most one endpoint
+      continue;
+    }
+    const std::uint32_t d = du[x] + dv[x];
+    const std::uint32_t half = d / 2;
+    const std::uint32_t label =
+        1 + std::min(du[x], dv[x]) + half * (half + (d % 2) - 1);
+    labels[x] = std::min(label, kDrnlCap);
+  }
+  return labels;
+}
+
+Subgraph extract_subgraph(const AttackGraph& graph, NodeId u, NodeId v,
+                          const SubgraphConfig& config) {
+  const auto& adjacency = graph.adjacency();
+  Subgraph sub;
+
+  // Joint BFS from {u, v}; u and v occupy local slots 0 and 1.
+  std::vector<std::uint32_t> local_of(adjacency.size(),
+                                      std::numeric_limits<std::uint32_t>::max());
+  std::vector<NodeId> members;
+  std::vector<std::uint32_t> hop;
+  auto admit = [&](NodeId x, std::uint32_t h) {
+    local_of[x] = static_cast<std::uint32_t>(members.size());
+    members.push_back(x);
+    hop.push_back(h);
+  };
+  admit(u, 0);
+  if (v != u) admit(v, 0);
+  for (std::size_t head = 0; head < members.size(); ++head) {
+    if (members.size() >= config.max_nodes) break;
+    if (hop[head] >= config.hops) continue;
+    for (NodeId y : adjacency[members[head]]) {
+      if (local_of[y] != std::numeric_limits<std::uint32_t>::max()) continue;
+      admit(y, hop[head] + 1);
+      if (members.size() >= config.max_nodes) break;
+    }
+  }
+
+  // Local adjacency, omitting the (u, v) edge itself.
+  const std::size_t n = members.size();
+  sub.adjacency.assign(n, {});
+  for (std::size_t x = 0; x < n; ++x) {
+    for (NodeId y : adjacency[members[x]]) {
+      const std::uint32_t ly = local_of[y];
+      if (ly == std::numeric_limits<std::uint32_t>::max()) continue;
+      const bool is_target_edge =
+          (x == 0 && ly == 1) || (x == 1 && ly == 0);
+      if (is_target_edge) continue;
+      sub.adjacency[x].push_back(ly);
+    }
+  }
+
+  // Features: one-hot DRNL ++ one-hot gate type ++ normalized degree.
+  const auto labels = drnl_labels(sub.adjacency);
+  sub.node_count = n;
+  sub.features.assign(n * kFeatureDim, 0.0);
+  const auto& locked = graph.locked();
+  constexpr std::size_t kRoleOffset = (kDrnlCap + 1) + netlist::kGateTypeCount;
+  for (std::size_t x = 0; x < n; ++x) {
+    double* row = &sub.features[x * kFeatureDim];
+    row[labels[x]] = 1.0;
+    const auto type = locked.node(members[x]).type;
+    row[(kDrnlCap + 1) + static_cast<std::size_t>(type)] = 1.0;
+    if (x == 0) row[kRoleOffset] = 1.0;      // queried driver endpoint
+    if (x == 1) row[kRoleOffset + 1] = 1.0;  // queried sink endpoint
+    const double degree = static_cast<double>(adjacency[members[x]].size());
+    row[kFeatureDim - 1] = std::log1p(degree) / 4.0;
+  }
+  return sub;
+}
+
+}  // namespace autolock::attack

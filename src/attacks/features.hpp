@@ -1,0 +1,60 @@
+// Enclosing-subgraph extraction and node featurization for link prediction
+// (the SEAL recipe MuxLink builds on).
+//
+// For a (candidate or training) link (u, v) we extract the h-hop enclosing
+// subgraph around {u, v} in the attacker graph, always *without* the (u, v)
+// edge itself, and label every node with DRNL — Double-Radius Node Labeling
+// — which encodes its distances to both endpoints. Node features are the
+// concatenation of a capped one-hot DRNL label, a one-hot gate type, and a
+// normalized global degree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attacks/attack_graph.hpp"
+#include "netlist/netlist.hpp"
+
+namespace autolock::attack {
+
+/// DRNL labels above this value are clamped (one-hot size = kDrnlCap + 1,
+/// label 0 = unreachable from an endpoint).
+inline constexpr std::uint32_t kDrnlCap = 10;
+
+/// Feature vector length per node: one-hot DRNL ++ one-hot gate type ++
+/// endpoint-role flags (driver endpoint, sink endpoint) ++ normalized degree.
+/// The role flags give the (otherwise undirected) model the direction of the
+/// queried link — a real wire always runs driver -> sink.
+inline constexpr std::size_t kFeatureDim =
+    (kDrnlCap + 1) + netlist::kGateTypeCount + 2 + 1;
+
+/// A materialized enclosing subgraph ready for the GNN.
+struct Subgraph {
+  /// Local adjacency (indices into this subgraph; undirected, deduplicated).
+  std::vector<std::vector<std::uint32_t>> adjacency;
+  /// Row-major n x kFeatureDim feature matrix.
+  std::vector<double> features;
+  std::size_t node_count = 0;
+  /// Training label (1 = link exists); ignored for inference samples.
+  double label = 0.0;
+};
+
+struct SubgraphConfig {
+  std::uint32_t hops = 2;
+  /// Hard cap on subgraph size (BFS order truncation); keeps the cost of a
+  /// fitness evaluation bounded on large/high-fanout circuits.
+  std::size_t max_nodes = 64;
+};
+
+/// Extracts the enclosing subgraph for link (u, v) over `graph`. The (u, v)
+/// edge is omitted from the local adjacency in both directions (SEAL rule:
+/// the model must never see the edge it is asked to predict).
+Subgraph extract_subgraph(const AttackGraph& graph, netlist::NodeId u,
+                          netlist::NodeId v, const SubgraphConfig& config);
+
+/// Computes DRNL labels for a subgraph whose nodes 0 and 1 are the link
+/// endpoints. Exposed for testing.
+std::vector<std::uint32_t> drnl_labels(
+    const std::vector<std::vector<std::uint32_t>>& adjacency);
+
+}  // namespace autolock::attack

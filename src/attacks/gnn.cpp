@@ -1,0 +1,324 @@
+#include "attacks/gnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autolock::attack {
+
+namespace {
+
+void xavier_init(Mat& mat, util::Rng& rng) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(mat.rows + mat.cols));
+  for (double& w : mat.data) w = (2.0 * rng.next_double() - 1.0) * limit;
+}
+
+void xavier_init(std::vector<double>& vec, std::size_t fan_in,
+                 util::Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + 1));
+  for (double& w : vec) w = (2.0 * rng.next_double() - 1.0) * limit;
+}
+
+/// out(n x c) = mean-aggregate of rows of in(n x c) over adjacency.
+void mean_aggregate(const std::vector<std::vector<std::uint32_t>>& adjacency,
+                    const Mat& in, Mat& out) {
+  out = Mat(in.rows, in.cols);
+  for (std::size_t i = 0; i < in.rows; ++i) {
+    const auto& nbrs = adjacency[i];
+    if (nbrs.empty()) continue;
+    double* dst = &out.data[i * out.cols];
+    for (std::uint32_t j : nbrs) {
+      const double* src = &in.data[j * in.cols];
+      for (std::size_t c = 0; c < in.cols; ++c) dst[c] += src[c];
+    }
+    const double inv = 1.0 / static_cast<double>(nbrs.size());
+    for (std::size_t c = 0; c < in.cols; ++c) dst[c] *= inv;
+  }
+}
+
+/// out(n x k) = a(n x c) * w(c x k)   (accumulating variant adds).
+void matmul(const Mat& a, const Mat& w, Mat& out, bool accumulate) {
+  if (!accumulate) out = Mat(a.rows, w.cols);
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    const double* arow = &a.data[i * a.cols];
+    double* orow = &out.data[i * out.cols];
+    for (std::size_t c = 0; c < a.cols; ++c) {
+      const double av = arow[c];
+      if (av == 0.0) continue;
+      const double* wrow = &w.data[c * w.cols];
+      for (std::size_t k = 0; k < w.cols; ++k) orow[k] += av * wrow[k];
+    }
+  }
+}
+
+/// grad_w(c x k) += a(n x c)^T * d(n x k)
+void accumulate_weight_grad(const Mat& a, const Mat& d, Mat& grad_w) {
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    const double* arow = &a.data[i * a.cols];
+    const double* drow = &d.data[i * d.cols];
+    for (std::size_t c = 0; c < a.cols; ++c) {
+      const double av = arow[c];
+      if (av == 0.0) continue;
+      double* grow = &grad_w.data[c * grad_w.cols];
+      for (std::size_t k = 0; k < d.cols; ++k) grow[k] += av * drow[k];
+    }
+  }
+}
+
+}  // namespace
+
+Gnn::Gnn(const GnnConfig& config, std::uint64_t seed) : config_(config) {
+  util::Rng rng(seed ^ 0x6E6EULL);
+  const std::size_t d0 = config.input_dim;
+  const std::size_t h = config.hidden_dim;
+  const std::size_t m = config.mlp_dim;
+
+  layer1_.w_self = Mat(d0, h);
+  layer1_.w_neigh = Mat(d0, h);
+  layer1_.bias.assign(h, 0.0);
+  layer2_.w_self = Mat(h, h);
+  layer2_.w_neigh = Mat(h, h);
+  layer2_.bias.assign(h, 0.0);
+  mlp_w1_ = Mat(h, m);
+  mlp_b1_.assign(m, 0.0);
+  mlp_w2_.assign(m, 0.0);
+  xavier_init(layer1_.w_self, rng);
+  xavier_init(layer1_.w_neigh, rng);
+  xavier_init(layer2_.w_self, rng);
+  xavier_init(layer2_.w_neigh, rng);
+  xavier_init(mlp_w1_, rng);
+  xavier_init(mlp_w2_, m, rng);
+
+  g_layer1_.w_self = Mat(d0, h);
+  g_layer1_.w_neigh = Mat(d0, h);
+  g_layer1_.bias.assign(h, 0.0);
+  g_layer2_.w_self = Mat(h, h);
+  g_layer2_.w_neigh = Mat(h, h);
+  g_layer2_.bias.assign(h, 0.0);
+  g_mlp_w1_ = Mat(h, m);
+  g_mlp_b1_.assign(m, 0.0);
+  g_mlp_w2_.assign(m, 0.0);
+
+  const auto params = const_cast<Gnn*>(this)->param_views();
+  adam_.resize(params.size() + 1);  // +1 for the scalar mlp_b2_
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    adam_[p].m.assign(params[p]->size(), 0.0);
+    adam_[p].v.assign(params[p]->size(), 0.0);
+  }
+  adam_.back().m.assign(1, 0.0);
+  adam_.back().v.assign(1, 0.0);
+}
+
+std::vector<std::vector<double>*> Gnn::param_views() {
+  return {&layer1_.w_self.data, &layer1_.w_neigh.data, &layer1_.bias,
+          &layer2_.w_self.data, &layer2_.w_neigh.data, &layer2_.bias,
+          &mlp_w1_.data,        &mlp_b1_,              &mlp_w2_};
+}
+
+std::vector<std::vector<double>*> Gnn::grad_views() {
+  return {&g_layer1_.w_self.data, &g_layer1_.w_neigh.data, &g_layer1_.bias,
+          &g_layer2_.w_self.data, &g_layer2_.w_neigh.data, &g_layer2_.bias,
+          &g_mlp_w1_.data,        &g_mlp_b1_,              &g_mlp_w2_};
+}
+
+Gnn::Forward Gnn::forward(const Subgraph& sample) const {
+  Forward fwd;
+  const std::size_t n = sample.node_count;
+  const std::size_t d0 = config_.input_dim;
+  const std::size_t h = config_.hidden_dim;
+  const std::size_t m = config_.mlp_dim;
+
+  fwd.x = Mat(n, d0);
+  std::copy(sample.features.begin(), sample.features.end(), fwd.x.data.begin());
+
+  // Layer 1.
+  mean_aggregate(sample.adjacency, fwd.x, fwd.agg0);
+  matmul(fwd.x, layer1_.w_self, fwd.z1, false);
+  matmul(fwd.agg0, layer1_.w_neigh, fwd.z1, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < h; ++k) fwd.z1.at(i, k) += layer1_.bias[k];
+  }
+  fwd.h1 = fwd.z1;
+  for (double& value : fwd.h1.data) value = std::max(value, 0.0);
+
+  // Layer 2.
+  mean_aggregate(sample.adjacency, fwd.h1, fwd.agg1);
+  matmul(fwd.h1, layer2_.w_self, fwd.z2, false);
+  matmul(fwd.agg1, layer2_.w_neigh, fwd.z2, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < h; ++k) fwd.z2.at(i, k) += layer2_.bias[k];
+  }
+  fwd.h2 = fwd.z2;
+  for (double& value : fwd.h2.data) value = std::max(value, 0.0);
+
+  // Mean pooling.
+  fwd.pooled.assign(h, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < h; ++k) fwd.pooled[k] += fwd.h2.at(i, k);
+  }
+  if (n > 0) {
+    for (double& value : fwd.pooled) value /= static_cast<double>(n);
+  }
+
+  // MLP head.
+  fwd.mlp_z.assign(m, 0.0);
+  for (std::size_t a = 0; a < h; ++a) {
+    const double pa = fwd.pooled[a];
+    if (pa == 0.0) continue;
+    for (std::size_t k = 0; k < m; ++k) {
+      fwd.mlp_z[k] += pa * mlp_w1_.at(a, k);
+    }
+  }
+  for (std::size_t k = 0; k < m; ++k) fwd.mlp_z[k] += mlp_b1_[k];
+  fwd.mlp_h = fwd.mlp_z;
+  for (double& value : fwd.mlp_h) value = std::max(value, 0.0);
+
+  fwd.logit = mlp_b2_;
+  for (std::size_t k = 0; k < m; ++k) fwd.logit += fwd.mlp_h[k] * mlp_w2_[k];
+  fwd.prob = 1.0 / (1.0 + std::exp(-fwd.logit));
+  return fwd;
+}
+
+double Gnn::predict(const Subgraph& sample) const {
+  return forward(sample).prob;
+}
+
+void Gnn::backward(const Subgraph& sample, const Forward& fwd, double dlogit) {
+  const std::size_t n = sample.node_count;
+  const std::size_t h = config_.hidden_dim;
+  const std::size_t m = config_.mlp_dim;
+
+  // MLP head.
+  g_mlp_b2_ += dlogit;
+  std::vector<double> d_mlp_h(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    g_mlp_w2_[k] += dlogit * fwd.mlp_h[k];
+    d_mlp_h[k] = dlogit * mlp_w2_[k];
+  }
+  std::vector<double> d_mlp_z(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    d_mlp_z[k] = fwd.mlp_z[k] > 0.0 ? d_mlp_h[k] : 0.0;
+    g_mlp_b1_[k] += d_mlp_z[k];
+  }
+  std::vector<double> d_pooled(h, 0.0);
+  for (std::size_t a = 0; a < h; ++a) {
+    for (std::size_t k = 0; k < m; ++k) {
+      g_mlp_w1_.at(a, k) += fwd.pooled[a] * d_mlp_z[k];
+      d_pooled[a] += mlp_w1_.at(a, k) * d_mlp_z[k];
+    }
+  }
+
+  // Un-pool (mean): every node row receives d_pooled / n.
+  Mat d_h2(n, h);
+  const double inv_n = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < h; ++k) {
+      d_h2.at(i, k) = d_pooled[k] * inv_n;
+    }
+  }
+
+  // Layer 2 backward.
+  Mat d_z2 = d_h2;
+  for (std::size_t idx = 0; idx < d_z2.data.size(); ++idx) {
+    if (fwd.z2.data[idx] <= 0.0) d_z2.data[idx] = 0.0;
+  }
+  accumulate_weight_grad(fwd.h1, d_z2, g_layer2_.w_self);
+  accumulate_weight_grad(fwd.agg1, d_z2, g_layer2_.w_neigh);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < h; ++k) g_layer2_.bias[k] += d_z2.at(i, k);
+  }
+  // d_h1 = d_z2 * W2s^T + Agg^T(d_z2 * W2n^T)
+  Mat d_h1(n, h);
+  Mat d_agg1(n, h);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < h; ++c) {
+      double acc_self = 0.0;
+      double acc_neigh = 0.0;
+      for (std::size_t k = 0; k < h; ++k) {
+        acc_self += d_z2.at(i, k) * layer2_.w_self.at(c, k);
+        acc_neigh += d_z2.at(i, k) * layer2_.w_neigh.at(c, k);
+      }
+      d_h1.at(i, c) = acc_self;
+      d_agg1.at(i, c) = acc_neigh;
+    }
+  }
+  // Transpose of mean aggregation: d_h1[j] += sum_{i : j in N(i)} d_agg1[i]/|N(i)|.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nbrs = sample.adjacency[i];
+    if (nbrs.empty()) continue;
+    const double inv = 1.0 / static_cast<double>(nbrs.size());
+    for (std::uint32_t j : nbrs) {
+      for (std::size_t c = 0; c < h; ++c) {
+        d_h1.at(j, c) += d_agg1.at(i, c) * inv;
+      }
+    }
+  }
+
+  // Layer 1 backward.
+  Mat d_z1 = d_h1;
+  for (std::size_t idx = 0; idx < d_z1.data.size(); ++idx) {
+    if (fwd.z1.data[idx] <= 0.0) d_z1.data[idx] = 0.0;
+  }
+  accumulate_weight_grad(fwd.x, d_z1, g_layer1_.w_self);
+  accumulate_weight_grad(fwd.agg0, d_z1, g_layer1_.w_neigh);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < h; ++k) g_layer1_.bias[k] += d_z1.at(i, k);
+  }
+}
+
+void Gnn::adam_step() {
+  ++adam_t_;
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  const double bias1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
+  const double bias2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+
+  auto params = param_views();
+  auto grads = grad_views();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    auto& param = *params[p];
+    auto& grad = *grads[p];
+    auto& state = adam_[p];
+    for (std::size_t i = 0; i < param.size(); ++i) {
+      state.m[i] = kBeta1 * state.m[i] + (1.0 - kBeta1) * grad[i];
+      state.v[i] = kBeta2 * state.v[i] + (1.0 - kBeta2) * grad[i] * grad[i];
+      const double m_hat = state.m[i] / bias1;
+      const double v_hat = state.v[i] / bias2;
+      param[i] -= config_.learning_rate *
+                  (m_hat / (std::sqrt(v_hat) + kEps) +
+                   config_.weight_decay * param[i]);
+      grad[i] = 0.0;
+    }
+  }
+  // Scalar bias.
+  auto& state = adam_.back();
+  state.m[0] = kBeta1 * state.m[0] + (1.0 - kBeta1) * g_mlp_b2_;
+  state.v[0] = kBeta2 * state.v[0] + (1.0 - kBeta2) * g_mlp_b2_ * g_mlp_b2_;
+  mlp_b2_ -= config_.learning_rate *
+             ((state.m[0] / bias1) / (std::sqrt(state.v[0] / bias2) + kEps));
+  g_mlp_b2_ = 0.0;
+}
+
+double Gnn::train_epoch(const std::vector<Subgraph>& samples,
+                        const std::vector<std::size_t>& order) {
+  double loss_sum = 0.0;
+  std::size_t in_batch = 0;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const Subgraph& sample = samples[order[pos]];
+    const Forward fwd = forward(sample);
+    const double p = std::clamp(fwd.prob, 1e-9, 1.0 - 1e-9);
+    loss_sum += -(sample.label * std::log(p) +
+                  (1.0 - sample.label) * std::log(1.0 - p));
+    const double dlogit = (fwd.prob - sample.label) /
+                          static_cast<double>(config_.batch_size);
+    backward(sample, fwd, dlogit);
+    if (++in_batch == config_.batch_size || pos + 1 == order.size()) {
+      adam_step();
+      in_batch = 0;
+    }
+  }
+  return order.empty() ? 0.0 : loss_sum / static_cast<double>(order.size());
+}
+
+}  // namespace autolock::attack

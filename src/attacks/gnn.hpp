@@ -1,0 +1,99 @@
+// A small graph neural network for subgraph (link) classification, written
+// from scratch: two mean-aggregation message-passing layers (GraphSAGE
+// flavour), mean pooling, a one-hidden-layer MLP head, sigmoid output,
+// binary cross-entropy loss, and Adam — all with manual backpropagation.
+//
+// This is the stand-in for MuxLink's DGCNN (see DESIGN.md §4): same attack
+// surface (learned link prediction over enclosing subgraphs), CPU-sized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attacks/features.hpp"
+#include "util/rng.hpp"
+
+namespace autolock::attack {
+
+struct GnnConfig {
+  std::size_t input_dim = kFeatureDim;
+  std::size_t hidden_dim = 32;
+  std::size_t mlp_dim = 16;
+  double learning_rate = 5e-3;
+  double weight_decay = 1e-5;
+  std::size_t batch_size = 32;
+};
+
+/// Dense row-major matrix, minimal on purpose.
+struct Mat {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> data;
+
+  Mat() = default;
+  Mat(std::size_t r, std::size_t c) : rows(r), cols(c), data(r * c, 0.0) {}
+  double& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
+  double at(std::size_t r, std::size_t c) const { return data[r * cols + c]; }
+  void zero() { std::fill(data.begin(), data.end(), 0.0); }
+};
+
+class Gnn {
+ public:
+  Gnn(const GnnConfig& config, std::uint64_t seed);
+
+  /// Predicted probability that the subgraph's (0,1) link exists.
+  double predict(const Subgraph& sample) const;
+
+  /// One epoch of minibatch Adam over `samples` in the given order
+  /// (shuffle outside). Returns mean BCE loss.
+  double train_epoch(const std::vector<Subgraph>& samples,
+                     const std::vector<std::size_t>& order);
+
+  const GnnConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Layer {
+    Mat w_self, w_neigh;
+    std::vector<double> bias;
+  };
+  struct AdamState {
+    std::vector<double> m, v;
+  };
+  struct Forward {
+    // Cached activations for backprop, one per message-passing layer.
+    Mat x;            // input features
+    Mat agg0, z1, h1; // layer 1: neighbor mean, pre-activation, activation
+    Mat agg1, z2, h2; // layer 2
+    std::vector<double> pooled;   // mean-pooled h2
+    std::vector<double> mlp_z, mlp_h;  // MLP hidden pre/post activation
+    double logit = 0.0;
+    double prob = 0.0;
+  };
+
+  Forward forward(const Subgraph& sample) const;
+  void backward(const Subgraph& sample, const Forward& fwd, double dlogit);
+  void adam_step();
+
+  // Parameter/gradient flattening helpers.
+  std::vector<std::vector<double>*> param_views();
+  std::vector<std::vector<double>*> grad_views();
+
+  GnnConfig config_;
+  Layer layer1_, layer2_;
+  Mat mlp_w1_;
+  std::vector<double> mlp_b1_;
+  std::vector<double> mlp_w2_;
+  double mlp_b2_ = 0.0;
+
+  // Gradients (same shapes as parameters).
+  Layer g_layer1_, g_layer2_;
+  Mat g_mlp_w1_;
+  std::vector<double> g_mlp_b1_;
+  std::vector<double> g_mlp_w2_;
+  double g_mlp_b2_ = 0.0;
+
+  std::vector<AdamState> adam_;
+  std::uint64_t adam_t_ = 0;
+};
+
+}  // namespace autolock::attack

@@ -1,0 +1,193 @@
+#include "attacks/muxlink.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace autolock::attack {
+
+using netlist::NodeId;
+
+MuxLinkAttack::MuxLinkAttack(MuxLinkConfig config) : config_(config) {}
+
+MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked) const {
+  MuxLinkResult result;
+  const AttackGraph graph(locked);
+  if (graph.problems().empty()) return result;
+
+  util::Rng rng(config_.seed ^ (locked.size() * 0x9E37ULL));
+
+  // ---- assemble the self-supervised training set ---------------------------
+  std::vector<CandidateLink> positives = graph.known_links();
+  if (positives.size() > config_.max_train_links) {
+    rng.shuffle(positives);
+    positives.resize(config_.max_train_links);
+  }
+
+  // Present nodes, split into "possible drivers" (anything present) and
+  // "possible sinks" (present gates with fanins) so negatives share the
+  // directional shape of positives.
+  std::vector<NodeId> present_nodes;
+  std::vector<NodeId> present_sinks;
+  for (NodeId v = 0; v < locked.size(); ++v) {
+    if (!graph.in_graph(v)) continue;
+    present_nodes.push_back(v);
+    if (!locked.node(v).fanins.empty()) present_sinks.push_back(v);
+  }
+  if (present_nodes.size() < 4 || present_sinks.empty()) return result;
+
+  const auto& adjacency = graph.adjacency();
+  auto is_adjacent = [&](NodeId a, NodeId b) {
+    const auto& list = adjacency[a];
+    return std::binary_search(list.begin(), list.end(), b);
+  };
+
+  // Negatives: half uniform non-links, half *hard* negatives — a false
+  // driver drawn from the sink's 2..3-hop neighbourhood, which is exactly
+  // the shape of the wrong MUX candidate the attack must reject at
+  // inference time.
+  auto sample_hard_negative = [&](CandidateLink& out) {
+    const NodeId v = present_sinks[rng.next_below(present_sinks.size())];
+    // Bounded BFS to 3 hops.
+    std::vector<NodeId> ring;
+    std::vector<NodeId> frontier{v};
+    std::vector<std::uint8_t> seen(locked.size(), 0);
+    seen[v] = 1;
+    for (int hop = 1; hop <= 3; ++hop) {
+      std::vector<NodeId> next;
+      for (const NodeId x : frontier) {
+        for (const NodeId y : adjacency[x]) {
+          if (seen[y]) continue;
+          seen[y] = 1;
+          next.push_back(y);
+          if (hop >= 2) ring.push_back(y);  // distance 2..3: non-adjacent
+        }
+      }
+      frontier = std::move(next);
+      if (ring.size() > 64) break;
+    }
+    if (ring.empty()) return false;
+    out = CandidateLink{ring[rng.next_below(ring.size())], v};
+    return true;
+  };
+
+  std::vector<CandidateLink> negatives;
+  negatives.reserve(positives.size());
+  std::size_t guard = 0;
+  while (negatives.size() < positives.size() &&
+         guard < 100 * positives.size() + 1000) {
+    ++guard;
+    if (negatives.size() % 2 == 0) {
+      CandidateLink hard;
+      if (sample_hard_negative(hard)) {
+        negatives.push_back(hard);
+        continue;
+      }
+    }
+    const NodeId u = present_nodes[rng.next_below(present_nodes.size())];
+    const NodeId v = present_sinks[rng.next_below(present_sinks.size())];
+    if (u == v || is_adjacent(u, v)) continue;
+    negatives.push_back(CandidateLink{u, v});
+  }
+
+  std::vector<Subgraph> samples;
+  samples.reserve(positives.size() + negatives.size());
+  for (const auto& link : positives) {
+    Subgraph sub = extract_subgraph(graph, link.u, link.v, config_.subgraph);
+    sub.label = 1.0;
+    samples.push_back(std::move(sub));
+  }
+  for (const auto& link : negatives) {
+    Subgraph sub = extract_subgraph(graph, link.u, link.v, config_.subgraph);
+    sub.label = 0.0;
+    samples.push_back(std::move(sub));
+  }
+  result.train_samples = samples.size();
+
+  // ---- train ---------------------------------------------------------------
+  const std::size_t ensemble_size = std::max<std::size_t>(config_.ensemble, 1);
+  std::vector<Gnn> models;
+  models.reserve(ensemble_size);
+  for (std::size_t m = 0; m < ensemble_size; ++m) {
+    models.emplace_back(config_.gnn, config_.seed ^ 0x517EULL ^ (m * 7919));
+  }
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    double loss = 0.0;
+    for (Gnn& model : models) {
+      rng.shuffle(order);
+      loss += model.train_epoch(samples, order);
+    }
+    loss /= static_cast<double>(ensemble_size);
+    if (epoch == 0) result.first_epoch_loss = loss;
+    result.last_epoch_loss = loss;
+  }
+
+  // ---- decide every key bit -------------------------------------------------
+  int max_bit = -1;
+  for (const auto& problem : graph.problems()) {
+    max_bit = std::max(max_bit, problem.key_bit_index);
+  }
+  result.predicted_bits.assign(static_cast<std::size_t>(max_bit) + 1, 0);
+  result.margins.assign(static_cast<std::size_t>(max_bit) + 1, 0.0);
+  result.thresholded_bits.assign(static_cast<std::size_t>(max_bit) + 1, -1);
+
+  for (const auto& problem : graph.problems()) {
+    auto mean_prob = [&](const std::vector<CandidateLink>& links) {
+      double sum = 0.0;
+      for (const auto& link : links) {
+        const Subgraph sub =
+            extract_subgraph(graph, link.u, link.v, config_.subgraph);
+        double p = 0.0;
+        for (const Gnn& model : models) p += model.predict(sub);
+        sum += p / static_cast<double>(models.size());
+      }
+      return links.empty() ? 0.5 : sum / static_cast<double>(links.size());
+    };
+    const double p0 = mean_prob(problem.if_zero);
+    const double p1 = mean_prob(problem.if_one);
+    const int bit = problem.key_bit_index;
+    const int decision = p1 > p0 ? 1 : 0;
+    const double margin = std::abs(p1 - p0);
+    result.predicted_bits[bit] = decision;
+    result.margins[bit] = margin;
+    result.thresholded_bits[bit] =
+        margin >= config_.decision_threshold ? decision : -1;
+  }
+  return result;
+}
+
+MuxLinkScore MuxLinkAttack::score(const MuxLinkResult& result,
+                                  const netlist::Key& correct_key) {
+  MuxLinkScore score;
+  score.key_bits = correct_key.size();
+  if (correct_key.empty()) return score;
+
+  std::size_t correct = 0;
+  std::size_t decided = 0;
+  std::size_t decided_correct = 0;
+  for (std::size_t bit = 0; bit < correct_key.size(); ++bit) {
+    const int truth = correct_key[bit] ? 1 : 0;
+    const int forced =
+        bit < result.predicted_bits.size() ? result.predicted_bits[bit] : 0;
+    if (forced == truth) ++correct;
+    const int soft =
+        bit < result.thresholded_bits.size() ? result.thresholded_bits[bit] : -1;
+    if (soft != -1) {
+      ++decided;
+      if (soft == truth) ++decided_correct;
+    }
+  }
+  score.accuracy =
+      static_cast<double>(correct) / static_cast<double>(correct_key.size());
+  score.decided_fraction =
+      static_cast<double>(decided) / static_cast<double>(correct_key.size());
+  score.precision = decided == 0 ? 0.0
+                                 : static_cast<double>(decided_correct) /
+                                       static_cast<double>(decided);
+  return score;
+}
+
+}  // namespace autolock::attack

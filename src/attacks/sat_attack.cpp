@@ -1,0 +1,120 @@
+#include "attacks/sat_attack.hpp"
+
+#include <stdexcept>
+
+#include "sat/cnf.hpp"
+#include "util/timer.hpp"
+
+namespace autolock::attack {
+
+using netlist::Key;
+using netlist::Netlist;
+using netlist::Simulator;
+using sat::Encoding;
+using sat::make_lit;
+using sat::SolveResult;
+using sat::Var;
+
+SatAttack::SatAttack(SatAttackConfig config) : config_(config) {}
+
+SatAttackResult SatAttack::attack(const Netlist& locked,
+                                  const Netlist& oracle) const {
+  util::Timer timer;
+  SatAttackResult result;
+
+  const auto key_nodes = locked.key_inputs();
+  const std::size_t key_bits = key_nodes.size();
+  if (key_bits == 0) {
+    result.success = true;
+    result.seconds = timer.elapsed_seconds();
+    return result;
+  }
+  if (locked.primary_inputs().size() != oracle.primary_inputs().size() ||
+      locked.outputs().size() != oracle.outputs().size()) {
+    throw std::invalid_argument("SatAttack: interface mismatch");
+  }
+
+  const Simulator oracle_sim(oracle);
+
+  sat::Solver solver;
+  if (config_.conflict_budget != 0) {
+    solver.set_conflict_budget(config_.conflict_budget);
+  }
+
+  // Two copies of the locked circuit sharing primary inputs, with
+  // independent key variable sets K1 and K2.
+  const Encoding enc1 = sat::encode_netlist(solver, locked);
+  const Encoding enc2 =
+      sat::encode_netlist(solver, locked, enc1.primary_input_var, std::nullopt);
+  const Var miter = sat::make_miter(solver, enc1, enc2);
+
+  const std::size_t primary_count = enc1.primary_input_var.size();
+
+  auto record_stats = [&] {
+    result.total_conflicts = solver.stats().conflicts;
+    result.total_decisions = solver.stats().decisions;
+  };
+
+  for (;;) {
+    if (config_.max_iterations != 0 &&
+        result.dip_iterations >= config_.max_iterations) {
+      record_stats();
+      result.budget_exhausted = true;
+      result.seconds = timer.elapsed_seconds();
+      return result;
+    }
+    const SolveResult res = solver.solve({make_lit(miter, false)});
+    if (res == SolveResult::kUnknown) {
+      record_stats();
+      result.budget_exhausted = true;
+      result.seconds = timer.elapsed_seconds();
+      return result;
+    }
+    if (res == SolveResult::kUnsat) break;  // no DIP remains
+
+    // Extract the DIP and query the oracle.
+    ++result.dip_iterations;
+    std::vector<bool> dip(primary_count);
+    for (std::size_t i = 0; i < primary_count; ++i) {
+      dip[i] = solver.model_value(enc1.primary_input_var[i]);
+    }
+    const std::vector<bool> response = oracle_sim.run_single(dip, Key{});
+
+    // Pin two fresh copies of the locked circuit to (dip -> response), one
+    // per key variable set. This is the IO constraint that prunes keys.
+    for (const auto& key_vars : {enc1.key_var, enc2.key_var}) {
+      const Encoding pinned =
+          sat::encode_netlist(solver, locked, std::nullopt, key_vars);
+      for (std::size_t i = 0; i < primary_count; ++i) {
+        solver.add_clause(make_lit(pinned.primary_input_var[i], !dip[i]));
+      }
+      for (std::size_t o = 0; o < pinned.output_var.size(); ++o) {
+        solver.add_clause(make_lit(pinned.output_var[o], !response[o]));
+      }
+    }
+  }
+
+  // Any key consistent with all IO constraints is correct. Solve without
+  // the miter assumption to obtain one.
+  const SolveResult final_res = solver.solve({});
+  record_stats();
+  if (final_res != SolveResult::kSat) {
+    // kUnsat can only mean the budget logic interfered or the locking is
+    // inconsistent; report failure honestly.
+    result.budget_exhausted = (final_res == SolveResult::kUnknown);
+    result.seconds = timer.elapsed_seconds();
+    return result;
+  }
+  result.recovered_key.resize(key_bits);
+  for (std::size_t b = 0; b < key_bits; ++b) {
+    result.recovered_key[b] = solver.model_value(enc1.key_var[b]);
+  }
+
+  // Verify functional correctness of the recovered key with a fresh miter.
+  result.success =
+      sat::check_equivalent(locked, result.recovered_key, oracle, Key{});
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace autolock::attack

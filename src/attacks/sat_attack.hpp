@@ -1,0 +1,55 @@
+// Oracle-guided SAT attack (Subramanyan et al., HOST'15), from scratch on
+// top of the in-repo CDCL solver.
+//
+// The attacker holds the locked netlist and black-box access to an unlocked
+// chip (the oracle — here, simulation of the original netlist). The attack
+// iteratively finds Distinguishing Input Patterns (DIPs): inputs on which
+// two candidate keys disagree. Each DIP's oracle response prunes the key
+// space by adding IO constraints; when no DIP remains, any key consistent
+// with all recorded IO pairs is functionally correct.
+//
+// In this repo the SAT attack serves the multi-objective extension (the
+// AutoLock research plan's "set of distinct attacks"): MUX locking is not
+// SAT-resilient by design, so the interesting measurement is attack *effort*
+// (DIP iterations, conflicts, time) rather than success.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"
+
+namespace autolock::attack {
+
+struct SatAttackConfig {
+  /// Abort after this many DIP iterations (0 = unlimited).
+  std::size_t max_iterations = 0;
+  /// Per-solve conflict budget (0 = unlimited). When exhausted the attack
+  /// reports failure with `budget_exhausted` set.
+  std::uint64_t conflict_budget = 0;
+};
+
+struct SatAttackResult {
+  bool success = false;           // recovered key proven functionally correct
+  bool budget_exhausted = false;
+  netlist::Key recovered_key;
+  std::size_t dip_iterations = 0;
+  std::uint64_t total_conflicts = 0;
+  std::uint64_t total_decisions = 0;
+  double seconds = 0.0;
+};
+
+class SatAttack {
+ public:
+  explicit SatAttack(SatAttackConfig config = {});
+
+  /// Runs the attack. `oracle` is the original (unlocked) netlist; it is
+  /// only ever *simulated* (black-box), never encoded into the solver.
+  SatAttackResult attack(const netlist::Netlist& locked,
+                         const netlist::Netlist& oracle) const;
+
+ private:
+  SatAttackConfig config_;
+};
+
+}  // namespace autolock::attack

@@ -1,0 +1,53 @@
+#include "attacks/scope.hpp"
+
+#include "netlist/opt.hpp"
+
+namespace autolock::attack {
+
+ScopeResult ScopeAttack::attack(const netlist::Netlist& locked) const {
+  ScopeResult result;
+  const std::size_t key_bits = locked.key_inputs().size();
+  result.predicted_bits.reserve(key_bits);
+  result.areas.reserve(key_bits);
+  for (std::size_t bit = 0; bit < key_bits; ++bit) {
+    const auto zero = netlist::optimize_with_key_bit(locked, bit, false);
+    const auto one = netlist::optimize_with_key_bit(locked, bit, true);
+    const std::size_t area0 = zero.stats().gates;
+    const std::size_t area1 = one.stats().gates;
+    int decision = -1;
+    // The correct hypothesis synthesizes *smaller* (key gate disappears).
+    if (area0 < area1) decision = 0;
+    else if (area1 < area0) decision = 1;
+    result.predicted_bits.push_back(decision);
+    result.areas.emplace_back(area0, area1);
+  }
+  return result;
+}
+
+ScopeScore ScopeAttack::score(const ScopeResult& result,
+                              const netlist::Key& correct_key) {
+  ScopeScore score;
+  score.key_bits = correct_key.size();
+  if (correct_key.empty()) return score;
+  std::size_t decided = 0;
+  std::size_t correct = 0;
+  for (std::size_t bit = 0; bit < correct_key.size(); ++bit) {
+    const int prediction =
+        bit < result.predicted_bits.size() ? result.predicted_bits[bit] : -1;
+    if (prediction == -1) continue;
+    ++decided;
+    if (prediction == (correct_key[bit] ? 1 : 0)) ++correct;
+  }
+  score.decided_fraction =
+      static_cast<double>(decided) / static_cast<double>(correct_key.size());
+  score.accuracy_on_decided =
+      decided == 0 ? 0.0
+                   : static_cast<double>(correct) / static_cast<double>(decided);
+  score.expected_overall_accuracy =
+      (static_cast<double>(correct) +
+       0.5 * static_cast<double>(correct_key.size() - decided)) /
+      static_cast<double>(correct_key.size());
+  return score;
+}
+
+}  // namespace autolock::attack

@@ -1,0 +1,50 @@
+// SCOPE-style oracle-less synthesis attack (after Alaql et al.'s SCOPE):
+// for each key bit, pin it to 0 and to 1, run the optimizer, and compare
+// the synthesized circuit's cost metrics. A transparent key gate (XOR with
+// the correct constant) simplifies away, while the wrong constant leaves an
+// inverter behind — an area signal that leaks the bit with no oracle at all.
+//
+// Expected behaviour (and the point of including it): this attack strips
+// classic XOR/XNOR RLL almost completely, but is *blind* against MUX-pair
+// locking — pinning a MUX select collapses the MUX either way, with
+// symmetric cost — which is precisely the deceptive property D-MUX
+// introduced and AutoLock inherits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "locking/mux_lock.hpp"
+#include "netlist/netlist.hpp"
+
+namespace autolock::attack {
+
+struct ScopeResult {
+  /// Per key bit: 0 / 1, or -1 when both hypotheses cost the same
+  /// (undecidable by this attack).
+  std::vector<int> predicted_bits;
+  /// Synthesized gate counts for the (bit=0, bit=1) hypotheses.
+  std::vector<std::pair<std::size_t, std::size_t>> areas;
+};
+
+struct ScopeScore {
+  double accuracy_on_decided = 0.0;  // correct / decided
+  double decided_fraction = 0.0;     // decided / all bits
+  /// Forced accuracy counting undecided bits as coin flips (0.5 credit).
+  double expected_overall_accuracy = 0.0;
+  std::size_t key_bits = 0;
+};
+
+class ScopeAttack {
+ public:
+  ScopeResult attack(const netlist::Netlist& locked) const;
+
+  static ScopeScore score(const ScopeResult& result,
+                          const netlist::Key& correct_key);
+
+  ScopeScore run(const lock::LockedDesign& design) const {
+    return score(attack(design.netlist), design.key);
+  }
+};
+
+}  // namespace autolock::attack

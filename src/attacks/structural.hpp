@@ -1,0 +1,50 @@
+// Structural link predictor — a fast, hand-featured surrogate for MuxLink.
+//
+// Logistic regression over classic link-prediction features (common
+// neighbours, Jaccard, Adamic-Adar, degrees, preferential attachment, gate
+// type compatibility). Roughly two orders of magnitude cheaper than the GNN,
+// which makes it useful as (a) an inner-loop fitness proxy for large GA runs
+// and (b) an independent second attack vector for multi-objective search
+// (the paper's research-plan item 3).
+//
+// Emits the same MuxLinkResult shape as the GNN attack so scoring and the
+// GA fitness plumbing are shared.
+#pragma once
+
+#include <cstdint>
+
+#include "attacks/attack_graph.hpp"
+#include "attacks/muxlink.hpp"
+#include "netlist/netlist.hpp"
+
+namespace autolock::attack {
+
+struct StructuralPredictorConfig {
+  std::size_t epochs = 40;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  std::size_t max_train_links = 4000;
+  double decision_threshold = 0.05;
+  std::uint64_t seed = 0x57A7ULL;
+};
+
+class StructuralLinkPredictor {
+ public:
+  explicit StructuralLinkPredictor(StructuralPredictorConfig config = {});
+
+  MuxLinkResult attack(const netlist::Netlist& locked) const;
+
+  MuxLinkScore run(const lock::LockedDesign& design) const {
+    return MuxLinkAttack::score(attack(design.netlist), design.key);
+  }
+
+  const StructuralPredictorConfig& config() const noexcept { return config_; }
+
+  /// Number of features per candidate pair (exposed for tests).
+  static constexpr std::size_t kPairFeatureDim = 10;
+
+ private:
+  StructuralPredictorConfig config_;
+};
+
+}  // namespace autolock::attack

@@ -1,0 +1,238 @@
+#include "core/ga.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace autolock::ga {
+
+using lock::LockedDesign;
+using lock::LockSite;
+
+GeneticAlgorithm::GeneticAlgorithm(const netlist::Netlist& original,
+                                   GaConfig config)
+    : original_(&original), context_(original), config_(config) {
+  if (config_.population < 2) {
+    throw std::invalid_argument("GaConfig: population must be >= 2");
+  }
+  if (config_.elites >= config_.population) {
+    throw std::invalid_argument("GaConfig: elites must be < population");
+  }
+  if (config_.tournament_size == 0) {
+    throw std::invalid_argument("GaConfig: tournament_size must be >= 1");
+  }
+}
+
+LockedDesign GeneticAlgorithm::decode(const Genotype& genes,
+                                      std::uint64_t repair_seed) const {
+  util::Rng repair_rng(config_.seed ^ repair_seed ^ 0xDEC0DEULL);
+  return lock::apply_genotype(*original_, context_, genes, repair_rng);
+}
+
+std::uint64_t GeneticAlgorithm::genotype_hash(const Genotype& genes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over gene words
+  auto mix = [&h](std::uint64_t value) {
+    h ^= value;
+    h *= 0x100000001b3ULL;
+  };
+  for (const LockSite& site : genes) {
+    mix(site.f_i);
+    mix(site.f_j);
+    mix(site.g_i);
+    mix(site.g_j);
+    mix(site.key_bit ? 0x9E3779B9ULL : 0x85EBCA6BULL);
+  }
+  return h;
+}
+
+Genotype GeneticAlgorithm::select_parent(
+    const std::vector<Individual>& population, util::Rng& rng) const {
+  if (config_.selection == SelectionOp::kTournament) {
+    const Individual* best = nullptr;
+    for (std::size_t t = 0; t < config_.tournament_size; ++t) {
+      const Individual& contender =
+          population[rng.next_below(population.size())];
+      if (best == nullptr || contender.eval.fitness > best->eval.fitness) {
+        best = &contender;
+      }
+    }
+    return best->genes;
+  }
+  // Roulette wheel over shifted fitness (handles non-positive fitness).
+  double min_fitness = population.front().eval.fitness;
+  for (const Individual& ind : population) {
+    min_fitness = std::min(min_fitness, ind.eval.fitness);
+  }
+  double total = 0.0;
+  for (const Individual& ind : population) {
+    total += (ind.eval.fitness - min_fitness) + 1e-9;
+  }
+  double draw = rng.next_double() * total;
+  for (const Individual& ind : population) {
+    draw -= (ind.eval.fitness - min_fitness) + 1e-9;
+    if (draw <= 0.0) return ind.genes;
+  }
+  return population.back().genes;
+}
+
+std::pair<Genotype, Genotype> GeneticAlgorithm::crossover(
+    const Genotype& a, const Genotype& b, util::Rng& rng) const {
+  Genotype child1 = a;
+  Genotype child2 = b;
+  if (a.size() != b.size() || a.size() < 2 ||
+      !rng.next_bool(config_.crossover_rate)) {
+    return {std::move(child1), std::move(child2)};
+  }
+  if (config_.crossover == CrossoverOp::kOnePoint) {
+    const std::size_t cut = 1 + rng.next_below(a.size() - 1);
+    for (std::size_t i = cut; i < a.size(); ++i) {
+      child1[i] = b[i];
+      child2[i] = a[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (rng.next_bool()) {
+        child1[i] = b[i];
+        child2[i] = a[i];
+      }
+    }
+  }
+  return {std::move(child1), std::move(child2)};
+}
+
+void GeneticAlgorithm::mutate(Genotype& genes, util::Rng& rng) const {
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    if (!rng.next_bool(config_.mutation_rate)) continue;
+    if (rng.next_bool(config_.key_flip_rate)) {
+      genes[i].key_bit = !genes[i].key_bit;
+      continue;
+    }
+    // Re-sample the site against the other genes (approximate: collisions
+    // with later genes are resolved by decode-time repair).
+    std::vector<LockSite> others;
+    others.reserve(genes.size() - 1);
+    for (std::size_t j = 0; j < genes.size(); ++j) {
+      if (j != i) others.push_back(genes[j]);
+    }
+    LockSite fresh;
+    if (context_.sample_site(rng, others, fresh)) {
+      genes[i] = fresh;
+    }
+  }
+}
+
+GaResult GeneticAlgorithm::run(std::size_t key_bits, const FitnessFn& fitness,
+                               util::ThreadPool* pool) {
+  util::Rng rng(config_.seed);
+
+  // ---- initialization: N independent random D-MUX lockings ---------------
+  std::vector<Individual> population(config_.population);
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    util::Rng init_rng = rng.fork();
+    population[i].genes = lock::random_genotype(context_, key_bits, init_rng);
+  }
+
+  std::unordered_map<std::uint64_t, Evaluation> cache;
+  std::mutex cache_mutex;
+  GaResult result;
+
+  auto evaluate_population = [&](std::vector<Individual>& pop,
+                                 std::size_t generation,
+                                 std::size_t& cache_hits) {
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      const std::uint64_t h = genotype_hash(pop[i].genes);
+      const auto it = cache.find(h);
+      if (it != cache.end()) {
+        pop[i].eval = it->second;
+        ++cache_hits;
+      } else {
+        pending.push_back(i);
+      }
+    }
+    auto eval_one = [&](std::size_t idx) {
+      const std::size_t i = pending[idx];
+      // Per-individual deterministic repair seed.
+      const std::uint64_t repair_seed =
+          (static_cast<std::uint64_t>(generation) << 32) ^ (i * 0x9E3779B9ULL);
+      LockedDesign design = decode(pop[i].genes, repair_seed);
+      pop[i].genes = design.sites;  // write repaired genes back
+      pop[i].eval = fitness(design);
+      const std::uint64_t h = genotype_hash(pop[i].genes);
+      const std::scoped_lock lock(cache_mutex);
+      cache.emplace(h, pop[i].eval);
+    };
+    if (pool != nullptr && pending.size() > 1) {
+      pool->parallel_for(pending.size(), eval_one);
+    } else {
+      for (std::size_t idx = 0; idx < pending.size(); ++idx) eval_one(idx);
+    }
+    result.evaluations += pending.size();
+  };
+
+  auto sort_by_fitness = [](std::vector<Individual>& pop) {
+    std::stable_sort(pop.begin(), pop.end(),
+                     [](const Individual& a, const Individual& b) {
+                       return a.eval.fitness > b.eval.fitness;
+                     });
+  };
+
+  std::size_t cache_hits = 0;
+  evaluate_population(population, 0, cache_hits);
+  sort_by_fitness(population);
+
+  auto record_generation = [&](std::size_t generation, std::size_t hits) {
+    GenerationStats stats;
+    stats.generation = generation;
+    stats.best_fitness = population.front().eval.fitness;
+    stats.worst_fitness = population.back().eval.fitness;
+    double sum = 0.0;
+    for (const Individual& ind : population) sum += ind.eval.fitness;
+    stats.mean_fitness = sum / static_cast<double>(population.size());
+    stats.best_accuracy = population.front().eval.attack_accuracy;
+    stats.cache_hits = hits;
+    result.history.push_back(stats);
+    util::log_debug("GA gen ", generation, ": best=", stats.best_fitness,
+                    " mean=", stats.mean_fitness,
+                    " best_acc=", stats.best_accuracy);
+  };
+  record_generation(0, cache_hits);
+
+  auto target_reached = [&] {
+    return config_.fitness_target.has_value() &&
+           population.front().eval.fitness >= *config_.fitness_target;
+  };
+
+  for (std::size_t generation = 1;
+       generation <= config_.generations && !target_reached(); ++generation) {
+    std::vector<Individual> next;
+    next.reserve(config_.population);
+    for (std::size_t e = 0; e < config_.elites; ++e) {
+      next.push_back(population[e]);  // elites carry their evaluation
+    }
+    while (next.size() < config_.population) {
+      const Genotype parent_a = select_parent(population, rng);
+      const Genotype parent_b = select_parent(population, rng);
+      auto [child1, child2] = crossover(parent_a, parent_b, rng);
+      mutate(child1, rng);
+      mutate(child2, rng);
+      next.push_back(Individual{std::move(child1), {}});
+      if (next.size() < config_.population) {
+        next.push_back(Individual{std::move(child2), {}});
+      }
+    }
+    population = std::move(next);
+    cache_hits = 0;
+    evaluate_population(population, generation, cache_hits);
+    sort_by_fitness(population);
+    record_generation(generation, cache_hits);
+  }
+
+  result.best = population.front();
+  result.reached_target = target_reached();
+  return result;
+}
+
+}  // namespace autolock::ga

@@ -1,0 +1,125 @@
+// Genetic algorithm over MUX-locking genotypes — the paper's optimization
+// engine.
+//
+// The genotype is exactly the paper's: a list of LockSites
+// {f_i, f_j, g_i, g_j, k}, one per key bit. Decoding (apply_genotype)
+// produces the locked netlist; the fitness function runs an attack on it
+// ("the fitness of each genotype is measured by MuxLink accuracy, where
+// lower accuracy indicates higher fitness").
+//
+// Operators (paper §II: selection, crossover, mutation):
+//   selection: tournament or roulette-wheel
+//   crossover: one-point or uniform over the gene list
+//   mutation:  per-gene — flip the key bit (cheap local move) or re-sample
+//              the whole site (exploration); invalid offspring genes are
+//              repaired at decode time and written back.
+// Elitism preserves the best individuals; a fitness cache avoids
+// re-evaluating unchanged genotypes (elites, duplicate offspring).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "locking/mux_lock.hpp"
+#include "locking/sites.hpp"
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace autolock::ga {
+
+using Genotype = std::vector<lock::LockSite>;
+
+enum class SelectionOp { kTournament, kRoulette };
+enum class CrossoverOp { kOnePoint, kUniform };
+
+struct GaConfig {
+  std::size_t population = 16;   // N in the paper's Fig. 1
+  std::size_t generations = 10;
+  std::size_t elites = 2;
+  SelectionOp selection = SelectionOp::kTournament;
+  std::size_t tournament_size = 3;
+  CrossoverOp crossover = CrossoverOp::kOnePoint;
+  double crossover_rate = 0.9;
+  /// Per-gene mutation probability.
+  double mutation_rate = 0.08;
+  /// Within a mutation: probability of flipping the key bit (otherwise the
+  /// entire site is re-sampled).
+  double key_flip_rate = 0.5;
+  /// Early stop once best fitness reaches this value (nullopt = disabled).
+  std::optional<double> fitness_target;
+  std::uint64_t seed = 42;
+};
+
+/// Result of evaluating one individual. `fitness` is maximized by the GA;
+/// the remaining fields are carried for reporting.
+struct Evaluation {
+  double fitness = 0.0;
+  double attack_accuracy = 1.0;  // raw attack accuracy on this individual
+  double attack_precision = 0.0;
+  double corruption = 0.0;       // wrong-key output error rate (if measured)
+};
+
+/// Fitness callback: receives the decoded locked design (sites already
+/// repaired and consistent with the genotype). Must be thread-safe — it is
+/// invoked concurrently for different individuals.
+using FitnessFn = std::function<Evaluation(const lock::LockedDesign&)>;
+
+struct Individual {
+  Genotype genes;
+  Evaluation eval;
+};
+
+struct GenerationStats {
+  std::size_t generation = 0;
+  double best_fitness = 0.0;
+  double mean_fitness = 0.0;
+  double worst_fitness = 0.0;
+  double best_accuracy = 1.0;  // attack accuracy of the best individual
+  std::size_t cache_hits = 0;
+};
+
+struct GaResult {
+  Individual best;
+  std::vector<GenerationStats> history;
+  std::size_t evaluations = 0;  // fitness function invocations (cache misses)
+  bool reached_target = false;
+};
+
+class GeneticAlgorithm {
+ public:
+  /// `original` must outlive the GA.
+  GeneticAlgorithm(const netlist::Netlist& original, GaConfig config);
+
+  /// Runs the full loop of the paper's Fig. 1: N random D-MUX lockings of
+  /// `key_bits` bits seed the population; evolve for `generations` or until
+  /// the fitness target. `pool` parallelizes evaluation (may be null).
+  GaResult run(std::size_t key_bits, const FitnessFn& fitness,
+               util::ThreadPool* pool = nullptr);
+
+  /// Decodes a genotype exactly like the GA does internally (for callers
+  /// that want the netlist of a returned individual).
+  lock::LockedDesign decode(const Genotype& genes,
+                            std::uint64_t repair_seed = 0) const;
+
+  const GaConfig& config() const noexcept { return config_; }
+  const lock::SiteContext& context() const noexcept { return context_; }
+
+ private:
+  Genotype select_parent(const std::vector<Individual>& population,
+                         util::Rng& rng) const;
+  std::pair<Genotype, Genotype> crossover(const Genotype& a, const Genotype& b,
+                                          util::Rng& rng) const;
+  void mutate(Genotype& genes, util::Rng& rng) const;
+  static std::uint64_t genotype_hash(const Genotype& genes);
+
+  const netlist::Netlist* original_;
+  lock::SiteContext context_;
+  GaConfig config_;
+};
+
+}  // namespace autolock::ga

@@ -1,0 +1,155 @@
+#include "core/heuristics.hpp"
+
+#include <cmath>
+
+namespace autolock::ga {
+
+using lock::LockedDesign;
+using lock::LockSite;
+using lock::SiteContext;
+
+namespace {
+
+/// Shared evaluation plumbing: decode (with repair write-back) + fitness.
+struct Evaluator {
+  const netlist::Netlist* original;
+  SiteContext context;
+  const FitnessFn* fitness;
+  std::uint64_t seed;
+  std::size_t evaluations = 0;
+
+  Evaluator(const netlist::Netlist& on, const FitnessFn& fn,
+            std::uint64_t seed_in)
+      : original(&on), context(on), fitness(&fn), seed(seed_in) {}
+
+  Evaluation evaluate(Genotype& genes) {
+    util::Rng repair_rng(seed ^ (evaluations * 0x9E3779B9ULL) ^ 0xE7A1ULL);
+    LockedDesign design =
+        lock::apply_genotype(*original, context, genes, repair_rng);
+    genes = design.sites;
+    ++evaluations;
+    return (*fitness)(design);
+  }
+};
+
+/// Single-gene neighbourhood move shared by hill climbing and annealing.
+void mutate_one_gene(Genotype& genes, const SiteContext& context,
+                     double key_flip_rate, util::Rng& rng) {
+  if (genes.empty()) return;
+  const std::size_t i = rng.next_below(genes.size());
+  if (rng.next_bool(key_flip_rate)) {
+    genes[i].key_bit = !genes[i].key_bit;
+    return;
+  }
+  std::vector<LockSite> others;
+  others.reserve(genes.size() - 1);
+  for (std::size_t j = 0; j < genes.size(); ++j) {
+    if (j != i) others.push_back(genes[j]);
+  }
+  LockSite fresh;
+  if (context.sample_site(rng, others, fresh)) genes[i] = fresh;
+}
+
+}  // namespace
+
+HeuristicResult random_search(const netlist::Netlist& original,
+                              std::size_t key_bits, const FitnessFn& fitness,
+                              const RandomSearchConfig& config) {
+  util::Rng rng(config.seed);
+  Evaluator evaluator(original, fitness, config.seed);
+  HeuristicResult result;
+  result.best.eval.fitness = -1e300;
+  for (std::size_t e = 0; e < config.evaluations; ++e) {
+    util::Rng draw = rng.fork();
+    Genotype genes = lock::random_genotype(evaluator.context, key_bits, draw);
+    const Evaluation eval = evaluator.evaluate(genes);
+    if (eval.fitness > result.best.eval.fitness) {
+      result.best = Individual{std::move(genes), eval};
+    }
+    result.trajectory.push_back(result.best.eval.fitness);
+  }
+  result.evaluations = evaluator.evaluations;
+  return result;
+}
+
+HeuristicResult hill_climb(const netlist::Netlist& original,
+                           std::size_t key_bits, const FitnessFn& fitness,
+                           const HillClimbConfig& config) {
+  util::Rng rng(config.seed ^ 0x41C9ULL);
+  Evaluator evaluator(original, fitness, config.seed);
+  HeuristicResult result;
+  result.best.eval.fitness = -1e300;
+
+  Genotype current;
+  Evaluation current_eval;
+  std::size_t stale = 0;
+  bool need_restart = true;
+
+  while (evaluator.evaluations < config.evaluations) {
+    if (need_restart) {
+      util::Rng draw = rng.fork();
+      current = lock::random_genotype(evaluator.context, key_bits, draw);
+      current_eval = evaluator.evaluate(current);
+      need_restart = false;
+      stale = 0;
+    } else {
+      Genotype candidate = current;
+      mutate_one_gene(candidate, evaluator.context, config.key_flip_rate, rng);
+      const Evaluation eval = evaluator.evaluate(candidate);
+      if (eval.fitness > current_eval.fitness) {
+        current = std::move(candidate);
+        current_eval = eval;
+        stale = 0;
+      } else if (config.restart_after != 0 && ++stale >= config.restart_after) {
+        need_restart = true;
+      }
+    }
+    if (current_eval.fitness > result.best.eval.fitness) {
+      result.best = Individual{current, current_eval};
+    }
+    result.trajectory.push_back(result.best.eval.fitness);
+  }
+  result.evaluations = evaluator.evaluations;
+  return result;
+}
+
+HeuristicResult simulated_annealing(const netlist::Netlist& original,
+                                    std::size_t key_bits,
+                                    const FitnessFn& fitness,
+                                    const AnnealingConfig& config) {
+  util::Rng rng(config.seed ^ 0x5AULL);
+  Evaluator evaluator(original, fitness, config.seed);
+  HeuristicResult result;
+  result.best.eval.fitness = -1e300;
+
+  util::Rng draw = rng.fork();
+  Genotype current = lock::random_genotype(evaluator.context, key_bits, draw);
+  Evaluation current_eval = evaluator.evaluate(current);
+  result.best = Individual{current, current_eval};
+  result.trajectory.push_back(current_eval.fitness);
+
+  double temperature = config.initial_temperature;
+  while (evaluator.evaluations < config.evaluations) {
+    Genotype candidate = current;
+    mutate_one_gene(candidate, evaluator.context, config.key_flip_rate, rng);
+    const Evaluation eval = evaluator.evaluate(candidate);
+    const double delta = eval.fitness - current_eval.fitness;
+    const bool accept =
+        delta >= 0.0 ||
+        (temperature > 1e-12 &&
+         rng.next_double() < std::exp(delta / temperature));
+    if (accept) {
+      current = std::move(candidate);
+      current_eval = eval;
+    }
+    if (current_eval.fitness > result.best.eval.fitness) {
+      result.best = Individual{current, current_eval};
+    }
+    result.trajectory.push_back(result.best.eval.fitness);
+    temperature *= config.cooling;
+  }
+  result.evaluations = evaluator.evaluations;
+  return result;
+}
+
+}  // namespace autolock::ga

@@ -1,0 +1,44 @@
+// Anti-SAT (Xie & Srivastava, CHES'16) — a SAT-attack-resilient locking
+// block, included as the compound-locking extension: AutoLock optimizes
+// *learning* resilience, Anti-SAT supplies *oracle-guided* resilience, and
+// the two compose (research-plan item 3's "set of distinct attacks").
+//
+// Construction: choose n primary inputs X and 2n key bits (K1, K2). Build
+//   B = g(X ⊕ K1) AND NOT g(X ⊕ K2),   g = n-input AND
+// and XOR B into an internal wire. For any key with K1 == K2, B ≡ 0 and the
+// circuit is unchanged; for K1 != K2, B = 1 on a handful of input patterns,
+// so every DIP eliminates O(1) wrong keys and the SAT attack needs ~2^n
+// iterations.
+#pragma once
+
+#include <cstdint>
+
+#include "locking/mux_lock.hpp"
+#include "netlist/netlist.hpp"
+
+namespace autolock::lock {
+
+struct AntiSatOptions {
+  /// Width n of the Anti-SAT block (2n key bits are added). The SAT attack
+  /// needs on the order of 2^n DIPs to strip it.
+  std::size_t width = 4;
+  /// Where to XOR the block in. Splicing directly at a primary-output
+  /// driver (default) guarantees the corruption is observable — on highly
+  /// redundant circuits a random internal wire can be masked everywhere,
+  /// making the block vacuous. Disable to splice a random internal wire
+  /// (hides the block deeper at the risk of reduced corruption).
+  bool splice_at_output = true;
+};
+
+/// Adds an Anti-SAT block to `original`. The returned design has 2*width
+/// key bits; the correct key satisfies K1 == K2 (bitwise).
+LockedDesign antisat_lock(const netlist::Netlist& original,
+                          const AntiSatOptions& options, std::uint64_t seed);
+
+/// Compound locking: D-MUX (ML-facing, `mux_key_bits` bits) + Anti-SAT
+/// (SAT-facing, 2*width bits). Key layout: MUX bits first, then K1, K2.
+LockedDesign compound_lock(const netlist::Netlist& original,
+                           std::size_t mux_key_bits,
+                           const AntiSatOptions& options, std::uint64_t seed);
+
+}  // namespace autolock::lock

@@ -1,0 +1,136 @@
+#include "locking/mux_lock.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace autolock::lock {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+/// True iff `target` is in the transitive fanin of `from` in `working`
+/// (i.e. `from` functionally depends on `target`).
+bool depends_on(const Netlist& working, NodeId from, NodeId target) {
+  if (from == target) return true;
+  std::vector<bool> visited(working.size(), false);
+  std::vector<NodeId> stack{from};
+  visited[from] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId fanin : working.node(v).fanins) {
+      if (fanin == target) return true;
+      if (!visited[fanin]) {
+        visited[fanin] = true;
+        stack.push_back(fanin);
+      }
+    }
+  }
+  return false;
+}
+
+/// A site is applicable to the *working* netlist iff the edges it locks are
+/// still present (no earlier site consumed them) and the two cross edges do
+/// not close a cycle given all previously inserted MUX pairs.
+bool applicable_to_working(const Netlist& working, const LockSite& site) {
+  const auto has_fanin = [&](NodeId gate, NodeId fanin) {
+    for (NodeId f : working.node(gate).fanins) {
+      if (f == fanin) return true;
+    }
+    return false;
+  };
+  if (!has_fanin(site.g_i, site.f_i)) return false;
+  if (!has_fanin(site.g_j, site.f_j)) return false;
+  // Cycle check on the working graph: new edges f_j -> g_i and f_i -> g_j.
+  if (depends_on(working, site.f_j, site.g_i)) return false;
+  if (depends_on(working, site.f_i, site.g_j)) return false;
+  return true;
+}
+
+}  // namespace
+
+LockedDesign apply_genotype(const Netlist& original,
+                            const SiteContext& context,
+                            std::vector<LockSite> sites, util::Rng& repair_rng,
+                            const MuxLockOptions& options) {
+  LockedDesign design{original, {}, {}, {}};
+  design.netlist.set_name(original.name() + "_muxlocked");
+
+  for (std::size_t t = 0; t < sites.size(); ++t) {
+    LockSite site = sites[t];
+    const bool ok = context.structurally_valid(site) &&
+                    SiteContext::edges_available(site, design.sites) &&
+                    applicable_to_working(design.netlist, site);
+    if (!ok) {
+      if (!options.repair_invalid) {
+        throw std::runtime_error("apply_genotype: invalid site at key bit " +
+                                 std::to_string(t));
+      }
+      bool repaired = false;
+      for (int attempt = 0; attempt < 64 && !repaired; ++attempt) {
+        LockSite candidate;
+        if (!context.sample_site(repair_rng, design.sites, candidate)) break;
+        if (applicable_to_working(design.netlist, candidate)) {
+          site = candidate;
+          repaired = true;
+        }
+      }
+      if (!repaired) {
+        throw std::runtime_error(
+            "apply_genotype: could not repair invalid site at key bit " +
+            std::to_string(t) + " (circuit too small or saturated)");
+      }
+    }
+
+    const NodeId sel = design.netlist.add_input(
+        "keyinput" + std::to_string(t), /*is_key=*/true);
+    // Wire so that select == site.key_bit restores the original paths.
+    const NodeId a0 = site.key_bit ? site.f_j : site.f_i;
+    const NodeId a1 = site.key_bit ? site.f_i : site.f_j;
+    const NodeId m1 = design.netlist.add_gate(
+        GateType::kMux, {sel, a0, a1}, "keymux" + std::to_string(t) + "a");
+    const NodeId m2 = design.netlist.add_gate(
+        GateType::kMux, {sel, a1, a0}, "keymux" + std::to_string(t) + "b");
+    if (design.netlist.replace_fanin(site.g_i, site.f_i, m1) == 0 ||
+        design.netlist.replace_fanin(site.g_j, site.f_j, m2) == 0) {
+      throw std::logic_error("apply_genotype: edge vanished during rewiring");
+    }
+    design.key.push_back(site.key_bit);
+    design.sites.push_back(site);
+    design.mux_pairs.emplace_back(m1, m2);
+  }
+
+  design.netlist.validate();
+  return design;
+}
+
+std::vector<LockSite> random_genotype(const SiteContext& context,
+                                      std::size_t key_bits, util::Rng& rng) {
+  std::vector<LockSite> sites;
+  sites.reserve(key_bits);
+  for (std::size_t t = 0; t < key_bits; ++t) {
+    LockSite site;
+    if (!context.sample_site(rng, sites, site)) {
+      throw std::runtime_error(
+          "random_genotype: cannot place " + std::to_string(key_bits) +
+          " MUX pairs in circuit '" + context.original().name() + "'");
+    }
+    sites.push_back(site);
+  }
+  return sites;
+}
+
+LockedDesign dmux_lock(const Netlist& original, std::size_t key_bits,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  const SiteContext context(original);
+  auto sites = random_genotype(context, key_bits, rng);
+  auto design = apply_genotype(original, context, std::move(sites), rng);
+  design.netlist.set_name(original.name() + "_dmux");
+  return design;
+}
+
+}  // namespace autolock::lock

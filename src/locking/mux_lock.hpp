@@ -1,0 +1,64 @@
+// MUX-based locking: the AutoLock genotype decoder and the D-MUX baseline.
+//
+// Decoding (genotype -> locked netlist) follows the paper: each LockSite
+// {f_i, f_j, g_i, g_j, k} inserts a key-controlled pair of multiplexers
+//
+//      M1 = MUX(keyinput_t, ., .)  -> replaces the f_i input of g_i
+//      M2 = MUX(keyinput_t, ., .)  -> replaces the f_j input of g_j
+//
+// wired so that key bit value k restores the original paths and the wrong
+// value swaps them (g_i sees f_j and g_j sees f_i). Both polarities are
+// structurally symmetric — the defining property of D-MUX-style locking that
+// forces attacks to reason about the surrounding locality rather than the
+// key gate itself.
+//
+// D-MUX baseline ("dmux_lock"): K sites sampled uniformly at random with
+// random key bits — exactly how the paper seeds the GA population.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "locking/sites.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace autolock::lock {
+
+/// Result of locking a netlist.
+struct LockedDesign {
+  netlist::Netlist netlist;  // the locked netlist (original is untouched)
+  netlist::Key key;          // correct key; bit t belongs to keyinput<t>
+  std::vector<LockSite> sites;  // applied sites (repairs written back)
+  /// Per site: the two inserted MUX node ids {M1, M2} in the locked netlist.
+  std::vector<std::pair<netlist::NodeId, netlist::NodeId>> mux_pairs;
+};
+
+struct MuxLockOptions {
+  /// When a genotype site is structurally invalid (stale gene after
+  /// crossover/mutation, or cross-site cycle), re-sample a fresh valid site
+  /// instead of failing. The repaired gene is written back into `sites`.
+  bool repair_invalid = true;
+};
+
+/// Decodes a genotype into a locked netlist. Throws std::runtime_error if a
+/// site is invalid and repair is disabled (or repair cannot find a valid
+/// replacement). The returned design always has exactly sites.size() key
+/// bits and passes netlist.validate().
+LockedDesign apply_genotype(const netlist::Netlist& original,
+                            const SiteContext& context,
+                            std::vector<LockSite> sites, util::Rng& repair_rng,
+                            const MuxLockOptions& options = {});
+
+/// D-MUX-style random MUX locking with `key_bits` key bits.
+LockedDesign dmux_lock(const netlist::Netlist& original, std::size_t key_bits,
+                       std::uint64_t seed);
+
+/// Random genotype of `key_bits` valid, pairwise edge-disjoint sites
+/// (the paper's population initialisation: "lock the provided ON with a key
+/// of size K ... repeated N times with random keys").
+std::vector<LockSite> random_genotype(const SiteContext& context,
+                                      std::size_t key_bits, util::Rng& rng);
+
+}  // namespace autolock::lock

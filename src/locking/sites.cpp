@@ -1,0 +1,103 @@
+#include "locking/sites.hpp"
+
+#include <algorithm>
+
+namespace autolock::lock {
+
+using netlist::NodeId;
+
+SiteContext::SiteContext(const netlist::Netlist& original)
+    : original_(&original), fanouts_(original.fanouts()) {
+  for (NodeId v = 0; v < original.size(); ++v) {
+    // Drivers may be inputs or gates, but not constants (locking a constant
+    // wire leaks the key bit trivially) and must have at least one gate
+    // fanout to redirect.
+    const auto type = original.node(v).type;
+    if (type == netlist::GateType::kConst0 ||
+        type == netlist::GateType::kConst1) {
+      continue;
+    }
+    if (!fanouts_[v].empty()) candidate_drivers_.push_back(v);
+  }
+}
+
+bool SiteContext::reaches(NodeId from, NodeId target) const {
+  if (from == target) return true;
+  // Forward DFS along fanout edges.
+  std::vector<bool> visited(original_->size(), false);
+  std::vector<NodeId> stack{from};
+  visited[from] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId w : fanouts_[v]) {
+      if (w == target) return true;
+      if (!visited[w]) {
+        visited[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+bool SiteContext::structurally_valid(const LockSite& site) const {
+  const auto n = original_->size();
+  if (site.f_i >= n || site.f_j >= n || site.g_i >= n || site.g_j >= n) {
+    return false;
+  }
+  if (site.f_i == site.f_j) return false;
+  const auto has_edge = [&](NodeId f, NodeId g) {
+    const auto& outs = fanouts_[f];
+    return std::binary_search(outs.begin(), outs.end(), g);
+  };
+  if (!has_edge(site.f_i, site.g_i) || !has_edge(site.f_j, site.g_j)) {
+    return false;
+  }
+  // New cross edges: f_j -> g_i and f_i -> g_j. A cycle would close iff the
+  // destination gate already reaches the new source.
+  if (reaches(site.g_i, site.f_j)) return false;
+  if (reaches(site.g_j, site.f_i)) return false;
+  return true;
+}
+
+bool SiteContext::edges_available(const LockSite& site,
+                                  const std::vector<LockSite>& taken) {
+  for (const LockSite& other : taken) {
+    const bool clash =
+        (site.f_i == other.f_i && site.g_i == other.g_i) ||
+        (site.f_i == other.f_j && site.g_i == other.g_j) ||
+        (site.f_j == other.f_i && site.g_j == other.g_i) ||
+        (site.f_j == other.f_j && site.g_j == other.g_j) ||
+        // Also forbid locking the same (f,g) edge under swapped roles.
+        (site.f_j == other.f_i && site.g_j == other.g_i) ||
+        (site.f_i == other.f_j && site.g_i == other.g_j);
+    if (clash) return false;
+  }
+  return true;
+}
+
+bool SiteContext::sample_site(util::Rng& rng,
+                              const std::vector<LockSite>& taken,
+                              LockSite& out) const {
+  if (candidate_drivers_.size() < 2) return false;
+  constexpr int kMaxAttempts = 400;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    LockSite site;
+    site.f_i = candidate_drivers_[rng.next_below(candidate_drivers_.size())];
+    site.f_j = candidate_drivers_[rng.next_below(candidate_drivers_.size())];
+    if (site.f_i == site.f_j) continue;
+    const auto& outs_i = fanouts_[site.f_i];
+    const auto& outs_j = fanouts_[site.f_j];
+    site.g_i = outs_i[rng.next_below(outs_i.size())];
+    site.g_j = outs_j[rng.next_below(outs_j.size())];
+    site.key_bit = rng.next_bool();
+    if (!edges_available(site, taken)) continue;
+    if (!structurally_valid(site)) continue;
+    out = site;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace autolock::lock

@@ -1,0 +1,77 @@
+// Lock-site primitives for MUX-based locking.
+//
+// A LockSite is one element of the AutoLock genotype: the tuple
+// {f_i, f_j, g_i, g_j, k} from the paper. It names a *locality* in the
+// original netlist: f_i currently drives g_i, f_j currently drives g_j, and
+// a key-controlled MUX pair will be inserted so that a wrong key swaps the
+// two paths. Node ids refer to the ORIGINAL (pre-locking) netlist, which is
+// what makes sites composable genotype genes: decoding always starts from
+// the same original netlist.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/analysis.hpp"
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace autolock::lock {
+
+struct LockSite {
+  netlist::NodeId f_i = netlist::kNoNode;
+  netlist::NodeId f_j = netlist::kNoNode;
+  netlist::NodeId g_i = netlist::kNoNode;
+  netlist::NodeId g_j = netlist::kNoNode;
+  bool key_bit = false;
+
+  friend bool operator==(const LockSite&, const LockSite&) = default;
+};
+
+/// Reusable context for validating/sampling sites against one original
+/// netlist (precomputes fanouts and caches reachability queries).
+class SiteContext {
+ public:
+  explicit SiteContext(const netlist::Netlist& original);
+
+  const netlist::Netlist& original() const noexcept { return *original_; }
+  const std::vector<std::vector<netlist::NodeId>>& fanouts() const noexcept {
+    return fanouts_;
+  }
+
+  /// Structural validity against the ORIGINAL netlist:
+  ///  - all four nodes exist; f_i != f_j;
+  ///  - g_i is a fanout of f_i and g_j a fanout of f_j;
+  ///  - neither g_i nor g_j is a primary-output-only pseudo node (always true
+  ///    here since outputs reference gates);
+  ///  - inserting the cross edges keeps the graph acyclic:
+  ///    f_j must not be reachable from g_i, f_i not reachable from g_j.
+  /// (Pairwise interactions between multiple sites are re-checked at decode
+  /// time against the working netlist.)
+  bool structurally_valid(const LockSite& site) const;
+
+  /// True iff the two edges (f_i,g_i) and (f_j,g_j) are disjoint from the
+  /// edges of every site in `taken` (no edge may be locked twice).
+  static bool edges_available(const LockSite& site,
+                              const std::vector<LockSite>& taken);
+
+  /// Samples a uniformly random structurally-valid site whose edges do not
+  /// collide with `taken`. Returns false if no site was found within the
+  /// attempt budget (tiny or saturated circuits).
+  bool sample_site(util::Rng& rng, const std::vector<LockSite>& taken,
+                   LockSite& out) const;
+
+  /// All gates that have at least one gate fanout (candidate f nodes).
+  const std::vector<netlist::NodeId>& candidate_drivers() const noexcept {
+    return candidate_drivers_;
+  }
+
+ private:
+  bool reaches(netlist::NodeId from, netlist::NodeId target) const;
+
+  const netlist::Netlist* original_;
+  std::vector<std::vector<netlist::NodeId>> fanouts_;
+  std::vector<netlist::NodeId> candidate_drivers_;
+};
+
+}  // namespace autolock::lock

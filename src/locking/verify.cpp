@@ -1,0 +1,69 @@
+#include "locking/verify.hpp"
+
+#include "netlist/simulator.hpp"
+#include "sat/cnf.hpp"
+
+namespace autolock::lock {
+
+using netlist::Key;
+using netlist::Simulator;
+
+bool verify_unlocks(const LockedDesign& design,
+                    const netlist::Netlist& original, VerifyMode mode,
+                    std::size_t vectors, std::uint64_t seed) {
+  if (mode == VerifyMode::kSimulation || mode == VerifyMode::kBoth) {
+    util::Rng rng(seed);
+    const Simulator locked_sim(design.netlist);
+    const Simulator original_sim(original);
+    if (!Simulator::equivalent_on_random_vectors(locked_sim, design.key,
+                                                 original_sim, Key{}, vectors,
+                                                 rng)) {
+      return false;
+    }
+    if (mode == VerifyMode::kSimulation) return true;
+  }
+  return sat::check_unlocks(design.netlist, design.key, original);
+}
+
+CorruptionReport measure_corruption(const LockedDesign& design,
+                                    const netlist::Netlist& original,
+                                    std::size_t key_trials,
+                                    std::size_t vectors, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const Simulator locked_sim(design.netlist);
+  const Simulator original_sim(original);
+
+  CorruptionReport report;
+  if (design.key.empty() || key_trials == 0) return report;
+
+  double sum = 0.0;
+  for (std::size_t trial = 0; trial < key_trials; ++trial) {
+    // Draw a uniformly random key != the correct key (flip >= 1 bit).
+    Key wrong = design.key;
+    bool differs = false;
+    while (!differs) {
+      for (std::size_t b = 0; b < wrong.size(); ++b) {
+        wrong[b] = rng.next_bool();
+        differs = differs || (wrong[b] != design.key[b]);
+      }
+    }
+    const double err = Simulator::output_error_rate(
+        locked_sim, wrong, original_sim, Key{}, vectors, rng);
+    sum += err;
+    if (trial == 0) {
+      report.min_error_rate = report.max_error_rate = err;
+    } else {
+      report.min_error_rate = std::min(report.min_error_rate, err);
+      report.max_error_rate = std::max(report.max_error_rate, err);
+    }
+    if (err == 0.0) {
+      report.silent_wrong_keys += 1.0;
+    }
+  }
+  report.keys_sampled = key_trials;
+  report.mean_error_rate = sum / static_cast<double>(key_trials);
+  report.silent_wrong_keys /= static_cast<double>(key_trials);
+  return report;
+}
+
+}  // namespace autolock::lock

@@ -1,0 +1,294 @@
+#include "netlist/bench_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace autolock::netlist::bench {
+
+namespace {
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw std::runtime_error("bench parse error at line " +
+                           std::to_string(line_no) + ": " + message);
+}
+
+struct PendingGate {
+  std::string name;
+  GateType type = GateType::kBuf;
+  std::vector<std::string> operands;
+  std::size_t line_no = 0;
+};
+
+}  // namespace
+
+bool is_key_input_name(std::string_view name) noexcept {
+  constexpr std::string_view kPrefix = "keyinput";
+  if (name.size() <= kPrefix.size()) return false;
+  if (name.substr(0, kPrefix.size()) != kPrefix) return false;
+  for (char ch : name.substr(kPrefix.size())) {
+    if (!std::isdigit(static_cast<unsigned char>(ch))) return false;
+  }
+  return true;
+}
+
+int key_bit_index(std::string_view name) noexcept {
+  if (!is_key_input_name(name)) return -1;
+  int value = 0;
+  for (char ch : name.substr(8)) value = value * 10 + (ch - '0');
+  return value;
+}
+
+Netlist parse(std::string_view text, std::string circuit_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> gates;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(...) or OUTPUT(...)
+      const std::size_t open = line.find('(');
+      const std::size_t close = line.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos ||
+          close < open) {
+        fail(line_no, "expected INPUT(name) or OUTPUT(name)");
+      }
+      const std::string keyword{trim(line.substr(0, open))};
+      const std::string arg{trim(line.substr(open + 1, close - open - 1))};
+      if (arg.empty()) fail(line_no, "empty port name");
+      std::string upper;
+      for (char ch : keyword) {
+        upper.push_back(
+            static_cast<char>(std::toupper(static_cast<unsigned char>(ch))));
+      }
+      if (upper == "INPUT") input_names.push_back(arg);
+      else if (upper == "OUTPUT") output_names.push_back(arg);
+      else fail(line_no, "unknown directive '" + keyword + "'");
+      continue;
+    }
+
+    PendingGate gate;
+    gate.name = std::string{trim(line.substr(0, eq))};
+    gate.line_no = line_no;
+    if (gate.name.empty()) fail(line_no, "missing signal name before '='");
+    std::string_view rhs = trim(line.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    if (open == std::string_view::npos) {
+      // CONST0 / CONST1 extension, or bare alias "a = b" (treated as BUF).
+      const std::string keyword{trim(rhs)};
+      if (const auto type = parse_gate_type(keyword);
+          type && (*type == GateType::kConst0 || *type == GateType::kConst1)) {
+        gate.type = *type;
+        gates.push_back(std::move(gate));
+        continue;
+      }
+      if (keyword.empty()) fail(line_no, "empty right-hand side");
+      gate.type = GateType::kBuf;
+      gate.operands.push_back(keyword);
+      gates.push_back(std::move(gate));
+      continue;
+    }
+    const std::size_t close = rhs.rfind(')');
+    if (close == std::string_view::npos || close < open) {
+      fail(line_no, "unbalanced parentheses");
+    }
+    const std::string keyword{trim(rhs.substr(0, open))};
+    const auto type = parse_gate_type(keyword);
+    if (!type) fail(line_no, "unknown gate type '" + keyword + "'");
+    if (is_source(*type) && *type == GateType::kInput) {
+      fail(line_no, "INPUT used as a gate");
+    }
+    gate.type = *type;
+    std::string_view args = rhs.substr(open + 1, close - open - 1);
+    std::size_t start = 0;
+    while (start <= args.size()) {
+      std::size_t comma = args.find(',', start);
+      if (comma == std::string_view::npos) comma = args.size();
+      const std::string operand{trim(args.substr(start, comma - start))};
+      if (!operand.empty()) gate.operands.push_back(operand);
+      start = comma + 1;
+    }
+    if (gate.operands.empty() && *type != GateType::kConst0 &&
+        *type != GateType::kConst1) {
+      fail(line_no, "gate with no operands");
+    }
+    gates.push_back(std::move(gate));
+  }
+
+  // Build the netlist: inputs first, then gates in dependency order
+  // (bench files may reference signals before definition).
+  Netlist netlist(std::move(circuit_name));
+  std::unordered_map<std::string, NodeId> defined;
+  for (const std::string& input_name : input_names) {
+    if (defined.contains(input_name)) {
+      throw std::runtime_error("bench parse error: duplicate input '" +
+                               input_name + "'");
+    }
+    defined.emplace(input_name,
+                    netlist.add_input(input_name,
+                                      is_key_input_name(input_name)));
+  }
+
+  std::unordered_map<std::string, std::size_t> gate_by_name;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (defined.contains(gates[i].name) ||
+        gate_by_name.contains(gates[i].name)) {
+      fail(gates[i].line_no, "duplicate definition of '" + gates[i].name + "'");
+    }
+    gate_by_name.emplace(gates[i].name, i);
+  }
+
+  // Iterative DFS over gate dependencies to honor use-before-def.
+  std::vector<std::uint8_t> state(gates.size(), 0);  // 0=new 1=visiting 2=done
+  std::vector<std::size_t> stack;
+  for (std::size_t root = 0; root < gates.size(); ++root) {
+    if (state[root] == 2) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const std::size_t g = stack.back();
+      if (state[g] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      state[g] = 1;
+      bool ready = true;
+      for (const std::string& operand : gates[g].operands) {
+        if (defined.contains(operand)) continue;
+        const auto it = gate_by_name.find(operand);
+        if (it == gate_by_name.end()) {
+          fail(gates[g].line_no, "undefined operand '" + operand + "'");
+        }
+        if (state[it->second] == 1) {
+          fail(gates[g].line_no, "combinational cycle through '" + operand +
+                                     "'");
+        }
+        if (state[it->second] == 0) {
+          stack.push_back(it->second);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      // All operands defined: materialize.
+      const PendingGate& gate = gates[g];
+      NodeId id;
+      if (gate.type == GateType::kConst0 || gate.type == GateType::kConst1) {
+        id = netlist.add_const(gate.type == GateType::kConst1, gate.name);
+      } else {
+        std::vector<NodeId> fanins;
+        fanins.reserve(gate.operands.size());
+        for (const std::string& operand : gate.operands) {
+          fanins.push_back(defined.at(operand));
+        }
+        id = netlist.add_gate(gate.type, std::move(fanins), gate.name);
+      }
+      defined.emplace(gate.name, id);
+      state[g] = 2;
+      stack.pop_back();
+    }
+  }
+
+  for (const std::string& output_name : output_names) {
+    const auto it = defined.find(output_name);
+    if (it == defined.end()) {
+      throw std::runtime_error("bench parse error: undefined output '" +
+                               output_name + "'");
+    }
+    netlist.mark_output(it->second, output_name);
+  }
+  netlist.validate();
+  return netlist;
+}
+
+Netlist load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bench file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string circuit_name = path;
+  if (const auto slash = circuit_name.find_last_of('/');
+      slash != std::string::npos) {
+    circuit_name = circuit_name.substr(slash + 1);
+  }
+  if (const auto dot = circuit_name.find_last_of('.');
+      dot != std::string::npos) {
+    circuit_name = circuit_name.substr(0, dot);
+  }
+  return parse(buffer.str(), circuit_name);
+}
+
+std::string write(const Netlist& netlist) {
+  std::ostringstream out;
+  out << "# " << netlist.name() << "\n";
+  const auto s = netlist.stats();
+  out << "# " << s.primary_inputs << " primary inputs, " << s.key_inputs
+      << " key inputs, " << s.outputs << " outputs, " << s.gates
+      << " gates, depth " << s.depth << "\n";
+  for (NodeId id : netlist.inputs()) {
+    out << "INPUT(" << netlist.node(id).name << ")\n";
+  }
+  for (const auto& port : netlist.outputs()) {
+    out << "OUTPUT(" << port.name << ")\n";
+  }
+  // Output ports whose name differs from the driver need an alias BUF line.
+  std::vector<std::pair<std::string, NodeId>> aliases;
+  for (const auto& port : netlist.outputs()) {
+    if (port.name != netlist.node(port.driver).name) {
+      aliases.emplace_back(port.name, port.driver);
+    }
+  }
+  for (NodeId id : netlist.topological_order()) {
+    const Node& node = netlist.node(id);
+    if (node.type == GateType::kInput) continue;
+    out << node.name << " = ";
+    if (node.type == GateType::kConst0 || node.type == GateType::kConst1) {
+      out << gate_type_name(node.type) << "\n";
+      continue;
+    }
+    out << gate_type_name(node.type) << "(";
+    for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+      if (i) out << ", ";
+      out << netlist.node(node.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+  for (const auto& [alias, driver] : aliases) {
+    out << alias << " = BUF(" << netlist.node(driver).name << ")\n";
+  }
+  return out.str();
+}
+
+void save_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write bench file: " + path);
+  out << write(netlist);
+  if (!out) throw std::runtime_error("I/O error writing: " + path);
+}
+
+}  // namespace autolock::netlist::bench

@@ -1,0 +1,45 @@
+// ISCAS-85 style `.bench` reader/writer.
+//
+// Grammar (one statement per line, '#' starts a comment):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(operand, operand, ...)
+//   name = CONST0 / CONST1            (extension used by some locking tools)
+//
+// Convention (shared with the logic-locking literature, e.g. D-MUX/MuxLink
+// artifact releases): inputs whose name starts with "keyinput" are key
+// inputs; the integer suffix gives the key-bit index. MUX gates are written
+// MUX(select, in0, in1).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace autolock::netlist::bench {
+
+/// Parses BENCH text. Throws std::runtime_error with a line number on
+/// malformed input (unknown gate, undefined operand, duplicate definition,
+/// arity violation, combinational cycle).
+Netlist parse(std::string_view text, std::string circuit_name = "bench");
+
+/// Reads and parses a .bench file.
+Netlist load_file(const std::string& path);
+
+/// Serializes in BENCH syntax: inputs, outputs, then gate lines in
+/// topological order. Key inputs are emitted as ordinary INPUT lines (their
+/// names carry the convention). parse(write(n)) reproduces the structure.
+std::string write(const Netlist& netlist);
+
+/// Writes to a file (throws on I/O failure).
+void save_file(const Netlist& netlist, const std::string& path);
+
+/// True if `name` follows the key-input convention ("keyinput<digits>").
+bool is_key_input_name(std::string_view name) noexcept;
+
+/// Extracts the key-bit index from a key-input name; -1 if not a key name.
+int key_bit_index(std::string_view name) noexcept;
+
+}  // namespace autolock::netlist::bench

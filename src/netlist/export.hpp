@@ -1,0 +1,36 @@
+// Netlist exporters beyond BENCH: structural Verilog (for handing locked
+// designs to standard EDA flows) and Graphviz DOT (for visualizing
+// localities, key gates and attack graphs in papers/debugging).
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace autolock::netlist {
+
+struct VerilogOptions {
+  /// Module name; defaults to the netlist name (sanitized).
+  std::string module_name;
+  /// Emit `// key gate` comments on gates fed by key inputs.
+  bool annotate_key_gates = true;
+};
+
+/// Serializes as a structural Verilog-2001 module using assign statements
+/// (and/or/xor/mux expressed as boolean expressions). Identifiers are
+/// sanitized to Verilog rules; the mapping is stable and collision-free.
+std::string write_verilog(const Netlist& netlist,
+                          const VerilogOptions& options = {});
+
+struct DotOptions {
+  /// Highlight key inputs and key-driven MUX/XOR gates.
+  bool highlight_key_logic = true;
+  /// Left-to-right layout (rankdir=LR).
+  bool left_to_right = true;
+};
+
+/// Serializes as a Graphviz digraph (one node per gate, edges follow wires,
+/// outputs as double octagons).
+std::string write_dot(const Netlist& netlist, const DotOptions& options = {});
+
+}  // namespace autolock::netlist

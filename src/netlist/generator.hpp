@@ -1,0 +1,98 @@
+// Benchmark circuit suite.
+//
+// The paper evaluates on standard benchmark netlists (ISCAS-85 style). The
+// tiny public c17 circuit is embedded verbatim; the larger ISCAS-85 members
+// are represented by a deterministic synthetic generator whose profiles
+// match each circuit's published interface size, gate count, depth and
+// rough gate-type mix (see DESIGN.md §4 — the attacks and the GA depend on
+// graph-structural statistics, not on the specific Boolean function).
+// Real .bench files drop in unchanged through bench::load_file.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace autolock::netlist::gen {
+
+/// Relative gate-type weights used when sampling gate kinds.
+struct GateMix {
+  double and_w = 0.15;
+  double nand_w = 0.35;
+  double or_w = 0.12;
+  double nor_w = 0.12;
+  double not_w = 0.12;
+  double xor_w = 0.07;
+  double xnor_w = 0.04;
+  double buf_w = 0.03;
+};
+
+struct RandomCircuitConfig {
+  std::string name = "random";
+  std::size_t primary_inputs = 16;
+  std::size_t outputs = 8;
+  std::size_t gates = 100;
+  /// Approximate target logic depth; controls how local fanin selection is.
+  std::size_t target_depth = 12;
+  /// Probability that a fanin is drawn from the recent-node window (locality)
+  /// rather than uniformly from all earlier nodes.
+  double locality_bias = 0.7;
+  /// Probability that a gate's non-first fanin is drawn from the 2-hop
+  /// neighbourhood of its first fanin (triadic closure). Real circuits are
+  /// built from modules (adders, decoders) whose wires reconverge heavily;
+  /// this is the structural signal link-prediction attacks rely on, so the
+  /// synthetic substitutes must exhibit it too.
+  double reconvergence_bias = 0.45;
+  GateMix mix;
+};
+
+/// Generates a random combinational circuit. Deterministic in (config, seed).
+/// Guarantees: acyclic, every gate is live (feeds some output), interface
+/// sizes exactly as configured, validate() passes.
+Netlist make_random(const RandomCircuitConfig& config, std::uint64_t seed);
+
+/// ISCAS-85 profile identifiers. kC17 is the real circuit; the rest are
+/// synthetic equivalents sized like their namesakes.
+enum class ProfileId {
+  kC17,
+  kC432,
+  kC880,
+  kC1355,
+  kC1908,
+  kC2670,
+  kC3540,
+  kC5315,
+  kC6288,
+  kC7552,
+};
+
+struct ProfileInfo {
+  ProfileId id;
+  std::string_view name;       // e.g. "c432"
+  std::size_t primary_inputs;  // published ISCAS-85 interface
+  std::size_t outputs;
+  std::size_t gates;
+  std::size_t depth;
+  bool synthetic;  // false only for c17
+};
+
+/// Published metadata for every profile.
+const ProfileInfo& profile_info(ProfileId id) noexcept;
+
+/// All profiles in ascending size order.
+std::vector<ProfileId> all_profiles();
+
+/// Looks a profile up by name ("c432"); throws on unknown name.
+ProfileId profile_by_name(std::string_view name);
+
+/// Builds the circuit for a profile. For kC17 the real netlist is returned
+/// (seed ignored); others are deterministic in (id, seed).
+Netlist make_profile(ProfileId id, std::uint64_t seed = 1);
+
+/// The real ISCAS-85 c17 netlist (5 PI, 2 PO, 6 NAND gates).
+Netlist c17();
+
+}  // namespace autolock::netlist::gen

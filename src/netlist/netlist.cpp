@@ -1,0 +1,323 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autolock::netlist {
+
+NodeId Netlist::add_node(Node node) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  if (node.name.empty()) node.name = fresh_name(id);
+  if (by_name_.contains(node.name)) {
+    throw std::invalid_argument("Netlist: duplicate node name '" + node.name +
+                                "'");
+  }
+  by_name_.emplace(node.name, id);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+std::string Netlist::fresh_name(NodeId id) const {
+  std::string candidate = "n" + std::to_string(id);
+  while (by_name_.contains(candidate)) candidate += "_";
+  return candidate;
+}
+
+NodeId Netlist::add_input(std::string node_name, bool is_key) {
+  if (node_name.empty()) {
+    throw std::invalid_argument("Netlist::add_input: empty name");
+  }
+  Node node;
+  node.type = GateType::kInput;
+  node.is_key_input = is_key;
+  node.name = std::move(node_name);
+  const NodeId id = add_node(std::move(node));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_const(bool value, std::string node_name) {
+  Node node;
+  node.type = value ? GateType::kConst1 : GateType::kConst0;
+  node.name = std::move(node_name);
+  return add_node(std::move(node));
+}
+
+NodeId Netlist::add_gate(GateType type, std::vector<NodeId> fanins,
+                         std::string node_name) {
+  if (is_source(type)) {
+    throw std::invalid_argument("Netlist::add_gate: use add_input/add_const");
+  }
+  const Arity arity = gate_arity(type);
+  if (fanins.size() < arity.min ||
+      (arity.max != 0 && fanins.size() > arity.max)) {
+    throw std::invalid_argument(
+        std::string("Netlist::add_gate: bad fanin count for ") +
+        std::string(gate_type_name(type)));
+  }
+  for (NodeId fanin : fanins) {
+    if (!valid_id(fanin)) {
+      throw std::invalid_argument("Netlist::add_gate: fanin id out of range");
+    }
+  }
+  Node node;
+  node.type = type;
+  node.name = std::move(node_name);
+  node.fanins = std::move(fanins);
+  return add_node(std::move(node));
+}
+
+void Netlist::mark_output(NodeId id, std::string port_name) {
+  if (!valid_id(id)) {
+    throw std::invalid_argument("Netlist::mark_output: id out of range");
+  }
+  if (port_name.empty()) port_name = nodes_[id].name;
+  for (const auto& port : outputs_) {
+    if (port.name == port_name) {
+      throw std::invalid_argument("Netlist::mark_output: duplicate port '" +
+                                  port_name + "'");
+    }
+  }
+  outputs_.push_back(OutputPort{std::move(port_name), id});
+}
+
+void Netlist::set_output_driver(std::size_t output_index, NodeId new_driver) {
+  if (output_index >= outputs_.size() || !valid_id(new_driver)) {
+    throw std::invalid_argument("Netlist::set_output_driver: bad argument");
+  }
+  outputs_[output_index].driver = new_driver;
+}
+
+std::size_t Netlist::replace_fanin(NodeId gate, NodeId old_fanin,
+                                   NodeId new_fanin) {
+  if (!valid_id(gate) || !valid_id(new_fanin)) {
+    throw std::invalid_argument("Netlist::replace_fanin: id out of range");
+  }
+  std::size_t replaced = 0;
+  for (NodeId& fanin : nodes_[gate].fanins) {
+    if (fanin == old_fanin) {
+      fanin = new_fanin;
+      ++replaced;
+    }
+  }
+  return replaced;
+}
+
+void Netlist::append_fanin(NodeId gate, NodeId fanin) {
+  if (!valid_id(gate) || !valid_id(fanin)) {
+    throw std::invalid_argument("Netlist::append_fanin: id out of range");
+  }
+  const Arity arity = gate_arity(nodes_[gate].type);
+  if (arity.max != 0) {
+    throw std::invalid_argument(
+        "Netlist::append_fanin: gate type has bounded arity");
+  }
+  nodes_[gate].fanins.push_back(fanin);
+}
+
+std::vector<NodeId> Netlist::primary_inputs() const {
+  std::vector<NodeId> result;
+  for (NodeId id : inputs_) {
+    if (!nodes_[id].is_key_input) result.push_back(id);
+  }
+  return result;
+}
+
+std::vector<NodeId> Netlist::key_inputs() const {
+  std::vector<NodeId> result;
+  for (NodeId id : inputs_) {
+    if (nodes_[id].is_key_input) result.push_back(id);
+  }
+  return result;
+}
+
+NodeId Netlist::find(const std::string& node_name) const noexcept {
+  const auto it = by_name_.find(node_name);
+  return it == by_name_.end() ? kNoNode : it->second;
+}
+
+bool Netlist::is_acyclic() const {
+  // Kahn's algorithm: count processed nodes.
+  std::vector<std::uint32_t> pending(nodes_.size(), 0);
+  for (const Node& node : nodes_) {
+    (void)node;
+  }
+  std::vector<std::vector<NodeId>> outs(nodes_.size());
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    pending[v] = static_cast<std::uint32_t>(nodes_[v].fanins.size());
+    for (NodeId fanin : nodes_[v].fanins) outs[fanin].push_back(v);
+  }
+  std::vector<NodeId> queue;
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    if (pending[v] == 0) queue.push_back(v);
+  }
+  std::size_t processed = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.back();
+    queue.pop_back();
+    ++processed;
+    for (NodeId w : outs[v]) {
+      if (--pending[w] == 0) queue.push_back(w);
+    }
+  }
+  return processed == nodes_.size();
+}
+
+std::vector<NodeId> Netlist::topological_order() const {
+  std::vector<std::uint32_t> pending(nodes_.size(), 0);
+  std::vector<std::vector<NodeId>> outs(nodes_.size());
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    pending[v] = static_cast<std::uint32_t>(nodes_[v].fanins.size());
+    for (NodeId fanin : nodes_[v].fanins) outs[fanin].push_back(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  std::vector<NodeId> queue;
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    if (pending[v] == 0) queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    const NodeId v = queue.back();
+    queue.pop_back();
+    order.push_back(v);
+    for (NodeId w : outs[v]) {
+      if (--pending[w] == 0) queue.push_back(w);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw std::runtime_error("Netlist::topological_order: graph is cyclic");
+  }
+  return order;
+}
+
+std::vector<std::vector<NodeId>> Netlist::fanouts() const {
+  std::vector<std::vector<NodeId>> outs(nodes_.size());
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    for (NodeId fanin : nodes_[v].fanins) outs[fanin].push_back(v);
+  }
+  for (auto& list : outs) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return outs;
+}
+
+std::vector<bool> Netlist::live_mask() const {
+  std::vector<bool> live(nodes_.size(), false);
+  std::vector<NodeId> stack;
+  for (const auto& port : outputs_) {
+    if (!live[port.driver]) {
+      live[port.driver] = true;
+      stack.push_back(port.driver);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId fanin : nodes_[v].fanins) {
+      if (!live[fanin]) {
+        live[fanin] = true;
+        stack.push_back(fanin);
+      }
+    }
+  }
+  return live;
+}
+
+std::size_t Netlist::depth() const {
+  const auto order = topological_order();
+  std::vector<std::size_t> level(nodes_.size(), 0);
+  std::size_t max_level = 0;
+  for (NodeId v : order) {
+    const Node& node = nodes_[v];
+    if (node.fanins.empty()) continue;
+    std::size_t best = 0;
+    for (NodeId fanin : node.fanins) best = std::max(best, level[fanin]);
+    level[v] = best + 1;
+    max_level = std::max(max_level, level[v]);
+  }
+  return max_level;
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats s;
+  for (NodeId id : inputs_) {
+    if (nodes_[id].is_key_input) ++s.key_inputs;
+    else ++s.primary_inputs;
+  }
+  s.outputs = outputs_.size();
+  for (const Node& node : nodes_) {
+    if (!is_source(node.type)) ++s.gates;
+  }
+  s.depth = depth();
+  return s;
+}
+
+Netlist Netlist::compacted() const {
+  const auto live = live_mask();
+  Netlist out(name_);
+  std::vector<NodeId> remap(nodes_.size(), kNoNode);
+  // Keep every input (interface stability), in order.
+  for (NodeId id : inputs_) {
+    remap[id] = out.add_input(nodes_[id].name, nodes_[id].is_key_input);
+  }
+  for (NodeId v : topological_order()) {
+    if (remap[v] != kNoNode) continue;           // already added (input)
+    if (!live[v]) continue;                      // dead node
+    const Node& node = nodes_[v];
+    if (node.type == GateType::kConst0 || node.type == GateType::kConst1) {
+      remap[v] = out.add_const(node.type == GateType::kConst1, node.name);
+      continue;
+    }
+    std::vector<NodeId> fanins;
+    fanins.reserve(node.fanins.size());
+    for (NodeId fanin : node.fanins) fanins.push_back(remap[fanin]);
+    remap[v] = out.add_gate(node.type, std::move(fanins), node.name);
+  }
+  for (const auto& port : outputs_) {
+    out.mark_output(remap[port.driver], port.name);
+  }
+  return out;
+}
+
+void Netlist::validate() const {
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    const Node& node = nodes_[v];
+    if (node.name.empty()) {
+      throw std::runtime_error("Netlist::validate: unnamed node");
+    }
+    const auto it = by_name_.find(node.name);
+    if (it == by_name_.end() || it->second != v) {
+      throw std::runtime_error("Netlist::validate: name index broken for '" +
+                               node.name + "'");
+    }
+    if (is_source(node.type)) {
+      if (!node.fanins.empty()) {
+        throw std::runtime_error("Netlist::validate: source with fanins");
+      }
+      continue;
+    }
+    const Arity arity = gate_arity(node.type);
+    if (node.fanins.size() < arity.min ||
+        (arity.max != 0 && node.fanins.size() > arity.max)) {
+      throw std::runtime_error("Netlist::validate: bad arity at '" +
+                               node.name + "'");
+    }
+    for (NodeId fanin : node.fanins) {
+      if (!valid_id(fanin)) {
+        throw std::runtime_error("Netlist::validate: dangling fanin at '" +
+                                 node.name + "'");
+      }
+    }
+  }
+  for (const auto& port : outputs_) {
+    if (!valid_id(port.driver)) {
+      throw std::runtime_error("Netlist::validate: dangling output port");
+    }
+  }
+  if (!is_acyclic()) {
+    throw std::runtime_error("Netlist::validate: cyclic");
+  }
+}
+
+}  // namespace autolock::netlist

@@ -1,0 +1,136 @@
+// Gate-level combinational netlist container.
+//
+// A Netlist is a DAG of gates over named signals. Primary inputs and key
+// inputs are `kInput` nodes (key inputs carry `is_key_input`); primary
+// outputs are references to nodes. The container is value-semantic
+// (copyable), which the GA relies on: each individual decodes into its own
+// locked Netlist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/types.hpp"
+
+namespace autolock::netlist {
+
+struct Node {
+  GateType type = GateType::kInput;
+  bool is_key_input = false;
+  std::string name;
+  std::vector<NodeId> fanins;  // kMux order: {select, in0, in1}
+};
+
+struct NetlistStats {
+  std::size_t primary_inputs = 0;
+  std::size_t key_inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t gates = 0;  // non-source nodes
+  std::size_t depth = 0;  // longest input->output path, in gates
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  // ---- construction ------------------------------------------------------
+
+  /// Adds a primary input (or key input). Name must be unique and non-empty.
+  NodeId add_input(std::string node_name, bool is_key = false);
+
+  /// Adds a constant-0 / constant-1 source.
+  NodeId add_const(bool value, std::string node_name = {});
+
+  /// Adds a combinational gate. Checks arity and fanin validity. Name may be
+  /// empty, in which case a unique one is generated (n<id>).
+  NodeId add_gate(GateType type, std::vector<NodeId> fanins,
+                  std::string node_name = {});
+
+  /// Marks a node as a primary output under `port_name` (defaults to the
+  /// node's own name). A node may drive multiple output ports.
+  void mark_output(NodeId id, std::string port_name = {});
+
+  /// Redirects the output port at `output_index` to drive `new_driver`.
+  void set_output_driver(std::size_t output_index, NodeId new_driver);
+
+  /// Replaces every occurrence of `old_fanin` in `gate`'s fanin list with
+  /// `new_fanin`. Returns the number of replacements made.
+  std::size_t replace_fanin(NodeId gate, NodeId old_fanin, NodeId new_fanin);
+
+  /// Appends an extra fanin to an n-ary gate (AND/NAND/OR/NOR/XOR/XNOR).
+  /// Throws if the gate's type has bounded arity. Caller is responsible for
+  /// keeping the graph acyclic (safe when fanin < gate in creation order).
+  void append_fanin(NodeId gate, NodeId fanin);
+
+  // ---- accessors ---------------------------------------------------------
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  bool valid_id(NodeId id) const noexcept { return id < nodes_.size(); }
+
+  /// All input nodes in creation order (primary inputs and key inputs).
+  const std::vector<NodeId>& inputs() const noexcept { return inputs_; }
+  /// Inputs that are not key inputs.
+  std::vector<NodeId> primary_inputs() const;
+  /// Key inputs in creation order (key bit i = i-th element).
+  std::vector<NodeId> key_inputs() const;
+
+  struct OutputPort {
+    std::string name;
+    NodeId driver;
+  };
+  const std::vector<OutputPort>& outputs() const noexcept { return outputs_; }
+
+  /// Looks up a node by name; returns kNoNode if absent.
+  NodeId find(const std::string& node_name) const noexcept;
+
+  // ---- structure ---------------------------------------------------------
+
+  /// True iff the fanin graph is acyclic (always true for graphs built only
+  /// with add_gate on existing ids; may be violated transiently by locking
+  /// transforms that rewire, which must re-check).
+  bool is_acyclic() const;
+
+  /// Topological order over all nodes (sources first).
+  /// Throws std::runtime_error if cyclic.
+  std::vector<NodeId> topological_order() const;
+
+  /// Fanout adjacency: fanouts[v] = gates having v as a fanin (deduplicated,
+  /// ascending). Output ports are not edges.
+  std::vector<std::vector<NodeId>> fanouts() const;
+
+  /// Nodes from which at least one output port is reachable ("live" nodes).
+  std::vector<bool> live_mask() const;
+
+  /// Structural statistics (computes depth; O(V+E)).
+  NetlistStats stats() const;
+
+  /// Longest path length in gate levels (sources are level 0).
+  std::size_t depth() const;
+
+  /// Returns a compacted copy with dead nodes removed (inputs are always
+  /// kept so interfaces stay stable). Node ids change; names are preserved.
+  Netlist compacted() const;
+
+  /// Internal consistency check (fanin ids in range, arities respected,
+  /// names unique, outputs valid). Throws std::runtime_error on violation.
+  void validate() const;
+
+ private:
+  NodeId add_node(Node node);
+  std::string fresh_name(NodeId id) const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<OutputPort> outputs_;
+  std::unordered_map<std::string, NodeId> by_name_;
+};
+
+}  // namespace autolock::netlist

@@ -1,0 +1,267 @@
+#include "netlist/opt.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace autolock::netlist {
+
+namespace {
+
+/// Rewrite state: every original node maps to either a node in the output
+/// netlist or a known constant.
+struct Value {
+  NodeId node = kNoNode;  // valid when constant is nullopt
+  std::optional<bool> constant;
+
+  static Value of_node(NodeId id) { return Value{id, std::nullopt}; }
+  static Value of_const(bool b) { return Value{kNoNode, b}; }
+};
+
+class Rewriter {
+ public:
+  explicit Rewriter(const Netlist& input) : input_(&input), out_(input.name()) {}
+
+  Netlist run(OptStats* stats,
+              const std::vector<std::optional<bool>>& pinned_inputs) {
+    OptStats local;
+    local.gates_before = input_->stats().gates;
+
+    values_.assign(input_->size(), Value{});
+    // Inputs first (interface stability). Pinned key inputs keep their
+    // input node but uses are redirected to a constant.
+    std::size_t input_index = 0;
+    for (const NodeId id : input_->inputs()) {
+      const auto& node = input_->node(id);
+      const NodeId fresh = out_.add_input(node.name, node.is_key_input);
+      if (pinned_inputs[input_index].has_value()) {
+        values_[id] = Value::of_const(*pinned_inputs[input_index]);
+        ++local.constants_folded;
+        (void)fresh;
+      } else {
+        values_[id] = Value::of_node(fresh);
+      }
+      ++input_index;
+    }
+
+    for (const NodeId v : input_->topological_order()) {
+      const auto& node = input_->node(v);
+      if (node.type == GateType::kInput) continue;
+      values_[v] = rewrite_gate(node, local);
+    }
+
+    for (const auto& port : input_->outputs()) {
+      const Value& value = values_[port.driver];
+      NodeId driver;
+      if (value.constant.has_value()) {
+        driver = get_const(*value.constant);
+      } else {
+        driver = value.node;
+      }
+      out_.mark_output(driver, port.name);
+    }
+
+    Netlist compact = out_.compacted();
+    local.gates_after = compact.stats().gates;
+    local.dead_removed = out_.stats().gates - local.gates_after;
+    if (stats != nullptr) *stats = local;
+    return compact;
+  }
+
+ private:
+  NodeId get_const(bool b) {
+    NodeId& cache = b ? const1_ : const0_;
+    if (cache == kNoNode) {
+      cache = out_.add_const(b, b ? "opt_const1" : "opt_const0");
+    }
+    return cache;
+  }
+
+  NodeId materialize(const Value& value) {
+    return value.constant.has_value() ? get_const(*value.constant)
+                                      : value.node;
+  }
+
+  Value rewrite_gate(const Node& node, OptStats& stats) {
+    // Gather fanin values.
+    std::vector<Value> ins;
+    ins.reserve(node.fanins.size());
+    for (const NodeId fanin : node.fanins) ins.push_back(values_[fanin]);
+
+    switch (node.type) {
+      case GateType::kConst0:
+        return Value::of_const(false);
+      case GateType::kConst1:
+        return Value::of_const(true);
+      case GateType::kBuf:
+        ++stats.buffers_collapsed;
+        return ins[0];
+      case GateType::kNot:
+        if (ins[0].constant.has_value()) {
+          ++stats.constants_folded;
+          return Value::of_const(!*ins[0].constant);
+        }
+        // NOT(NOT(x)) -> x
+        if (const auto inner = inverter_input_.find(ins[0].node);
+            inner != inverter_input_.end()) {
+          ++stats.buffers_collapsed;
+          return Value::of_node(inner->second);
+        }
+        {
+          const NodeId fresh =
+              out_.add_gate(GateType::kNot, {ins[0].node});
+          inverter_input_.emplace(fresh, ins[0].node);
+          return Value::of_node(fresh);
+        }
+      case GateType::kAnd:
+      case GateType::kNand: {
+        std::vector<NodeId> live;
+        for (const Value& in : ins) {
+          if (in.constant.has_value()) {
+            ++stats.constants_folded;
+            if (!*in.constant) {
+              return Value::of_const(node.type == GateType::kNand);
+            }
+            continue;  // AND with 1: drop
+          }
+          live.push_back(in.node);
+        }
+        return finish_andor(node.type == GateType::kNand, /*is_and=*/true,
+                            std::move(live));
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        std::vector<NodeId> live;
+        for (const Value& in : ins) {
+          if (in.constant.has_value()) {
+            ++stats.constants_folded;
+            if (*in.constant) {
+              return Value::of_const(node.type != GateType::kNor);
+            }
+            continue;  // OR with 0: drop
+          }
+          live.push_back(in.node);
+        }
+        return finish_andor(node.type == GateType::kNor, /*is_and=*/false,
+                            std::move(live));
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        bool phase = node.type == GateType::kXnor;
+        std::vector<NodeId> live;
+        for (const Value& in : ins) {
+          if (in.constant.has_value()) {
+            ++stats.constants_folded;
+            phase ^= *in.constant;
+            continue;
+          }
+          live.push_back(in.node);
+        }
+        if (live.empty()) return Value::of_const(phase);
+        if (live.size() == 1) {
+          if (!phase) return Value::of_node(live[0]);
+          return invert(live[0], stats);
+        }
+        const NodeId fresh = out_.add_gate(
+            phase ? GateType::kXnor : GateType::kXor, std::move(live));
+        return Value::of_node(fresh);
+      }
+      case GateType::kMux: {
+        const Value& sel = ins[0];
+        const Value& in0 = ins[1];
+        const Value& in1 = ins[2];
+        if (sel.constant.has_value()) {
+          ++stats.constants_folded;
+          return *sel.constant ? in1 : in0;
+        }
+        // MUX with equal data inputs is the data input.
+        if (!in0.constant.has_value() && !in1.constant.has_value() &&
+            in0.node == in1.node) {
+          ++stats.constants_folded;
+          return in0;
+        }
+        if (in0.constant.has_value() && in1.constant.has_value()) {
+          ++stats.constants_folded;
+          if (*in0.constant == *in1.constant) {
+            return Value::of_const(*in0.constant);
+          }
+          // MUX(s, 0, 1) = s ; MUX(s, 1, 0) = ~s.
+          if (!*in0.constant) return Value::of_node(sel.node);
+          return invert(sel.node, stats);
+        }
+        const NodeId fresh = out_.add_gate(
+            GateType::kMux,
+            {sel.node, materialize(in0), materialize(in1)});
+        return Value::of_node(fresh);
+      }
+      case GateType::kInput:
+        break;  // unreachable
+    }
+    return Value{};
+  }
+
+  Value invert(NodeId node, OptStats& stats) {
+    if (const auto inner = inverter_input_.find(node);
+        inner != inverter_input_.end()) {
+      ++stats.buffers_collapsed;
+      return Value::of_node(inner->second);
+    }
+    const NodeId fresh = out_.add_gate(GateType::kNot, {node});
+    inverter_input_.emplace(fresh, node);
+    return Value::of_node(fresh);
+  }
+
+  Value finish_andor(bool inverted, bool is_and, std::vector<NodeId> live) {
+    // Deduplicate identical fanins (x AND x = x).
+    std::sort(live.begin(), live.end());
+    live.erase(std::unique(live.begin(), live.end()), live.end());
+    if (live.empty()) {
+      // All fanins were identity constants: AND() = 1, OR() = 0.
+      return Value::of_const(is_and != inverted);
+    }
+    if (live.size() == 1) {
+      if (!inverted) return Value::of_node(live[0]);
+      OptStats scratch;
+      return invert(live[0], scratch);
+    }
+    const GateType type =
+        is_and ? (inverted ? GateType::kNand : GateType::kAnd)
+               : (inverted ? GateType::kNor : GateType::kOr);
+    return Value::of_node(out_.add_gate(type, std::move(live)));
+  }
+
+  const Netlist* input_;
+  Netlist out_;
+  std::vector<Value> values_;
+  NodeId const0_ = kNoNode;
+  NodeId const1_ = kNoNode;
+  // Maps an inverter node in `out_` to its input (for NOT(NOT(x)) -> x).
+  std::unordered_map<NodeId, NodeId> inverter_input_;
+};
+
+}  // namespace
+
+Netlist optimize(const Netlist& input, OptStats* stats) {
+  Rewriter rewriter(input);
+  return rewriter.run(stats, std::vector<std::optional<bool>>(
+                                 input.inputs().size(), std::nullopt));
+}
+
+Netlist optimize_with_key_bit(const Netlist& input, std::size_t bit,
+                              bool value, OptStats* stats) {
+  const auto keys = input.key_inputs();
+  if (bit >= keys.size()) {
+    throw std::invalid_argument("optimize_with_key_bit: bit out of range");
+  }
+  std::vector<std::optional<bool>> pinned(input.inputs().size(), std::nullopt);
+  const auto& all_inputs = input.inputs();
+  for (std::size_t i = 0; i < all_inputs.size(); ++i) {
+    if (all_inputs[i] == keys[bit]) pinned[i] = value;
+  }
+  Rewriter rewriter(input);
+  return rewriter.run(stats, pinned);
+}
+
+}  // namespace autolock::netlist

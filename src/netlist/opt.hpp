@@ -1,0 +1,43 @@
+// Netlist optimization passes: constant propagation, algebraic
+// simplification of degenerate gates, buffer collapsing, and dead-logic
+// removal.
+//
+// Two roles in this repo:
+//  1. Substrate realism — defenders resynthesize locked netlists before
+//     handing them to the foundry; attacks must not rely on unoptimized
+//     artifacts (our tests check locking survives optimization).
+//  2. The SCOPE-style oracle-less attack (attacks/scope.hpp) scores key-bit
+//     hypotheses by how much the circuit simplifies under each constant —
+//     which requires exactly this pass.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace autolock::netlist {
+
+struct OptStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t constants_folded = 0;
+  std::size_t buffers_collapsed = 0;
+  std::size_t dead_removed = 0;
+};
+
+/// Returns an optimized, functionally-equivalent copy of `input`:
+///  - constant folding (gates with constant fanins simplify or disappear),
+///  - identity rules (AND(x) -> x, XOR(x, 0) -> x, NOT(NOT(x)) -> x, MUX
+///    with constant select -> selected input, MUX with equal data -> data),
+///  - buffer collapsing,
+///  - dead-node elimination (inputs are always preserved).
+/// Output names of ports are preserved; internal node names may change.
+Netlist optimize(const Netlist& input, OptStats* stats = nullptr);
+
+/// Convenience: optimize with key input `bit` pinned to `value` (the key
+/// input is *kept* in the interface but its uses are replaced by the
+/// constant). Used by hypothesis-testing attacks.
+Netlist optimize_with_key_bit(const Netlist& input, std::size_t bit,
+                              bool value, OptStats* stats = nullptr);
+
+}  // namespace autolock::netlist

@@ -1,0 +1,151 @@
+#include "netlist/simulator.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace autolock::netlist {
+
+Simulator::Simulator(const Netlist& netlist)
+    : netlist_(&netlist),
+      order_(netlist.topological_order()),
+      primary_inputs_(netlist.primary_inputs()),
+      key_inputs_(netlist.key_inputs()) {}
+
+std::vector<std::uint64_t> Simulator::run_word(
+    const std::vector<std::uint64_t>& primary_words, const Key& key) const {
+  if (primary_words.size() != primary_inputs_.size()) {
+    throw std::invalid_argument("Simulator: primary input word count mismatch");
+  }
+  if (key.size() != key_inputs_.size()) {
+    throw std::invalid_argument("Simulator: key length mismatch (want " +
+                                std::to_string(key_inputs_.size()) + ", got " +
+                                std::to_string(key.size()) + ")");
+  }
+  std::vector<std::uint64_t> value(netlist_->size(), 0);
+  for (std::size_t i = 0; i < primary_inputs_.size(); ++i) {
+    value[primary_inputs_[i]] = primary_words[i];
+  }
+  for (std::size_t j = 0; j < key_inputs_.size(); ++j) {
+    value[key_inputs_[j]] = key[j] ? ~0ULL : 0ULL;
+  }
+  std::uint64_t fanin_words[24];
+  for (NodeId v : order_) {
+    const Node& node = netlist_->node(v);
+    if (node.type == GateType::kInput) continue;
+    if (node.fanins.size() <= 24) {
+      for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+        fanin_words[i] = value[node.fanins[i]];
+      }
+      value[v] = eval_gate_words(node.type, fanin_words, node.fanins.size());
+    } else {
+      std::vector<std::uint64_t> wide(node.fanins.size());
+      for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+        wide[i] = value[node.fanins[i]];
+      }
+      value[v] = eval_gate_words(node.type, wide.data(), wide.size());
+    }
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(netlist_->outputs().size());
+  for (const auto& port : netlist_->outputs()) out.push_back(value[port.driver]);
+  return out;
+}
+
+std::vector<bool> Simulator::run_single(const std::vector<bool>& primary_bits,
+                                        const Key& key) const {
+  std::vector<std::uint64_t> words(primary_bits.size());
+  for (std::size_t i = 0; i < primary_bits.size(); ++i) {
+    words[i] = primary_bits[i] ? 1ULL : 0ULL;
+  }
+  const auto out_words = run_word(words, key);
+  std::vector<bool> out(out_words.size());
+  for (std::size_t i = 0; i < out_words.size(); ++i) {
+    out[i] = (out_words[i] & 1ULL) != 0;
+  }
+  return out;
+}
+
+double Simulator::output_error_rate(const Simulator& dut, const Key& dut_key,
+                                    const Simulator& reference,
+                                    const Key& reference_key,
+                                    std::size_t vectors, util::Rng& rng) {
+  if (dut.primary_inputs_.size() != reference.primary_inputs_.size() ||
+      dut.netlist_->outputs().size() != reference.netlist_->outputs().size()) {
+    throw std::invalid_argument(
+        "Simulator::output_error_rate: interface mismatch");
+  }
+  if (vectors == 0) return 0.0;
+  const std::size_t words = (vectors + 63) / 64;
+  std::size_t diff_bits = 0;
+  std::vector<std::uint64_t> in(dut.primary_inputs_.size());
+  for (std::size_t w = 0; w < words; ++w) {
+    for (auto& word : in) word = rng();
+    const auto a = dut.run_word(in, dut_key);
+    const auto b = reference.run_word(in, reference_key);
+    for (std::size_t o = 0; o < a.size(); ++o) {
+      diff_bits += static_cast<std::size_t>(std::popcount(a[o] ^ b[o]));
+    }
+  }
+  const double total =
+      static_cast<double>(words) * 64.0 *
+      static_cast<double>(dut.netlist_->outputs().size());
+  return static_cast<double>(diff_bits) / total;
+}
+
+bool Simulator::equivalent_on_random_vectors(const Simulator& a,
+                                             const Key& a_key,
+                                             const Simulator& b,
+                                             const Key& b_key,
+                                             std::size_t vectors,
+                                             util::Rng& rng) {
+  if (a.primary_inputs_.size() != b.primary_inputs_.size() ||
+      a.netlist_->outputs().size() != b.netlist_->outputs().size()) {
+    return false;
+  }
+  const std::size_t words = (vectors + 63) / 64;
+  std::vector<std::uint64_t> in(a.primary_inputs_.size());
+  for (std::size_t w = 0; w < words; ++w) {
+    for (auto& word : in) word = rng();
+    const auto ra = a.run_word(in, a_key);
+    const auto rb = b.run_word(in, b_key);
+    for (std::size_t o = 0; o < ra.size(); ++o) {
+      if (ra[o] != rb[o]) return false;
+    }
+  }
+  return true;
+}
+
+bool Simulator::equivalent_exhaustive(const Simulator& a, const Key& a_key,
+                                      const Simulator& b, const Key& b_key) {
+  const std::size_t n = a.primary_inputs_.size();
+  if (n != b.primary_inputs_.size() ||
+      a.netlist_->outputs().size() != b.netlist_->outputs().size()) {
+    return false;
+  }
+  if (n > 24) {
+    throw std::invalid_argument(
+        "Simulator::equivalent_exhaustive: too many inputs");
+  }
+  const std::uint64_t total = 1ULL << n;
+  std::vector<std::uint64_t> in(n);
+  for (std::uint64_t base = 0; base < total; base += 64) {
+    // Vector (base + i) occupies bit i of the word.
+    for (std::size_t bit = 0; bit < n; ++bit) {
+      std::uint64_t word = 0;
+      for (std::uint64_t i = 0; i < 64 && base + i < total; ++i) {
+        if (((base + i) >> bit) & 1ULL) word |= (1ULL << i);
+      }
+      in[bit] = word;
+    }
+    const std::uint64_t valid =
+        (total - base >= 64) ? ~0ULL : ((1ULL << (total - base)) - 1);
+    const auto ra = a.run_word(in, a_key);
+    const auto rb = b.run_word(in, b_key);
+    for (std::size_t o = 0; o < ra.size(); ++o) {
+      if (((ra[o] ^ rb[o]) & valid) != 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace autolock::netlist

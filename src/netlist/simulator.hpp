@@ -1,0 +1,66 @@
+// 64-way bit-parallel functional simulator.
+//
+// Each simulation "word" carries 64 independent test vectors: bit i of every
+// signal word belongs to vector i. This makes random-vector equivalence
+// screening and output-corruption measurement cheap (one pass ≈ 64 vectors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace autolock::netlist {
+
+/// A key assignment: bit i = value of key input i (in key_inputs() order).
+using Key = std::vector<bool>;
+
+class Simulator {
+ public:
+  /// Captures the topological order once; the netlist must outlive the
+  /// simulator and must not be structurally modified afterwards.
+  explicit Simulator(const Netlist& netlist);
+
+  const Netlist& netlist() const noexcept { return *netlist_; }
+
+  /// Simulates one word. `primary_words[i]` feeds primary input i (in
+  /// primary_inputs() order); key bit j (in key_inputs() order) is broadcast
+  /// across the word. Returns one word per output port.
+  std::vector<std::uint64_t> run_word(
+      const std::vector<std::uint64_t>& primary_words, const Key& key) const;
+
+  /// Single-vector convenience (bools in primary_inputs() order).
+  std::vector<bool> run_single(const std::vector<bool>& primary_bits,
+                               const Key& key) const;
+
+  /// Draws `vectors` random input vectors (rounded up to a multiple of 64)
+  /// and returns the fraction of (vector, output) pairs on which this
+  /// netlist under `key` differs from `reference` under `reference_key`.
+  /// Both netlists must have identical primary-input and output counts.
+  static double output_error_rate(const Simulator& dut, const Key& dut_key,
+                                  const Simulator& reference,
+                                  const Key& reference_key,
+                                  std::size_t vectors, util::Rng& rng);
+
+  /// Random-vector equivalence screening: true if no difference was observed
+  /// on `vectors` random vectors (necessary, not sufficient, for
+  /// equivalence; use sat::check_equivalent for a proof).
+  static bool equivalent_on_random_vectors(const Simulator& a, const Key& a_key,
+                                           const Simulator& b, const Key& b_key,
+                                           std::size_t vectors,
+                                           util::Rng& rng);
+
+  /// Exhaustive equivalence over all input vectors; only valid when the
+  /// primary input count is <= 24 (2^24 vectors).
+  static bool equivalent_exhaustive(const Simulator& a, const Key& a_key,
+                                    const Simulator& b, const Key& b_key);
+
+ private:
+  const Netlist* netlist_;
+  std::vector<NodeId> order_;
+  std::vector<NodeId> primary_inputs_;
+  std::vector<NodeId> key_inputs_;
+};
+
+}  // namespace autolock::netlist

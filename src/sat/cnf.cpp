@@ -1,0 +1,227 @@
+#include "sat/cnf.hpp"
+
+#include <stdexcept>
+
+namespace autolock::sat {
+
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+/// Clauses for out <-> AND(ins): (~out | in_i) for all i; (out | ~in_1 | ...).
+void encode_and(Solver& solver, Var out, const std::vector<Lit>& ins) {
+  std::vector<Lit> big;
+  big.reserve(ins.size() + 1);
+  for (Lit in : ins) {
+    solver.add_clause(make_lit(out, true), in);
+    big.push_back(lit_neg(in));
+  }
+  big.push_back(make_lit(out, false));
+  solver.add_clause(std::move(big));
+}
+
+/// Clauses for out <-> OR(ins).
+void encode_or(Solver& solver, Var out, const std::vector<Lit>& ins) {
+  std::vector<Lit> big;
+  big.reserve(ins.size() + 1);
+  for (Lit in : ins) {
+    solver.add_clause(make_lit(out, false), lit_neg(in));
+    big.push_back(in);
+  }
+  big.push_back(make_lit(out, true));
+  solver.add_clause(std::move(big));
+}
+
+/// out <-> a XOR b (binary). For n-ary XOR we chain through fresh vars.
+void encode_xor2(Solver& solver, Var out, Lit a, Lit b) {
+  solver.add_clause(make_lit(out, true), a, b);
+  solver.add_clause(make_lit(out, true), lit_neg(a), lit_neg(b));
+  solver.add_clause(make_lit(out, false), a, lit_neg(b));
+  solver.add_clause(make_lit(out, false), lit_neg(a), b);
+}
+
+/// out <-> ITE(sel, in1, in0)  (MUX semantics: sel ? in1 : in0).
+void encode_mux(Solver& solver, Var out, Lit sel, Lit in0, Lit in1) {
+  // sel=1 -> out == in1
+  solver.add_clause(lit_neg(sel), make_lit(out, true), in1);
+  solver.add_clause(lit_neg(sel), make_lit(out, false), lit_neg(in1));
+  // sel=0 -> out == in0
+  solver.add_clause(sel, make_lit(out, true), in0);
+  solver.add_clause(sel, make_lit(out, false), lit_neg(in0));
+  // Redundant but propagation-strengthening clauses:
+  solver.add_clause(make_lit(out, true), in0, in1);
+  solver.add_clause(make_lit(out, false), lit_neg(in0), lit_neg(in1));
+}
+
+}  // namespace
+
+Encoding encode_netlist(
+    Solver& solver, const Netlist& netlist,
+    const std::optional<std::vector<Var>>& share_primary_inputs,
+    const std::optional<std::vector<Var>>& share_keys) {
+  const auto primary = netlist.primary_inputs();
+  const auto keys = netlist.key_inputs();
+  if (share_primary_inputs && share_primary_inputs->size() != primary.size()) {
+    throw std::invalid_argument("encode_netlist: shared PI count mismatch");
+  }
+  if (share_keys && share_keys->size() != keys.size()) {
+    throw std::invalid_argument("encode_netlist: shared key count mismatch");
+  }
+
+  Encoding enc;
+  enc.node_var.assign(netlist.size(), -1);
+
+  // Inputs first (shared or fresh).
+  for (std::size_t i = 0; i < primary.size(); ++i) {
+    enc.node_var[primary[i]] =
+        share_primary_inputs ? (*share_primary_inputs)[i] : solver.new_var();
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    enc.node_var[keys[i]] = share_keys ? (*share_keys)[i] : solver.new_var();
+  }
+
+  for (NodeId v : netlist.topological_order()) {
+    const auto& node = netlist.node(v);
+    if (node.type == GateType::kInput) continue;
+    const Var out = solver.new_var();
+    enc.node_var[v] = out;
+    std::vector<Lit> ins;
+    ins.reserve(node.fanins.size());
+    for (NodeId fanin : node.fanins) {
+      ins.push_back(make_lit(enc.node_var[fanin], false));
+    }
+    switch (node.type) {
+      case GateType::kConst0:
+        solver.add_clause(make_lit(out, true));
+        break;
+      case GateType::kConst1:
+        solver.add_clause(make_lit(out, false));
+        break;
+      case GateType::kBuf:
+        solver.add_clause(make_lit(out, true), ins[0]);
+        solver.add_clause(make_lit(out, false), lit_neg(ins[0]));
+        break;
+      case GateType::kNot:
+        solver.add_clause(make_lit(out, true), lit_neg(ins[0]));
+        solver.add_clause(make_lit(out, false), ins[0]);
+        break;
+      case GateType::kAnd:
+        encode_and(solver, out, ins);
+        break;
+      case GateType::kNand: {
+        // out = ~AND: encode AND into helper then invert via literal flip:
+        // simpler: out <-> NAND == ~out <-> AND. Encode with flipped out.
+        std::vector<Lit> flipped = ins;
+        // (out | in_i) and (~out | ~in1 | ... )
+        for (Lit in : flipped) solver.add_clause(make_lit(out, false), in);
+        std::vector<Lit> big;
+        for (Lit in : flipped) big.push_back(lit_neg(in));
+        big.push_back(make_lit(out, true));
+        solver.add_clause(std::move(big));
+        break;
+      }
+      case GateType::kOr:
+        encode_or(solver, out, ins);
+        break;
+      case GateType::kNor: {
+        for (Lit in : ins) solver.add_clause(make_lit(out, true), lit_neg(in));
+        std::vector<Lit> big = ins;
+        big.push_back(make_lit(out, false));
+        solver.add_clause(std::move(big));
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // Chain binary XORs through fresh intermediates.
+        Lit acc = ins[0];
+        for (std::size_t i = 1; i + 1 < ins.size(); ++i) {
+          const Var mid = solver.new_var();
+          encode_xor2(solver, mid, acc, ins[i]);
+          acc = make_lit(mid, false);
+        }
+        if (node.type == GateType::kXor) {
+          encode_xor2(solver, out, acc, ins.back());
+        } else {
+          // out <-> XNOR(acc, last) == ~out <-> XOR(acc, last):
+          const Var mid = solver.new_var();
+          encode_xor2(solver, mid, acc, ins.back());
+          solver.add_clause(make_lit(out, true), make_lit(mid, true));
+          solver.add_clause(make_lit(out, false), make_lit(mid, false));
+        }
+        break;
+      }
+      case GateType::kMux:
+        encode_mux(solver, out, ins[0], ins[1], ins[2]);
+        break;
+      case GateType::kInput:
+        break;  // unreachable
+    }
+  }
+
+  for (std::size_t i = 0; i < primary.size(); ++i) {
+    enc.primary_input_var.push_back(enc.node_var[primary[i]]);
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    enc.key_var.push_back(enc.node_var[keys[i]]);
+  }
+  for (const auto& port : netlist.outputs()) {
+    enc.output_var.push_back(enc.node_var[port.driver]);
+  }
+  return enc;
+}
+
+void constrain_key(Solver& solver, const std::vector<Var>& key_vars,
+                   const netlist::Key& key) {
+  if (key_vars.size() != key.size()) {
+    throw std::invalid_argument("constrain_key: length mismatch");
+  }
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    solver.add_clause(make_lit(key_vars[i], !key[i]));
+  }
+}
+
+Var make_miter(Solver& solver, const Encoding& a, const Encoding& b) {
+  if (a.output_var.size() != b.output_var.size()) {
+    throw std::invalid_argument("make_miter: output count mismatch");
+  }
+  std::vector<Lit> any_diff;
+  for (std::size_t o = 0; o < a.output_var.size(); ++o) {
+    const Var diff = solver.new_var();
+    encode_xor2(solver, diff, make_lit(a.output_var[o], false),
+                make_lit(b.output_var[o], false));
+    any_diff.push_back(make_lit(diff, false));
+  }
+  const Var miter = solver.new_var();
+  encode_or(solver, miter, any_diff);
+  return miter;
+}
+
+bool check_equivalent(const Netlist& a, const netlist::Key& a_key,
+                      const Netlist& b, const netlist::Key& b_key) {
+  if (a.primary_inputs().size() != b.primary_inputs().size() ||
+      a.outputs().size() != b.outputs().size()) {
+    return false;
+  }
+  Solver solver;
+  const Encoding enc_a = encode_netlist(solver, a);
+  const Encoding enc_b =
+      encode_netlist(solver, b, enc_a.primary_input_var, std::nullopt);
+  constrain_key(solver, enc_a.key_var, a_key);
+  constrain_key(solver, enc_b.key_var, b_key);
+  const Var miter = make_miter(solver, enc_a, enc_b);
+  const SolveResult result =
+      solver.solve({make_lit(miter, false)});
+  if (result == SolveResult::kUnknown) {
+    throw std::runtime_error("check_equivalent: budget exhausted");
+  }
+  return result == SolveResult::kUnsat;
+}
+
+bool check_unlocks(const Netlist& locked, const netlist::Key& key,
+                   const Netlist& original) {
+  return check_equivalent(locked, key, original, netlist::Key{});
+}
+
+}  // namespace autolock::sat

@@ -1,0 +1,55 @@
+// Netlist → CNF (Tseitin) encoding, miter construction, and SAT-based
+// equivalence checking.
+//
+// The encoding assigns one SAT variable per netlist node. Key inputs can
+// either be encoded as free variables (for attacks, which solve for keys) or
+// constrained to constants (for verification under a specific key).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"
+#include "sat/solver.hpp"
+
+namespace autolock::sat {
+
+/// Mapping from a netlist's nodes to solver variables after encoding.
+struct Encoding {
+  std::vector<Var> node_var;          // indexed by NodeId
+  std::vector<Var> primary_input_var; // in primary_inputs() order
+  std::vector<Var> key_var;           // in key_inputs() order
+  std::vector<Var> output_var;        // in outputs() order
+};
+
+/// Encodes the functional constraints of `netlist` into `solver`.
+/// If `share_primary_inputs` is provided (same length as the netlist's
+/// primary inputs), those existing variables are reused instead of fresh
+/// ones — this is how a miter shares inputs across two circuit copies.
+/// Likewise `share_keys` reuses key variables.
+Encoding encode_netlist(
+    Solver& solver, const netlist::Netlist& netlist,
+    const std::optional<std::vector<Var>>& share_primary_inputs = std::nullopt,
+    const std::optional<std::vector<Var>>& share_keys = std::nullopt);
+
+/// Adds clauses fixing `key_vars[i]` to `key[i]`.
+void constrain_key(Solver& solver, const std::vector<Var>& key_vars,
+                   const netlist::Key& key);
+
+/// Builds a miter over two encodings that already share primary inputs:
+/// returns a variable that is true iff some output differs.
+Var make_miter(Solver& solver, const Encoding& a, const Encoding& b);
+
+/// Proves or refutes equivalence of two netlists under fixed keys.
+/// Interfaces (primary input count / output count) must match.
+/// Returns true iff equivalent (miter UNSAT).
+bool check_equivalent(const netlist::Netlist& a, const netlist::Key& a_key,
+                      const netlist::Netlist& b, const netlist::Key& b_key);
+
+/// Convenience: locked netlist vs. its original under the correct key.
+bool check_unlocks(const netlist::Netlist& locked, const netlist::Key& key,
+                   const netlist::Netlist& original);
+
+}  // namespace autolock::sat

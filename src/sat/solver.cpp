@@ -1,0 +1,491 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autolock::sat {
+
+namespace {
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kRescaleLimit = 1e100;
+constexpr std::uint64_t kRestartBase = 128;
+}  // namespace
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  const Var var = static_cast<Var>(assign_.size());
+  assign_.push_back(LBool::kUndef);
+  saved_phase_.push_back(LBool::kFalse);
+  level_.push_back(0);
+  reason_.push_back(kNoClause);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(var);
+  return var;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  // Incremental use: adding a clause after a solve() invalidates the model;
+  // retract all decisions first so level-0 semantics hold.
+  if (!trail_lim_.empty()) backtrack(0);
+  // Normalize: sort, dedupe, drop false lits, detect tautology/satisfied.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> kept;
+  kept.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit lit = lits[i];
+    if (lit_var(lit) < 0 ||
+        static_cast<std::size_t>(lit_var(lit)) >= num_vars()) {
+      throw std::invalid_argument("Solver::add_clause: undeclared variable");
+    }
+    if (i + 1 < lits.size() && lits[i + 1] == lit_neg(lit)) return true;  // taut
+    if (i > 0 && lits[i - 1] == lit_neg(lit)) return true;                // taut
+    const LBool v = value_lit(lit);
+    if (v == LBool::kTrue) return true;   // satisfied at level 0
+    if (v == LBool::kFalse) continue;     // falsified at level 0: drop
+    kept.push_back(lit);
+  }
+  if (kept.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (kept.size() == 1) {
+    enqueue(kept[0], kNoClause);
+    if (propagate() != kNoClause) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  Clause clause;
+  clause.lits = std::move(kept);
+  clauses_.push_back(std::move(clause));
+  attach_clause(static_cast<ClauseRef>(clauses_.size() - 1));
+  return true;
+}
+
+void Solver::attach_clause(ClauseRef ref) {
+  const Clause& clause = clauses_[ref];
+  watches_[lit_neg(clause.lits[0])].push_back(ref);
+  watches_[lit_neg(clause.lits[1])].push_back(ref);
+}
+
+void Solver::enqueue(Lit lit, ClauseRef reason) {
+  const Var var = lit_var(lit);
+  assign_[var] = lit_sign(lit) ? LBool::kFalse : LBool::kTrue;
+  level_[var] = static_cast<int>(trail_lim_.size());
+  reason_[var] = reason;
+  trail_.push_back(lit);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit lit = trail_[propagate_head_++];
+    ++stats_.propagations;
+    // Clauses watching ~lit may become unit/conflicting.
+    auto& watch_list = watches_[lit];
+    std::size_t keep = 0;
+    ClauseRef conflict = kNoClause;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const ClauseRef ref = watch_list[i];
+      Clause& clause = clauses_[ref];
+      if (clause.deleted) continue;  // lazily drop
+      // Ensure the falsified literal is lits[1].
+      const Lit false_lit = lit_neg(lit);
+      if (clause.lits[0] == false_lit) {
+        std::swap(clause.lits[0], clause.lits[1]);
+      }
+      // If first watch true, clause satisfied; keep watch.
+      if (value_lit(clause.lits[0]) == LBool::kTrue) {
+        watch_list[keep++] = ref;
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < clause.lits.size(); ++k) {
+        if (value_lit(clause.lits[k]) != LBool::kFalse) {
+          std::swap(clause.lits[1], clause.lits[k]);
+          watches_[lit_neg(clause.lits[1])].push_back(ref);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict.
+      watch_list[keep++] = ref;
+      if (value_lit(clause.lits[0]) == LBool::kFalse) {
+        conflict = ref;
+        // Copy remaining watches and bail.
+        for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return conflict;
+      }
+      enqueue(clause.lits[0], ref);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoClause;
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
+                     int& out_btlevel) {
+  out_learnt.clear();
+  out_learnt.push_back(kUndefLit);  // slot for the asserting literal
+  int counter = 0;
+  Lit asserting = kUndefLit;
+  std::size_t index = trail_.size();
+  ClauseRef reason = conflict;
+  const int current_level = static_cast<int>(trail_lim_.size());
+
+  do {
+    Clause& clause = clauses_[reason];
+    if (clause.learnt) bump_clause(clause);
+    const std::size_t start = (asserting == kUndefLit) ? 0 : 1;
+    for (std::size_t i = start; i < clause.lits.size(); ++i) {
+      const Lit q = clause.lits[i];
+      const Var v = lit_var(q);
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      bump_var(v);
+      if (level_[v] >= current_level) {
+        ++counter;
+      } else {
+        out_learnt.push_back(q);
+      }
+    }
+    // Find next literal on the trail to resolve on.
+    while (!seen_[lit_var(trail_[index - 1])]) --index;
+    --index;
+    asserting = trail_[index];
+    seen_[lit_var(asserting)] = 0;
+    reason = reason_[lit_var(asserting)];
+    --counter;
+  } while (counter > 0);
+  out_learnt[0] = lit_neg(asserting);
+
+  // Minimization (cheap self-subsumption): drop literals whose reason is
+  // entirely contained in the learnt clause.
+  auto redundant = [&](Lit lit) {
+    const ClauseRef r = reason_[lit_var(lit)];
+    if (r == kNoClause) return false;
+    const Clause& clause = clauses_[r];
+    for (std::size_t i = 1; i < clause.lits.size(); ++i) {
+      const Var v = lit_var(clause.lits[i]);
+      if (!seen_[v] && level_[v] != 0) return false;
+    }
+    return true;
+  };
+  // Track every variable whose seen_ flag is set so ALL of them are cleared
+  // afterwards — including literals dropped as redundant (leaving them set
+  // would poison later analyze() calls and make learning unsound).
+  std::vector<Var> marked;
+  marked.reserve(out_learnt.size());
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    marked.push_back(lit_var(out_learnt[i]));
+    seen_[lit_var(out_learnt[i])] = 1;
+  }
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    if (!redundant(out_learnt[i])) out_learnt[keep++] = out_learnt[i];
+  }
+  out_learnt.resize(keep);
+  for (const Var v : marked) seen_[v] = 0;
+
+  // Compute backtrack level: max level among non-asserting literals.
+  out_btlevel = 0;
+  std::size_t max_pos = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    const int lvl = level_[lit_var(out_learnt[i])];
+    if (lvl > out_btlevel) {
+      out_btlevel = lvl;
+      max_pos = i;
+    }
+  }
+  if (out_learnt.size() > 1) {
+    std::swap(out_learnt[1], out_learnt[max_pos]);
+  }
+}
+
+void Solver::backtrack(int target_level) {
+  if (static_cast<int>(trail_lim_.size()) <= target_level) return;
+  const std::size_t bound = trail_lim_[target_level];
+  for (std::size_t i = trail_.size(); i > bound; --i) {
+    const Lit lit = trail_[i - 1];
+    const Var var = lit_var(lit);
+    saved_phase_[var] = assign_[var];
+    assign_[var] = LBool::kUndef;
+    reason_[var] = kNoClause;
+    if (heap_pos_[var] < 0) heap_insert(var);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  propagate_head_ = trail_.size();
+}
+
+void Solver::bump_var(Var var) {
+  activity_[var] += var_inc_;
+  if (activity_[var] > kRescaleLimit) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[var] >= 0) heap_update(var);
+}
+
+void Solver::decay_var_activity() { var_inc_ /= kVarDecay; }
+
+void Solver::bump_clause(Clause& clause) {
+  clause.activity += clause_inc_;
+  if (clause.activity > kRescaleLimit) {
+    for (Clause& c : clauses_) {
+      if (c.learnt) c.activity *= 1e-100;
+    }
+    clause_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay_clause_activity() { clause_inc_ /= kClauseDecay; }
+
+void Solver::reduce_db() {
+  // Collect learnt, non-reason clauses and delete the lower-activity half.
+  std::vector<ClauseRef> learnts;
+  std::vector<std::uint8_t> is_reason(clauses_.size(), 0);
+  for (Lit lit : trail_) {
+    const ClauseRef r = reason_[lit_var(lit)];
+    if (r != kNoClause) is_reason[r] = 1;
+  }
+  for (ClauseRef ref = 0; ref < clauses_.size(); ++ref) {
+    const Clause& clause = clauses_[ref];
+    if (clause.learnt && !clause.deleted && !is_reason[ref] &&
+        clause.lits.size() > 2) {
+      learnts.push_back(ref);
+    }
+  }
+  std::sort(learnts.begin(), learnts.end(), [this](ClauseRef a, ClauseRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  const std::size_t to_delete = learnts.size() / 2;
+  for (std::size_t i = 0; i < to_delete; ++i) {
+    clauses_[learnts[i]].deleted = true;
+    ++stats_.deleted_clauses;
+  }
+  // Compact watch lists lazily during propagate (deleted flag) — plus here:
+  for (auto& watch_list : watches_) {
+    watch_list.erase(std::remove_if(watch_list.begin(), watch_list.end(),
+                                    [this](ClauseRef ref) {
+                                      return clauses_[ref].deleted;
+                                    }),
+                     watch_list.end());
+  }
+}
+
+std::uint64_t Solver::luby(std::uint64_t x) {
+  // Luby sequence: 1,1,2,1,1,2,4,... (MiniSAT formulation).
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x %= size;
+  }
+  return 1ULL << seq;
+}
+
+// ---- branching heap --------------------------------------------------------
+
+void Solver::heap_insert(Var var) {
+  heap_pos_[var] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(var);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_update(Var var) {
+  heap_sift_up(static_cast<std::size_t>(heap_pos_[var]));
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[top] = -1;
+  heap_[0] = heap_.back();
+  heap_pos_[heap_[0]] = 0;
+  heap_.pop_back();
+  if (!heap_.empty()) heap_sift_down(0);
+  return top;
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  const Var var = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[var]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  const Var var = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[heap_[child]] <= activity_[var]) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = static_cast<std::int32_t>(i);
+}
+
+void Solver::rebuild_heap() {
+  heap_.clear();
+  for (Var v = 0; v < static_cast<Var>(num_vars()); ++v) {
+    heap_pos_[v] = -1;
+    if (assign_[v] == LBool::kUndef) heap_insert(v);
+  }
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!heap_.empty()) {
+    const Var var = heap_[0];
+    if (assign_[var] == LBool::kUndef) {
+      heap_pop();
+      const bool negated = saved_phase_[var] != LBool::kTrue;
+      return make_lit(var, negated);
+    }
+    heap_pop();
+  }
+  return kUndefLit;
+}
+
+// ---- main solve loop -------------------------------------------------------
+
+SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return SolveResult::kUnsat;
+  backtrack(0);
+  rebuild_heap();
+  const std::uint64_t start_conflicts = stats_.conflicts;
+  std::uint64_t restart_count = 0;
+  std::uint64_t conflicts_until_restart = kRestartBase * luby(0);
+  std::uint64_t conflicts_this_restart = 0;
+
+  std::vector<Lit> learnt;
+  for (;;) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoClause) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (trail_lim_.empty()) {
+        ok_ = false;
+        return SolveResult::kUnsat;  // conflict at level 0
+      }
+      int bt_level = 0;
+      analyze(conflict, learnt, bt_level);
+      // Never backjump above the assumption prefix — clamp instead (the
+      // asserting literal is still enqueued correctly below the clamp as
+      // long as the learnt clause is attached).
+      backtrack(bt_level);
+      if (learnt.size() == 1) {
+        if (bt_level != 0) {
+          // Assumption interplay: a unit learnt must go to level 0.
+          backtrack(0);
+        }
+        enqueue(learnt[0], kNoClause);
+      } else {
+        Clause clause;
+        clause.lits = learnt;
+        clause.learnt = true;
+        clause.activity = clause_inc_;
+        clauses_.push_back(std::move(clause));
+        const auto ref = static_cast<ClauseRef>(clauses_.size() - 1);
+        attach_clause(ref);
+        ++stats_.learnt_clauses;
+        enqueue(learnt[0], ref);
+      }
+      decay_var_activity();
+      decay_clause_activity();
+      if (conflict_budget_ != 0 &&
+          stats_.conflicts - start_conflicts >= conflict_budget_) {
+        backtrack(0);
+        return SolveResult::kUnknown;
+      }
+      if (stats_.learnt_clauses - stats_.deleted_clauses > learnt_limit_) {
+        reduce_db();
+        learnt_limit_ += learnt_limit_ / 2;
+      }
+      continue;
+    }
+
+    if (conflicts_this_restart >= conflicts_until_restart) {
+      // Restart (keep level-0 trail).
+      ++stats_.restarts;
+      ++restart_count;
+      conflicts_this_restart = 0;
+      conflicts_until_restart = kRestartBase * luby(restart_count);
+      backtrack(0);
+      continue;
+    }
+
+    // Extend with assumptions first.
+    Lit next = kUndefLit;
+    while (trail_lim_.size() < assumptions.size()) {
+      const Lit assumption = assumptions[trail_lim_.size()];
+      if (lit_var(assumption) < 0 ||
+          static_cast<std::size_t>(lit_var(assumption)) >= num_vars()) {
+        throw std::invalid_argument("Solver::solve: bad assumption literal");
+      }
+      const LBool v = value_lit(assumption);
+      if (v == LBool::kTrue) {
+        // Already implied: open an empty decision level so indexing by
+        // trail_lim_.size() advances.
+        trail_lim_.push_back(trail_.size());
+        continue;
+      }
+      if (v == LBool::kFalse) {
+        backtrack(0);
+        return SolveResult::kUnsat;  // assumptions conflict
+      }
+      next = assumption;
+      break;
+    }
+    if (next == kUndefLit) {
+      ++stats_.decisions;
+      next = pick_branch_lit();
+      if (next == kUndefLit) {
+        return SolveResult::kSat;  // all vars assigned
+      }
+    }
+    trail_lim_.push_back(trail_.size());
+    enqueue(next, kNoClause);
+  }
+}
+
+bool Solver::model_value(Var var) const {
+  if (var < 0 || static_cast<std::size_t>(var) >= num_vars()) {
+    throw std::out_of_range("Solver::model_value: bad var");
+  }
+  return assign_[var] == LBool::kTrue;
+}
+
+}  // namespace autolock::sat

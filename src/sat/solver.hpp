@@ -1,0 +1,145 @@
+// CDCL SAT solver (MiniSAT-lineage), built from scratch for this project.
+//
+// Features: two-watched-literal propagation, 1-UIP conflict analysis with
+// clause learning and non-chronological backjumping, VSIDS branching with an
+// indexed binary heap, phase saving, Luby restarts, activity-based learnt
+// clause database reduction, solving under assumptions, and a conflict
+// budget for bounded ("best effort") queries.
+//
+// This is the engine underneath netlist equivalence checking (sat/cnf.hpp)
+// and the oracle-guided SAT attack (attacks/sat_attack.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace autolock::sat {
+
+/// Variables are 0-based. A literal packs (var, sign): lit = 2*var + sign,
+/// sign 1 = negated.
+using Var = std::int32_t;
+using Lit = std::int32_t;
+inline constexpr Lit kUndefLit = -1;
+
+constexpr Lit make_lit(Var var, bool negated = false) noexcept {
+  return 2 * var + (negated ? 1 : 0);
+}
+constexpr Var lit_var(Lit lit) noexcept { return lit >> 1; }
+constexpr bool lit_sign(Lit lit) noexcept { return (lit & 1) != 0; }
+constexpr Lit lit_neg(Lit lit) noexcept { return lit ^ 1; }
+
+enum class SolveResult { kSat, kUnsat, kUnknown };
+
+class Solver {
+ public:
+  Solver();
+
+  /// Creates a fresh variable, returned id is contiguous from 0.
+  Var new_var();
+  std::size_t num_vars() const noexcept { return assign_.size(); }
+
+  /// Adds a clause. Returns false if the formula is already unsatisfiable
+  /// at level 0 (conflicting unit, empty clause). Literals over undeclared
+  /// variables are an error. Must be called before/between solves (not
+  /// during). Duplicate literals are removed; tautologies are ignored.
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) {
+    return add_clause(std::vector<Lit>{a, b, c});
+  }
+
+  /// Solves under the given assumptions. kUnknown is returned only when the
+  /// conflict budget (if set) is exhausted.
+  SolveResult solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model access (valid after kSat). Unassigned (don't-care) vars read
+  /// as false.
+  bool model_value(Var var) const;
+  bool model_value_lit(Lit lit) const {
+    return model_value(lit_var(lit)) != lit_sign(lit);
+  }
+
+  /// 0 disables the budget (default).
+  void set_conflict_budget(std::uint64_t max_conflicts) noexcept {
+    conflict_budget_ = max_conflicts;
+  }
+
+  struct Stats {
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learnt_clauses = 0;
+    std::uint64_t deleted_clauses = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  bool okay() const noexcept { return ok_; }
+
+ private:
+  enum class LBool : std::uint8_t { kTrue, kFalse, kUndef };
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoClause = static_cast<ClauseRef>(-1);
+
+  LBool value_lit(Lit lit) const noexcept {
+    const LBool v = assign_[lit_var(lit)];
+    if (v == LBool::kUndef) return LBool::kUndef;
+    const bool truth = (v == LBool::kTrue) != lit_sign(lit);
+    return truth ? LBool::kTrue : LBool::kFalse;
+  }
+
+  void enqueue(Lit lit, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
+               int& out_btlevel);
+  void backtrack(int level);
+  Lit pick_branch_lit();
+  void bump_var(Var var);
+  void decay_var_activity();
+  void bump_clause(Clause& clause);
+  void decay_clause_activity();
+  void reduce_db();
+  void attach_clause(ClauseRef ref);
+  void rebuild_heap();
+  static std::uint64_t luby(std::uint64_t i);
+
+  // Heap helpers (max-heap on activity_).
+  void heap_insert(Var var);
+  void heap_update(Var var);
+  Var heap_pop();
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+
+  bool ok_ = true;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;  // indexed by literal
+  std::vector<LBool> assign_;
+  std::vector<LBool> saved_phase_;
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;  // trail index per decision level
+  std::size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<std::int32_t> heap_pos_;  // -1 if absent
+  std::vector<Var> heap_;
+
+  std::vector<std::uint8_t> seen_;  // analyze scratch
+
+  std::uint64_t conflict_budget_ = 0;
+  std::uint64_t learnt_limit_ = 4096;
+  Stats stats_;
+};
+
+}  // namespace autolock::sat

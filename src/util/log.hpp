@@ -1,0 +1,49 @@
+// Minimal leveled logger. The library itself stays quiet at Info by default;
+// the GA and attacks log per-generation/per-epoch progress at Debug so long
+// runs can be observed without drowning bench output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace autolock::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Not synchronized —
+/// set once at startup before spawning worker threads.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Writes "[LEVEL] message" to stderr if level passes the threshold.
+/// Thread-safe (single formatted write).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  log_message(level, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log_fmt(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log_fmt(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log_fmt(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log_fmt(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace autolock::util

@@ -1,0 +1,96 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace autolock::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  // Shared control block owned by every enqueued task copy. parallel_for
+  // can return while unstarted task copies are still queued (when one
+  // worker drains all indices); those stragglers must find valid state, see
+  // next >= n, and exit without ever touching `fn` — which is only
+  // guaranteed alive until the call returns.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::condition_variable done_cv;
+    std::mutex done_mutex;
+  };
+  auto state = std::make_shared<State>();
+  state->n = n;
+  state->fn = &fn;
+
+  // One task per worker; each task pulls indices from the shared counter so
+  // uneven per-index costs (typical for GA individuals) balance out.
+  const std::size_t shards = std::min(n, workers_.size());
+  auto body = [state] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1);
+      if (i >= state->n) break;
+      try {
+        (*state->fn)(i);
+      } catch (...) {
+        const std::scoped_lock lock(state->error_mutex);
+        if (!state->first_error) state->first_error = std::current_exception();
+      }
+      if (state->done.fetch_add(1) + 1 == state->n) {
+        const std::scoped_lock lock(state->done_mutex);
+        state->done_cv.notify_all();
+      }
+    }
+  };
+
+  {
+    const std::scoped_lock lock(mutex_);
+    for (std::size_t s = 0; s < shards; ++s) tasks_.emplace(body);
+  }
+  cv_.notify_all();
+
+  std::unique_lock lock(state->done_mutex);
+  state->done_cv.wait(lock, [&] { return state->done.load() >= n; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace autolock::util

@@ -1,0 +1,42 @@
+// Fixed-size thread pool with a blocking parallel_for, used to evaluate GA
+// population fitness concurrently (each individual's MuxLink attack run is
+// independent).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace autolock::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) for all i in [0, n), distributing across workers, and blocks
+  /// until every index has completed. Exceptions thrown by fn propagate
+  /// (the first one captured is rethrown after all work finishes).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace autolock::util

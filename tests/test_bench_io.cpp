@@ -1,0 +1,188 @@
+#include "netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "netlist/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace autolock::netlist::bench {
+namespace {
+
+TEST(BenchParse, C17Structure) {
+  const Netlist c17 = gen::c17();
+  EXPECT_EQ(c17.primary_inputs().size(), 5u);
+  EXPECT_EQ(c17.outputs().size(), 2u);
+  EXPECT_EQ(c17.stats().gates, 6u);
+  EXPECT_EQ(c17.depth(), 3u);
+  for (NodeId v = 0; v < c17.size(); ++v) {
+    const auto type = c17.node(v).type;
+    EXPECT_TRUE(type == GateType::kInput || type == GateType::kNand);
+  }
+}
+
+TEST(BenchParse, CommentsAndBlankLines) {
+  const Netlist n = parse(R"(
+# full line comment
+INPUT(a)   # trailing comment
+
+OUTPUT(y)
+y = NOT(a)  # another
+)");
+  EXPECT_EQ(n.inputs().size(), 1u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+}
+
+TEST(BenchParse, UseBeforeDefinition) {
+  const Netlist n = parse(R"(
+INPUT(a)
+OUTPUT(y)
+y = AND(mid, a)
+mid = NOT(a)
+)");
+  EXPECT_NO_THROW(n.validate());
+  EXPECT_EQ(n.node(n.find("y")).type, GateType::kAnd);
+}
+
+TEST(BenchParse, KeyInputConvention) {
+  const Netlist n = parse(R"(
+INPUT(a)
+INPUT(keyinput0)
+INPUT(keyinput12)
+INPUT(keyinputx)
+OUTPUT(y)
+y = XOR(a, keyinput0)
+)");
+  EXPECT_EQ(n.key_inputs().size(), 2u);
+  EXPECT_EQ(n.primary_inputs().size(), 2u);  // a and the malformed keyinputx
+}
+
+TEST(BenchParse, KeyNameHelpers) {
+  EXPECT_TRUE(is_key_input_name("keyinput0"));
+  EXPECT_TRUE(is_key_input_name("keyinput42"));
+  EXPECT_FALSE(is_key_input_name("keyinput"));
+  EXPECT_FALSE(is_key_input_name("keyinput4x"));
+  EXPECT_FALSE(is_key_input_name("Keyinput4"));
+  EXPECT_EQ(key_bit_index("keyinput42"), 42);
+  EXPECT_EQ(key_bit_index("other"), -1);
+}
+
+TEST(BenchParse, MuxAndConst) {
+  const Netlist n = parse(R"(
+INPUT(s)
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+OUTPUT(z)
+y = MUX(s, a, b)
+z = CONST1
+)");
+  EXPECT_EQ(n.node(n.find("y")).type, GateType::kMux);
+  EXPECT_EQ(n.node(n.find("z")).type, GateType::kConst1);
+}
+
+TEST(BenchParse, BareAliasBecomesBuf) {
+  const Netlist n = parse(R"(
+INPUT(a)
+OUTPUT(y)
+y = a
+)");
+  EXPECT_EQ(n.node(n.find("y")).type, GateType::kBuf);
+}
+
+TEST(BenchParse, ErrorUnknownGate) {
+  EXPECT_THROW(parse("INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchParse, ErrorUndefinedOperand) {
+  EXPECT_THROW(parse("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchParse, ErrorUndefinedOutput) {
+  EXPECT_THROW(parse("INPUT(a)\nOUTPUT(ghost)\n"), std::runtime_error);
+}
+
+TEST(BenchParse, ErrorDuplicateDefinition) {
+  EXPECT_THROW(parse("INPUT(a)\nx = NOT(a)\nx = BUF(a)\nOUTPUT(x)\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("INPUT(a)\nINPUT(a)\nOUTPUT(a)\n"), std::runtime_error);
+}
+
+TEST(BenchParse, ErrorCombinationalCycle) {
+  EXPECT_THROW(parse(R"(
+INPUT(a)
+OUTPUT(y)
+y = AND(a, z)
+z = NOT(y)
+)"),
+               std::runtime_error);
+}
+
+TEST(BenchParse, ErrorMalformedDirective) {
+  EXPECT_THROW(parse("WIBBLE(a)\n"), std::runtime_error);
+  EXPECT_THROW(parse("INPUT a\n"), std::runtime_error);
+  EXPECT_THROW(parse("x = AND(a\n"), std::runtime_error);
+}
+
+TEST(BenchRoundTrip, C17PreservesStructureAndFunction) {
+  const Netlist original = gen::c17();
+  const Netlist reparsed = parse(write(original), "c17rt");
+  EXPECT_EQ(reparsed.primary_inputs().size(),
+            original.primary_inputs().size());
+  EXPECT_EQ(reparsed.outputs().size(), original.outputs().size());
+  EXPECT_EQ(reparsed.stats().gates, original.stats().gates);
+  const Simulator sim_a(original);
+  const Simulator sim_b(reparsed);
+  EXPECT_TRUE(Simulator::equivalent_exhaustive(sim_a, {}, sim_b, {}));
+}
+
+class BenchRoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BenchRoundTripSweep, RandomCircuitsSurviveRoundTrip) {
+  gen::RandomCircuitConfig config;
+  config.primary_inputs = 12;
+  config.outputs = 5;
+  config.gates = 60;
+  const Netlist original = gen::make_random(config, GetParam());
+  const Netlist reparsed = parse(write(original), "rt");
+  EXPECT_NO_THROW(reparsed.validate());
+  EXPECT_EQ(reparsed.outputs().size(), original.outputs().size());
+  const Simulator sim_a(original);
+  const Simulator sim_b(reparsed);
+  util::Rng rng(GetParam() * 3 + 1);
+  EXPECT_TRUE(Simulator::equivalent_on_random_vectors(sim_a, {}, sim_b, {},
+                                                      512, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BenchRoundTripSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(BenchFile, SaveAndLoad) {
+  const Netlist original = gen::c17();
+  const std::string path = ::testing::TempDir() + "/c17_test.bench";
+  save_file(original, path);
+  const Netlist loaded = load_file(path);
+  EXPECT_EQ(loaded.name(), "c17_test");
+  EXPECT_EQ(loaded.stats().gates, original.stats().gates);
+}
+
+TEST(BenchFile, LoadMissingFileThrows) {
+  EXPECT_THROW(load_file("/nonexistent/nope.bench"), std::runtime_error);
+}
+
+TEST(BenchWrite, AliasedOutputGetsBufLine) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto g = n.add_gate(GateType::kNot, {a}, "g");
+  n.mark_output(g, "different_name");
+  const std::string text = write(n);
+  EXPECT_NE(text.find("different_name = BUF(g)"), std::string::npos);
+  const Netlist reparsed = parse(text);
+  EXPECT_EQ(reparsed.outputs().size(), 1u);
+  EXPECT_EQ(reparsed.outputs()[0].name, "different_name");
+}
+
+}  // namespace
+}  // namespace autolock::netlist::bench

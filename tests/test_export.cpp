@@ -1,0 +1,122 @@
+#include "netlist/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "locking/mux_lock.hpp"
+#include "locking/rll.hpp"
+#include "netlist/generator.hpp"
+
+namespace autolock::netlist {
+namespace {
+
+TEST(Verilog, C17ModuleStructure) {
+  const Netlist c17 = gen::c17();
+  const std::string verilog = write_verilog(c17);
+  EXPECT_NE(verilog.find("module c17 ("), std::string::npos);
+  EXPECT_NE(verilog.find("endmodule"), std::string::npos);
+  // 5 inputs, 2 outputs.
+  EXPECT_EQ(std::count(verilog.begin(), verilog.end(), '\n') > 10, true);
+  std::size_t inputs = 0, outputs = 0, pos = 0;
+  while ((pos = verilog.find("  input ", pos)) != std::string::npos) {
+    ++inputs;
+    pos += 8;
+  }
+  pos = 0;
+  while ((pos = verilog.find("  output ", pos)) != std::string::npos) {
+    ++outputs;
+    pos += 9;
+  }
+  EXPECT_EQ(inputs, 5u);
+  EXPECT_EQ(outputs, 2u);
+  // All c17 gates are NANDs: every gate assign uses ~( & ).
+  EXPECT_NE(verilog.find("~("), std::string::npos);
+}
+
+TEST(Verilog, NumericNamesSanitized) {
+  // c17's signals are numeric ("10", "22") — identifiers must not start
+  // with a digit.
+  const Netlist c17 = gen::c17();
+  const std::string verilog = write_verilog(c17);
+  EXPECT_EQ(verilog.find("assign 1"), std::string::npos);
+  EXPECT_NE(verilog.find("n10"), std::string::npos);
+}
+
+TEST(Verilog, KeyGatesAnnotated) {
+  const Netlist original = gen::make_profile(gen::ProfileId::kC432, 3);
+  const auto design = lock::rll_lock(original, 4, 3);
+  const std::string verilog = write_verilog(design.netlist);
+  EXPECT_NE(verilog.find("// key input"), std::string::npos);
+  EXPECT_NE(verilog.find("// key gate"), std::string::npos);
+  VerilogOptions plain;
+  plain.annotate_key_gates = false;
+  const std::string unannotated = write_verilog(design.netlist, plain);
+  EXPECT_EQ(unannotated.find("// key gate"), std::string::npos);
+}
+
+TEST(Verilog, MuxUsesTernary) {
+  const Netlist original = gen::make_profile(gen::ProfileId::kC432, 5);
+  const auto design = lock::dmux_lock(original, 4, 5);
+  const std::string verilog = write_verilog(design.netlist);
+  EXPECT_NE(verilog.find(" ? "), std::string::npos);
+  EXPECT_NE(verilog.find(" : "), std::string::npos);
+}
+
+TEST(Verilog, CustomModuleName) {
+  VerilogOptions options;
+  options.module_name = "my_top";
+  const std::string verilog = write_verilog(gen::c17(), options);
+  EXPECT_NE(verilog.find("module my_top ("), std::string::npos);
+}
+
+TEST(Verilog, EveryGateHasAssign) {
+  const Netlist original = gen::make_profile(gen::ProfileId::kC432, 7);
+  const std::string verilog = write_verilog(original);
+  std::size_t assigns = 0, pos = 0;
+  while ((pos = verilog.find("  assign ", pos)) != std::string::npos) {
+    ++assigns;
+    pos += 9;
+  }
+  // One assign per gate + one per output port.
+  EXPECT_EQ(assigns, original.stats().gates + original.outputs().size());
+}
+
+TEST(Dot, BasicStructure) {
+  const Netlist c17 = gen::c17();
+  const std::string dot = write_dot(c17);
+  EXPECT_NE(dot.find("digraph \"c17\""), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("invtriangle"), std::string::npos);     // inputs
+  EXPECT_NE(dot.find("doubleoctagon"), std::string::npos);   // outputs
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Dot, EdgeCountMatchesWires) {
+  const Netlist original = gen::make_profile(gen::ProfileId::kC432, 9);
+  const std::string dot = write_dot(original);
+  std::size_t edges = 0, pos = 0;
+  while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  std::size_t wires = 0;
+  for (NodeId v = 0; v < original.size(); ++v) {
+    wires += original.node(v).fanins.size();
+  }
+  EXPECT_EQ(edges, wires);
+}
+
+TEST(Dot, KeyLogicHighlighted) {
+  const Netlist original = gen::make_profile(gen::ProfileId::kC432, 11);
+  const auto design = lock::dmux_lock(original, 4, 11);
+  const std::string dot = write_dot(design.netlist);
+  EXPECT_NE(dot.find("gold"), std::string::npos);        // key inputs
+  EXPECT_NE(dot.find("lightcoral"), std::string::npos);  // key MUXes
+  DotOptions options;
+  options.highlight_key_logic = false;
+  const std::string plain = write_dot(design.netlist, options);
+  EXPECT_EQ(plain.find("gold"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autolock::netlist

@@ -1,0 +1,168 @@
+#include "netlist/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/analysis.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace autolock::netlist::gen {
+namespace {
+
+TEST(Generator, C17IsTheRealCircuit) {
+  const Netlist c17_a = c17();
+  const Netlist c17_b = make_profile(ProfileId::kC17, 999);
+  EXPECT_EQ(bench::write(c17_a), bench::write(c17_b));  // seed ignored
+  EXPECT_EQ(c17_a.stats().gates, 6u);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const Netlist a = make_profile(ProfileId::kC432, 42);
+  const Netlist b = make_profile(ProfileId::kC432, 42);
+  const Netlist c = make_profile(ProfileId::kC432, 43);
+  EXPECT_EQ(bench::write(a), bench::write(b));
+  EXPECT_NE(bench::write(a), bench::write(c));
+}
+
+TEST(Generator, RejectsEmptyInterface) {
+  RandomCircuitConfig config;
+  config.primary_inputs = 0;
+  EXPECT_THROW(make_random(config, 1), std::invalid_argument);
+}
+
+TEST(Generator, GateCountExact) {
+  RandomCircuitConfig config;
+  config.primary_inputs = 10;
+  config.outputs = 4;
+  config.gates = 77;
+  const Netlist n = make_random(config, 5);
+  EXPECT_EQ(n.stats().gates, 77u);
+  EXPECT_EQ(n.primary_inputs().size(), 10u);
+}
+
+TEST(Generator, AllGatesLive) {
+  RandomCircuitConfig config;
+  config.primary_inputs = 8;
+  config.outputs = 4;
+  config.gates = 50;
+  const Netlist n = make_random(config, 9);
+  const auto live = n.live_mask();
+  for (NodeId v = 0; v < n.size(); ++v) {
+    if (n.node(v).type == GateType::kInput) continue;
+    EXPECT_TRUE(live[v]) << "dead gate " << n.node(v).name;
+  }
+}
+
+TEST(Generator, ProfileLookupByName) {
+  EXPECT_EQ(profile_by_name("c432"), ProfileId::kC432);
+  EXPECT_EQ(profile_by_name("c6288"), ProfileId::kC6288);
+  EXPECT_THROW(profile_by_name("c999"), std::invalid_argument);
+}
+
+TEST(Generator, AllProfilesListedAscending) {
+  const auto profiles = all_profiles();
+  EXPECT_EQ(profiles.size(), 10u);
+  std::size_t previous = 0;
+  for (const auto id : profiles) {
+    const auto& info = profile_info(id);
+    EXPECT_GE(info.gates, previous);
+    previous = info.gates;
+  }
+}
+
+class ProfileSweep : public ::testing::TestWithParam<ProfileId> {};
+
+TEST_P(ProfileSweep, MatchesPublishedInterface) {
+  const auto& info = profile_info(GetParam());
+  const Netlist n = make_profile(GetParam(), 7);
+  EXPECT_EQ(n.primary_inputs().size(), info.primary_inputs);
+  EXPECT_EQ(n.stats().gates, info.gates);
+  // Synthetic profiles may overshoot the output count slightly when the
+  // random DAG has surplus sinks; never undershoot.
+  EXPECT_GE(n.outputs().size(), info.outputs);
+  EXPECT_LE(n.outputs().size(), info.outputs + info.outputs / 4 + 2);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST_P(ProfileSweep, DepthInRealisticBallpark) {
+  const auto& info = profile_info(GetParam());
+  const Netlist n = make_profile(GetParam(), 7);
+  // Depth is a soft target for the synthetic generator; it should land
+  // within a factor ~4 of the namesake's depth.
+  EXPECT_GE(n.depth(), info.depth / 4);
+  EXPECT_LE(n.depth(), info.depth * 4 + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileSweep,
+                         ::testing::Values(ProfileId::kC17, ProfileId::kC432,
+                                           ProfileId::kC880, ProfileId::kC1355,
+                                           ProfileId::kC1908,
+                                           ProfileId::kC2670,
+                                           ProfileId::kC3540,
+                                           ProfileId::kC5315,
+                                           ProfileId::kC6288,
+                                           ProfileId::kC7552));
+
+TEST(Analysis, UndirectedAdjacencySymmetric) {
+  const Netlist n = make_profile(ProfileId::kC432, 3);
+  const auto adj = undirected_adjacency(n);
+  for (NodeId v = 0; v < n.size(); ++v) {
+    for (NodeId w : adj[v]) {
+      EXPECT_TRUE(std::binary_search(adj[w].begin(), adj[w].end(), v));
+    }
+  }
+}
+
+TEST(Analysis, NodeLevelsMonotone) {
+  const Netlist n = make_profile(ProfileId::kC880, 3);
+  const auto levels = node_levels(n);
+  for (NodeId v = 0; v < n.size(); ++v) {
+    for (NodeId fanin : n.node(v).fanins) {
+      EXPECT_LT(levels[fanin], levels[v]);
+    }
+  }
+}
+
+TEST(Analysis, TransitiveFanoutReachesOutputsOnly) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto g1 = n.add_gate(GateType::kNot, {a}, "g1");
+  const auto g2 = n.add_gate(GateType::kAnd, {g1, b}, "g2");
+  const auto g3 = n.add_gate(GateType::kNot, {b}, "g3");
+  n.mark_output(g2);
+  n.mark_output(g3);
+  const auto fanouts = n.fanouts();
+  const auto reach = transitive_fanout(n, a, fanouts);
+  EXPECT_TRUE(reach[g1]);
+  EXPECT_TRUE(reach[g2]);
+  EXPECT_FALSE(reach[g3]);
+  EXPECT_FALSE(reach[a]);  // excludes the source itself
+  EXPECT_FALSE(reach[b]);
+}
+
+TEST(Analysis, KHopNeighborhoodRespectsRadius) {
+  // Chain: a - g1 - g2 - g3 - g4.
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto g1 = n.add_gate(GateType::kNot, {a}, "g1");
+  const auto g2 = n.add_gate(GateType::kNot, {g1}, "g2");
+  const auto g3 = n.add_gate(GateType::kNot, {g2}, "g3");
+  const auto g4 = n.add_gate(GateType::kNot, {g3}, "g4");
+  n.mark_output(g4);
+  const auto adj = undirected_adjacency(n);
+  const auto hood = k_hop_neighborhood(adj, {a}, 2);
+  EXPECT_EQ(hood.members.size(), 3u);  // a, g1, g2
+  for (std::size_t i = 0; i < hood.members.size(); ++i) {
+    EXPECT_LE(hood.distance[i], 2u);
+  }
+}
+
+TEST(Analysis, KHopNeighborhoodMaxNodesCap) {
+  const Netlist n = make_profile(ProfileId::kC880, 3);
+  const auto adj = undirected_adjacency(n);
+  const auto hood = k_hop_neighborhood(adj, {0}, 10, 16);
+  EXPECT_LE(hood.members.size(), 16u);
+}
+
+}  // namespace
+}  // namespace autolock::netlist::gen

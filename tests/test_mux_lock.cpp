@@ -1,0 +1,195 @@
+#include "locking/mux_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "locking/verify.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/simulator.hpp"
+#include "sat/cnf.hpp"
+
+namespace autolock::lock {
+namespace {
+
+using netlist::GateType;
+using netlist::Key;
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::Simulator;
+
+TEST(MuxLock, DmuxProducesRequestedKeyLength) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 7);
+  const LockedDesign design = dmux_lock(original, 16, 99);
+  EXPECT_EQ(design.key.size(), 16u);
+  EXPECT_EQ(design.sites.size(), 16u);
+  EXPECT_EQ(design.mux_pairs.size(), 16u);
+  EXPECT_EQ(design.netlist.key_inputs().size(), 16u);
+  // 2 MUX gates per key bit were added.
+  EXPECT_EQ(design.netlist.stats().gates, original.stats().gates + 32u);
+  EXPECT_NO_THROW(design.netlist.validate());
+}
+
+TEST(MuxLock, InterfaceUnchangedForPrimaryIO) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC880, 7);
+  const LockedDesign design = dmux_lock(original, 24, 5);
+  EXPECT_EQ(design.netlist.primary_inputs().size(),
+            original.primary_inputs().size());
+  EXPECT_EQ(design.netlist.outputs().size(), original.outputs().size());
+}
+
+TEST(MuxLock, CorrectKeyRestoresFunction) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 11);
+  const LockedDesign design = dmux_lock(original, 20, 11);
+  EXPECT_TRUE(verify_unlocks(design, original, VerifyMode::kSimulation, 4096));
+}
+
+TEST(MuxLock, CorrectKeySatProvenOnSmallCircuit) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 13);
+  const LockedDesign design = dmux_lock(original, 8, 13);
+  EXPECT_TRUE(verify_unlocks(design, original, VerifyMode::kBoth));
+}
+
+TEST(MuxLock, DeterministicInSeed) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 17);
+  const LockedDesign a = dmux_lock(original, 12, 3);
+  const LockedDesign b = dmux_lock(original, 12, 3);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.sites.size(), b.sites.size());
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_EQ(a.sites[i], b.sites[i]);
+  }
+}
+
+TEST(MuxLock, MuxPairStructure) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 19);
+  const LockedDesign design = dmux_lock(original, 10, 19);
+  const auto key_nodes = design.netlist.key_inputs();
+  for (std::size_t t = 0; t < design.mux_pairs.size(); ++t) {
+    const auto [m1, m2] = design.mux_pairs[t];
+    const auto& node1 = design.netlist.node(m1);
+    const auto& node2 = design.netlist.node(m2);
+    EXPECT_EQ(node1.type, GateType::kMux);
+    EXPECT_EQ(node2.type, GateType::kMux);
+    // Both select the same key input (bit t).
+    EXPECT_EQ(node1.fanins[0], key_nodes[t]);
+    EXPECT_EQ(node2.fanins[0], key_nodes[t]);
+    // Data inputs are swapped between the pair.
+    EXPECT_EQ(node1.fanins[1], node2.fanins[2]);
+    EXPECT_EQ(node1.fanins[2], node2.fanins[1]);
+    // And they are the site's two drivers.
+    const LockSite& site = design.sites[t];
+    const bool wiring_a = node1.fanins[1] == site.f_i &&
+                          node1.fanins[2] == site.f_j;
+    const bool wiring_b = node1.fanins[1] == site.f_j &&
+                          node1.fanins[2] == site.f_i;
+    EXPECT_TRUE(wiring_a || wiring_b);
+    // Polarity convention: key bit value selects the original paths.
+    EXPECT_EQ(wiring_b, site.key_bit);
+  }
+}
+
+TEST(MuxLock, KeyBitPolarityActuallyMatters) {
+  // Flipping one key bit must change behaviour on some input (with very
+  // high probability) unless the swapped paths are equivalent.
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 23);
+  const LockedDesign design = dmux_lock(original, 8, 23);
+  const Simulator locked_sim(design.netlist);
+  const Simulator original_sim(original);
+  util::Rng rng(23);
+  std::size_t corrupting_bits = 0;
+  for (std::size_t b = 0; b < design.key.size(); ++b) {
+    Key flipped = design.key;
+    flipped[b] = !flipped[b];
+    const double err = Simulator::output_error_rate(
+        locked_sim, flipped, original_sim, Key{}, 2048, rng);
+    if (err > 0.0) ++corrupting_bits;
+  }
+  // Not every site must corrupt (swapped paths can coincide functionally),
+  // but most should.
+  EXPECT_GE(corrupting_bits, design.key.size() / 2);
+}
+
+TEST(MuxLock, ApplyGenotypeRepairsStaleGenes) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 29);
+  const SiteContext context(original);
+  util::Rng rng(29);
+  auto sites = random_genotype(context, 6, rng);
+  // Corrupt one gene so it is structurally invalid.
+  sites[3].f_i = sites[3].f_j;
+  LockedDesign design = apply_genotype(original, context, sites, rng);
+  EXPECT_EQ(design.key.size(), 6u);
+  EXPECT_TRUE(context.structurally_valid(design.sites[3]));
+  EXPECT_TRUE(verify_unlocks(design, original));
+}
+
+TEST(MuxLock, ApplyGenotypeWithoutRepairThrows) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 31);
+  const SiteContext context(original);
+  util::Rng rng(31);
+  auto sites = random_genotype(context, 4, rng);
+  sites[0].f_i = sites[0].f_j;  // invalid
+  MuxLockOptions options;
+  options.repair_invalid = false;
+  EXPECT_THROW(apply_genotype(original, context, sites, rng, options),
+               std::runtime_error);
+}
+
+TEST(MuxLock, DuplicateSitesGetRepaired) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 37);
+  const SiteContext context(original);
+  util::Rng rng(37);
+  auto sites = random_genotype(context, 4, rng);
+  sites[2] = sites[0];  // crossover can duplicate genes
+  const LockedDesign design = apply_genotype(original, context, sites, rng);
+  EXPECT_EQ(design.key.size(), 4u);
+  // Repaired: no two applied sites lock the same edge.
+  for (std::size_t i = 0; i < design.sites.size(); ++i) {
+    std::vector<LockSite> others;
+    for (std::size_t j = 0; j < i; ++j) others.push_back(design.sites[j]);
+    EXPECT_TRUE(SiteContext::edges_available(design.sites[i], others));
+  }
+  EXPECT_TRUE(verify_unlocks(design, original));
+}
+
+TEST(MuxLock, ThrowsWhenCircuitTooSmall) {
+  // c17 has ~11 usable edges; requesting a huge key must fail cleanly.
+  const Netlist c17 = netlist::gen::c17();
+  EXPECT_THROW(dmux_lock(c17, 64, 1), std::runtime_error);
+}
+
+TEST(MuxLock, C17SmallKeyWorks) {
+  const Netlist c17 = netlist::gen::c17();
+  const LockedDesign design = dmux_lock(c17, 2, 5);
+  EXPECT_TRUE(verify_unlocks(design, c17, VerifyMode::kBoth));
+}
+
+class MuxLockSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(MuxLockSweep, LockVerifyProperty) {
+  const auto [seed, key_bits] = GetParam();
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC880, seed);
+  const LockedDesign design = dmux_lock(original, key_bits, seed * 31 + 7);
+  EXPECT_EQ(design.key.size(), key_bits);
+  EXPECT_TRUE(verify_unlocks(design, original, VerifyMode::kSimulation, 2048));
+  EXPECT_NO_THROW(design.netlist.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndKeys, MuxLockSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(8, 32, 64)));
+
+}  // namespace
+}  // namespace autolock::lock

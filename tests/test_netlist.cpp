@@ -1,0 +1,244 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace autolock::netlist {
+namespace {
+
+Netlist small_example() {
+  // a, b, c inputs; g1 = AND(a,b); g2 = NOT(c); g3 = OR(g1,g2); out g3.
+  Netlist n("small");
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto c = n.add_input("c");
+  const auto g1 = n.add_gate(GateType::kAnd, {a, b}, "g1");
+  const auto g2 = n.add_gate(GateType::kNot, {c}, "g2");
+  const auto g3 = n.add_gate(GateType::kOr, {g1, g2}, "g3");
+  n.mark_output(g3, "y");
+  return n;
+}
+
+TEST(Netlist, BasicConstruction) {
+  const Netlist n = small_example();
+  EXPECT_EQ(n.size(), 6u);
+  EXPECT_EQ(n.inputs().size(), 3u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+  EXPECT_EQ(n.outputs()[0].name, "y");
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(Netlist, DuplicateNameRejected) {
+  Netlist n;
+  n.add_input("a");
+  EXPECT_THROW(n.add_input("a"), std::invalid_argument);
+  const auto a = n.find("a");
+  EXPECT_THROW(n.add_gate(GateType::kNot, {a}, "a"), std::invalid_argument);
+}
+
+TEST(Netlist, EmptyInputNameRejected) {
+  Netlist n;
+  EXPECT_THROW(n.add_input(""), std::invalid_argument);
+}
+
+TEST(Netlist, GateArityEnforced) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  EXPECT_THROW(n.add_gate(GateType::kNot, {a, a}, "x"), std::invalid_argument);
+  EXPECT_THROW(n.add_gate(GateType::kAnd, {a}, "x"), std::invalid_argument);
+  EXPECT_THROW(n.add_gate(GateType::kMux, {a, a}, "x"), std::invalid_argument);
+}
+
+TEST(Netlist, FaninMustExist) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  EXPECT_THROW(n.add_gate(GateType::kNot, {static_cast<NodeId>(99)}, "x"),
+               std::invalid_argument);
+  EXPECT_NO_THROW(n.add_gate(GateType::kNot, {a}, "x"));
+}
+
+TEST(Netlist, AddGateRejectsSourceTypes) {
+  Netlist n;
+  EXPECT_THROW(n.add_gate(GateType::kInput, {}, "x"), std::invalid_argument);
+  EXPECT_THROW(n.add_gate(GateType::kConst0, {}, "x"), std::invalid_argument);
+}
+
+TEST(Netlist, AutoNamesAreUnique) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto g1 = n.add_gate(GateType::kNot, {a});
+  const auto g2 = n.add_gate(GateType::kNot, {a});
+  EXPECT_NE(n.node(g1).name, n.node(g2).name);
+}
+
+TEST(Netlist, KeyInputsSeparatedFromPrimary) {
+  Netlist n;
+  n.add_input("x");
+  n.add_input("keyinput0", true);
+  n.add_input("y");
+  n.add_input("keyinput1", true);
+  EXPECT_EQ(n.primary_inputs().size(), 2u);
+  EXPECT_EQ(n.key_inputs().size(), 2u);
+  EXPECT_EQ(n.inputs().size(), 4u);
+  EXPECT_TRUE(n.node(n.key_inputs()[0]).is_key_input);
+}
+
+TEST(Netlist, FindByName) {
+  const Netlist n = small_example();
+  EXPECT_NE(n.find("g2"), kNoNode);
+  EXPECT_EQ(n.find("missing"), kNoNode);
+  EXPECT_EQ(n.node(n.find("g2")).type, GateType::kNot);
+}
+
+TEST(Netlist, TopologicalOrderRespectsDependencies) {
+  const Netlist n = small_example();
+  const auto order = n.topological_order();
+  EXPECT_EQ(order.size(), n.size());
+  std::vector<std::size_t> position(n.size());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (NodeId v = 0; v < n.size(); ++v) {
+    for (NodeId fanin : n.node(v).fanins) {
+      EXPECT_LT(position[fanin], position[v]);
+    }
+  }
+}
+
+TEST(Netlist, CycleDetection) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto g1 = n.add_gate(GateType::kNot, {a}, "g1");
+  const auto g2 = n.add_gate(GateType::kNot, {g1}, "g2");
+  EXPECT_TRUE(n.is_acyclic());
+  // Manufacture a cycle through replace_fanin.
+  n.replace_fanin(g1, a, g2);
+  EXPECT_FALSE(n.is_acyclic());
+  EXPECT_THROW(n.topological_order(), std::runtime_error);
+  EXPECT_THROW(n.validate(), std::runtime_error);
+}
+
+TEST(Netlist, FanoutsComputed) {
+  const Netlist n = small_example();
+  const auto fanouts = n.fanouts();
+  const auto a = n.find("a");
+  const auto g1 = n.find("g1");
+  const auto g3 = n.find("g3");
+  ASSERT_EQ(fanouts[a].size(), 1u);
+  EXPECT_EQ(fanouts[a][0], g1);
+  ASSERT_EQ(fanouts[g1].size(), 1u);
+  EXPECT_EQ(fanouts[g1][0], g3);
+  EXPECT_TRUE(fanouts[g3].empty());
+}
+
+TEST(Netlist, FanoutsDeduplicated) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  n.add_gate(GateType::kAnd, {a, a}, "g");
+  const auto fanouts = n.fanouts();
+  EXPECT_EQ(fanouts[a].size(), 1u);
+}
+
+TEST(Netlist, ReplaceFanin) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto g = n.add_gate(GateType::kAnd, {a, a}, "g");
+  EXPECT_EQ(n.replace_fanin(g, a, b), 2u);
+  EXPECT_EQ(n.node(g).fanins[0], b);
+  EXPECT_EQ(n.node(g).fanins[1], b);
+  EXPECT_EQ(n.replace_fanin(g, a, b), 0u);
+}
+
+TEST(Netlist, AppendFaninOnlyForNaryGates) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto g = n.add_gate(GateType::kAnd, {a, b}, "g");
+  const auto inv = n.add_gate(GateType::kNot, {a}, "inv");
+  n.append_fanin(g, inv);
+  EXPECT_EQ(n.node(g).fanins.size(), 3u);
+  EXPECT_THROW(n.append_fanin(inv, b), std::invalid_argument);
+}
+
+TEST(Netlist, DepthAndStats) {
+  const Netlist n = small_example();
+  EXPECT_EQ(n.depth(), 2u);
+  const auto stats = n.stats();
+  EXPECT_EQ(stats.primary_inputs, 3u);
+  EXPECT_EQ(stats.key_inputs, 0u);
+  EXPECT_EQ(stats.outputs, 1u);
+  EXPECT_EQ(stats.gates, 3u);
+  EXPECT_EQ(stats.depth, 2u);
+}
+
+TEST(Netlist, OutputPortDuplicateNameRejected) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto g = n.add_gate(GateType::kNot, {a}, "g");
+  n.mark_output(g, "y");
+  EXPECT_THROW(n.mark_output(a, "y"), std::invalid_argument);
+}
+
+TEST(Netlist, NodeCanDriveMultipleOutputs) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto g = n.add_gate(GateType::kNot, {a}, "g");
+  n.mark_output(g, "y1");
+  n.mark_output(g, "y2");
+  EXPECT_EQ(n.outputs().size(), 2u);
+}
+
+TEST(Netlist, SetOutputDriver) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto g1 = n.add_gate(GateType::kNot, {a}, "g1");
+  const auto g2 = n.add_gate(GateType::kBuf, {a}, "g2");
+  n.mark_output(g1, "y");
+  n.set_output_driver(0, g2);
+  EXPECT_EQ(n.outputs()[0].driver, g2);
+  EXPECT_THROW(n.set_output_driver(5, g2), std::invalid_argument);
+}
+
+TEST(Netlist, LiveMaskMarksConeOnly) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto used = n.add_gate(GateType::kNot, {a}, "used");
+  const auto dead = n.add_gate(GateType::kNot, {b}, "dead");
+  n.mark_output(used, "y");
+  const auto live = n.live_mask();
+  EXPECT_TRUE(live[a]);
+  EXPECT_TRUE(live[used]);
+  EXPECT_FALSE(live[dead]);
+  EXPECT_FALSE(live[b]);
+}
+
+TEST(Netlist, CompactedDropsDeadGatesKeepsInputs) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto used = n.add_gate(GateType::kNot, {a}, "used");
+  n.add_gate(GateType::kNot, {b}, "dead");
+  n.mark_output(used, "y");
+  const Netlist compact = n.compacted();
+  EXPECT_EQ(compact.inputs().size(), 2u);   // inputs always kept
+  EXPECT_EQ(compact.size(), 3u);            // a, b, used
+  EXPECT_NE(compact.find("used"), kNoNode);
+  EXPECT_EQ(compact.find("dead"), kNoNode);
+  EXPECT_NO_THROW(compact.validate());
+  EXPECT_EQ(compact.outputs()[0].name, "y");
+}
+
+TEST(Netlist, ConstNodes) {
+  Netlist n;
+  const auto zero = n.add_const(false, "zero");
+  const auto one = n.add_const(true, "one");
+  EXPECT_EQ(n.node(zero).type, GateType::kConst0);
+  EXPECT_EQ(n.node(one).type, GateType::kConst1);
+  const auto g = n.add_gate(GateType::kOr, {zero, one}, "g");
+  n.mark_output(g);
+  EXPECT_NO_THROW(n.validate());
+}
+
+}  // namespace
+}  // namespace autolock::netlist

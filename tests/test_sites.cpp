@@ -1,0 +1,171 @@
+#include "locking/sites.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+
+namespace autolock::lock {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+/// Diamond: a -> g1, g2 -> g3.
+Netlist diamond() {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto g1 = n.add_gate(GateType::kNot, {a}, "g1");
+  const auto g2 = n.add_gate(GateType::kNot, {b}, "g2");
+  const auto g3 = n.add_gate(GateType::kAnd, {g1, g2}, "g3");
+  n.mark_output(g3);
+  return n;
+}
+
+TEST(SiteContext, CandidateDriversHaveFanout) {
+  const Netlist n = diamond();
+  const SiteContext context(n);
+  // a, b, g1, g2 have fanout; g3 does not.
+  EXPECT_EQ(context.candidate_drivers().size(), 4u);
+}
+
+TEST(SiteContext, ValidSiteAccepted) {
+  const Netlist n = diamond();
+  const SiteContext context(n);
+  LockSite site;
+  site.f_i = n.find("g1");
+  site.g_i = n.find("g3");
+  site.f_j = n.find("g2");
+  site.g_j = n.find("g3");
+  EXPECT_TRUE(context.structurally_valid(site));
+}
+
+TEST(SiteContext, RejectsSameDriver) {
+  const Netlist n = diamond();
+  const SiteContext context(n);
+  LockSite site;
+  site.f_i = site.f_j = n.find("g1");
+  site.g_i = site.g_j = n.find("g3");
+  EXPECT_FALSE(context.structurally_valid(site));
+}
+
+TEST(SiteContext, RejectsNonexistentEdge) {
+  const Netlist n = diamond();
+  const SiteContext context(n);
+  LockSite site;
+  site.f_i = n.find("a");
+  site.g_i = n.find("g3");  // a does not drive g3
+  site.f_j = n.find("g2");
+  site.g_j = n.find("g3");
+  EXPECT_FALSE(context.structurally_valid(site));
+}
+
+TEST(SiteContext, RejectsOutOfRangeIds) {
+  const Netlist n = diamond();
+  const SiteContext context(n);
+  LockSite site;
+  site.f_i = 99;
+  site.f_j = 1;
+  site.g_i = 2;
+  site.g_j = 3;
+  EXPECT_FALSE(context.structurally_valid(site));
+}
+
+TEST(SiteContext, RejectsCycleFormingSite) {
+  // Chain a -> g1 -> g2 -> g3; also a -> g3.
+  // Site swapping (a->g1 slot of g1... ) f_i=a,g_i=g1 with f_j=g2,g_j=g3:
+  // cross edge g2 -> g1 would close a cycle (g1 reaches g2).
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto g1 = n.add_gate(GateType::kNot, {a}, "g1");
+  const auto g2 = n.add_gate(GateType::kNot, {g1}, "g2");
+  const auto g3 = n.add_gate(GateType::kAnd, {g2, a}, "g3");
+  n.mark_output(g3);
+  const SiteContext context(n);
+  LockSite site;
+  site.f_i = a;
+  site.g_i = g1;
+  site.f_j = g2;
+  site.g_j = g3;
+  EXPECT_FALSE(context.structurally_valid(site));
+  // The reverse orientation is fine: f_i=g2->g3, f_j=a->... check a->g3
+  LockSite ok;
+  ok.f_i = g2;
+  ok.g_i = g3;
+  ok.f_j = a;
+  ok.g_j = g3;
+  EXPECT_TRUE(context.structurally_valid(ok));
+}
+
+TEST(SiteContext, EdgesAvailableDetectsCollisions) {
+  LockSite taken;
+  taken.f_i = 1;
+  taken.g_i = 2;
+  taken.f_j = 3;
+  taken.g_j = 4;
+  std::vector<LockSite> used{taken};
+
+  LockSite same_first_edge;
+  same_first_edge.f_i = 1;
+  same_first_edge.g_i = 2;
+  same_first_edge.f_j = 5;
+  same_first_edge.g_j = 6;
+  EXPECT_FALSE(SiteContext::edges_available(same_first_edge, used));
+
+  LockSite swapped_roles;
+  swapped_roles.f_i = 3;
+  swapped_roles.g_i = 4;  // collides with taken's (f_j, g_j)
+  swapped_roles.f_j = 7;
+  swapped_roles.g_j = 8;
+  EXPECT_FALSE(SiteContext::edges_available(swapped_roles, used));
+
+  LockSite disjoint;
+  disjoint.f_i = 5;
+  disjoint.g_i = 6;
+  disjoint.f_j = 7;
+  disjoint.g_j = 8;
+  EXPECT_TRUE(SiteContext::edges_available(disjoint, used));
+}
+
+TEST(SiteContext, SampleSiteProducesValidSites) {
+  const netlist::Netlist circuit =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 5);
+  const SiteContext context(circuit);
+  util::Rng rng(5);
+  std::vector<LockSite> taken;
+  for (int i = 0; i < 32; ++i) {
+    LockSite site;
+    ASSERT_TRUE(context.sample_site(rng, taken, site));
+    EXPECT_TRUE(context.structurally_valid(site));
+    EXPECT_TRUE(SiteContext::edges_available(site, taken));
+    taken.push_back(site);
+  }
+}
+
+TEST(SiteContext, SampleSiteFailsOnTinyCircuit) {
+  // Single wire: no two distinct drivers exist.
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto g = n.add_gate(GateType::kNot, {a}, "g");
+  n.mark_output(g);
+  const SiteContext context(n);
+  util::Rng rng(1);
+  LockSite site;
+  EXPECT_FALSE(context.sample_site(rng, {}, site));
+}
+
+TEST(SiteContext, ConstantsNeverCandidates) {
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto one = n.add_const(true, "one");
+  const auto g = n.add_gate(GateType::kAnd, {a, one}, "g");
+  n.mark_output(g);
+  const SiteContext context(n);
+  for (const NodeId v : context.candidate_drivers()) {
+    EXPECT_NE(v, one);
+  }
+}
+
+}  // namespace
+}  // namespace autolock::lock

@@ -1,0 +1,83 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace autolock::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+  EXPECT_EQ(stats.ci95_half_width(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats stats;
+  stats.add(3.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+  OnlineStats stats;
+  for (double x : xs) stats.add(x);
+
+  double m = 0.0;
+  for (double x : xs) m += x;
+  m /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - m) * (x - m);
+  var /= static_cast<double>(xs.size() - 1);
+
+  EXPECT_NEAR(stats.mean(), m, 1e-12);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), -3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.25);
+}
+
+TEST(OnlineStats, Ci95ShrinksWithSamples) {
+  OnlineStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 ? 1.0 : -1.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 ? 1.0 : -1.0);
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+  EXPECT_EQ(median({}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 4.0, -1.5, 9.2};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.5);
+  EXPECT_DOUBLE_EQ(max_of(xs), 9.2);
+  EXPECT_EQ(min_of({}), 0.0);
+  EXPECT_EQ(max_of({}), 0.0);
+}
+
+}  // namespace
+}  // namespace autolock::util

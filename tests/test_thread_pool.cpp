@@ -1,0 +1,94 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace autolock::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleItem) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, AggregatesCorrectSum) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<long> results(kN, 0);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    results[i] = static_cast<long>(i) * 2;
+  });
+  const long sum = std::accumulate(results.begin(), results.end(), 0L);
+  EXPECT_EQ(sum, static_cast<long>(kN * (kN - 1)));
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [](std::size_t i) {
+                          if (i == 5) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionStillCompletesOtherWork) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  try {
+    pool.parallel_for(20, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("boom");
+      ++done;
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(done.load(), 19);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(10, [&](std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, MoreItemsThanThreads) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace autolock::util

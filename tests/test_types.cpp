@@ -1,0 +1,133 @@
+#include "netlist/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace autolock::netlist {
+namespace {
+
+TEST(GateTypeNames, RoundTrip) {
+  for (std::size_t i = 0; i < kGateTypeCount; ++i) {
+    const auto type = static_cast<GateType>(i);
+    const auto name = gate_type_name(type);
+    const auto parsed = parse_gate_type(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, type);
+  }
+}
+
+TEST(GateTypeNames, CaseInsensitiveAndAliases) {
+  EXPECT_EQ(parse_gate_type("nand"), GateType::kNand);
+  EXPECT_EQ(parse_gate_type("Nand"), GateType::kNand);
+  EXPECT_EQ(parse_gate_type("BUFF"), GateType::kBuf);
+  EXPECT_EQ(parse_gate_type("INV"), GateType::kNot);
+  EXPECT_FALSE(parse_gate_type("FROB").has_value());
+  EXPECT_FALSE(parse_gate_type("").has_value());
+}
+
+TEST(Arity, SourcesAndFixedGates) {
+  EXPECT_TRUE(is_source(GateType::kInput));
+  EXPECT_TRUE(is_source(GateType::kConst0));
+  EXPECT_TRUE(is_source(GateType::kConst1));
+  EXPECT_FALSE(is_source(GateType::kNand));
+  EXPECT_EQ(gate_arity(GateType::kNot).min, 1u);
+  EXPECT_EQ(gate_arity(GateType::kNot).max, 1u);
+  EXPECT_EQ(gate_arity(GateType::kMux).min, 3u);
+  EXPECT_EQ(gate_arity(GateType::kMux).max, 3u);
+  EXPECT_EQ(gate_arity(GateType::kAnd).min, 2u);
+  EXPECT_EQ(gate_arity(GateType::kAnd).max, 0u);  // unbounded
+}
+
+struct BinaryTruthCase {
+  GateType type;
+  // Expected outputs for inputs (0,0), (0,1), (1,0), (1,1).
+  std::array<bool, 4> expected;
+};
+
+class BinaryGateTruth : public ::testing::TestWithParam<BinaryTruthCase> {};
+
+TEST_P(BinaryGateTruth, MatchesTruthTable) {
+  const auto& param = GetParam();
+  int idx = 0;
+  for (bool a : {false, true}) {
+    for (bool b : {false, true}) {
+      const bool bits[2] = {a, b};
+      EXPECT_EQ(eval_gate_bits(param.type, bits, 2), param.expected[idx])
+          << gate_type_name(param.type) << "(" << a << "," << b << ")";
+      // Word-parallel agreement.
+      const std::uint64_t words[2] = {a ? ~0ULL : 0ULL, b ? ~0ULL : 0ULL};
+      const std::uint64_t out = eval_gate_words(param.type, words, 2);
+      EXPECT_EQ(out, param.expected[idx] ? ~0ULL : 0ULL);
+      ++idx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBinaryGates, BinaryGateTruth,
+    ::testing::Values(
+        BinaryTruthCase{GateType::kAnd, {false, false, false, true}},
+        BinaryTruthCase{GateType::kNand, {true, true, true, false}},
+        BinaryTruthCase{GateType::kOr, {false, true, true, true}},
+        BinaryTruthCase{GateType::kNor, {true, false, false, false}},
+        BinaryTruthCase{GateType::kXor, {false, true, true, false}},
+        BinaryTruthCase{GateType::kXnor, {true, false, false, true}}));
+
+TEST(GateEval, UnaryGates) {
+  const bool f = false, t = true;
+  EXPECT_EQ(eval_gate_bits(GateType::kNot, &f, 1), true);
+  EXPECT_EQ(eval_gate_bits(GateType::kNot, &t, 1), false);
+  EXPECT_EQ(eval_gate_bits(GateType::kBuf, &f, 1), false);
+  EXPECT_EQ(eval_gate_bits(GateType::kBuf, &t, 1), true);
+}
+
+TEST(GateEval, Constants) {
+  EXPECT_EQ(eval_gate_words(GateType::kConst0, nullptr, 0), 0ULL);
+  EXPECT_EQ(eval_gate_words(GateType::kConst1, nullptr, 0), ~0ULL);
+}
+
+TEST(GateEval, MuxSelectsCorrectInput) {
+  // fanins = {select, in0, in1}
+  for (bool sel : {false, true}) {
+    for (bool in0 : {false, true}) {
+      for (bool in1 : {false, true}) {
+        const bool bits[3] = {sel, in0, in1};
+        EXPECT_EQ(eval_gate_bits(GateType::kMux, bits, 3), sel ? in1 : in0);
+      }
+    }
+  }
+}
+
+TEST(GateEval, TernaryAndOr) {
+  const bool tft[3] = {true, false, true};
+  const bool ttt[3] = {true, true, true};
+  const bool fff[3] = {false, false, false};
+  EXPECT_FALSE(eval_gate_bits(GateType::kAnd, tft, 3));
+  EXPECT_TRUE(eval_gate_bits(GateType::kAnd, ttt, 3));
+  EXPECT_TRUE(eval_gate_bits(GateType::kOr, tft, 3));
+  EXPECT_FALSE(eval_gate_bits(GateType::kOr, fff, 3));
+  EXPECT_TRUE(eval_gate_bits(GateType::kNand, tft, 3));
+  EXPECT_FALSE(eval_gate_bits(GateType::kNor, tft, 3));
+}
+
+TEST(GateEval, TernaryXorIsParity) {
+  for (int mask = 0; mask < 8; ++mask) {
+    const bool bits[3] = {(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0};
+    const bool parity = ((mask & 1) + ((mask >> 1) & 1) + ((mask >> 2) & 1)) % 2;
+    EXPECT_EQ(eval_gate_bits(GateType::kXor, bits, 3), parity);
+    EXPECT_EQ(eval_gate_bits(GateType::kXnor, bits, 3), !parity);
+  }
+}
+
+TEST(GateEval, WordParallelismMixesVectors) {
+  // bit 0 and bit 1 carry different vectors.
+  const std::uint64_t words[2] = {0b01ULL, 0b11ULL};
+  const std::uint64_t out = eval_gate_words(GateType::kAnd, words, 2);
+  EXPECT_EQ(out & 1ULL, 1ULL);        // (1,1) -> 1
+  EXPECT_EQ((out >> 1) & 1ULL, 0ULL); // (0,1) -> 0
+}
+
+}  // namespace
+}  // namespace autolock::netlist
