@@ -23,12 +23,18 @@ int main(int argc, char** argv) {
       args.quick ? std::vector<std::uint64_t>{1}
                  : std::vector<std::uint64_t>{1, 2, 3};
 
-  const attack::StructuralLinkPredictor structural;
-  const ga::FitnessFn fitness = [&](const lock::LockedDesign& design) {
-    ga::Evaluation eval;
-    eval.attack_accuracy = structural.run(design).accuracy;
-    eval.fitness = 1.0 - eval.attack_accuracy;
-    return eval;
+  // Every heuristic evaluates through the same pipeline configuration: the
+  // structural attack, constructed by registry name. Single-trajectory
+  // searches disable the cache (they budget proposals, not unique
+  // genotypes); the GA keeps it.
+  const auto make_pipeline_config = [&](std::uint64_t seed, bool cache,
+                                        std::uint64_t repair_salt) {
+    eval::EvalPipelineConfig config;
+    config.attacks = {"structural"};
+    config.seed = seed;
+    config.cache = cache;
+    config.repair_salt = repair_salt;
+    return config;
   };
 
   util::Table table({"heuristic", "final fitness (mean)",
@@ -44,7 +50,9 @@ int main(int argc, char** argv) {
       config.generations = budget / 12 - 1;
       config.seed = seed;
       ga::GeneticAlgorithm engine(original, config);
-      const auto result = engine.run(key_bits, fitness);
+      eval::EvalPipeline pipeline(
+          original, make_pipeline_config(seed, true, 0xDEC0DEULL));
+      const auto result = engine.run(key_bits, pipeline);
       final_fit.add(result.best.eval.fitness);
       final_acc.add(result.best.eval.attack_accuracy);
       half_fit.add(result.history[result.history.size() / 2].best_fitness);
@@ -75,19 +83,25 @@ int main(int argc, char** argv) {
     ga::AnnealingConfig config;
     config.evaluations = budget;
     config.seed = seed;
-    return ga::simulated_annealing(original, key_bits, fitness, config);
+    eval::EvalPipeline pipeline(original,
+                                make_pipeline_config(seed, false, 0xE7A1ULL));
+    return ga::simulated_annealing(pipeline, key_bits, config);
   });
   add_heuristic("hill climbing", [&](std::uint64_t seed) {
     ga::HillClimbConfig config;
     config.evaluations = budget;
     config.seed = seed;
-    return ga::hill_climb(original, key_bits, fitness, config);
+    eval::EvalPipeline pipeline(original,
+                                make_pipeline_config(seed, false, 0xE7A1ULL));
+    return ga::hill_climb(pipeline, key_bits, config);
   });
   add_heuristic("random search", [&](std::uint64_t seed) {
     ga::RandomSearchConfig config;
     config.evaluations = budget;
     config.seed = seed;
-    return ga::random_search(original, key_bits, fitness, config);
+    eval::EvalPipeline pipeline(original,
+                                make_pipeline_config(seed, false, 0xE7A1ULL));
+    return ga::random_search(pipeline, key_bits, config);
   });
 
   benchx::emit(table, args,

@@ -10,7 +10,6 @@
 #include "bench/common.hpp"
 
 #include "core/nsga2.hpp"
-#include "netlist/simulator.hpp"
 
 int main(int argc, char** argv) {
   using namespace autolock;
@@ -26,31 +25,29 @@ int main(int argc, char** argv) {
   config.seed = 99;
   ga::Nsga2 engine(original, config);
 
-  const netlist::Simulator original_sim(original);
-  const attack::StructuralLinkPredictor structural;
-  const ga::MultiFitnessFn fitness =
-      [&](const lock::LockedDesign& design) -> std::vector<double> {
-    const double accuracy = structural.run(design).accuracy;
-    // Corruption: mean output error under the all-flipped wrong key.
-    util::Rng rng(1234);
-    netlist::Key wrong = design.key;
-    for (std::size_t b = 0; b < wrong.size(); ++b) wrong[b] = !wrong[b];
-    const netlist::Simulator locked_sim(design.netlist);
-    const double corruption = netlist::Simulator::output_error_rate(
-        locked_sim, wrong, original_sim, netlist::Key{}, 256, rng);
-    return {accuracy, 1.0 - std::min(corruption, 0.5) / 0.5};
-  };
+  // Objectives through the shared pipeline: one per attack (structural
+  // accuracy) plus the corruption objective. The pipeline owns decode,
+  // caching, and the shared oracle simulator.
+  eval::EvalPipelineConfig pipeline_config;
+  pipeline_config.attacks = {"structural"};
+  pipeline_config.corruption_objective = true;
+  pipeline_config.corruption_vectors = 256;
+  pipeline_config.seed = config.seed;
+  pipeline_config.repair_salt = 0x2D5642ULL;  // NSGA-II's decode salt
+  eval::EvalPipeline pipeline(original, std::move(pipeline_config));
 
   util::Timer timer;
-  const ga::Nsga2Result result = engine.run(key_bits, 2, fitness);
+  const ga::Nsga2Result result = engine.run(key_bits, pipeline);
 
   util::Table front({"front member", "structural acc (min)",
                      "1 - corruption (min)", "GNN MuxLink acc (post-hoc)"});
+  eval::AttackOptions gnn_options;
+  gnn_options.muxlink = benchx::muxlink_fast();
+  const auto gnn = eval::make_attack("muxlink", gnn_options);
   int member = 0;
   for (const auto& individual : result.front) {
     const auto design = engine.decode(individual.genes);
-    attack::MuxLinkConfig gnn_config = benchx::muxlink_fast();
-    const double gnn_acc = attack::MuxLinkAttack(gnn_config).run(design).accuracy;
+    const double gnn_acc = gnn->evaluate(design).accuracy;
     front.add_row({std::to_string(member++),
                    util::fmt_pct(individual.objectives[0]),
                    util::fmt(individual.objectives[1]),

@@ -4,16 +4,24 @@
 // its rows as an aligned ASCII table (plus CSV when --csv is passed).
 // Binaries honour a --quick flag that shrinks parameters for smoke runs;
 // defaults are sized for a single-core machine.
+//
+// With --json (or BENCH_JSON=1 in the environment), every emitted table is
+// also collected into a machine-readable BENCH_<binary>.json file — the
+// benchmark name, total wall time, and all metric rows — so the perf
+// trajectory can be tracked across PRs without scraping ASCII tables.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "attacks/muxlink.hpp"
-#include "attacks/structural.hpp"
 #include "core/autolock.hpp"
+#include "eval/pipeline.hpp"
+#include "eval/registry.hpp"
 #include "netlist/generator.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -23,14 +31,111 @@ namespace autolock::benchx {
 struct BenchArgs {
   bool quick = false;
   bool csv = false;
+  bool json = false;
+  std::string bench_name = "bench";  // basename of argv[0]
 };
+
+namespace detail {
+
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Collects every emitted table and writes BENCH_<name>.json at exit.
+struct JsonSink {
+  bool enabled = false;
+  std::string bench_name;
+  util::Timer timer;  // wall time since the sink (process) started
+  struct Section {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+  std::vector<Section> sections;
+
+  void record(const util::Table& table, const std::string& title) {
+    Section section;
+    section.title = title;
+    section.columns = table.headers();
+    for (std::size_t r = 0; r < table.row_count(); ++r) {
+      section.rows.push_back(table.row(r));
+    }
+    sections.push_back(std::move(section));
+  }
+
+  void write() const {
+    const std::string path = "BENCH_" + bench_name + ".json";
+    std::ofstream out(path);
+    if (!out) return;
+    out << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n"
+        << "  \"seconds\": " << timer.elapsed_seconds() << ",\n"
+        << "  \"sections\": [\n";
+    for (std::size_t s = 0; s < sections.size(); ++s) {
+      const Section& section = sections[s];
+      out << "    {\n      \"title\": \"" << json_escape(section.title)
+          << "\",\n      \"columns\": [";
+      for (std::size_t c = 0; c < section.columns.size(); ++c) {
+        out << (c ? ", " : "") << '"' << json_escape(section.columns[c])
+            << '"';
+      }
+      out << "],\n      \"rows\": [\n";
+      for (std::size_t r = 0; r < section.rows.size(); ++r) {
+        out << "        [";
+        for (std::size_t c = 0; c < section.rows[r].size(); ++c) {
+          out << (c ? ", " : "") << '"' << json_escape(section.rows[r][c])
+              << '"';
+        }
+        out << ']' << (r + 1 < section.rows.size() ? "," : "") << '\n';
+      }
+      out << "      ]\n    }" << (s + 1 < sections.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    std::cerr << "wrote " << path << '\n';
+  }
+
+  ~JsonSink() {
+    if (enabled && !sections.empty()) write();
+  }
+};
+
+inline JsonSink json_sink;
+
+}  // namespace detail
 
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
+  if (argc > 0 && argv[0] != nullptr) {
+    std::string name = argv[0];
+    const auto slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    if (!name.empty()) args.bench_name = name;
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) args.quick = true;
     if (std::strcmp(argv[i], "--csv") == 0) args.csv = true;
+    if (std::strcmp(argv[i], "--json") == 0) args.json = true;
   }
+  if (std::getenv("BENCH_JSON") != nullptr) args.json = true;
+  detail::json_sink.enabled = args.json;
+  detail::json_sink.bench_name = args.bench_name;
   return args;
 }
 
@@ -42,6 +147,7 @@ inline void emit(const util::Table& table, const BenchArgs& args,
     std::cout << "\n-- csv --\n";
     table.write_csv(std::cout);
   }
+  if (args.json) detail::json_sink.record(table, title);
   std::cout.flush();
 }
 
@@ -66,14 +172,16 @@ inline attack::MuxLinkConfig muxlink_thorough() {
 }
 
 /// Mean thorough-MuxLink accuracy over `seeds` independent attack runs
-/// (the GNN is stochastic in its init/sampling seed).
+/// (the GNN is stochastic in its init/sampling seed). Runs through the
+/// attack registry like every other evaluation in the repo.
 inline double mean_muxlink_accuracy(const lock::LockedDesign& design,
                                     int seeds) {
   double total = 0.0;
   for (int s = 0; s < seeds; ++s) {
-    attack::MuxLinkConfig config = muxlink_thorough();
-    config.seed = 0xBEEF + static_cast<std::uint64_t>(s) * 7919;
-    total += attack::MuxLinkAttack(config).run(design).accuracy;
+    eval::AttackOptions options;
+    options.muxlink = muxlink_thorough();
+    options.muxlink.seed = 0xBEEF + static_cast<std::uint64_t>(s) * 7919;
+    total += eval::make_attack("muxlink", options)->evaluate(design).accuracy;
   }
   return total / seeds;
 }

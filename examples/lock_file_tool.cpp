@@ -7,13 +7,19 @@
 //   lock_file_tool lock <in.bench> <out.bench> <K> [scheme] [seed]
 //        scheme: dmux (default) | rll | autolock
 //   lock_file_tool attack <locked.bench>                  run MuxLink (prints key guess)
+//   lock_file_tool report <locked.bench> <original.bench> [attack...]
+//        score any registered attack(s) against the ground-truth key
+//        (default: every attack in the registry)
+//   lock_file_tool attacks                                list registered attacks
 //   lock_file_tool stats <in.bench>                       print circuit statistics
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "attacks/muxlink.hpp"
 #include "core/autolock.hpp"
+#include "eval/registry.hpp"
 #include "locking/rll.hpp"
 #include "locking/verify.hpp"
 #include "netlist/bench_io.hpp"
@@ -101,15 +107,87 @@ int cmd_attack(int argc, char** argv) {
   return 0;
 }
 
+int cmd_attacks() {
+  for (const auto& name : eval::AttackRegistry::instance().names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+// Ground-truth scoring path: the locked design's key is re-derived by
+// comparison against the original, so any registered attack can be swept
+// from the command line by name.
+int cmd_report(int argc, char** argv) {
+  if (argc < 4) return 1;
+  const auto locked = netlist::bench::load_file(argv[2]);
+  const auto original = netlist::bench::load_file(argv[3]);
+  const auto key_nodes = locked.key_inputs();
+  if (key_nodes.empty()) {
+    std::printf("no key inputs found — nothing to attack\n");
+    return 0;
+  }
+  // The .bench file carries no ground-truth key, so brute-force it for
+  // small keys (every attack report scores against the true key); larger
+  // keys fall back to an all-zero reference with a warning.
+  lock::LockedDesign design;
+  design.netlist = locked;
+  design.key.assign(key_nodes.size(), false);
+  bool have_truth = false;
+  if (key_nodes.size() <= 10) {
+    for (std::uint64_t k = 0; k < (1ULL << key_nodes.size()); ++k) {
+      netlist::Key candidate(key_nodes.size());
+      for (std::size_t b = 0; b < key_nodes.size(); ++b) {
+        candidate[b] = (k >> b) & 1ULL;
+      }
+      design.key = candidate;
+      if (lock::verify_unlocks(design, original)) {
+        have_truth = true;
+        break;
+      }
+    }
+  }
+  if (!have_truth) {
+    std::fprintf(stderr,
+                 "warning: could not brute-force the ground-truth key "
+                 "(K > 10 or no unlocking key); reports use an all-zero "
+                 "reference key\n");
+    design.key.assign(key_nodes.size(), false);
+  }
+
+  eval::AttackOptions options;
+  options.oracle = &original;
+  std::vector<std::string> names;
+  for (int i = 4; i < argc; ++i) names.emplace_back(argv[i]);
+  if (names.empty()) names = eval::AttackRegistry::instance().names();
+
+  std::printf("%-18s %9s %10s %9s %10s\n", "attack", "accuracy", "precision",
+              "decided", "recovered");
+  for (const auto& name : names) {
+    const auto report = eval::make_attack(name, options)->evaluate(design);
+    std::printf("%-18s %8.1f%% %9.1f%% %8.1f%% %10s\n", name.c_str(),
+                100.0 * report.accuracy, 100.0 * report.precision,
+                100.0 * report.decided_fraction,
+                report.key_recovered ? "yes" : "no");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string command = argc > 1 ? argv[1] : "";
   int status = 1;
-  if (command == "gen") status = cmd_gen(argc, argv);
-  else if (command == "stats") status = cmd_stats(argc, argv);
-  else if (command == "lock") status = cmd_lock(argc, argv);
-  else if (command == "attack") status = cmd_attack(argc, argv);
+  try {
+    if (command == "gen") status = cmd_gen(argc, argv);
+    else if (command == "stats") status = cmd_stats(argc, argv);
+    else if (command == "lock") status = cmd_lock(argc, argv);
+    else if (command == "attack") status = cmd_attack(argc, argv);
+    else if (command == "attacks") status = cmd_attacks();
+    else if (command == "report") status = cmd_report(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   if (status == 1) {
     std::fprintf(stderr,
                  "usage:\n"
@@ -117,7 +195,10 @@ int main(int argc, char** argv) {
                  "  lock_file_tool stats <in.bench>\n"
                  "  lock_file_tool lock <in.bench> <out.bench> <K> "
                  "[dmux|rll|autolock] [seed]\n"
-                 "  lock_file_tool attack <locked.bench>\n");
+                 "  lock_file_tool attack <locked.bench>\n"
+                 "  lock_file_tool report <locked.bench> <original.bench> "
+                 "[attack...]\n"
+                 "  lock_file_tool attacks\n");
   }
   return status;
 }

@@ -7,10 +7,9 @@
 // objective prevents that.
 #include <cstdio>
 
-#include "attacks/structural.hpp"
 #include "core/nsga2.hpp"
+#include "eval/pipeline.hpp"
 #include "netlist/generator.hpp"
-#include "netlist/simulator.hpp"
 
 int main() {
   using namespace autolock;
@@ -25,23 +24,20 @@ int main() {
   config.seed = 3;
   ga::Nsga2 engine(original, config);
 
-  const netlist::Simulator original_sim(original);
-  const attack::StructuralLinkPredictor structural;
-  const ga::MultiFitnessFn fitness =
-      [&](const lock::LockedDesign& design) -> std::vector<double> {
-    const double accuracy = structural.run(design).accuracy;
-    util::Rng rng(42);
-    netlist::Key wrong = design.key;
-    for (std::size_t b = 0; b < wrong.size(); ++b) wrong[b] = !wrong[b];
-    const netlist::Simulator locked_sim(design.netlist);
-    const double corruption = netlist::Simulator::output_error_rate(
-        locked_sim, wrong, original_sim, netlist::Key{}, 256, rng);
-    return {accuracy, 1.0 - std::min(corruption, 0.5) / 0.5};
-  };
+  // One pipeline provides both objectives: the structural attack (by
+  // registry name) and the wrong-key corruption term. Swapping the attack
+  // mix is a one-line change to the `attacks` list.
+  eval::EvalPipelineConfig pipeline_config;
+  pipeline_config.attacks = {"structural"};
+  pipeline_config.corruption_objective = true;
+  pipeline_config.corruption_vectors = 256;
+  pipeline_config.seed = config.seed;
+  pipeline_config.repair_salt = 0x2D5642ULL;  // NSGA-II's decode salt
+  eval::EvalPipeline pipeline(original, std::move(pipeline_config));
 
   std::printf("evolving %zu-bit lockings of %s with NSGA-II...\n", kKeyBits,
               original.name().c_str());
-  const ga::Nsga2Result result = engine.run(kKeyBits, 2, fitness);
+  const ga::Nsga2Result result = engine.run(kKeyBits, pipeline);
 
   std::printf("\nPareto front (%zu members, %zu evaluations):\n",
               result.front.size(), result.evaluations);

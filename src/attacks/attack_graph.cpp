@@ -60,7 +60,7 @@ AttackGraph::AttackGraph(const Netlist& locked) : locked_(&locked) {
       known_links_.end());
 
   // Decision problems: group key-MUXes by their key input's bit index.
-  const auto fanouts = locked.fanouts();
+  const auto& fanouts = locked.fanouts();
   std::map<int, KeyBitProblem> by_bit;
   const auto key_nodes = locked.key_inputs();
   std::vector<int> bit_of_node(n, -1);

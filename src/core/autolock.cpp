@@ -1,8 +1,5 @@
 #include "core/autolock.hpp"
 
-#include <memory>
-
-#include "netlist/simulator.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -10,58 +7,35 @@ namespace autolock {
 
 AutoLock::AutoLock(AutoLockConfig config) : config_(std::move(config)) {}
 
+eval::EvalPipelineConfig AutoLock::pipeline_config() const {
+  eval::EvalPipelineConfig pipeline;
+  switch (config_.fitness_attack) {
+    case FitnessAttack::kMuxLinkGnn:
+      pipeline.attacks = {"muxlink"};
+      break;
+    case FitnessAttack::kStructural:
+      pipeline.attacks = {"structural"};
+      break;
+    case FitnessAttack::kBoth:
+      // The pipeline averages accuracy/precision across the attack list.
+      pipeline.attacks = {"muxlink", "structural"};
+      break;
+  }
+  pipeline.attack_options.muxlink = config_.muxlink;
+  pipeline.attack_options.structural = config_.structural;
+  pipeline.corruption_weight = config_.corruption_weight;
+  pipeline.corruption_vectors = config_.corruption_vectors;
+  pipeline.threads = config_.threads;
+  pipeline.seed = config_.ga.seed;
+  return pipeline;
+}
+
 ga::Evaluation AutoLock::evaluate(const lock::LockedDesign& design,
                                   const netlist::Netlist& original) const {
-  ga::Evaluation eval;
-
-  double accuracy = 0.0;
-  double precision = 0.0;
-  switch (config_.fitness_attack) {
-    case FitnessAttack::kMuxLinkGnn: {
-      const attack::MuxLinkAttack attacker(config_.muxlink);
-      const auto score = attacker.run(design);
-      accuracy = score.accuracy;
-      precision = score.precision;
-      break;
-    }
-    case FitnessAttack::kStructural: {
-      const attack::StructuralLinkPredictor attacker(config_.structural);
-      const auto score = attacker.run(design);
-      accuracy = score.accuracy;
-      precision = score.precision;
-      break;
-    }
-    case FitnessAttack::kBoth: {
-      const attack::MuxLinkAttack gnn(config_.muxlink);
-      const attack::StructuralLinkPredictor structural(config_.structural);
-      const auto s1 = gnn.run(design);
-      const auto s2 = structural.run(design);
-      accuracy = 0.5 * (s1.accuracy + s2.accuracy);
-      precision = 0.5 * (s1.precision + s2.precision);
-      break;
-    }
-  }
-  eval.attack_accuracy = accuracy;
-  eval.attack_precision = precision;
-  eval.fitness = 1.0 - accuracy;
-
-  if (config_.corruption_weight > 0.0) {
-    util::Rng rng(0xC0441ULL ^ design.netlist.size());
-    const netlist::Simulator locked_sim(design.netlist);
-    const netlist::Simulator original_sim(original);
-    // One random wrong key (all bits flipped is the cheapest adversarial
-    // proxy; full sampling lives in lock::measure_corruption).
-    netlist::Key wrong = design.key;
-    for (std::size_t b = 0; b < wrong.size(); ++b) wrong[b] = !wrong[b];
-    eval.corruption = netlist::Simulator::output_error_rate(
-        locked_sim, wrong, original_sim, netlist::Key{},
-        config_.corruption_vectors, rng);
-    // Saturate at 0.5 (ideal corruption); scale into [0, weight].
-    const double corruption_term =
-        std::min(eval.corruption, 0.5) / 0.5 * config_.corruption_weight;
-    eval.fitness += corruption_term;
-  }
-  return eval;
+  eval::EvalPipelineConfig config = pipeline_config();
+  config.threads = 1;
+  const eval::EvalPipeline pipeline(original, std::move(config));
+  return pipeline.score(design);
 }
 
 AutoLockReport AutoLock::run(const netlist::Netlist& original,
@@ -76,17 +50,9 @@ AutoLockReport AutoLock::run(const netlist::Netlist& original,
   }
 
   ga::GeneticAlgorithm engine(original, ga_config);
+  eval::EvalPipeline pipeline(original, pipeline_config());
 
-  std::unique_ptr<util::ThreadPool> pool;
-  if (config_.threads != 1) {
-    pool = std::make_unique<util::ThreadPool>(config_.threads);
-  }
-
-  const ga::FitnessFn fitness = [&](const lock::LockedDesign& design) {
-    return evaluate(design, original);
-  };
-
-  ga::GaResult ga_result = engine.run(key_bits, fitness, pool.get());
+  ga::GaResult ga_result = engine.run(key_bits, pipeline);
 
   AutoLockReport report;
   report.history = std::move(ga_result.history);

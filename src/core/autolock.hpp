@@ -16,6 +16,10 @@
 //   - optional corruption term in the fitness, guarding against the GA
 //     converging to functionally-inert localities (wrong key = no error);
 //   - parallel fitness evaluation.
+//
+// AutoLock is a thin driver: it translates its config into an
+// eval::EvalPipeline (attacks constructed by registry name) and hands the
+// pipeline to the GA. Decode/attack/score plumbing lives entirely in eval/.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +28,7 @@
 #include "attacks/muxlink.hpp"
 #include "attacks/structural.hpp"
 #include "core/ga.hpp"
+#include "eval/pipeline.hpp"
 #include "locking/mux_lock.hpp"
 #include "netlist/netlist.hpp"
 
@@ -76,8 +81,14 @@ class AutoLock {
 
   const AutoLockConfig& config() const noexcept { return config_; }
 
-  /// The fitness function AutoLock wires into the GA (exposed so benches
-  /// and the multi-objective driver can reuse identical semantics).
+  /// The evaluation pipeline AutoLock wires into the GA (exposed so benches
+  /// and the multi-objective driver can reuse identical semantics by
+  /// constructing an eval::EvalPipeline from it).
+  eval::EvalPipelineConfig pipeline_config() const;
+
+  /// One-off evaluation of a decoded design with this config's fitness
+  /// semantics (builds a temporary pipeline; use pipeline_config() for
+  /// anything hot).
   ga::Evaluation evaluate(const lock::LockedDesign& design,
                           const netlist::Netlist& original) const;
 

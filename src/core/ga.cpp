@@ -1,9 +1,9 @@
 #include "core/ga.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 
+#include "eval/pipeline.hpp"
 #include "util/log.hpp"
 
 namespace autolock::ga {
@@ -29,22 +29,6 @@ LockedDesign GeneticAlgorithm::decode(const Genotype& genes,
                                       std::uint64_t repair_seed) const {
   util::Rng repair_rng(config_.seed ^ repair_seed ^ 0xDEC0DEULL);
   return lock::apply_genotype(*original_, context_, genes, repair_rng);
-}
-
-std::uint64_t GeneticAlgorithm::genotype_hash(const Genotype& genes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over gene words
-  auto mix = [&h](std::uint64_t value) {
-    h ^= value;
-    h *= 0x100000001b3ULL;
-  };
-  for (const LockSite& site : genes) {
-    mix(site.f_i);
-    mix(site.f_j);
-    mix(site.g_i);
-    mix(site.g_j);
-    mix(site.key_bit ? 0x9E3779B9ULL : 0x85EBCA6BULL);
-  }
-  return h;
 }
 
 Genotype GeneticAlgorithm::select_parent(
@@ -125,6 +109,20 @@ void GeneticAlgorithm::mutate(Genotype& genes, util::Rng& rng) const {
 
 GaResult GeneticAlgorithm::run(std::size_t key_bits, const FitnessFn& fitness,
                                util::ThreadPool* pool) {
+  eval::EvalPipelineConfig pipeline_config;
+  pipeline_config.fitness_override = fitness;
+  pipeline_config.seed = config_.seed;
+  pipeline_config.pool = pool;
+  eval::EvalPipeline pipeline(*original_, std::move(pipeline_config));
+  return run(key_bits, pipeline);
+}
+
+GaResult GeneticAlgorithm::run(std::size_t key_bits,
+                               eval::EvalPipeline& pipeline) {
+  if (&pipeline.original() != original_) {
+    throw std::invalid_argument(
+        "GeneticAlgorithm::run: pipeline was built on a different netlist");
+  }
   util::Rng rng(config_.seed);
 
   // ---- initialization: N independent random D-MUX lockings ---------------
@@ -134,42 +132,14 @@ GaResult GeneticAlgorithm::run(std::size_t key_bits, const FitnessFn& fitness,
     population[i].genes = lock::random_genotype(context_, key_bits, init_rng);
   }
 
-  std::unordered_map<std::uint64_t, Evaluation> cache;
-  std::mutex cache_mutex;
   GaResult result;
 
   auto evaluate_population = [&](std::vector<Individual>& pop,
                                  std::size_t generation,
                                  std::size_t& cache_hits) {
-    std::vector<std::size_t> pending;
-    for (std::size_t i = 0; i < pop.size(); ++i) {
-      const std::uint64_t h = genotype_hash(pop[i].genes);
-      const auto it = cache.find(h);
-      if (it != cache.end()) {
-        pop[i].eval = it->second;
-        ++cache_hits;
-      } else {
-        pending.push_back(i);
-      }
-    }
-    auto eval_one = [&](std::size_t idx) {
-      const std::size_t i = pending[idx];
-      // Per-individual deterministic repair seed.
-      const std::uint64_t repair_seed =
-          (static_cast<std::uint64_t>(generation) << 32) ^ (i * 0x9E3779B9ULL);
-      LockedDesign design = decode(pop[i].genes, repair_seed);
-      pop[i].genes = design.sites;  // write repaired genes back
-      pop[i].eval = fitness(design);
-      const std::uint64_t h = genotype_hash(pop[i].genes);
-      const std::scoped_lock lock(cache_mutex);
-      cache.emplace(h, pop[i].eval);
-    };
-    if (pool != nullptr && pending.size() > 1) {
-      pool->parallel_for(pending.size(), eval_one);
-    } else {
-      for (std::size_t idx = 0; idx < pending.size(); ++idx) eval_one(idx);
-    }
-    result.evaluations += pending.size();
+    const auto stats = pipeline.evaluate_population(pop, generation);
+    cache_hits += stats.cache_hits;
+    result.evaluations += stats.evaluated;
   };
 
   auto sort_by_fitness = [](std::vector<Individual>& pop) {

@@ -13,15 +13,19 @@
 //   mutation:  per-gene — flip the key bit (cheap local move) or re-sample
 //              the whole site (exploration); invalid offspring genes are
 //              repaired at decode time and written back.
-// Elitism preserves the best individuals; a fitness cache avoids
-// re-evaluating unchanged genotypes (elites, duplicate offspring).
+// Elitism preserves the best individuals.
+//
+// Evaluation (genotype decode, attack scoring, the collision-safe fitness
+// cache that skips elites and duplicate offspring, and thread-pool fan-out)
+// lives in eval::EvalPipeline — the GA only runs the evolutionary loop. The
+// FitnessFn overload of run() is a convenience wrapper that builds a
+// single-use pipeline around the callback.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "locking/mux_lock.hpp"
@@ -29,6 +33,10 @@
 #include "netlist/netlist.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+
+namespace autolock::eval {
+class EvalPipeline;
+}  // namespace autolock::eval
 
 namespace autolock::ga {
 
@@ -97,7 +105,12 @@ class GeneticAlgorithm {
 
   /// Runs the full loop of the paper's Fig. 1: N random D-MUX lockings of
   /// `key_bits` bits seed the population; evolve for `generations` or until
-  /// the fitness target. `pool` parallelizes evaluation (may be null).
+  /// the fitness target. All evaluation goes through `pipeline`, which must
+  /// have been built on the same original netlist.
+  GaResult run(std::size_t key_bits, eval::EvalPipeline& pipeline);
+
+  /// Convenience wrapper: builds a sequential single-use EvalPipeline around
+  /// `fitness` (borrowing `pool` for population fan-out when given) and runs.
   GaResult run(std::size_t key_bits, const FitnessFn& fitness,
                util::ThreadPool* pool = nullptr);
 
@@ -115,7 +128,6 @@ class GeneticAlgorithm {
   std::pair<Genotype, Genotype> crossover(const Genotype& a, const Genotype& b,
                                           util::Rng& rng) const;
   void mutate(Genotype& genes, util::Rng& rng) const;
-  static std::uint64_t genotype_hash(const Genotype& genes);
 
   const netlist::Netlist* original_;
   lock::SiteContext context_;

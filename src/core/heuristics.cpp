@@ -2,35 +2,45 @@
 
 #include <cmath>
 
+#include "eval/pipeline.hpp"
+
 namespace autolock::ga {
 
-using lock::LockedDesign;
 using lock::LockSite;
 using lock::SiteContext;
 
 namespace {
 
-/// Shared evaluation plumbing: decode (with repair write-back) + fitness.
-struct Evaluator {
-  const netlist::Netlist* original;
-  SiteContext context;
-  const FitnessFn* fitness;
-  std::uint64_t seed;
+/// All three heuristics share the pipeline's decode/repair/score path; this
+/// counter threads the per-proposal repair seed exactly as the heuristics
+/// always have (one deterministic repair RNG per evaluation index).
+struct PipelineEvaluator {
+  eval::EvalPipeline* pipeline;
   std::size_t evaluations = 0;
 
-  Evaluator(const netlist::Netlist& on, const FitnessFn& fn,
-            std::uint64_t seed_in)
-      : original(&on), context(on), fitness(&fn), seed(seed_in) {}
+  explicit PipelineEvaluator(eval::EvalPipeline& p) : pipeline(&p) {}
 
   Evaluation evaluate(Genotype& genes) {
-    util::Rng repair_rng(seed ^ (evaluations * 0x9E3779B9ULL) ^ 0xE7A1ULL);
-    LockedDesign design =
-        lock::apply_genotype(*original, context, genes, repair_rng);
-    genes = design.sites;
+    const Evaluation eval =
+        pipeline->evaluate(genes, evaluations * 0x9E3779B9ULL);
     ++evaluations;
-    return (*fitness)(design);
+    return eval;
   }
 };
+
+/// Builds the single-use pipeline backing the FitnessFn overloads. Caching
+/// is off: single-trajectory searches budget proposals, not unique
+/// genotypes, and re-proposing a visited genotype must still cost (and
+/// count as) one evaluation.
+eval::EvalPipelineConfig wrap_fitness(const FitnessFn& fitness,
+                                      std::uint64_t seed) {
+  eval::EvalPipelineConfig config;
+  config.fitness_override = fitness;
+  config.seed = seed;
+  config.repair_salt = 0xE7A1ULL;
+  config.cache = false;
+  return config;
+}
 
 /// Single-gene neighbourhood move shared by hill climbing and annealing.
 void mutate_one_gene(Genotype& genes, const SiteContext& context,
@@ -52,16 +62,16 @@ void mutate_one_gene(Genotype& genes, const SiteContext& context,
 
 }  // namespace
 
-HeuristicResult random_search(const netlist::Netlist& original,
-                              std::size_t key_bits, const FitnessFn& fitness,
+HeuristicResult random_search(eval::EvalPipeline& pipeline,
+                              std::size_t key_bits,
                               const RandomSearchConfig& config) {
   util::Rng rng(config.seed);
-  Evaluator evaluator(original, fitness, config.seed);
+  PipelineEvaluator evaluator(pipeline);
   HeuristicResult result;
   result.best.eval.fitness = -1e300;
   for (std::size_t e = 0; e < config.evaluations; ++e) {
     util::Rng draw = rng.fork();
-    Genotype genes = lock::random_genotype(evaluator.context, key_bits, draw);
+    Genotype genes = lock::random_genotype(pipeline.context(), key_bits, draw);
     const Evaluation eval = evaluator.evaluate(genes);
     if (eval.fitness > result.best.eval.fitness) {
       result.best = Individual{std::move(genes), eval};
@@ -72,11 +82,17 @@ HeuristicResult random_search(const netlist::Netlist& original,
   return result;
 }
 
-HeuristicResult hill_climb(const netlist::Netlist& original,
-                           std::size_t key_bits, const FitnessFn& fitness,
+HeuristicResult random_search(const netlist::Netlist& original,
+                              std::size_t key_bits, const FitnessFn& fitness,
+                              const RandomSearchConfig& config) {
+  eval::EvalPipeline pipeline(original, wrap_fitness(fitness, config.seed));
+  return random_search(pipeline, key_bits, config);
+}
+
+HeuristicResult hill_climb(eval::EvalPipeline& pipeline, std::size_t key_bits,
                            const HillClimbConfig& config) {
   util::Rng rng(config.seed ^ 0x41C9ULL);
-  Evaluator evaluator(original, fitness, config.seed);
+  PipelineEvaluator evaluator(pipeline);
   HeuristicResult result;
   result.best.eval.fitness = -1e300;
 
@@ -88,13 +104,14 @@ HeuristicResult hill_climb(const netlist::Netlist& original,
   while (evaluator.evaluations < config.evaluations) {
     if (need_restart) {
       util::Rng draw = rng.fork();
-      current = lock::random_genotype(evaluator.context, key_bits, draw);
+      current = lock::random_genotype(pipeline.context(), key_bits, draw);
       current_eval = evaluator.evaluate(current);
       need_restart = false;
       stale = 0;
     } else {
       Genotype candidate = current;
-      mutate_one_gene(candidate, evaluator.context, config.key_flip_rate, rng);
+      mutate_one_gene(candidate, pipeline.context(), config.key_flip_rate,
+                      rng);
       const Evaluation eval = evaluator.evaluate(candidate);
       if (eval.fitness > current_eval.fitness) {
         current = std::move(candidate);
@@ -113,17 +130,23 @@ HeuristicResult hill_climb(const netlist::Netlist& original,
   return result;
 }
 
-HeuristicResult simulated_annealing(const netlist::Netlist& original,
+HeuristicResult hill_climb(const netlist::Netlist& original,
+                           std::size_t key_bits, const FitnessFn& fitness,
+                           const HillClimbConfig& config) {
+  eval::EvalPipeline pipeline(original, wrap_fitness(fitness, config.seed));
+  return hill_climb(pipeline, key_bits, config);
+}
+
+HeuristicResult simulated_annealing(eval::EvalPipeline& pipeline,
                                     std::size_t key_bits,
-                                    const FitnessFn& fitness,
                                     const AnnealingConfig& config) {
   util::Rng rng(config.seed ^ 0x5AULL);
-  Evaluator evaluator(original, fitness, config.seed);
+  PipelineEvaluator evaluator(pipeline);
   HeuristicResult result;
   result.best.eval.fitness = -1e300;
 
   util::Rng draw = rng.fork();
-  Genotype current = lock::random_genotype(evaluator.context, key_bits, draw);
+  Genotype current = lock::random_genotype(pipeline.context(), key_bits, draw);
   Evaluation current_eval = evaluator.evaluate(current);
   result.best = Individual{current, current_eval};
   result.trajectory.push_back(current_eval.fitness);
@@ -131,7 +154,7 @@ HeuristicResult simulated_annealing(const netlist::Netlist& original,
   double temperature = config.initial_temperature;
   while (evaluator.evaluations < config.evaluations) {
     Genotype candidate = current;
-    mutate_one_gene(candidate, evaluator.context, config.key_flip_rate, rng);
+    mutate_one_gene(candidate, pipeline.context(), config.key_flip_rate, rng);
     const Evaluation eval = evaluator.evaluate(candidate);
     const double delta = eval.fitness - current_eval.fitness;
     const bool accept =
@@ -150,6 +173,14 @@ HeuristicResult simulated_annealing(const netlist::Netlist& original,
   }
   result.evaluations = evaluator.evaluations;
   return result;
+}
+
+HeuristicResult simulated_annealing(const netlist::Netlist& original,
+                                    std::size_t key_bits,
+                                    const FitnessFn& fitness,
+                                    const AnnealingConfig& config) {
+  eval::EvalPipeline pipeline(original, wrap_fitness(fitness, config.seed));
+  return simulated_annealing(pipeline, key_bits, config);
 }
 
 }  // namespace autolock::ga

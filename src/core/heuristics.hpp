@@ -19,6 +19,10 @@
 #include "locking/mux_lock.hpp"
 #include "netlist/netlist.hpp"
 
+namespace autolock::eval {
+class EvalPipeline;
+}  // namespace autolock::eval
+
 namespace autolock::ga {
 
 struct HeuristicResult {
@@ -34,6 +38,13 @@ struct RandomSearchConfig {
 };
 
 /// Draws `evaluations` independent random genotypes and keeps the best.
+/// All heuristics evaluate through an eval::EvalPipeline; the FitnessFn
+/// overloads wrap the callback in a single-use pipeline. Pipeline overloads
+/// expect a pipeline built on the same original netlist with caching
+/// disabled (every proposal counts as one evaluation).
+HeuristicResult random_search(eval::EvalPipeline& pipeline,
+                              std::size_t key_bits,
+                              const RandomSearchConfig& config);
 HeuristicResult random_search(const netlist::Netlist& original,
                               std::size_t key_bits, const FitnessFn& fitness,
                               const RandomSearchConfig& config);
@@ -49,6 +60,8 @@ struct HillClimbConfig {
 };
 
 /// Stochastic first-improvement hill climbing with optional restarts.
+HeuristicResult hill_climb(eval::EvalPipeline& pipeline, std::size_t key_bits,
+                           const HillClimbConfig& config);
 HeuristicResult hill_climb(const netlist::Netlist& original,
                            std::size_t key_bits, const FitnessFn& fitness,
                            const HillClimbConfig& config);
@@ -63,6 +76,9 @@ struct AnnealingConfig {
 };
 
 /// Classic simulated annealing (Metropolis criterion on fitness delta).
+HeuristicResult simulated_annealing(eval::EvalPipeline& pipeline,
+                                    std::size_t key_bits,
+                                    const AnnealingConfig& config);
 HeuristicResult simulated_annealing(const netlist::Netlist& original,
                                     std::size_t key_bits,
                                     const FitnessFn& fitness,

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
+
+#include "eval/pipeline.hpp"
 
 namespace autolock::ga {
 
@@ -109,35 +110,30 @@ void Nsga2::assign_crowding(std::vector<MoIndividual>& population,
 Nsga2Result Nsga2::run(std::size_t key_bits, std::size_t num_objectives,
                        const MultiFitnessFn& fitness,
                        util::ThreadPool* pool) {
+  eval::EvalPipelineConfig pipeline_config;
+  pipeline_config.objectives_override = fitness;
+  pipeline_config.objectives_override_arity = num_objectives;
+  pipeline_config.seed = config_.seed;
+  pipeline_config.repair_salt = 0x2D5642ULL;
+  pipeline_config.pool = pool;
+  // No cache: this overload historically re-evaluated duplicate offspring,
+  // and the callback may be stateful. Attack-configured pipelines cache.
+  pipeline_config.cache = false;
+  eval::EvalPipeline pipeline(*original_, std::move(pipeline_config));
+  return run(key_bits, pipeline);
+}
+
+Nsga2Result Nsga2::run(std::size_t key_bits, eval::EvalPipeline& pipeline) {
+  if (&pipeline.original() != original_) {
+    throw std::invalid_argument(
+        "Nsga2::run: pipeline was built on a different netlist");
+  }
   util::Rng rng(config_.seed);
   Nsga2Result result;
 
   auto evaluate = [&](std::vector<MoIndividual>& pop,
                       std::size_t generation) {
-    std::vector<std::size_t> pending;
-    for (std::size_t i = 0; i < pop.size(); ++i) {
-      if (pop[i].objectives.empty()) pending.push_back(i);
-    }
-    std::mutex write_mutex;
-    auto eval_one = [&](std::size_t idx) {
-      const std::size_t i = pending[idx];
-      const std::uint64_t repair_seed =
-          (static_cast<std::uint64_t>(generation) << 32) ^ (i * 0x9E3779B9ULL);
-      LockedDesign design = decode(pop[i].genes, repair_seed);
-      auto objectives = fitness(design);
-      if (objectives.size() != num_objectives) {
-        throw std::runtime_error("Nsga2: objective count mismatch");
-      }
-      const std::scoped_lock lock(write_mutex);
-      pop[i].genes = design.sites;
-      pop[i].objectives = std::move(objectives);
-    };
-    if (pool != nullptr && pending.size() > 1) {
-      pool->parallel_for(pending.size(), eval_one);
-    } else {
-      for (std::size_t idx = 0; idx < pending.size(); ++idx) eval_one(idx);
-    }
-    result.evaluations += pending.size();
+    result.evaluations += pipeline.evaluate_population(pop, generation).evaluated;
   };
 
   // Shared variation operators (duplicated from GeneticAlgorithm privately

@@ -18,6 +18,10 @@
 #include "netlist/netlist.hpp"
 #include "util/thread_pool.hpp"
 
+namespace autolock::eval {
+class EvalPipeline;
+}  // namespace autolock::eval
+
 namespace autolock::ga {
 
 /// Multi-objective fitness: returns one value per objective, all minimized.
@@ -54,6 +58,12 @@ class Nsga2 {
  public:
   Nsga2(const netlist::Netlist& original, Nsga2Config config);
 
+  /// Runs NSGA-II with all evaluation through `pipeline` (built on the same
+  /// original netlist); the objective count is pipeline.num_objectives().
+  Nsga2Result run(std::size_t key_bits, eval::EvalPipeline& pipeline);
+
+  /// Convenience wrapper: builds a sequential single-use EvalPipeline around
+  /// `fitness` (borrowing `pool` when given) and runs.
   Nsga2Result run(std::size_t key_bits, std::size_t num_objectives,
                   const MultiFitnessFn& fitness,
                   util::ThreadPool* pool = nullptr);

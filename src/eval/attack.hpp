@@ -1,0 +1,66 @@
+// The unified attack oracle: one polymorphic interface over every attack in
+// the repo, so optimizers, benches, and examples score a locked design the
+// same way regardless of which attack (or mix of attacks) is configured.
+//
+// Each adapter wraps one concrete attack (attacks/) and normalizes its
+// result into an AttackReport with shared accuracy / precision /
+// key-recovery fields. Adapters are constructed by name through
+// AttackRegistry (eval/registry.hpp) and consumed in bulk by EvalPipeline
+// (eval/pipeline.hpp), which owns the decode -> attack -> score loop the
+// optimizers in core/ used to re-implement individually.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "attacks/muxlink.hpp"
+#include "attacks/sat_attack.hpp"
+#include "attacks/structural.hpp"
+#include "locking/mux_lock.hpp"
+#include "netlist/netlist.hpp"
+
+namespace autolock::eval {
+
+/// Normalized outcome of one attack run against one locked design. All
+/// fractional fields are in [0, 1].
+struct AttackReport {
+  std::string attack;             // registry name of the attack that ran
+  std::size_t key_bits = 0;       // key length of the attacked design
+  double accuracy = 0.0;          // forced-decision key-bit accuracy
+  double precision = 0.0;         // correctness among confidently-decided bits
+  double decided_fraction = 0.0;  // decided bits / all bits
+  double key_recovery = 0.0;      // fraction of key bits exactly recovered
+  bool key_recovered = false;     // full (functional) key recovery
+  double seconds = 0.0;           // wall time of the attack run
+};
+
+/// Construction-time knobs shared by all registry factories. Adapters read
+/// only the fields they understand; unknown fields are ignored.
+struct AttackOptions {
+  /// Original (unlocked) netlist, required by oracle-guided attacks ("sat").
+  /// EvalPipeline fills this with its own original automatically.
+  const netlist::Netlist* oracle = nullptr;
+  attack::MuxLinkConfig muxlink;
+  attack::StructuralPredictorConfig structural;
+  attack::SatAttackConfig sat;
+  /// Committee size for "muxlink-ensemble".
+  std::size_t ensemble = 3;
+  /// XORed into every stochastic attack's seed (0 = use the configs' seeds
+  /// unchanged).
+  std::uint64_t seed = 0;
+};
+
+/// Interface every attack adapter implements. Implementations must be
+/// thread-safe: evaluate() is invoked concurrently for different designs.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// Stable registry name ("muxlink", "scope", ...).
+  virtual const std::string& name() const noexcept = 0;
+
+  /// Runs the attack on `design` and scores it against the ground-truth key.
+  virtual AttackReport evaluate(const lock::LockedDesign& design) const = 0;
+};
+
+}  // namespace autolock::eval

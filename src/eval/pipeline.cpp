@@ -1,0 +1,259 @@
+#include "eval/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "eval/registry.hpp"
+
+namespace autolock::eval {
+
+using lock::LockedDesign;
+
+EvalPipeline::EvalPipeline(const netlist::Netlist& original,
+                           EvalPipelineConfig config)
+    : original_(&original), context_(original), config_(std::move(config)) {
+  const bool has_override =
+      static_cast<bool>(config_.fitness_override) ||
+      static_cast<bool>(config_.objectives_override);
+  if (!has_override) {
+    if (config_.attacks.empty()) {
+      throw std::invalid_argument("EvalPipeline: no attacks configured");
+    }
+    if (config_.attack_options.oracle == nullptr) {
+      config_.attack_options.oracle = original_;
+    }
+    attacks_ = make_attacks(config_.attacks, config_.attack_options);
+  }
+  // One oracle simulator serves every corruption measurement; the netlist's
+  // cached topological order makes this cheap even when unused.
+  oracle_sim_ = std::make_unique<netlist::Simulator>(*original_);
+}
+
+std::vector<std::string> EvalPipeline::attack_names() const {
+  std::vector<std::string> names;
+  names.reserve(attacks_.size());
+  for (const auto& attack : attacks_) names.push_back(attack->name());
+  return names;
+}
+
+std::size_t EvalPipeline::num_objectives() const noexcept {
+  if (config_.objectives_override) return config_.objectives_override_arity;
+  return attacks_.size() + (config_.corruption_objective ? 1 : 0);
+}
+
+LockedDesign EvalPipeline::decode(const ga::Genotype& genes,
+                                  std::uint64_t repair_seed) const {
+  util::Rng repair_rng(config_.seed ^ repair_seed ^ config_.repair_salt);
+  return lock::apply_genotype(*original_, context_, genes, repair_rng);
+}
+
+std::vector<AttackReport> EvalPipeline::reports(
+    const LockedDesign& design) const {
+  std::vector<AttackReport> result;
+  result.reserve(attacks_.size());
+  for (const auto& attack : attacks_) result.push_back(attack->evaluate(design));
+  return result;
+}
+
+double EvalPipeline::corruption(const LockedDesign& design) const {
+  util::Rng rng(0xC0441ULL ^ design.netlist.size());
+  const netlist::Simulator locked_sim(design.netlist);
+  // One random wrong key (all bits flipped is the cheapest adversarial
+  // proxy; full sampling lives in lock::measure_corruption).
+  netlist::Key wrong = design.key;
+  for (std::size_t b = 0; b < wrong.size(); ++b) wrong[b] = !wrong[b];
+  return netlist::Simulator::output_error_rate(locked_sim, wrong, *oracle_sim_,
+                                               netlist::Key{},
+                                               config_.corruption_vectors, rng);
+}
+
+ga::Evaluation EvalPipeline::score(const LockedDesign& design) const {
+  if (config_.fitness_override) return config_.fitness_override(design);
+  if (attacks_.empty()) {
+    throw std::logic_error(
+        "EvalPipeline: scalar fitness requested but neither attacks nor a "
+        "fitness_override are configured");
+  }
+  ga::Evaluation eval;
+  double accuracy = 0.0;
+  double precision = 0.0;
+  for (const auto& attack : attacks_) {
+    const AttackReport report = attack->evaluate(design);
+    accuracy += report.accuracy;
+    precision += report.precision;
+  }
+  accuracy /= static_cast<double>(attacks_.size());
+  precision /= static_cast<double>(attacks_.size());
+  eval.attack_accuracy = accuracy;
+  eval.attack_precision = precision;
+  eval.fitness = 1.0 - accuracy;
+  if (config_.corruption_weight > 0.0) {
+    eval.corruption = corruption(design);
+    // Saturate at 0.5 (ideal corruption); scale into [0, weight].
+    eval.fitness += std::min(eval.corruption, 0.5) / 0.5 *
+                    config_.corruption_weight;
+  }
+  return eval;
+}
+
+std::vector<double> EvalPipeline::score_objectives(
+    const LockedDesign& design) const {
+  if (config_.objectives_override) {
+    auto objectives = config_.objectives_override(design);
+    check_objective_arity(objectives);
+    return objectives;
+  }
+  if (attacks_.empty()) {
+    throw std::logic_error(
+        "EvalPipeline: objectives requested but neither attacks nor an "
+        "objectives_override are configured");
+  }
+  std::vector<double> objectives;
+  objectives.reserve(num_objectives());
+  for (const auto& attack : attacks_) {
+    objectives.push_back(attack->evaluate(design).accuracy);
+  }
+  if (config_.corruption_objective) {
+    objectives.push_back(1.0 - std::min(corruption(design), 0.5) / 0.5);
+  }
+  return objectives;
+}
+
+void EvalPipeline::check_objective_arity(
+    const std::vector<double>& objectives) const {
+  if (config_.objectives_override && config_.objectives_override_arity != 0 &&
+      objectives.size() != config_.objectives_override_arity) {
+    throw std::runtime_error("EvalPipeline: objective count mismatch");
+  }
+}
+
+ga::Evaluation EvalPipeline::evaluate(ga::Genotype& genes,
+                                      std::uint64_t repair_seed) {
+  if (config_.cache) {
+    ga::Evaluation hit;
+    if (scalar_cache_.lookup(genes, hit)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return hit;
+    }
+  }
+  LockedDesign design = decode(genes, repair_seed);
+  genes = design.sites;  // write repaired genes back
+  const ga::Evaluation eval = score(design);
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.cache) scalar_cache_.store(genes, eval);
+  return eval;
+}
+
+std::vector<double> EvalPipeline::evaluate_objectives(
+    ga::Genotype& genes, std::uint64_t repair_seed) {
+  if (config_.cache) {
+    std::vector<double> hit;
+    if (objective_cache_.lookup(genes, hit)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return hit;
+    }
+  }
+  LockedDesign design = decode(genes, repair_seed);
+  genes = design.sites;
+  std::vector<double> objectives = score_objectives(design);
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.cache) objective_cache_.store(genes, objectives);
+  return objectives;
+}
+
+util::ThreadPool* EvalPipeline::worker_pool() {
+  if (config_.pool != nullptr) return config_.pool;
+  if (owned_pool_ != nullptr) return owned_pool_.get();
+  if (config_.threads == 1) return nullptr;
+  owned_pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+  return owned_pool_.get();
+}
+
+std::uint64_t EvalPipeline::batch_repair_seed(std::size_t generation,
+                                              std::size_t index) {
+  return (static_cast<std::uint64_t>(generation) << 32) ^
+         (index * 0x9E3779B9ULL);
+}
+
+EvalPipeline::BatchStats EvalPipeline::evaluate_population(
+    std::vector<ga::Individual>& population, std::size_t generation) {
+  BatchStats stats;
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (config_.cache) {
+      ga::Evaluation hit;
+      if (scalar_cache_.lookup(population[i].genes, hit)) {
+        population[i].eval = hit;
+        ++stats.cache_hits;
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+  const auto eval_one = [&](std::size_t idx) {
+    const std::size_t i = pending[idx];
+    LockedDesign design =
+        decode(population[i].genes, batch_repair_seed(generation, i));
+    population[i].genes = design.sites;
+    population[i].eval = score(design);
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.cache) {
+      scalar_cache_.store(population[i].genes, population[i].eval);
+    }
+  };
+  util::ThreadPool* pool = worker_pool();
+  if (pool != nullptr && pending.size() > 1) {
+    pool->parallel_for(pending.size(), eval_one);
+  } else {
+    for (std::size_t idx = 0; idx < pending.size(); ++idx) eval_one(idx);
+  }
+  stats.evaluated = pending.size();
+  cache_hits_.fetch_add(stats.cache_hits, std::memory_order_relaxed);
+  return stats;
+}
+
+EvalPipeline::BatchStats EvalPipeline::evaluate_population(
+    std::vector<ga::MoIndividual>& population, std::size_t generation) {
+  BatchStats stats;
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (!population[i].objectives.empty()) continue;  // survivor carry-over
+    if (config_.cache) {
+      std::vector<double> hit;
+      if (objective_cache_.lookup(population[i].genes, hit)) {
+        population[i].objectives = std::move(hit);
+        ++stats.cache_hits;
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+  const auto eval_one = [&](std::size_t idx) {
+    const std::size_t i = pending[idx];
+    LockedDesign design =
+        decode(population[i].genes, batch_repair_seed(generation, i));
+    population[i].genes = design.sites;
+    population[i].objectives = score_objectives(design);
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.cache) {
+      objective_cache_.store(population[i].genes, population[i].objectives);
+    }
+  };
+  util::ThreadPool* pool = worker_pool();
+  if (pool != nullptr && pending.size() > 1) {
+    pool->parallel_for(pending.size(), eval_one);
+  } else {
+    for (std::size_t idx = 0; idx < pending.size(); ++idx) eval_one(idx);
+  }
+  stats.evaluated = pending.size();
+  cache_hits_.fetch_add(stats.cache_hits, std::memory_order_relaxed);
+  return stats;
+}
+
+void EvalPipeline::clear_cache() {
+  scalar_cache_.clear();
+  objective_cache_.clear();
+}
+
+}  // namespace autolock::eval

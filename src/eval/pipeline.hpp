@@ -1,0 +1,165 @@
+// EvalPipeline — the shared decode -> attack -> score evaluation layer.
+//
+// Every optimizer in core/ (GA, NSGA-II, the black-box heuristics, AutoLock)
+// evaluates genotypes the same way: decode the genotype into a locked
+// netlist (repairing stale genes), run one or more attacks against it, and
+// fold the attack reports into a fitness (scalar) or objective vector
+// (multi-objective). This class owns that plumbing exactly once:
+//
+//   - attacks are constructed by name through AttackRegistry, so the attack
+//     mix is a configuration detail, not code;
+//   - a collision-safe FitnessCache (full-genotype keys) skips re-evaluating
+//     elites and duplicate offspring;
+//   - population batches fan out over a util::ThreadPool (owned, borrowed,
+//     or none);
+//   - one shared oracle Simulator serves every corruption measurement and
+//     oracle-guided attack instead of being rebuilt per individual.
+//
+// Custom fitness callbacks (tests, synthetic objectives) plug in through
+// fitness_override / objectives_override and ride the same cache and
+// fan-out machinery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ga.hpp"
+#include "core/nsga2.hpp"
+#include "eval/attack.hpp"
+#include "eval/fitness_cache.hpp"
+#include "locking/mux_lock.hpp"
+#include "locking/sites.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace autolock::eval {
+
+struct EvalPipelineConfig {
+  /// Registry names of the attacks to run per evaluation. The scalar
+  /// fitness is 1 - mean(accuracy); the objective vector has one entry
+  /// (accuracy, minimized) per attack. Ignored when an override is set.
+  std::vector<std::string> attacks = {"structural"};
+  /// Forwarded to every attack factory. `oracle` is filled with the
+  /// pipeline's original netlist automatically when left null.
+  AttackOptions attack_options;
+
+  /// Weight of the wrong-key corruption term added to the scalar fitness
+  /// (0 = attack accuracy only, the paper's behaviour).
+  double corruption_weight = 0.0;
+  /// Random vectors per corruption estimate.
+  std::size_t corruption_vectors = 256;
+  /// Append `1 - min(corruption, 0.5) / 0.5` as an extra minimized
+  /// objective (multi-objective runs only).
+  bool corruption_objective = false;
+
+  /// Worker threads for population batches: 0 = hardware concurrency,
+  /// 1 = sequential. Ignored when `pool` is set.
+  std::size_t threads = 1;
+  /// Borrowed external pool (not owned; must outlive the pipeline).
+  util::ThreadPool* pool = nullptr;
+
+  /// Disable to force one attack run per evaluate call (single-trajectory
+  /// heuristics count proposals, not unique genotypes).
+  bool cache = true;
+
+  /// Base seed for decode-time gene repair; optimizers pass their own seed
+  /// so runs stay reproducible.
+  std::uint64_t seed = 0;
+  /// Salt XORed into the repair RNG; each optimizer keeps its historical
+  /// constant so refactoring onto the pipeline left trajectories unchanged.
+  std::uint64_t repair_salt = 0xDEC0DEULL;
+
+  /// Custom scalar fitness; replaces the attack list. Must be thread-safe.
+  ga::FitnessFn fitness_override;
+  /// Custom objective vector; replaces the attack list. Must be thread-safe.
+  ga::MultiFitnessFn objectives_override;
+  /// Declared arity of objectives_override (0 = unchecked).
+  std::size_t objectives_override_arity = 0;
+};
+
+class EvalPipeline {
+ public:
+  /// `original` must outlive the pipeline.
+  explicit EvalPipeline(const netlist::Netlist& original,
+                        EvalPipelineConfig config = {});
+
+  EvalPipeline(const EvalPipeline&) = delete;
+  EvalPipeline& operator=(const EvalPipeline&) = delete;
+
+  const netlist::Netlist& original() const noexcept { return *original_; }
+  const lock::SiteContext& context() const noexcept { return context_; }
+  const EvalPipelineConfig& config() const noexcept { return config_; }
+  /// Names of the configured attacks (empty in override mode).
+  std::vector<std::string> attack_names() const;
+  /// Objective count of the multi-objective path.
+  std::size_t num_objectives() const noexcept;
+
+  /// Decodes a genotype (with deterministic gene repair) into a locked
+  /// netlist, exactly as the batch evaluators do internally.
+  lock::LockedDesign decode(const ga::Genotype& genes,
+                            std::uint64_t repair_seed = 0) const;
+
+  // ---- scoring an already-decoded design (no cache) ----------------------
+
+  /// Runs every configured attack and returns the raw reports.
+  std::vector<AttackReport> reports(const lock::LockedDesign& design) const;
+  /// Scalar fitness of a design: 1 - mean accuracy (+ corruption term).
+  ga::Evaluation score(const lock::LockedDesign& design) const;
+  /// Objective vector of a design: per-attack accuracy (+ corruption).
+  std::vector<double> score_objectives(const lock::LockedDesign& design) const;
+  /// Wrong-key output corruption against the shared oracle simulator.
+  double corruption(const lock::LockedDesign& design) const;
+
+  // ---- cached genotype evaluation ----------------------------------------
+
+  /// Decode + score one genotype; repaired genes are written back. Cache
+  /// lookups use the pre-repair genes, stores the repaired genes.
+  ga::Evaluation evaluate(ga::Genotype& genes, std::uint64_t repair_seed = 0);
+  std::vector<double> evaluate_objectives(ga::Genotype& genes,
+                                          std::uint64_t repair_seed = 0);
+
+  struct BatchStats {
+    std::size_t cache_hits = 0;
+    std::size_t evaluated = 0;  // attack/fitness invocations (cache misses)
+  };
+
+  /// Evaluates a GA population in parallel (thread pool permitting).
+  /// Individuals hitting the cache keep their genes; misses are decoded
+  /// (genes repaired in place) and scored.
+  BatchStats evaluate_population(std::vector<ga::Individual>& population,
+                                 std::size_t generation);
+
+  /// Multi-objective batch: only individuals with empty `objectives` are
+  /// (re)evaluated, mirroring NSGA-II's carry-over of survivors.
+  BatchStats evaluate_population(std::vector<ga::MoIndividual>& population,
+                                 std::size_t generation);
+
+  /// Total attack/fitness invocations since construction (cache misses).
+  std::size_t evaluations() const noexcept { return evaluations_.load(); }
+  /// Total cache hits since construction.
+  std::size_t cache_hits() const noexcept { return cache_hits_.load(); }
+  void clear_cache();
+
+ private:
+  util::ThreadPool* worker_pool();
+  static std::uint64_t batch_repair_seed(std::size_t generation,
+                                         std::size_t index);
+  void check_objective_arity(const std::vector<double>& objectives) const;
+
+  const netlist::Netlist* original_;
+  lock::SiteContext context_;
+  EvalPipelineConfig config_;
+  std::vector<std::unique_ptr<Attack>> attacks_;
+  std::unique_ptr<netlist::Simulator> oracle_sim_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  FitnessCache<ga::Evaluation> scalar_cache_;
+  FitnessCache<std::vector<double>> objective_cache_;
+  std::atomic<std::size_t> evaluations_{0};
+  std::atomic<std::size_t> cache_hits_{0};
+};
+
+}  // namespace autolock::eval

@@ -1,0 +1,79 @@
+#include "eval/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace autolock::eval {
+
+AttackRegistry& AttackRegistry::instance() {
+  static AttackRegistry* registry = [] {
+    auto* r = new AttackRegistry();
+    register_builtin_attacks(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void AttackRegistry::add(std::string name, Factory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("AttackRegistry::add: empty name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("AttackRegistry::add: null factory for '" +
+                                name + "'");
+  }
+  const std::scoped_lock lock(mutex_);
+  if (!factories_.emplace(std::move(name), std::move(factory)).second) {
+    throw std::invalid_argument("AttackRegistry::add: duplicate attack name");
+  }
+}
+
+bool AttackRegistry::contains(const std::string& name) const {
+  const std::scoped_lock lock(mutex_);
+  return factories_.contains(name);
+}
+
+std::vector<std::string> AttackRegistry::names() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::string> result;
+  result.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) result.push_back(name);
+  return result;  // std::map iteration order is already sorted
+}
+
+std::unique_ptr<Attack> AttackRegistry::create(
+    const std::string& name, const AttackOptions& options) const {
+  Factory factory;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string known;
+    for (const auto& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::out_of_range("AttackRegistry: unknown attack '" + name +
+                            "' (known: " + known + ")");
+  }
+  return factory(options);
+}
+
+std::unique_ptr<Attack> make_attack(const std::string& name,
+                                    const AttackOptions& options) {
+  return AttackRegistry::instance().create(name, options);
+}
+
+std::vector<std::unique_ptr<Attack>> make_attacks(
+    const std::vector<std::string>& names, const AttackOptions& options) {
+  std::vector<std::unique_ptr<Attack>> result;
+  result.reserve(names.size());
+  for (const std::string& name : names) {
+    result.push_back(make_attack(name, options));
+  }
+  return result;
+}
+
+}  // namespace autolock::eval

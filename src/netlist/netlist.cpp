@@ -5,6 +5,51 @@
 
 namespace autolock::netlist {
 
+Netlist::Netlist(const Netlist& other)
+    : name_(other.name_),
+      nodes_(other.nodes_),
+      inputs_(other.inputs_),
+      outputs_(other.outputs_),
+      by_name_(other.by_name_) {}
+
+Netlist& Netlist::operator=(const Netlist& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  nodes_ = other.nodes_;
+  inputs_ = other.inputs_;
+  outputs_ = other.outputs_;
+  by_name_ = other.by_name_;
+  cache_ = TraversalCache{};
+  return *this;
+}
+
+Netlist::Netlist(Netlist&& other) noexcept
+    : name_(std::move(other.name_)),
+      nodes_(std::move(other.nodes_)),
+      inputs_(std::move(other.inputs_)),
+      outputs_(std::move(other.outputs_)),
+      by_name_(std::move(other.by_name_)),
+      cache_(std::move(other.cache_)) {
+  other.cache_ = TraversalCache{};
+}
+
+Netlist& Netlist::operator=(Netlist&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  nodes_ = std::move(other.nodes_);
+  inputs_ = std::move(other.inputs_);
+  outputs_ = std::move(other.outputs_);
+  by_name_ = std::move(other.by_name_);
+  cache_ = std::move(other.cache_);
+  other.cache_ = TraversalCache{};
+  return *this;
+}
+
+void Netlist::invalidate_traversal_cache() noexcept {
+  cache_.topo_valid = false;
+  cache_.fanouts_valid = false;
+}
+
 NodeId Netlist::add_node(Node node) {
   const auto id = static_cast<NodeId>(nodes_.size());
   if (node.name.empty()) node.name = fresh_name(id);
@@ -14,6 +59,7 @@ NodeId Netlist::add_node(Node node) {
   }
   by_name_.emplace(node.name, id);
   nodes_.push_back(std::move(node));
+  invalidate_traversal_cache();
   return id;
 }
 
@@ -86,6 +132,7 @@ void Netlist::set_output_driver(std::size_t output_index, NodeId new_driver) {
     throw std::invalid_argument("Netlist::set_output_driver: bad argument");
   }
   outputs_[output_index].driver = new_driver;
+  invalidate_traversal_cache();
 }
 
 std::size_t Netlist::replace_fanin(NodeId gate, NodeId old_fanin,
@@ -100,6 +147,7 @@ std::size_t Netlist::replace_fanin(NodeId gate, NodeId old_fanin,
       ++replaced;
     }
   }
+  if (replaced != 0) invalidate_traversal_cache();
   return replaced;
 }
 
@@ -113,6 +161,7 @@ void Netlist::append_fanin(NodeId gate, NodeId fanin) {
         "Netlist::append_fanin: gate type has bounded arity");
   }
   nodes_[gate].fanins.push_back(fanin);
+  invalidate_traversal_cache();
 }
 
 std::vector<NodeId> Netlist::primary_inputs() const {
@@ -137,11 +186,12 @@ NodeId Netlist::find(const std::string& node_name) const noexcept {
 }
 
 bool Netlist::is_acyclic() const {
+  {
+    const std::scoped_lock lock(cache_mutex_);
+    if (cache_.topo_valid) return true;  // a full topo order exists
+  }
   // Kahn's algorithm: count processed nodes.
   std::vector<std::uint32_t> pending(nodes_.size(), 0);
-  for (const Node& node : nodes_) {
-    (void)node;
-  }
   std::vector<std::vector<NodeId>> outs(nodes_.size());
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     pending[v] = static_cast<std::uint32_t>(nodes_[v].fanins.size());
@@ -163,7 +213,25 @@ bool Netlist::is_acyclic() const {
   return processed == nodes_.size();
 }
 
-std::vector<NodeId> Netlist::topological_order() const {
+const std::vector<NodeId>& Netlist::topological_order() const {
+  const std::scoped_lock lock(cache_mutex_);
+  if (!cache_.topo_valid) {
+    cache_.topo = compute_topological_order();
+    cache_.topo_valid = true;
+  }
+  return cache_.topo;
+}
+
+const std::vector<std::vector<NodeId>>& Netlist::fanouts() const {
+  const std::scoped_lock lock(cache_mutex_);
+  if (!cache_.fanouts_valid) {
+    cache_.fanouts = compute_fanouts();
+    cache_.fanouts_valid = true;
+  }
+  return cache_.fanouts;
+}
+
+std::vector<NodeId> Netlist::compute_topological_order() const {
   std::vector<std::uint32_t> pending(nodes_.size(), 0);
   std::vector<std::vector<NodeId>> outs(nodes_.size());
   for (NodeId v = 0; v < nodes_.size(); ++v) {
@@ -190,7 +258,7 @@ std::vector<NodeId> Netlist::topological_order() const {
   return order;
 }
 
-std::vector<std::vector<NodeId>> Netlist::fanouts() const {
+std::vector<std::vector<NodeId>> Netlist::compute_fanouts() const {
   std::vector<std::vector<NodeId>> outs(nodes_.size());
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     for (NodeId fanin : nodes_[v].fanins) outs[fanin].push_back(v);
@@ -225,7 +293,7 @@ std::vector<bool> Netlist::live_mask() const {
 }
 
 std::size_t Netlist::depth() const {
-  const auto order = topological_order();
+  const auto& order = topological_order();
   std::vector<std::size_t> level(nodes_.size(), 0);
   std::size_t max_level = 0;
   for (NodeId v : order) {

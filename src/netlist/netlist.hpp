@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +36,13 @@ class Netlist {
  public:
   Netlist() = default;
   explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  // Copies do not inherit the traversal cache (a freshly decoded individual
+  // is mutated immediately, which would discard it anyway); moves keep it.
+  Netlist(const Netlist& other);
+  Netlist& operator=(const Netlist& other);
+  Netlist(Netlist&& other) noexcept;
+  Netlist& operator=(Netlist&& other) noexcept;
 
   // ---- construction ------------------------------------------------------
 
@@ -99,11 +107,16 @@ class Netlist {
 
   /// Topological order over all nodes (sources first).
   /// Throws std::runtime_error if cyclic.
-  std::vector<NodeId> topological_order() const;
+  ///
+  /// The result is computed once and cached until the next structural
+  /// mutation (add_*/replace_fanin/append_fanin/set_output_driver); repeated
+  /// calls on an unchanged netlist are O(1). Concurrent const access is
+  /// safe; the reference stays valid until mutation recomputes it.
+  const std::vector<NodeId>& topological_order() const;
 
   /// Fanout adjacency: fanouts[v] = gates having v as a fanin (deduplicated,
-  /// ascending). Output ports are not edges.
-  std::vector<std::vector<NodeId>> fanouts() const;
+  /// ascending). Output ports are not edges. Cached like topological_order().
+  const std::vector<std::vector<NodeId>>& fanouts() const;
 
   /// Nodes from which at least one output port is reachable ("live" nodes).
   std::vector<bool> live_mask() const;
@@ -125,12 +138,27 @@ class Netlist {
  private:
   NodeId add_node(Node node);
   std::string fresh_name(NodeId id) const;
+  void invalidate_traversal_cache() noexcept;
+  std::vector<NodeId> compute_topological_order() const;
+  std::vector<std::vector<NodeId>> compute_fanouts() const;
 
   std::string name_;
   std::vector<Node> nodes_;
   std::vector<NodeId> inputs_;
   std::vector<OutputPort> outputs_;
   std::unordered_map<std::string, NodeId> by_name_;
+
+  // Lazily filled by the const traversal accessors; guarded so that
+  // concurrent readers (parallel fitness evaluation over a shared original
+  // netlist) never race on first computation.
+  struct TraversalCache {
+    bool topo_valid = false;
+    bool fanouts_valid = false;
+    std::vector<NodeId> topo;
+    std::vector<std::vector<NodeId>> fanouts;
+  };
+  mutable TraversalCache cache_;
+  mutable std::mutex cache_mutex_;
 };
 
 }  // namespace autolock::netlist

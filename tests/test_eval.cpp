@@ -1,0 +1,298 @@
+// Tests for the unified attack-oracle & evaluation subsystem (src/eval/):
+//   - AttackRegistry by-name construction and error handling;
+//   - conformance: every registered attack runs on the same small locked
+//     design and produces an in-range, fully-populated AttackReport;
+//   - FitnessCache regression for the genotype-hash-collision bug (the old
+//     GA cache keyed on a 64-bit digest and silently served wrong fitness
+//     on collision; the cache now keys on the full genotype);
+//   - EvalPipeline scalar/multi-objective evaluation, caching, and the GA
+//     integration path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/ga.hpp"
+#include "eval/fitness_cache.hpp"
+#include "eval/pipeline.hpp"
+#include "eval/registry.hpp"
+#include "locking/mux_lock.hpp"
+#include "netlist/generator.hpp"
+
+namespace autolock::eval {
+namespace {
+
+using netlist::Netlist;
+
+/// Cheap attack knobs so the conformance suite stays fast.
+AttackOptions fast_options(const Netlist& oracle) {
+  AttackOptions options;
+  options.oracle = &oracle;
+  options.muxlink.epochs = 4;
+  options.muxlink.max_train_links = 120;
+  options.muxlink.subgraph.max_nodes = 32;
+  options.structural.epochs = 10;
+  options.structural.max_train_links = 400;
+  options.ensemble = 2;
+  return options;
+}
+
+TEST(AttackRegistry, ListsAllFiveBuiltinAttacks) {
+  const auto names = AttackRegistry::instance().names();
+  for (const char* expected :
+       {"muxlink", "muxlink-ensemble", "structural", "scope", "sat"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) != names.end())
+        << "missing attack: " << expected;
+    EXPECT_TRUE(AttackRegistry::instance().contains(expected));
+  }
+  EXPECT_GE(names.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(AttackRegistry, UnknownNameThrowsWithKnownNames) {
+  try {
+    make_attack("no-such-attack");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("muxlink"), std::string::npos);
+  }
+}
+
+TEST(AttackRegistry, DuplicateRegistrationThrows) {
+  AttackRegistry registry;  // private registry, empty
+  register_builtin_attacks(registry);
+  EXPECT_THROW(register_builtin_attacks(registry), std::invalid_argument);
+  EXPECT_THROW(registry.add("", [](const AttackOptions&) {
+                 return std::unique_ptr<Attack>();
+               }),
+               std::invalid_argument);
+}
+
+TEST(AttackRegistry, SatRequiresOracle) {
+  EXPECT_THROW(make_attack("sat"), std::invalid_argument);
+}
+
+TEST(AttackConformance, EveryRegisteredAttackPopulatesReportInRange) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 11);
+  const auto design = lock::dmux_lock(original, 6, 3);
+  const AttackOptions options = fast_options(original);
+
+  for (const auto& name : AttackRegistry::instance().names()) {
+    SCOPED_TRACE(name);
+    const auto attack = make_attack(name, options);
+    ASSERT_NE(attack, nullptr);
+    EXPECT_EQ(attack->name(), name);
+    const AttackReport report = attack->evaluate(design);
+    EXPECT_EQ(report.attack, name);
+    EXPECT_EQ(report.key_bits, 6u);
+    EXPECT_GE(report.accuracy, 0.0);
+    EXPECT_LE(report.accuracy, 1.0);
+    EXPECT_GE(report.precision, 0.0);
+    EXPECT_LE(report.precision, 1.0);
+    EXPECT_GE(report.decided_fraction, 0.0);
+    EXPECT_LE(report.decided_fraction, 1.0);
+    EXPECT_GE(report.key_recovery, 0.0);
+    EXPECT_LE(report.key_recovery, 1.0);
+    EXPECT_GE(report.seconds, 0.0);
+    if (report.key_recovered) {
+      EXPECT_GT(report.key_bits, 0u);
+    }
+  }
+}
+
+TEST(AttackConformance, SatRecoversMuxKeyThroughAdapter) {
+  const Netlist original = netlist::gen::c17();
+  const auto design = lock::dmux_lock(original, 2, 7);
+  const auto attack = make_attack("sat", fast_options(original));
+  const AttackReport report = attack->evaluate(design);
+  EXPECT_TRUE(report.key_recovered);
+  EXPECT_EQ(report.accuracy, 1.0);
+}
+
+// ---- fitness cache: the collision regression -----------------------------
+
+/// Degenerate hash that maps every genotype to one bucket: with the old
+/// digest-keyed cache this aliased all genotypes to a single entry; with
+/// full-genotype keys they must stay distinct.
+struct CollidingHash {
+  std::size_t operator()(const Genotype&) const noexcept { return 42; }
+};
+
+Genotype genotype_of(netlist::NodeId base, bool key_bit) {
+  lock::LockSite site;
+  site.f_i = base;
+  site.f_j = base + 1;
+  site.g_i = base + 2;
+  site.g_j = base + 3;
+  site.key_bit = key_bit;
+  return {site};
+}
+
+TEST(FitnessCache, HashCollisionDoesNotAliasGenotypes) {
+  FitnessCache<int, CollidingHash> cache;
+  const Genotype a = genotype_of(1, false);
+  const Genotype b = genotype_of(9, true);
+  cache.store(a, 111);
+  cache.store(b, 222);
+  ASSERT_EQ(cache.size(), 2u);  // the old digest cache would hold 1
+  int out = 0;
+  ASSERT_TRUE(cache.lookup(a, out));
+  EXPECT_EQ(out, 111);
+  ASSERT_TRUE(cache.lookup(b, out));
+  EXPECT_EQ(out, 222);
+}
+
+TEST(FitnessCache, KeyBitDifferenceIsADifferentGenotype) {
+  // Key-bit flips are the GA's cheapest mutation; a cache that conflated
+  // them would freeze the search. (Guards the GenotypeHash/equality pair.)
+  FitnessCache<int> cache;
+  cache.store(genotype_of(1, false), 1);
+  cache.store(genotype_of(1, true), 2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(GenotypeHash{}(genotype_of(1, false)),
+            GenotypeHash{}(genotype_of(1, true)));
+}
+
+// ---- EvalPipeline --------------------------------------------------------
+
+TEST(EvalPipeline, ScalarFitnessMatchesAttackAccuracy) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 12);
+  EvalPipelineConfig config;
+  config.attacks = {"structural"};
+  config.attack_options = fast_options(original);
+  EvalPipeline pipeline(original, std::move(config));
+
+  const auto design = lock::dmux_lock(original, 8, 5);
+  const ga::Evaluation eval = pipeline.score(design);
+  EXPECT_GE(eval.attack_accuracy, 0.0);
+  EXPECT_LE(eval.attack_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(eval.fitness, 1.0 - eval.attack_accuracy);
+}
+
+TEST(EvalPipeline, ObjectivesOnePerAttackPlusCorruption) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 13);
+  EvalPipelineConfig config;
+  config.attacks = {"structural", "scope"};
+  config.attack_options = fast_options(original);
+  config.corruption_objective = true;
+  config.corruption_vectors = 64;
+  EvalPipeline pipeline(original, std::move(config));
+  ASSERT_EQ(pipeline.num_objectives(), 3u);
+
+  const lock::SiteContext& context = pipeline.context();
+  util::Rng rng(3);
+  ga::Genotype genes = lock::random_genotype(context, 6, rng);
+  const auto objectives = pipeline.evaluate_objectives(genes);
+  ASSERT_EQ(objectives.size(), 3u);
+  for (const double objective : objectives) {
+    EXPECT_GE(objective, 0.0);
+    EXPECT_LE(objective, 1.0 + 1e-12);
+  }
+}
+
+TEST(EvalPipeline, CacheHitSkipsReevaluation) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 14);
+  std::atomic<std::size_t> calls{0};
+  EvalPipelineConfig config;
+  config.fitness_override = [&calls](const lock::LockedDesign& design) {
+    calls.fetch_add(1);
+    ga::Evaluation eval;
+    eval.fitness = static_cast<double>(design.key.size());
+    return eval;
+  };
+  EvalPipeline pipeline(original, std::move(config));
+
+  util::Rng rng(5);
+  ga::Genotype genes = lock::random_genotype(pipeline.context(), 8, rng);
+  const auto first = pipeline.evaluate(genes);
+  const auto second = pipeline.evaluate(genes);  // repaired genes -> hit
+  EXPECT_EQ(calls.load(), 1u);
+  EXPECT_EQ(pipeline.evaluations(), 1u);
+  EXPECT_EQ(pipeline.cache_hits(), 1u);
+  EXPECT_EQ(first.fitness, second.fitness);
+
+  pipeline.clear_cache();
+  pipeline.evaluate(genes);
+  EXPECT_EQ(calls.load(), 2u);
+}
+
+TEST(EvalPipeline, GaRunsEntirelyThroughPipeline) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 15);
+  std::atomic<std::size_t> calls{0};
+  EvalPipelineConfig config;
+  config.fitness_override = [&calls](const lock::LockedDesign& design) {
+    calls.fetch_add(1);
+    ga::Evaluation eval;
+    double ones = 0.0;
+    for (bool bit : design.key) ones += bit ? 1.0 : 0.0;
+    eval.fitness = ones / static_cast<double>(design.key.size());
+    eval.attack_accuracy = 1.0 - eval.fitness;
+    return eval;
+  };
+  config.seed = 21;
+  EvalPipeline pipeline(original, std::move(config));
+
+  ga::GaConfig ga_config;
+  ga_config.population = 8;
+  ga_config.generations = 4;
+  ga_config.seed = 21;
+  ga::GeneticAlgorithm engine(original, ga_config);
+  const ga::GaResult result = engine.run(10, pipeline);
+
+  // Every GA evaluation was one pipeline fitness call — no side channels —
+  // and elites/duplicates were served by the cache.
+  EXPECT_EQ(calls.load(), result.evaluations);
+  EXPECT_EQ(pipeline.evaluations(), result.evaluations);
+  EXPECT_LT(result.evaluations, 8u * 5u);
+  EXPECT_GT(pipeline.cache_hits(), 0u);
+}
+
+TEST(EvalPipeline, MismatchedNetlistThrows) {
+  const Netlist a = netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 1);
+  const Netlist b = netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 2);
+  EvalPipelineConfig config;
+  config.fitness_override = [](const lock::LockedDesign&) {
+    return ga::Evaluation{};
+  };
+  EvalPipeline pipeline(a, std::move(config));
+  ga::GeneticAlgorithm engine(b, {});
+  EXPECT_THROW(engine.run(4, pipeline), std::invalid_argument);
+}
+
+TEST(EvalPipeline, ParallelBatchMatchesSequential) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 16);
+  const auto make_config = [&](std::size_t threads) {
+    EvalPipelineConfig config;
+    config.attacks = {"structural"};
+    config.attack_options = fast_options(original);
+    config.threads = threads;
+    config.seed = 77;
+    return config;
+  };
+  EvalPipeline sequential(original, make_config(1));
+  EvalPipeline parallel(original, make_config(3));
+
+  std::vector<ga::Individual> pop_a(6);
+  std::vector<ga::Individual> pop_b(6);
+  util::Rng rng(9);
+  for (std::size_t i = 0; i < pop_a.size(); ++i) {
+    util::Rng fork = rng.fork();
+    pop_a[i].genes = lock::random_genotype(sequential.context(), 6, fork);
+    pop_b[i].genes = pop_a[i].genes;
+  }
+  sequential.evaluate_population(pop_a, 0);
+  parallel.evaluate_population(pop_b, 0);
+  for (std::size_t i = 0; i < pop_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pop_a[i].eval.fitness, pop_b[i].eval.fitness);
+    EXPECT_EQ(pop_a[i].genes, pop_b[i].genes);
+  }
+}
+
+}  // namespace
+}  // namespace autolock::eval
