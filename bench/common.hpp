@@ -9,6 +9,13 @@
 // also collected into a machine-readable BENCH_<binary>.json file — the
 // benchmark name, total wall time, and all metric rows — so the perf
 // trajectory can be tracked across PRs without scraping ASCII tables.
+//
+// Solver-core metrics in bench_sat_attack's JSON (per row, stringified):
+// "props" (unit propagations), "Mprops/s" (propagation throughput),
+// "arena KB" / "peak arena KB" (clause-arena footprint), "reduces" /
+// "GC runs" (learnt-DB reductions and arena compactions), and "mean LBD"
+// (average learnt-clause literal block distance). They come straight from
+// sat::Solver::Stats via SatAttackResult.
 #pragma once
 
 #include <cstdio>

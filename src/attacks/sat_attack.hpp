@@ -36,6 +36,13 @@ struct SatAttackResult {
   std::size_t dip_iterations = 0;
   std::uint64_t total_conflicts = 0;
   std::uint64_t total_decisions = 0;
+  std::uint64_t total_propagations = 0;
+  // Solver-core internals (sat/clause_allocator.hpp): arena compactions,
+  // DB reductions, memory footprint, and mean learnt-clause LBD.
+  std::uint64_t gc_runs = 0;
+  std::uint64_t db_reductions = 0;
+  std::uint64_t peak_arena_bytes = 0;
+  double mean_lbd = 0.0;
   double seconds = 0.0;
 };
 

@@ -1,0 +1,198 @@
+// Arena clause storage for the CDCL solver.
+//
+// Clauses live in one flat uint32_t buffer: a one-word header (size + flags)
+// followed by the literals inline, plus two extra words (activity, LBD) for
+// learnt clauses. A ClauseRef is a word offset into the arena, so the
+// propagation loop walks contiguous memory instead of chasing per-clause
+// heap allocations. Deleting a clause marks it and counts the words as
+// wasted; when the wasted fraction crosses a threshold the solver runs a
+// compacting garbage collection that copies live clauses into a fresh arena
+// and remaps every outstanding reference (watch lists, reason refs, clause
+// lists) through forwarding pointers left in the old buffer.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace autolock::sat {
+
+/// Variables are 0-based. A literal packs (var, sign): lit = 2*var + sign,
+/// sign 1 = negated.
+using Var = std::int32_t;
+using Lit = std::int32_t;
+inline constexpr Lit kUndefLit = -1;
+
+constexpr Lit make_lit(Var var, bool negated = false) noexcept {
+  return 2 * var + (negated ? 1 : 0);
+}
+constexpr Var lit_var(Lit lit) noexcept { return lit >> 1; }
+constexpr bool lit_sign(Lit lit) noexcept { return (lit & 1) != 0; }
+constexpr Lit lit_neg(Lit lit) noexcept { return lit ^ 1; }
+
+/// Word offset of a clause inside the arena.
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef kNoClause = static_cast<ClauseRef>(-1);
+
+/// Non-owning view of one clause inside the arena. Layout (uint32 words):
+///   [0]            header: size << 4 | flags (learnt/deleted/reloced/locked)
+///   [1 .. size]    literals
+///   [size+1]       activity (float bits, learnt only)
+///   [size+2]       LBD (learnt only)
+/// A relocated clause reuses word [1] as the forwarding reference.
+class Clause {
+ public:
+  explicit Clause(std::uint32_t* data) noexcept : data_(data) {}
+
+  std::uint32_t size() const noexcept { return data_[0] >> 4; }
+  bool learnt() const noexcept { return (data_[0] & kLearntBit) != 0; }
+  bool deleted() const noexcept { return (data_[0] & kDeletedBit) != 0; }
+  bool reloced() const noexcept { return (data_[0] & kRelocedBit) != 0; }
+  /// Scratch mark used by reduce_db() to protect reason clauses.
+  bool locked() const noexcept { return (data_[0] & kLockedBit) != 0; }
+  void set_locked(bool on) noexcept {
+    if (on) {
+      data_[0] |= kLockedBit;
+    } else {
+      data_[0] &= ~kLockedBit;
+    }
+  }
+
+  /// Literal storage; uint32 words accessed as the corresponding signed
+  /// type, which the aliasing rules permit.
+  Lit* lits() noexcept { return reinterpret_cast<Lit*>(data_ + 1); }
+  const Lit* lits() const noexcept {
+    return reinterpret_cast<const Lit*>(data_ + 1);
+  }
+  Lit& operator[](std::uint32_t i) noexcept { return lits()[i]; }
+  Lit operator[](std::uint32_t i) const noexcept { return lits()[i]; }
+
+  float activity() const noexcept {
+    assert(learnt());
+    float a;
+    std::memcpy(&a, &data_[1 + size()], sizeof(a));
+    return a;
+  }
+  void set_activity(float a) noexcept {
+    assert(learnt());
+    std::memcpy(&data_[1 + size()], &a, sizeof(a));
+  }
+
+  std::uint32_t lbd() const noexcept {
+    assert(learnt());
+    return data_[2 + size()];
+  }
+  void set_lbd(std::uint32_t lbd) noexcept {
+    assert(learnt());
+    data_[2 + size()] = lbd;
+  }
+
+ private:
+  friend class ClauseAllocator;
+  static constexpr std::uint32_t kLearntBit = 1u << 0;
+  static constexpr std::uint32_t kDeletedBit = 1u << 1;
+  static constexpr std::uint32_t kRelocedBit = 1u << 2;
+  static constexpr std::uint32_t kLockedBit = 1u << 3;
+
+  ClauseRef forward() const noexcept {
+    assert(reloced());
+    return data_[1];
+  }
+  void set_forward(ClauseRef ref) noexcept {
+    data_[0] |= kRelocedBit;
+    data_[1] = ref;
+  }
+
+  std::uint32_t* data_;
+};
+
+class ClauseAllocator {
+ public:
+  /// Refs must stay below 2^31: the solver's watchers pack a flag into the
+  /// top bit. Enforced in release builds too (an 8 GiB arena would
+  /// otherwise silently corrupt watcher refs).
+  static constexpr std::size_t kMaxWords = std::size_t{1} << 31;
+
+  ClauseRef alloc(const Lit* lits, std::uint32_t size, bool learnt) {
+    assert(size >= 2);
+    const std::uint32_t need = words_for(size, learnt);
+    const auto ref = static_cast<ClauseRef>(mem_.size());
+    if (mem_.size() + need > kMaxWords) {
+      throw std::length_error("ClauseAllocator: arena exceeds 2^31 words");
+    }
+    mem_.resize(mem_.size() + need);
+    std::uint32_t* data = mem_.data() + ref;
+    data[0] = (size << 4) | (learnt ? Clause::kLearntBit : 0u);
+    std::memcpy(data + 1, lits, size * sizeof(Lit));
+    if (learnt) {
+      const float zero = 0.0f;
+      std::memcpy(&data[1 + size], &zero, sizeof(zero));
+      data[2 + size] = 0;
+    }
+    return ref;
+  }
+
+  Clause operator[](ClauseRef ref) noexcept {
+    assert(ref < mem_.size());
+    return Clause(mem_.data() + ref);
+  }
+  /// Read-only deref (the Clause view is shared; callers on a const
+  /// allocator must not write through it).
+  Clause operator[](ClauseRef ref) const noexcept {
+    assert(ref < mem_.size());
+    return Clause(const_cast<std::uint32_t*>(mem_.data()) + ref);
+  }
+
+  /// Marks the clause deleted and counts its words as wasted. The memory is
+  /// reclaimed by the next garbage collection.
+  void free_clause(ClauseRef ref) noexcept {
+    Clause clause = (*this)[ref];
+    assert(!clause.deleted());
+    clause.data_[0] |= Clause::kDeletedBit;
+    wasted_ += words_for(clause.size(), clause.learnt());
+  }
+
+  /// Copies the clause into `to` (first call) or returns the already
+  /// forwarded reference, leaving a forwarding pointer in this arena.
+  ClauseRef reloc(ClauseRef ref, ClauseAllocator& to) {
+    Clause clause = (*this)[ref];
+    if (clause.reloced()) return clause.forward();
+    assert(!clause.deleted());
+    const std::uint32_t need = words_for(clause.size(), clause.learnt());
+    const auto nref = static_cast<ClauseRef>(to.mem_.size());
+    if (to.mem_.size() + need > kMaxWords) {
+      throw std::length_error("ClauseAllocator: arena exceeds 2^31 words");
+    }
+    to.mem_.resize(to.mem_.size() + need);
+    std::memcpy(to.mem_.data() + nref, clause.data_,
+                need * sizeof(std::uint32_t));
+    clause.set_forward(nref);
+    return nref;
+  }
+
+  void reserve_words(std::size_t words) { mem_.reserve(words); }
+
+  std::size_t size_words() const noexcept { return mem_.size(); }
+  std::size_t wasted_words() const noexcept { return wasted_; }
+  std::size_t bytes() const noexcept {
+    return mem_.size() * sizeof(std::uint32_t);
+  }
+
+  /// GC pays off once ≥20% of the arena is dead weight.
+  bool should_gc() const noexcept {
+    return wasted_ > 0 && wasted_ * 5 >= mem_.size();
+  }
+
+ private:
+  static constexpr std::uint32_t words_for(std::uint32_t size,
+                                           bool learnt) noexcept {
+    return 1 + size + (learnt ? 2 : 0);
+  }
+
+  std::vector<std::uint32_t> mem_;
+  std::size_t wasted_ = 0;  // peak tracking lives in Solver::Stats
+};
+
+}  // namespace autolock::sat

@@ -10,28 +10,31 @@ using netlist::GateType;
 using netlist::Netlist;
 using netlist::NodeId;
 
-/// Clauses for out <-> AND(ins): (~out | in_i) for all i; (out | ~in_1 | ...).
-void encode_and(Solver& solver, Var out, const std::vector<Lit>& ins) {
-  std::vector<Lit> big;
-  big.reserve(ins.size() + 1);
+/// Clauses for out_lit <-> AND(ins): (~out_lit | in_i) for all i;
+/// (out_lit | ~in_1 | ...). Passing a negated out_lit encodes NAND. `big`
+/// is a caller-provided scratch buffer (reused across gates so the
+/// encoding loop performs no per-gate allocations).
+void encode_and(Solver& solver, Lit out_lit, const std::vector<Lit>& ins,
+                std::vector<Lit>& big) {
+  big.clear();
   for (Lit in : ins) {
-    solver.add_clause(make_lit(out, true), in);
+    solver.add_clause(lit_neg(out_lit), in);
     big.push_back(lit_neg(in));
   }
-  big.push_back(make_lit(out, false));
-  solver.add_clause(std::move(big));
+  big.push_back(out_lit);
+  solver.add_clause(std::span<const Lit>(big));
 }
 
-/// Clauses for out <-> OR(ins).
-void encode_or(Solver& solver, Var out, const std::vector<Lit>& ins) {
-  std::vector<Lit> big;
-  big.reserve(ins.size() + 1);
+/// Clauses for out_lit <-> OR(ins); a negated out_lit encodes NOR.
+void encode_or(Solver& solver, Lit out_lit, const std::vector<Lit>& ins,
+               std::vector<Lit>& big) {
+  big.clear();
   for (Lit in : ins) {
-    solver.add_clause(make_lit(out, false), lit_neg(in));
+    solver.add_clause(out_lit, lit_neg(in));
     big.push_back(in);
   }
-  big.push_back(make_lit(out, true));
-  solver.add_clause(std::move(big));
+  big.push_back(lit_neg(out_lit));
+  solver.add_clause(std::span<const Lit>(big));
 }
 
 /// out <-> a XOR b (binary). For n-ary XOR we chain through fresh vars.
@@ -72,6 +75,7 @@ Encoding encode_netlist(
 
   Encoding enc;
   enc.node_var.assign(netlist.size(), -1);
+  solver.reserve_vars(solver.num_vars() + netlist.size());
 
   // Inputs first (shared or fresh).
   for (std::size_t i = 0; i < primary.size(); ++i) {
@@ -82,13 +86,14 @@ Encoding encode_netlist(
     enc.node_var[keys[i]] = share_keys ? (*share_keys)[i] : solver.new_var();
   }
 
+  std::vector<Lit> ins;   // reused across gates (no per-gate allocation)
+  std::vector<Lit> big;   // scratch for the wide AND/OR/NAND/NOR clause
   for (NodeId v : netlist.topological_order()) {
     const auto& node = netlist.node(v);
     if (node.type == GateType::kInput) continue;
     const Var out = solver.new_var();
     enc.node_var[v] = out;
-    std::vector<Lit> ins;
-    ins.reserve(node.fanins.size());
+    ins.clear();
     for (NodeId fanin : node.fanins) {
       ins.push_back(make_lit(enc.node_var[fanin], false));
     }
@@ -108,30 +113,19 @@ Encoding encode_netlist(
         solver.add_clause(make_lit(out, false), ins[0]);
         break;
       case GateType::kAnd:
-        encode_and(solver, out, ins);
+        encode_and(solver, make_lit(out), ins, big);
         break;
-      case GateType::kNand: {
-        // out = ~AND: encode AND into helper then invert via literal flip:
-        // simpler: out <-> NAND == ~out <-> AND. Encode with flipped out.
-        std::vector<Lit> flipped = ins;
-        // (out | in_i) and (~out | ~in1 | ... )
-        for (Lit in : flipped) solver.add_clause(make_lit(out, false), in);
-        std::vector<Lit> big;
-        for (Lit in : flipped) big.push_back(lit_neg(in));
-        big.push_back(make_lit(out, true));
-        solver.add_clause(std::move(big));
+      case GateType::kNand:
+        // out <-> NAND(ins) == ~out <-> AND(ins).
+        encode_and(solver, make_lit(out, true), ins, big);
         break;
-      }
       case GateType::kOr:
-        encode_or(solver, out, ins);
+        encode_or(solver, make_lit(out), ins, big);
         break;
-      case GateType::kNor: {
-        for (Lit in : ins) solver.add_clause(make_lit(out, true), lit_neg(in));
-        std::vector<Lit> big = ins;
-        big.push_back(make_lit(out, false));
-        solver.add_clause(std::move(big));
+      case GateType::kNor:
+        // out <-> NOR(ins) == ~out <-> OR(ins).
+        encode_or(solver, make_lit(out, true), ins, big);
         break;
-      }
       case GateType::kXor:
       case GateType::kXnor: {
         // Chain binary XORs through fresh intermediates.
@@ -172,16 +166,6 @@ Encoding encode_netlist(
   return enc;
 }
 
-void constrain_key(Solver& solver, const std::vector<Var>& key_vars,
-                   const netlist::Key& key) {
-  if (key_vars.size() != key.size()) {
-    throw std::invalid_argument("constrain_key: length mismatch");
-  }
-  for (std::size_t i = 0; i < key.size(); ++i) {
-    solver.add_clause(make_lit(key_vars[i], !key[i]));
-  }
-}
-
 Var make_miter(Solver& solver, const Encoding& a, const Encoding& b) {
   if (a.output_var.size() != b.output_var.size()) {
     throw std::invalid_argument("make_miter: output count mismatch");
@@ -194,8 +178,20 @@ Var make_miter(Solver& solver, const Encoding& a, const Encoding& b) {
     any_diff.push_back(make_lit(diff, false));
   }
   const Var miter = solver.new_var();
-  encode_or(solver, miter, any_diff);
+  std::vector<Lit> scratch;
+  encode_or(solver, make_lit(miter), any_diff, scratch);
   return miter;
+}
+
+std::vector<Var> pin_constants(Solver& solver, const std::vector<bool>& bits) {
+  std::vector<Var> vars;
+  vars.reserve(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const Var v = solver.new_var();
+    solver.add_clause(make_lit(v, !bits[i]));
+    vars.push_back(v);
+  }
+  return vars;
 }
 
 bool check_equivalent(const Netlist& a, const netlist::Key& a_key,
@@ -204,12 +200,15 @@ bool check_equivalent(const Netlist& a, const netlist::Key& a_key,
       a.outputs().size() != b.outputs().size()) {
     return false;
   }
+  if (a.key_inputs().size() != a_key.size() ||
+      b.key_inputs().size() != b_key.size()) {
+    throw std::invalid_argument("check_equivalent: key length mismatch");
+  }
   Solver solver;
-  const Encoding enc_a = encode_netlist(solver, a);
-  const Encoding enc_b =
-      encode_netlist(solver, b, enc_a.primary_input_var, std::nullopt);
-  constrain_key(solver, enc_a.key_var, a_key);
-  constrain_key(solver, enc_b.key_var, b_key);
+  const Encoding enc_a =
+      encode_netlist(solver, a, std::nullopt, pin_constants(solver, a_key));
+  const Encoding enc_b = encode_netlist(solver, b, enc_a.primary_input_var,
+                                        pin_constants(solver, b_key));
   const Var miter = make_miter(solver, enc_a, enc_b);
   const SolveResult result =
       solver.solve({make_lit(miter, false)});

@@ -34,9 +34,12 @@ Encoding encode_netlist(
     const std::optional<std::vector<Var>>& share_primary_inputs = std::nullopt,
     const std::optional<std::vector<Var>>& share_keys = std::nullopt);
 
-/// Adds clauses fixing `key_vars[i]` to `key[i]`.
-void constrain_key(Solver& solver, const std::vector<Var>& key_vars,
-                   const netlist::Key& key);
+/// Fresh solver variables pinned to constant `bits` as level-0 unit facts.
+/// Pinning BEFORE encode_netlist lets add_clause's level-0 simplification
+/// constant-fold the corresponding cones while the circuit is encoded —
+/// this is how check_equivalent fixes keys and the SAT attack fixes DIP
+/// inputs.
+std::vector<Var> pin_constants(Solver& solver, const std::vector<bool>& bits);
 
 /// Builds a miter over two encodings that already share primary inputs:
 /// returns a variable that is true iff some output differs.

@@ -1,0 +1,63 @@
+// Canonical CNF instance generators shared by tests and benchmarks.
+//
+// Keeping these in one place guarantees the fuzz tests, unit tests, and
+// solver-core benchmarks all talk about the *same* seeded instance when
+// they use the same parameters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace autolock::sat {
+
+/// Pigeonhole principle PHP(holes+1, holes): holes+1 pigeons into `holes`
+/// holes — unsatisfiable, and its proofs learn long, high-LBD clauses,
+/// which makes it the standard workout for learnt-DB reduction and GC.
+inline void add_pigeonhole(Solver& solver, int holes) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<Var>> at(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) at[p][h] = solver.new_var();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(make_lit(at[p][h]));
+    solver.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        solver.add_clause(make_lit(at[p1][h], true),
+                          make_lit(at[p2][h], true));
+      }
+    }
+  }
+}
+
+/// Uniform random 3-SAT over `vars` variables: `clauses` clauses of three
+/// distinct variables with random signs. Ratio clauses/vars ~4.26 sits at
+/// the satisfiability threshold (the hard regime).
+inline std::vector<std::vector<Lit>> random_3sat(int vars, int clauses,
+                                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<Lit>> out;
+  out.reserve(clauses);
+  for (int c = 0; c < clauses; ++c) {
+    std::vector<Lit> clause;
+    while (clause.size() < 3) {
+      const Var v = static_cast<Var>(rng.next_below(vars));
+      bool duplicate = false;
+      for (const Lit lit : clause) {
+        if (lit_var(lit) == v) duplicate = true;
+      }
+      if (!duplicate) clause.push_back(make_lit(v, rng.next_bool()));
+    }
+    out.push_back(std::move(clause));
+  }
+  return out;
+}
+
+}  // namespace autolock::sat

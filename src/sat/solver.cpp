@@ -1,53 +1,88 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <ostream>
 #include <stdexcept>
+
+#include "sat/dimacs.hpp"
 
 namespace autolock::sat {
 
 namespace {
 constexpr double kVarDecay = 0.95;
-constexpr double kClauseDecay = 0.999;
-constexpr double kRescaleLimit = 1e100;
+constexpr float kClauseDecay = 0.999f;
+constexpr double kVarRescaleLimit = 1e100;
+constexpr float kClauseRescaleLimit = 1e20f;
 constexpr std::uint64_t kRestartBase = 128;
+// Learnt clauses with LBD <= this ("glue" clauses) are never deleted.
+constexpr std::uint32_t kGlueLbd = 2;
 }  // namespace
 
-Solver::Solver() = default;
+Solver::Solver() : lbd_mark_(1, 0) {}
+
+void Solver::reserve_vars(std::size_t count) {
+  // Exact-fit reserves would reallocate on every incremental encode; grow
+  // geometrically so repeated calls stay amortized O(1).
+  if (count <= assign_.capacity()) return;
+  count = std::max(count, assign_.capacity() * 2);
+  assign_.reserve(count);
+  saved_phase_.reserve(count);
+  var_info_.reserve(count);
+  activity_.reserve(count);
+  heap_pos_.reserve(count);
+  seen_.reserve(count);
+  trail_.reserve(count);  // the trail never exceeds the variable count
+  free_vars_.reserve(count);
+  lbd_mark_.reserve(count + 1);
+  watches_.reserve(2 * count);
+}
 
 Var Solver::new_var() {
   const Var var = static_cast<Var>(assign_.size());
   assign_.push_back(LBool::kUndef);
   saved_phase_.push_back(LBool::kFalse);
-  level_.push_back(0);
-  reason_.push_back(kNoClause);
+  var_info_.push_back(VarInfo{0, kNoClause});
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   seen_.push_back(0);
+  lbd_mark_.push_back(0);  // one stamp slot per possible decision level
+  free_vars_.push_back(var);
   watches_.emplace_back();
   watches_.emplace_back();
-  heap_insert(var);
+  // No heap_insert here: solve() rebuilds the branching heap from scratch,
+  // so maintaining it during the (hot) encoding phase is wasted work.
   return var;
 }
 
-bool Solver::add_clause(std::vector<Lit> lits) {
+bool Solver::add_clause_impl(Lit* lits, std::size_t n) {
   if (!ok_) return false;
   // Incremental use: adding a clause after a solve() invalidates the model;
-  // retract all decisions first so level-0 semantics hold.
-  if (!trail_lim_.empty()) backtrack(0);
+  // retract all decisions first so level-0 semantics hold. The branching
+  // heap is left stale: solve() rebuilds it before any branching.
+  if (!trail_lim_.empty()) backtrack(0, /*update_heap=*/false);
   // Normalize: sort, dedupe, drop false lits, detect tautology/satisfied.
-  std::sort(lits.begin(), lits.end());
-  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
-  std::vector<Lit> kept;
-  kept.reserve(lits.size());
-  for (std::size_t i = 0; i < lits.size(); ++i) {
+  // Clauses are tiny (Tseitin gates), so insertion sort beats std::sort.
+  if (n <= 16) {
+    for (std::size_t i = 1; i < n; ++i) {
+      const Lit key = lits[i];
+      std::size_t j = i;
+      for (; j > 0 && lits[j - 1] > key; --j) lits[j] = lits[j - 1];
+      lits[j] = key;
+    }
+  } else {
+    std::sort(lits, lits + n);
+  }
+  n = static_cast<std::size_t>(std::unique(lits, lits + n) - lits);
+  std::vector<Lit>& kept = add_scratch_;
+  kept.clear();
+  for (std::size_t i = 0; i < n; ++i) {
     const Lit lit = lits[i];
     if (lit_var(lit) < 0 ||
         static_cast<std::size_t>(lit_var(lit)) >= num_vars()) {
       throw std::invalid_argument("Solver::add_clause: undeclared variable");
     }
-    if (i + 1 < lits.size() && lits[i + 1] == lit_neg(lit)) return true;  // taut
-    if (i > 0 && lits[i - 1] == lit_neg(lit)) return true;                // taut
+    if (i + 1 < n && lits[i + 1] == lit_neg(lit)) return true;  // taut
+    if (i > 0 && lits[i - 1] == lit_neg(lit)) return true;      // taut
     const LBool v = value_lit(lit);
     if (v == LBool::kTrue) return true;   // satisfied at level 0
     if (v == LBool::kFalse) continue;     // falsified at level 0: drop
@@ -65,75 +100,122 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     }
     return true;
   }
-  Clause clause;
-  clause.lits = std::move(kept);
-  clauses_.push_back(std::move(clause));
-  attach_clause(static_cast<ClauseRef>(clauses_.size() - 1));
+  const ClauseRef ref = arena_.alloc(
+      kept.data(), static_cast<std::uint32_t>(kept.size()), /*learnt=*/false);
+  clauses_.push_back(ref);
+  attach_clause(ref);
+  note_arena_size();
   return true;
 }
 
 void Solver::attach_clause(ClauseRef ref) {
-  const Clause& clause = clauses_[ref];
-  watches_[lit_neg(clause.lits[0])].push_back(ref);
-  watches_[lit_neg(clause.lits[1])].push_back(ref);
+  const Clause clause = arena_[ref];
+  const bool binary = clause.size() == 2;
+  watches_[lit_neg(clause[0])].push_back(make_watcher(ref, clause[1], binary));
+  watches_[lit_neg(clause[1])].push_back(make_watcher(ref, clause[0], binary));
+}
+
+void Solver::note_arena_size() {
+  stats_.arena_bytes = arena_.bytes();
+  if (stats_.arena_bytes > stats_.peak_arena_bytes) {
+    stats_.peak_arena_bytes = stats_.arena_bytes;
+  }
 }
 
 void Solver::enqueue(Lit lit, ClauseRef reason) {
   const Var var = lit_var(lit);
   assign_[var] = lit_sign(lit) ? LBool::kFalse : LBool::kTrue;
-  level_[var] = static_cast<int>(trail_lim_.size());
-  reason_[var] = reason;
+  var_info_[var] =
+      VarInfo{static_cast<std::int32_t>(trail_lim_.size()), reason};
   trail_.push_back(lit);
 }
 
-Solver::ClauseRef Solver::propagate() {
+ClauseRef Solver::propagate() {
   while (propagate_head_ < trail_.size()) {
     const Lit lit = trail_[propagate_head_++];
     ++stats_.propagations;
     // Clauses watching ~lit may become unit/conflicting.
     auto& watch_list = watches_[lit];
+    const Lit false_lit = lit_neg(lit);
+    const std::size_t n = watch_list.size();
+    // Compaction is deferred: watchers only shift once one has been dropped
+    // (a moved watch), so the common no-drop traversal performs zero stores.
     std::size_t keep = 0;
-    ClauseRef conflict = kNoClause;
-    for (std::size_t i = 0; i < watch_list.size(); ++i) {
-      const ClauseRef ref = watch_list[i];
-      Clause& clause = clauses_[ref];
-      if (clause.deleted) continue;  // lazily drop
-      // Ensure the falsified literal is lits[1].
-      const Lit false_lit = lit_neg(lit);
-      if (clause.lits[0] == false_lit) {
-        std::swap(clause.lits[0], clause.lits[1]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Watcher w = watch_list[i];
+      if (w.binary()) {
+        // The blocker is the clause's other literal; no arena access needed
+        // unless this is the conflict (analyze reads the clause).
+        const LBool v = value_lit(w.blocker);
+        if (keep != i) watch_list[keep] = w;
+        ++keep;
+        if (v == LBool::kTrue) continue;
+        if (v == LBool::kFalse) {
+          // Normalize lit order (other literal first) so conflict analysis
+          // sees the same layout the generic path would produce.
+          Clause clause = arena_[w.cref()];
+          if (clause[0] != w.blocker) std::swap(clause[0], clause[1]);
+          if (keep != i + 1) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+              watch_list[keep++] = watch_list[j];
+            }
+            watch_list.resize(keep);
+          }
+          propagate_head_ = trail_.size();
+          return w.cref();
+        }
+        enqueue(w.blocker, w.cref());
+        continue;
       }
-      // If first watch true, clause satisfied; keep watch.
-      if (value_lit(clause.lits[0]) == LBool::kTrue) {
-        watch_list[keep++] = ref;
+      // Blocker shortcut: the blocker is some literal of the clause (it can
+      // be stale after watch moves, but always a member), so blocker-true
+      // means satisfied without touching clause memory.
+      if (value_lit(w.blocker) == LBool::kTrue) {
+        if (keep != i) watch_list[keep] = w;
+        ++keep;
+        continue;
+      }
+      Clause clause = arena_[w.cref()];
+      Lit* lits = clause.lits();
+      // Ensure the falsified literal is lits[1].
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      // If first watch true, clause satisfied; keep watch (and refresh the
+      // blocker so the next visit can skip the dereference).
+      if (value_lit(lits[0]) == LBool::kTrue) {
+        watch_list[keep++] = make_watcher(w.cref(), lits[0], false);
         continue;
       }
       // Look for a new literal to watch.
       bool moved = false;
-      for (std::size_t k = 2; k < clause.lits.size(); ++k) {
-        if (value_lit(clause.lits[k]) != LBool::kFalse) {
-          std::swap(clause.lits[1], clause.lits[k]);
-          watches_[lit_neg(clause.lits[1])].push_back(ref);
+      const std::uint32_t size = clause.size();
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (value_lit(lits[k]) != LBool::kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[lit_neg(lits[1])].push_back(
+              make_watcher(w.cref(), lits[0], false));
           moved = true;
           break;
         }
       }
-      if (moved) continue;
+      if (moved) continue;  // watcher dropped; compaction active from here
       // Unit or conflict.
-      watch_list[keep++] = ref;
-      if (value_lit(clause.lits[0]) == LBool::kFalse) {
-        conflict = ref;
+      if (keep != i) watch_list[keep] = w;
+      ++keep;
+      if (value_lit(lits[0]) == LBool::kFalse) {
+        const ClauseRef conflict = w.cref();
         // Copy remaining watches and bail.
-        for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
-          watch_list[keep++] = watch_list[j];
+        if (keep != i + 1) {
+          for (std::size_t j = i + 1; j < n; ++j) {
+            watch_list[keep++] = watch_list[j];
+          }
+          watch_list.resize(keep);
         }
-        watch_list.resize(keep);
         propagate_head_ = trail_.size();
         return conflict;
       }
-      enqueue(clause.lits[0], ref);
+      enqueue(lits[0], w.cref());
     }
-    watch_list.resize(keep);
+    if (keep != n) watch_list.resize(keep);
   }
   return kNoClause;
 }
@@ -149,16 +231,19 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
   const int current_level = static_cast<int>(trail_lim_.size());
 
   do {
-    Clause& clause = clauses_[reason];
-    if (clause.learnt) bump_clause(clause);
-    const std::size_t start = (asserting == kUndefLit) ? 0 : 1;
-    for (std::size_t i = start; i < clause.lits.size(); ++i) {
-      const Lit q = clause.lits[i];
+    Clause clause = arena_[reason];
+    if (clause.learnt()) bump_clause(clause);
+    // Skip the literal this clause asserted (binary fast-path reasons do
+    // not keep it at index 0, so skip by variable rather than position).
+    const Var skip = (asserting == kUndefLit) ? -1 : lit_var(asserting);
+    const std::uint32_t size = clause.size();
+    for (std::uint32_t i = 0; i < size; ++i) {
+      const Lit q = clause[i];
       const Var v = lit_var(q);
-      if (seen_[v] || level_[v] == 0) continue;
+      if (v == skip || seen_[v] || var_info_[v].level == 0) continue;
       seen_[v] = 1;
       bump_var(v);
-      if (level_[v] >= current_level) {
+      if (var_info_[v].level >= current_level) {
         ++counter;
       } else {
         out_learnt.push_back(q);
@@ -169,7 +254,7 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
     --index;
     asserting = trail_[index];
     seen_[lit_var(asserting)] = 0;
-    reason = reason_[lit_var(asserting)];
+    reason = var_info_[lit_var(asserting)].reason;
     --counter;
   } while (counter > 0);
   out_learnt[0] = lit_neg(asserting);
@@ -177,20 +262,22 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
   // Minimization (cheap self-subsumption): drop literals whose reason is
   // entirely contained in the learnt clause.
   auto redundant = [&](Lit lit) {
-    const ClauseRef r = reason_[lit_var(lit)];
+    const ClauseRef r = var_info_[lit_var(lit)].reason;
     if (r == kNoClause) return false;
-    const Clause& clause = clauses_[r];
-    for (std::size_t i = 1; i < clause.lits.size(); ++i) {
-      const Var v = lit_var(clause.lits[i]);
-      if (!seen_[v] && level_[v] != 0) return false;
+    const Clause clause = arena_[r];
+    const std::uint32_t size = clause.size();
+    for (std::uint32_t i = 0; i < size; ++i) {
+      const Var v = lit_var(clause[i]);
+      if (v == lit_var(lit)) continue;  // the literal the clause implied
+      if (!seen_[v] && var_info_[v].level != 0) return false;
     }
     return true;
   };
   // Track every variable whose seen_ flag is set so ALL of them are cleared
   // afterwards — including literals dropped as redundant (leaving them set
   // would poison later analyze() calls and make learning unsound).
-  std::vector<Var> marked;
-  marked.reserve(out_learnt.size());
+  std::vector<Var>& marked = analyze_marked_;
+  marked.clear();
   for (std::size_t i = 1; i < out_learnt.size(); ++i) {
     marked.push_back(lit_var(out_learnt[i]));
     seen_[lit_var(out_learnt[i])] = 1;
@@ -206,7 +293,7 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
   out_btlevel = 0;
   std::size_t max_pos = 1;
   for (std::size_t i = 1; i < out_learnt.size(); ++i) {
-    const int lvl = level_[lit_var(out_learnt[i])];
+    const int lvl = var_info_[lit_var(out_learnt[i])].level;
     if (lvl > out_btlevel) {
       out_btlevel = lvl;
       max_pos = i;
@@ -217,7 +304,7 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
   }
 }
 
-void Solver::backtrack(int target_level) {
+void Solver::backtrack(int target_level, bool update_heap) {
   if (static_cast<int>(trail_lim_.size()) <= target_level) return;
   const std::size_t bound = trail_lim_[target_level];
   for (std::size_t i = trail_.size(); i > bound; --i) {
@@ -225,8 +312,10 @@ void Solver::backtrack(int target_level) {
     const Var var = lit_var(lit);
     saved_phase_[var] = assign_[var];
     assign_[var] = LBool::kUndef;
-    reason_[var] = kNoClause;
-    if (heap_pos_[var] < 0) heap_insert(var);
+    var_info_[var].reason = kNoClause;
+    // update_heap=false is only sound when a rebuild_heap() happens before
+    // the next pick_branch_lit() (solve entry / add_clause paths).
+    if (update_heap && heap_pos_[var] < 0) heap_insert(var);
   }
   trail_.resize(bound);
   trail_lim_.resize(target_level);
@@ -235,8 +324,9 @@ void Solver::backtrack(int target_level) {
 
 void Solver::bump_var(Var var) {
   activity_[var] += var_inc_;
-  if (activity_[var] > kRescaleLimit) {
+  if (activity_[var] > kVarRescaleLimit) {
     for (double& a : activity_) a *= 1e-100;
+    for (HeapEntry& e : heap_) e.act *= 1e-100;  // keep cached keys in sync
     var_inc_ *= 1e-100;
   }
   if (heap_pos_[var] >= 0) heap_update(var);
@@ -244,49 +334,98 @@ void Solver::bump_var(Var var) {
 
 void Solver::decay_var_activity() { var_inc_ /= kVarDecay; }
 
-void Solver::bump_clause(Clause& clause) {
-  clause.activity += clause_inc_;
-  if (clause.activity > kRescaleLimit) {
-    for (Clause& c : clauses_) {
-      if (c.learnt) c.activity *= 1e-100;
+void Solver::bump_clause(Clause clause) {
+  clause.set_activity(clause.activity() + clause_inc_);
+  if (clause.activity() > kClauseRescaleLimit) {
+    for (const ClauseRef ref : learnts_) {
+      Clause c = arena_[ref];
+      c.set_activity(c.activity() * 1e-20f);
     }
-    clause_inc_ *= 1e-100;
+    clause_inc_ *= 1e-20f;
   }
 }
 
 void Solver::decay_clause_activity() { clause_inc_ /= kClauseDecay; }
 
-void Solver::reduce_db() {
-  // Collect learnt, non-reason clauses and delete the lower-activity half.
-  std::vector<ClauseRef> learnts;
-  std::vector<std::uint8_t> is_reason(clauses_.size(), 0);
-  for (Lit lit : trail_) {
-    const ClauseRef r = reason_[lit_var(lit)];
-    if (r != kNoClause) is_reason[r] = 1;
-  }
-  for (ClauseRef ref = 0; ref < clauses_.size(); ++ref) {
-    const Clause& clause = clauses_[ref];
-    if (clause.learnt && !clause.deleted && !is_reason[ref] &&
-        clause.lits.size() > 2) {
-      learnts.push_back(ref);
+std::uint32_t Solver::compute_lbd(const std::vector<Lit>& lits) {
+  ++lbd_stamp_;
+  std::uint32_t lbd = 0;
+  for (const Lit lit : lits) {
+    const auto lvl = static_cast<std::size_t>(var_info_[lit_var(lit)].level);
+    if (lbd_mark_[lvl] != lbd_stamp_) {
+      lbd_mark_[lvl] = lbd_stamp_;
+      ++lbd;
     }
   }
-  std::sort(learnts.begin(), learnts.end(), [this](ClauseRef a, ClauseRef b) {
-    return clauses_[a].activity < clauses_[b].activity;
-  });
-  const std::size_t to_delete = learnts.size() / 2;
-  for (std::size_t i = 0; i < to_delete; ++i) {
-    clauses_[learnts[i]].deleted = true;
-    ++stats_.deleted_clauses;
+  return lbd;
+}
+
+void Solver::reduce_db() {
+  ++stats_.db_reductions;
+  // Reason clauses of current assignments must survive.
+  for (const Lit lit : trail_) {
+    const ClauseRef r = var_info_[lit_var(lit)].reason;
+    if (r != kNoClause) arena_[r].set_locked(true);
   }
-  // Compact watch lists lazily during propagate (deleted flag) — plus here:
+  // Worst clauses first: high LBD, then low activity. Glue clauses
+  // (LBD <= 2), binary clauses, and locked reasons are never deleted.
+  std::sort(learnts_.begin(), learnts_.end(),
+            [this](ClauseRef a, ClauseRef b) {
+              const Clause ca = arena_[a];
+              const Clause cb = arena_[b];
+              if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
+              return ca.activity() < cb.activity();
+            });
+  const std::size_t target = learnts_.size() / 2;
+  std::size_t removed = 0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    const ClauseRef ref = learnts_[i];
+    const Clause clause = arena_[ref];
+    if (removed < target && !clause.locked() && clause.lbd() > kGlueLbd &&
+        clause.size() > 2) {
+      arena_.free_clause(ref);
+      ++removed;
+      ++stats_.deleted_clauses;
+    } else {
+      learnts_[keep++] = ref;
+    }
+  }
+  learnts_.resize(keep);
+  for (const Lit lit : trail_) {
+    const ClauseRef r = var_info_[lit_var(lit)].reason;
+    if (r != kNoClause) arena_[r].set_locked(false);
+  }
+  // Purge watchers of deleted clauses, then compact the arena if enough of
+  // it is dead weight.
   for (auto& watch_list : watches_) {
-    watch_list.erase(std::remove_if(watch_list.begin(), watch_list.end(),
-                                    [this](ClauseRef ref) {
-                                      return clauses_[ref].deleted;
-                                    }),
-                     watch_list.end());
+    watch_list.erase(
+        std::remove_if(watch_list.begin(), watch_list.end(),
+                       [this](const Watcher& w) {
+                         return arena_[w.cref()].deleted();
+                       }),
+        watch_list.end());
   }
+  if (arena_.should_gc()) garbage_collect();
+}
+
+void Solver::garbage_collect() {
+  ClauseAllocator to;
+  to.reserve_words(arena_.size_words() - arena_.wasted_words());
+  for (auto& watch_list : watches_) {
+    for (Watcher& w : watch_list) {
+      w = make_watcher(arena_.reloc(w.cref(), to), w.blocker, w.binary());
+    }
+  }
+  for (const Lit lit : trail_) {
+    ClauseRef& r = var_info_[lit_var(lit)].reason;
+    if (r != kNoClause) r = arena_.reloc(r, to);
+  }
+  for (ClauseRef& ref : clauses_) ref = arena_.reloc(ref, to);
+  for (ClauseRef& ref : learnts_) ref = arena_.reloc(ref, to);
+  arena_ = std::move(to);
+  ++stats_.gc_runs;
+  note_arena_size();
 }
 
 std::uint64_t Solver::luby(std::uint64_t x) {
@@ -309,66 +448,76 @@ std::uint64_t Solver::luby(std::uint64_t x) {
 
 void Solver::heap_insert(Var var) {
   heap_pos_[var] = static_cast<std::int32_t>(heap_.size());
-  heap_.push_back(var);
+  heap_.push_back(HeapEntry{activity_[var], var});
   heap_sift_up(heap_.size() - 1);
 }
 
 void Solver::heap_update(Var var) {
-  heap_sift_up(static_cast<std::size_t>(heap_pos_[var]));
+  const auto i = static_cast<std::size_t>(heap_pos_[var]);
+  heap_[i].act = activity_[var];
+  heap_sift_up(i);
 }
 
 Var Solver::heap_pop() {
-  const Var top = heap_[0];
+  const Var top = heap_[0].var;
   heap_pos_[top] = -1;
   heap_[0] = heap_.back();
-  heap_pos_[heap_[0]] = 0;
+  heap_pos_[heap_[0].var] = 0;
   heap_.pop_back();
   if (!heap_.empty()) heap_sift_down(0);
   return top;
 }
 
 void Solver::heap_sift_up(std::size_t i) {
-  const Var var = heap_[i];
+  const HeapEntry entry = heap_[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (activity_[heap_[parent]] >= activity_[var]) break;
+    if (heap_[parent].act >= entry.act) break;
     heap_[i] = heap_[parent];
-    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    heap_pos_[heap_[i].var] = static_cast<std::int32_t>(i);
     i = parent;
   }
-  heap_[i] = var;
-  heap_pos_[var] = static_cast<std::int32_t>(i);
+  heap_[i] = entry;
+  heap_pos_[entry.var] = static_cast<std::int32_t>(i);
 }
 
 void Solver::heap_sift_down(std::size_t i) {
-  const Var var = heap_[i];
+  const HeapEntry entry = heap_[i];
+  const std::size_t n = heap_.size();
   for (;;) {
     std::size_t child = 2 * i + 1;
-    if (child >= heap_.size()) break;
-    if (child + 1 < heap_.size() &&
-        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
-      ++child;
-    }
-    if (activity_[heap_[child]] <= activity_[var]) break;
+    if (child >= n) break;
+    if (child + 1 < n && heap_[child + 1].act > heap_[child].act) ++child;
+    if (heap_[child].act <= entry.act) break;
     heap_[i] = heap_[child];
-    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    heap_pos_[heap_[i].var] = static_cast<std::int32_t>(i);
     i = child;
   }
-  heap_[i] = var;
-  heap_pos_[var] = static_cast<std::int32_t>(i);
+  heap_[i] = entry;
+  heap_pos_[entry.var] = static_cast<std::int32_t>(i);
 }
 
 void Solver::rebuild_heap() {
+  // Invariant: heap_pos_[v] >= 0 iff v is in heap_, so clearing only the
+  // current heap members resets every position marker.
+  for (const HeapEntry& e : heap_) heap_pos_[e.var] = -1;
   heap_.clear();
-  for (Var v = 0; v < static_cast<Var>(num_vars()); ++v) {
-    heap_pos_[v] = -1;
-    if (assign_[v] == LBool::kUndef) heap_insert(v);
+  // Called at decision level 0, so any assigned variable is a permanent
+  // level-0 fact: drop it from the free list for good. Iterating the free
+  // list in variable order reproduces exactly the heap the full 0..n-1
+  // scan used to build, at O(unassigned) cost.
+  std::size_t keep = 0;
+  for (const Var v : free_vars_) {
+    if (assign_[v] != LBool::kUndef) continue;
+    free_vars_[keep++] = v;
+    heap_insert(v);
   }
+  free_vars_.resize(keep);
 }
 
 Lit Solver::pick_branch_lit() {
   while (!heap_.empty()) {
-    const Var var = heap_[0];
+    const Var var = heap_[0].var;
     if (assign_[var] == LBool::kUndef) {
       heap_pop();
       const bool negated = saved_phase_[var] != LBool::kTrue;
@@ -383,8 +532,13 @@ Lit Solver::pick_branch_lit() {
 
 SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
   if (!ok_) return SolveResult::kUnsat;
-  backtrack(0);
+  backtrack(0, /*update_heap=*/false);  // rebuild_heap() follows
   rebuild_heap();
+  // Decision levels are bounded by one per variable PLUS one per assumption
+  // (duplicate or already-implied assumptions open empty levels), so the
+  // per-level LBD stamp array must cover both.
+  const std::size_t max_levels = num_vars() + assumptions.size() + 1;
+  if (lbd_mark_.size() < max_levels) lbd_mark_.resize(max_levels, 0);
   const std::uint64_t start_conflicts = stats_.conflicts;
   std::uint64_t restart_count = 0;
   std::uint64_t conflicts_until_restart = kRestartBase * luby(0);
@@ -402,6 +556,7 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
       }
       int bt_level = 0;
       analyze(conflict, learnt, bt_level);
+      const std::uint32_t lbd = compute_lbd(learnt);
       // Never backjump above the assumption prefix — clamp instead (the
       // asserting literal is still enqueued correctly below the clamp as
       // long as the learnt clause is attached).
@@ -413,14 +568,17 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
         }
         enqueue(learnt[0], kNoClause);
       } else {
-        Clause clause;
-        clause.lits = learnt;
-        clause.learnt = true;
-        clause.activity = clause_inc_;
-        clauses_.push_back(std::move(clause));
-        const auto ref = static_cast<ClauseRef>(clauses_.size() - 1);
+        const ClauseRef ref =
+            arena_.alloc(learnt.data(), static_cast<std::uint32_t>(learnt.size()),
+                         /*learnt=*/true);
+        Clause clause = arena_[ref];
+        clause.set_activity(clause_inc_);
+        clause.set_lbd(lbd);
+        learnts_.push_back(ref);
         attach_clause(ref);
         ++stats_.learnt_clauses;
+        stats_.lbd_sum += lbd;
+        note_arena_size();
         enqueue(learnt[0], ref);
       }
       decay_var_activity();
@@ -430,7 +588,9 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
         backtrack(0);
         return SolveResult::kUnknown;
       }
-      if (stats_.learnt_clauses - stats_.deleted_clauses > learnt_limit_) {
+      // Budget the learnt DB against the live count (deleted clauses no
+      // longer count against the limit after a reduction/GC).
+      if (learnts_.size() > learnt_limit_) {
         reduce_db();
         learnt_limit_ += learnt_limit_ / 2;
       }
@@ -486,6 +646,29 @@ bool Solver::model_value(Var var) const {
     throw std::out_of_range("Solver::model_value: bad var");
   }
   return assign_[var] == LBool::kTrue;
+}
+
+void Solver::write_dimacs(std::ostream& out) const {
+  if (!ok_) {
+    out << "p cnf " << num_vars() << " 1\n0\n";
+    return;
+  }
+  // Level-0 facts are part of the problem (original unit clauses and their
+  // consequences; clauses satisfied by them were dropped at add time).
+  const std::size_t unit_count =
+      trail_lim_.empty() ? trail_.size() : trail_lim_[0];
+  out << "p cnf " << num_vars() << ' ' << clauses_.size() + unit_count << '\n';
+  for (std::size_t i = 0; i < unit_count; ++i) {
+    out << to_dimacs(trail_[i]) << " 0\n";
+  }
+  for (const ClauseRef ref : clauses_) {
+    const Clause clause = arena_[ref];
+    const std::uint32_t size = clause.size();
+    for (std::uint32_t i = 0; i < size; ++i) {
+      out << to_dimacs(clause[i]) << ' ';
+    }
+    out << "0\n";
+  }
 }
 
 }  // namespace autolock::sat

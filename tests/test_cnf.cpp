@@ -151,10 +151,14 @@ TEST(CheckEquivalent, KeyedCircuitUnderCorrectAndWrongKey) {
   EXPECT_TRUE(check_unlocks(locked, {false}, plain));
 }
 
-TEST(ConstrainKey, LengthMismatchThrows) {
-  Solver solver;
-  std::vector<Var> vars{solver.new_var()};
-  EXPECT_THROW(constrain_key(solver, vars, {true, false}),
+TEST(CheckEquivalent, KeyLengthMismatchThrows) {
+  Netlist locked;
+  {
+    const auto x = locked.add_input("x");
+    const auto k = locked.add_input("keyinput0", true);
+    locked.mark_output(locked.add_gate(GateType::kXor, {x, k}, "g"));
+  }
+  EXPECT_THROW(check_equivalent(locked, {true, false}, locked, {true}),
                std::invalid_argument);
 }
 

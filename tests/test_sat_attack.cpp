@@ -102,6 +102,56 @@ TEST(SatAttack, StatsPopulated) {
   EXPECT_GE(result.seconds, 0.0);
 }
 
+// ---- trajectory determinism regression -------------------------------------
+//
+// The attack is deterministic end to end: same locked circuit, same oracle,
+// same DIP sequence, same recovered key, every run. These two cases pin the
+// full trajectory (DIP count, conflict count, exact key bits) so any future
+// solver-core or encoding change that silently alters attack behaviour
+// fails loudly here instead of shifting benchmark numbers. Baseline: the
+// arena/LBD solver core with level-0 pre-pinned DIP copies (re-baselined
+// once in the PR that introduced both; the arena rewrite alone was verified
+// trajectory-identical to the original vector-of-vectors solver).
+
+Key key_from_string(const char* bits) {
+  Key key;
+  for (const char* c = bits; *c != '\0'; ++c) key.push_back(*c == '1');
+  return key;
+}
+
+TEST(SatAttack, DeterministicTrajectoryOnSeededRll) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 3);
+  const auto design = lock::rll_lock(original, 16, 7);
+  const auto result = SatAttack().attack(design.netlist, original);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.dip_iterations, 2u);
+  EXPECT_EQ(result.total_conflicts, 89u);
+  EXPECT_EQ(result.recovered_key, key_from_string("0100100101110010"));
+}
+
+TEST(SatAttack, DeterministicTrajectoryOnSeededDmux) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC880, 5);
+  const auto design = lock::dmux_lock(original, 12, 9);
+  const auto result = SatAttack().attack(design.netlist, original);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.dip_iterations, 5u);
+  EXPECT_EQ(result.total_conflicts, 183u);
+  EXPECT_EQ(result.recovered_key, key_from_string("010011111011"));
+}
+
+TEST(SatAttack, ResultCarriesSolverCoreStats) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC880, 5);
+  const auto design = lock::dmux_lock(original, 12, 9);
+  const auto result = SatAttack().attack(design.netlist, original);
+  ASSERT_TRUE(result.success);
+  EXPECT_GT(result.total_propagations, 0u);
+  EXPECT_GT(result.peak_arena_bytes, 0u);
+  EXPECT_GT(result.mean_lbd, 0.0);
+}
+
 class SatAttackSweep
     : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
 };

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "sat/instances.hpp"
 #include "util/rng.hpp"
 
 namespace autolock::sat {
@@ -85,27 +86,8 @@ TEST(Solver, XorChainParity) {
   EXPECT_EQ(parity % 2, 1);
 }
 
-/// Pigeonhole principle PHP(n+1, n): UNSAT, requires real search.
-void add_pigeonhole(Solver& solver, int holes) {
-  const int pigeons = holes + 1;
-  std::vector<std::vector<Var>> at(pigeons, std::vector<Var>(holes));
-  for (int p = 0; p < pigeons; ++p) {
-    for (int h = 0; h < holes; ++h) at[p][h] = solver.new_var();
-  }
-  for (int p = 0; p < pigeons; ++p) {
-    std::vector<Lit> clause;
-    for (int h = 0; h < holes; ++h) clause.push_back(make_lit(at[p][h]));
-    solver.add_clause(clause);
-  }
-  for (int h = 0; h < holes; ++h) {
-    for (int p1 = 0; p1 < pigeons; ++p1) {
-      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
-        solver.add_clause(make_lit(at[p1][h], true),
-                          make_lit(at[p2][h], true));
-      }
-    }
-  }
-}
+// Pigeonhole instances come from sat/instances.hpp (shared with the fuzz
+// tests and the solver-core benchmark).
 
 TEST(Solver, PigeonholeUnsat) {
   for (int holes : {2, 3, 4, 5, 6}) {
@@ -159,6 +141,23 @@ TEST(Solver, AssumptionsSatAndUnsat) {
   EXPECT_FALSE(solver.model_value(x));
 }
 
+TEST(Solver, DuplicateAssumptionsOpenEmptyLevelsSafely) {
+  // Regression: duplicate (already-implied) assumptions each open an empty
+  // decision level, so the conflict level can exceed num_vars; the LBD
+  // stamp array used to be sized by variable count only and overflowed.
+  Solver solver;
+  const Var a = solver.new_var();
+  const Var c = solver.new_var();
+  const Var d = solver.new_var();
+  solver.add_clause(make_lit(a, true), make_lit(c, true), make_lit(d));
+  solver.add_clause(make_lit(a, true), make_lit(c, true), make_lit(d, true));
+  EXPECT_EQ(solver.solve({make_lit(a), make_lit(a), make_lit(a), make_lit(a),
+                          make_lit(c)}),
+            SolveResult::kUnsat);
+  // Without the conflicting assumption pair the formula is satisfiable.
+  EXPECT_EQ(solver.solve({make_lit(a), make_lit(a)}), SolveResult::kSat);
+}
+
 TEST(Solver, ContradictoryAssumptionsUnsat) {
   Solver solver;
   const Var x = solver.new_var();
@@ -197,6 +196,38 @@ TEST(Solver, StatsAccumulate) {
   EXPECT_EQ(solver.solve(), SolveResult::kUnsat);
   EXPECT_GT(solver.stats().conflicts, 0u);
   EXPECT_GT(solver.stats().propagations, 0u);
+}
+
+TEST(Solver, LearntAccountingMatchesAllocator) {
+  // Regression for the learnt-limit drift: reduce_db() used to compare
+  // (learnt_clauses - deleted_clauses) from monotone global stats against a
+  // limit that never shrank back after clauses were reclaimed. The live
+  // count must now come from the allocator-backed learnt list and match the
+  // stats delta exactly, before and after reductions/GCs.
+  Solver solver;
+  solver.set_learnt_limit(16);  // force several reductions on this instance
+  add_pigeonhole(solver, 6);
+  EXPECT_EQ(solver.num_learnts(), 0u);
+  EXPECT_EQ(solver.solve(), SolveResult::kUnsat);
+  const auto& stats = solver.stats();
+  EXPECT_GT(stats.db_reductions, 0u);
+  EXPECT_GT(stats.deleted_clauses, 0u);
+  EXPECT_EQ(solver.num_learnts(), stats.learnt_clauses -
+                                      stats.deleted_clauses);
+  // GC ran, and the footprint gauge never exceeds the recorded peak (the
+  // arena can legitimately grow back to a new peak after the last GC).
+  EXPECT_GT(stats.gc_runs, 0u);
+  EXPECT_LE(stats.arena_bytes, stats.peak_arena_bytes);
+}
+
+TEST(Solver, ArenaStatsTrackFootprint) {
+  Solver solver;
+  EXPECT_EQ(solver.stats().arena_bytes, 0u);
+  const Var x = solver.new_var();
+  const Var y = solver.new_var();
+  solver.add_clause(make_lit(x), make_lit(y));
+  EXPECT_GT(solver.stats().arena_bytes, 0u);
+  EXPECT_GE(solver.stats().peak_arena_bytes, solver.stats().arena_bytes);
 }
 
 // ---- randomized cross-check against brute force ----------------------------
