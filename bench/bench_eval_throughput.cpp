@@ -1,0 +1,149 @@
+// End-to-end evaluation hot-path throughput: decode, single-design attack
+// evaluation, and full GA generations per second, measured on the legacy
+// (allocating) paths and the workspace (allocation-free) paths side by
+// side. The attack mix is the seeded-GA workload the AutoLock loop runs
+// per individual: structural link prediction + SCOPE.
+//
+// This is the benchmark future perf PRs are measured against: run with
+// --json to refresh BENCH_bench_eval_throughput.json. The "speedup" column
+// of the GA section is the acceptance metric (workspace generations/s over
+// legacy generations/s); trajectories are identical in both modes, pinned
+// by tests/test_workspace.cpp.
+#include "bench/common.hpp"
+
+#include "core/ga.hpp"
+#include "eval/workspace.hpp"
+#include "locking/mux_lock.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace autolock;
+using benchx::BenchArgs;
+
+struct Workload {
+  netlist::gen::ProfileId profile;
+  std::size_t key_bits;
+};
+
+struct Measurement {
+  double rate = 0.0;
+  double seconds = 0.0;
+};
+
+Measurement time_decodes(const netlist::Netlist& original,
+                         const lock::SiteContext& context,
+                         const std::vector<lock::LockSite>& genes,
+                         std::size_t iters, bool workspace_mode) {
+  eval::EvalWorkspace workspace;
+  std::size_t guard = 0;
+  util::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    util::Rng repair(0xDEC0DEULL + i);
+    if (workspace_mode) {
+      lock::apply_genotype_into(workspace.design, original, context, genes,
+                                repair, workspace.reach);
+      guard += workspace.design.netlist.size();
+    } else {
+      auto design = lock::apply_genotype(original, context, genes, repair);
+      guard += design.netlist.size();
+    }
+  }
+  Measurement m;
+  m.seconds = timer.elapsed_seconds();
+  m.rate = static_cast<double>(iters) / m.seconds;
+  if (guard == 0) std::abort();  // keep the loop observable
+  return m;
+}
+
+eval::EvalPipelineConfig attack_mix_config(bool workspaces,
+                                           std::uint64_t seed) {
+  eval::EvalPipelineConfig config;
+  config.attacks = {"structural", "scope"};
+  config.workspaces = workspaces;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = benchx::parse_args(argc, argv);
+
+  std::vector<Workload> workloads = {
+      {netlist::gen::ProfileId::kC432, 16},
+      {netlist::gen::ProfileId::kC880, 32},
+  };
+  if (args.quick) workloads.resize(1);
+
+  util::Table decode_table({"circuit", "K", "mode", "decodes/s", "seconds"});
+  util::Table eval_table({"circuit", "K", "mode", "evals/s", "seconds"});
+  util::Table ga_table(
+      {"circuit", "K", "mode", "gens/s", "seconds", "evals", "speedup"});
+
+  for (const Workload& w : workloads) {
+    const auto& info = netlist::gen::profile_info(w.profile);
+    const auto original = netlist::gen::make_profile(w.profile, 1);
+    const lock::SiteContext context(original);
+    util::Rng genes_rng(0xDECD0ULL);
+    const auto genes = lock::random_genotype(context, w.key_bits, genes_rng);
+
+    // ---- decode throughput ------------------------------------------------
+    const std::size_t decode_iters = args.quick ? 50 : 400;
+    for (const bool workspace_mode : {false, true}) {
+      const Measurement m = time_decodes(original, context, genes,
+                                         decode_iters, workspace_mode);
+      decode_table.add_row({std::string(info.name), std::to_string(w.key_bits),
+                            workspace_mode ? "workspace" : "legacy",
+                            util::fmt(m.rate, 1), util::fmt(m.seconds, 3)});
+    }
+
+    // ---- single-evaluation throughput (structural + scope) ----------------
+    const std::size_t eval_iters = args.quick ? 3 : 10;
+    for (const bool workspace_mode : {false, true}) {
+      eval::EvalPipelineConfig config = attack_mix_config(workspace_mode, 0);
+      config.cache = false;
+      eval::EvalPipeline pipeline(original, config);
+      auto mutable_genes = genes;
+      util::Timer timer;
+      for (std::size_t i = 0; i < eval_iters; ++i) {
+        (void)pipeline.evaluate(mutable_genes, i);
+      }
+      const double s = timer.elapsed_seconds();
+      eval_table.add_row(
+          {std::string(info.name), std::to_string(w.key_bits),
+           workspace_mode ? "workspace" : "legacy",
+           util::fmt(static_cast<double>(eval_iters) / s, 2),
+           util::fmt(s, 3)});
+    }
+
+    // ---- GA generation throughput -----------------------------------------
+    ga::GaConfig ga_config;
+    ga_config.population = 12;
+    ga_config.generations = args.quick ? 2 : 4;
+    ga_config.seed = 42;
+    double legacy_gens_per_s = 0.0;
+    for (const bool workspace_mode : {false, true}) {
+      eval::EvalPipeline pipeline(
+          original, attack_mix_config(workspace_mode, ga_config.seed));
+      ga::GeneticAlgorithm ga(original, ga_config);
+      util::Timer timer;
+      const auto result = ga.run(w.key_bits, pipeline);
+      const double s = timer.elapsed_seconds();
+      const double gens_per_s =
+          static_cast<double>(ga_config.generations) / s;
+      if (!workspace_mode) legacy_gens_per_s = gens_per_s;
+      ga_table.add_row(
+          {std::string(info.name), std::to_string(w.key_bits),
+           workspace_mode ? "workspace" : "legacy", util::fmt(gens_per_s, 3),
+           util::fmt(s, 3), std::to_string(result.evaluations),
+           workspace_mode ? util::fmt(gens_per_s / legacy_gens_per_s, 2) + "x"
+                          : "1.00x"});
+    }
+  }
+
+  benchx::emit(decode_table, args, "decode throughput");
+  benchx::emit(eval_table, args, "evaluation throughput (structural+scope)");
+  benchx::emit(ga_table, args, "GA generation throughput");
+  return 0;
+}

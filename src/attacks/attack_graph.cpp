@@ -1,7 +1,6 @@
 #include "attacks/attack_graph.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 namespace autolock::attack {
@@ -10,16 +9,21 @@ using netlist::GateType;
 using netlist::Netlist;
 using netlist::NodeId;
 
-AttackGraph::AttackGraph(const Netlist& locked) : locked_(&locked) {
+void AttackGraph::build(const Netlist& locked) {
+  locked_ = &locked;
   const std::size_t n = locked.size();
   present_.assign(n, true);
 
-  // Identify key inputs and key-MUX gates (MUX whose select is a key input).
-  std::vector<bool> is_key_mux(n, false);
-  for (NodeId v = 0; v < n; ++v) {
+  // Identify key inputs (with their bit index = position among key inputs
+  // in creation order) and key-MUX gates (MUX whose select is a key input).
+  is_key_mux_.assign(n, false);
+  bit_of_node_.assign(n, -1);
+  int key_bit_count = 0;
+  for (const NodeId v : locked.inputs()) {
     const auto& node = locked.node(v);
-    if (node.type == GateType::kInput && node.is_key_input) {
+    if (node.is_key_input) {
       present_[v] = false;
+      bit_of_node_[v] = key_bit_count++;
     }
   }
   for (NodeId v = 0; v < n; ++v) {
@@ -27,27 +31,51 @@ AttackGraph::AttackGraph(const Netlist& locked) : locked_(&locked) {
     if (node.type == GateType::kMux && !node.fanins.empty()) {
       const auto& sel = locked.node(node.fanins[0]);
       if (sel.type == GateType::kInput && sel.is_key_input) {
-        is_key_mux[v] = true;
+        is_key_mux_[v] = true;
         present_[v] = false;
       }
     }
   }
 
-  // Adjacency + positives over present nodes only.
-  adjacency_.assign(n, {});
+  // Adjacency (CSR) + positives over present nodes only. Degrees first,
+  // then a prefix sum, then edge placement through per-row cursors.
+  adj_offsets_.assign(n + 1, 0);
+  known_links_.clear();
   for (NodeId v = 0; v < n; ++v) {
     if (!present_[v]) continue;
-    for (NodeId fanin : locked.node(v).fanins) {
+    for (const NodeId fanin : locked.node(v).fanins) {
       if (!present_[fanin]) continue;
-      adjacency_[v].push_back(fanin);
-      adjacency_[fanin].push_back(v);
+      ++adj_offsets_[v + 1];
+      ++adj_offsets_[fanin + 1];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) adj_offsets_[v + 1] += adj_offsets_[v];
+  adj_edges_.resize(adj_offsets_[n]);
+  cursor_.assign(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!present_[v]) continue;
+    for (const NodeId fanin : locked.node(v).fanins) {
+      if (!present_[fanin]) continue;
+      adj_edges_[cursor_[v]++] = fanin;
+      adj_edges_[cursor_[fanin]++] = v;
       known_links_.push_back(CandidateLink{fanin, v});
     }
   }
-  for (auto& list : adjacency_) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
+  // Sort + deduplicate each row, compacting the edge array in place (rows
+  // only ever shrink, so the write cursor never overtakes a pending row).
+  std::uint32_t write = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto row_begin = adj_edges_.begin() + adj_offsets_[v];
+    const auto row_end = adj_edges_.begin() + adj_offsets_[v + 1];
+    std::sort(row_begin, row_end);
+    const auto unique_end = std::unique(row_begin, row_end);
+    const std::uint32_t new_begin = write;
+    for (auto it = row_begin; it != unique_end; ++it) adj_edges_[write++] = *it;
+    adj_offsets_[v] = new_begin;
   }
+  adj_offsets_[n] = write;
+  adj_edges_.resize(write);
+
   std::sort(known_links_.begin(), known_links_.end(),
             [](const CandidateLink& a, const CandidateLink& b) {
               return a.u < b.u || (a.u == b.u && a.v < b.v);
@@ -59,18 +87,22 @@ AttackGraph::AttackGraph(const Netlist& locked) : locked_(&locked) {
                   }),
       known_links_.end());
 
-  // Decision problems: group key-MUXes by their key input's bit index.
+  // Decision problems: group key-MUXes by their key input's bit index into
+  // per-bit slots (replacing the historical std::map), then emit non-empty
+  // slots in ascending bit order.
   const auto& fanouts = locked.fanouts();
-  std::map<int, KeyBitProblem> by_bit;
-  const auto key_nodes = locked.key_inputs();
-  std::vector<int> bit_of_node(n, -1);
-  for (std::size_t i = 0; i < key_nodes.size(); ++i) {
-    bit_of_node[key_nodes[i]] = static_cast<int>(i);
+  if (slots_.size() < static_cast<std::size_t>(key_bit_count)) {
+    slots_.resize(key_bit_count);
+  }
+  for (auto& slot : slots_) {
+    slot.key_bit_index = -1;
+    slot.if_zero.clear();
+    slot.if_one.clear();
   }
   for (NodeId m = 0; m < n; ++m) {
-    if (!is_key_mux[m]) continue;
+    if (!is_key_mux_[m]) continue;
     const auto& mux = locked.node(m);
-    const int bit = bit_of_node[mux.fanins[0]];
+    const int bit = bit_of_node_[mux.fanins[0]];
     if (bit < 0) {
       throw std::logic_error("AttackGraph: key MUX select is not a key input");
     }
@@ -81,19 +113,38 @@ AttackGraph::AttackGraph(const Netlist& locked) : locked_(&locked) {
       // candidates: MuxLink cannot place them in the clean graph either.
       continue;
     }
-    auto& problem = by_bit[bit];
+    auto& problem = slots_[bit];
     problem.key_bit_index = bit;
-    for (NodeId sink : fanouts[m]) {
+    for (const NodeId sink : fanouts[m]) {
       if (!present_[sink]) continue;
       // Key value 0 selects in0 as the true driver of `sink`.
       problem.if_zero.push_back(CandidateLink{in0, sink});
       problem.if_one.push_back(CandidateLink{in1, sink});
     }
   }
-  problems_.reserve(by_bit.size());
-  for (auto& [bit, problem] : by_bit) {
-    if (!problem.if_zero.empty()) problems_.push_back(std::move(problem));
+  std::size_t emitted = 0;
+  for (int bit = 0; bit < key_bit_count; ++bit) {
+    auto& slot = slots_[bit];
+    if (slot.key_bit_index < 0 || slot.if_zero.empty()) continue;
+    if (problems_.size() <= emitted) problems_.emplace_back();
+    KeyBitProblem& dst = problems_[emitted++];
+    dst.key_bit_index = slot.key_bit_index;
+    // Swap rather than move: the slot inherits the previous build's pair
+    // storage, so neither side reallocates once the buffers are warm.
+    dst.if_zero.swap(slot.if_zero);
+    dst.if_one.swap(slot.if_one);
+    slot.key_bit_index = -1;
   }
+  problems_.resize(emitted);
+}
+
+std::vector<std::vector<NodeId>> AttackGraph::adjacency_lists() const {
+  std::vector<std::vector<NodeId>> lists(present_.size());
+  for (NodeId v = 0; v < present_.size(); ++v) {
+    const auto row = neighbors(v);
+    lists[v].assign(row.begin(), row.end());
+  }
+  return lists;
 }
 
 }  // namespace autolock::attack

@@ -10,9 +10,18 @@
 // This module builds that view from a locked netlist alone (no ground
 // truth): the undirected adjacency over non-key nodes, per-node structural
 // features, and the list of key-bit decision problems.
+//
+// The adjacency is stored in CSR form (one offsets array + one flat edge
+// array) rather than a vector-of-vectors, and the object is reusable:
+// `build()` re-derives the view for a new locked netlist into the existing
+// storage, so evaluation loops that attack thousands of candidate designs
+// allocate nothing once the buffers are warm. Rows are sorted and
+// deduplicated, matching the order the historical list-of-lists
+// representation produced (attack RNG trajectories depend on it).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -38,11 +47,19 @@ struct KeyBitProblem {
 
 class AttackGraph {
  public:
+  /// Creates an empty graph; call build() before use. Exists so worker
+  /// scratch state can own a reusable instance.
+  AttackGraph() = default;
+
   /// Builds the attacker view. `locked` must contain MUX key-gates whose
   /// select input is a key input (the convention every scheme in this repo
   /// follows). Non-MUX key gates (e.g. RLL XORs) are left in the graph —
   /// MuxLink does not attack them, and their presence mirrors reality.
-  explicit AttackGraph(const netlist::Netlist& locked);
+  explicit AttackGraph(const netlist::Netlist& locked) { build(locked); }
+
+  /// (Re)derives the view for `locked`, reusing all internal storage.
+  /// `locked` must outlive the graph (or the next build()).
+  void build(const netlist::Netlist& locked);
 
   const netlist::Netlist& locked() const noexcept { return *locked_; }
 
@@ -50,11 +67,21 @@ class AttackGraph {
   /// and key-MUX nodes).
   bool in_graph(netlist::NodeId v) const { return present_[v]; }
 
-  /// Undirected adjacency over present nodes (ids are netlist ids; lists of
-  /// absent nodes are empty).
-  const std::vector<std::vector<netlist::NodeId>>& adjacency() const noexcept {
-    return adjacency_;
+  /// Undirected neighbours of `v` (sorted ascending, deduplicated; empty
+  /// for absent nodes). Valid until the next build().
+  std::span<const netlist::NodeId> neighbors(netlist::NodeId v) const {
+    return {adj_edges_.data() + adj_offsets_[v],
+            adj_offsets_[v + 1] - adj_offsets_[v]};
   }
+
+  std::size_t degree(netlist::NodeId v) const noexcept {
+    return adj_offsets_[v + 1] - adj_offsets_[v];
+  }
+
+  /// Materializes the adjacency as a list of lists (identical content to
+  /// the pre-CSR representation). Allocates; meant for tests and cold
+  /// callers, not the evaluation hot path.
+  std::vector<std::vector<netlist::NodeId>> adjacency_lists() const;
 
   /// All existing directed wires (driver, sink) between present nodes —
   /// the self-supervision positives.
@@ -70,11 +97,17 @@ class AttackGraph {
   std::size_t key_bits() const noexcept { return problems_.size(); }
 
  private:
-  const netlist::Netlist* locked_;
+  const netlist::Netlist* locked_ = nullptr;
   std::vector<bool> present_;
-  std::vector<std::vector<netlist::NodeId>> adjacency_;
+  std::vector<std::uint32_t> adj_offsets_;  // size() + 1 entries
+  std::vector<netlist::NodeId> adj_edges_;
   std::vector<CandidateLink> known_links_;
   std::vector<KeyBitProblem> problems_;
+  // Build-time scratch, retained for reuse.
+  std::vector<bool> is_key_mux_;
+  std::vector<int> bit_of_node_;
+  std::vector<std::uint32_t> cursor_;
+  std::vector<KeyBitProblem> slots_;
 };
 
 }  // namespace autolock::attack

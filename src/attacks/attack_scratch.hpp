@@ -1,0 +1,45 @@
+// Per-worker scratch state shared by the oracle-less attacks.
+//
+// One AttackScratch serves one worker thread for the lifetime of an
+// evaluation loop: the CSR AttackGraph, the epoch-stamped BFS marks used by
+// hard-negative sampling and subgraph extraction, the flat-optimizer
+// buffers behind SCOPE's area queries, and assorted reusable vectors. Every
+// attack resets the pieces it uses, so a scratch can be handed from design
+// to design (and attack to attack) freely — results are bit-identical to
+// the allocating legacy paths, which remain available for one-shot callers.
+#pragma once
+
+#include <vector>
+
+#include "attacks/attack_graph.hpp"
+#include "attacks/features.hpp"
+#include "netlist/opt.hpp"
+#include "util/epoch_flags.hpp"
+
+namespace autolock::attack {
+
+struct AttackScratch {
+  /// Reused attacker-view graph (rebuilt per design, storage retained).
+  AttackGraph graph;
+  /// Visited marks for hard-negative BFS sampling.
+  util::EpochFlags seen;
+  /// Enclosing-subgraph extraction state (MuxLink).
+  SubgraphScratch subgraph;
+  /// One reusable inference subgraph (training samples are still owned
+  /// individually — the trainer needs them all alive at once).
+  Subgraph inference_subgraph;
+  /// Flat-optimizer state for SCOPE's per-key-bit area queries.
+  netlist::OptScratch opt;
+  // BFS / sampling buffers.
+  std::vector<netlist::NodeId> frontier;
+  std::vector<netlist::NodeId> next_frontier;
+  std::vector<netlist::NodeId> ring;
+  std::vector<netlist::NodeId> present_nodes;
+  std::vector<netlist::NodeId> present_sinks;
+  std::vector<CandidateLink> positives;
+  std::vector<CandidateLink> negatives;
+  std::vector<std::size_t> levels;
+  std::vector<std::size_t> order;
+};
+
+}  // namespace autolock::attack

@@ -62,16 +62,28 @@ std::vector<std::uint32_t> drnl_labels(
 
 Subgraph extract_subgraph(const AttackGraph& graph, NodeId u, NodeId v,
                           const SubgraphConfig& config) {
-  const auto& adjacency = graph.adjacency();
+  SubgraphScratch scratch;
   Subgraph sub;
+  extract_subgraph_into(graph, u, v, config, scratch, sub);
+  return sub;
+}
 
-  // Joint BFS from {u, v}; u and v occupy local slots 0 and 1.
-  std::vector<std::uint32_t> local_of(adjacency.size(),
-                                      std::numeric_limits<std::uint32_t>::max());
-  std::vector<NodeId> members;
-  std::vector<std::uint32_t> hop;
+void extract_subgraph_into(const AttackGraph& graph, NodeId u, NodeId v,
+                           const SubgraphConfig& config,
+                           SubgraphScratch& scratch, Subgraph& out) {
+  const std::size_t graph_nodes = graph.locked().size();
+
+  // Joint BFS from {u, v}; u and v occupy local slots 0 and 1. Membership
+  // is epoch-stamped, so local_of entries are only read where marked.
+  scratch.member_marks.begin_epoch(graph_nodes);
+  if (scratch.local_of.size() < graph_nodes) scratch.local_of.resize(graph_nodes);
+  std::vector<NodeId>& members = scratch.members;
+  std::vector<std::uint32_t>& hop = scratch.hop;
+  members.clear();
+  hop.clear();
   auto admit = [&](NodeId x, std::uint32_t h) {
-    local_of[x] = static_cast<std::uint32_t>(members.size());
+    scratch.member_marks.mark(x);
+    scratch.local_of[x] = static_cast<std::uint32_t>(members.size());
     members.push_back(x);
     hop.push_back(h);
   };
@@ -80,8 +92,8 @@ Subgraph extract_subgraph(const AttackGraph& graph, NodeId u, NodeId v,
   for (std::size_t head = 0; head < members.size(); ++head) {
     if (members.size() >= config.max_nodes) break;
     if (hop[head] >= config.hops) continue;
-    for (NodeId y : adjacency[members[head]]) {
-      if (local_of[y] != std::numeric_limits<std::uint32_t>::max()) continue;
+    for (NodeId y : graph.neighbors(members[head])) {
+      if (scratch.member_marks.marked(y)) continue;
       admit(y, hop[head] + 1);
       if (members.size() >= config.max_nodes) break;
     }
@@ -89,35 +101,35 @@ Subgraph extract_subgraph(const AttackGraph& graph, NodeId u, NodeId v,
 
   // Local adjacency, omitting the (u, v) edge itself.
   const std::size_t n = members.size();
-  sub.adjacency.assign(n, {});
+  out.adjacency.resize(n);
+  for (auto& row : out.adjacency) row.clear();
   for (std::size_t x = 0; x < n; ++x) {
-    for (NodeId y : adjacency[members[x]]) {
-      const std::uint32_t ly = local_of[y];
-      if (ly == std::numeric_limits<std::uint32_t>::max()) continue;
+    for (NodeId y : graph.neighbors(members[x])) {
+      if (!scratch.member_marks.marked(y)) continue;
+      const std::uint32_t ly = scratch.local_of[y];
       const bool is_target_edge =
           (x == 0 && ly == 1) || (x == 1 && ly == 0);
       if (is_target_edge) continue;
-      sub.adjacency[x].push_back(ly);
+      out.adjacency[x].push_back(ly);
     }
   }
 
   // Features: one-hot DRNL ++ one-hot gate type ++ normalized degree.
-  const auto labels = drnl_labels(sub.adjacency);
-  sub.node_count = n;
-  sub.features.assign(n * kFeatureDim, 0.0);
+  const auto labels = drnl_labels(out.adjacency);
+  out.node_count = n;
+  out.features.assign(n * kFeatureDim, 0.0);
   const auto& locked = graph.locked();
   constexpr std::size_t kRoleOffset = (kDrnlCap + 1) + netlist::kGateTypeCount;
   for (std::size_t x = 0; x < n; ++x) {
-    double* row = &sub.features[x * kFeatureDim];
+    double* row = &out.features[x * kFeatureDim];
     row[labels[x]] = 1.0;
     const auto type = locked.node(members[x]).type;
     row[(kDrnlCap + 1) + static_cast<std::size_t>(type)] = 1.0;
     if (x == 0) row[kRoleOffset] = 1.0;      // queried driver endpoint
     if (x == 1) row[kRoleOffset + 1] = 1.0;  // queried sink endpoint
-    const double degree = static_cast<double>(adjacency[members[x]].size());
+    const double degree = static_cast<double>(graph.degree(members[x]));
     row[kFeatureDim - 1] = std::log1p(degree) / 4.0;
   }
-  return sub;
 }
 
 }  // namespace autolock::attack

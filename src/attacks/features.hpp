@@ -14,6 +14,7 @@
 
 #include "attacks/attack_graph.hpp"
 #include "netlist/netlist.hpp"
+#include "util/epoch_flags.hpp"
 
 namespace autolock::attack {
 
@@ -46,11 +47,28 @@ struct SubgraphConfig {
   std::size_t max_nodes = 64;
 };
 
+/// Reusable extraction state (one per worker): epoch-stamped membership
+/// marks plus the member/hop/label staging vectors that the allocating
+/// variant re-creates per call.
+struct SubgraphScratch {
+  util::EpochFlags member_marks;
+  std::vector<std::uint32_t> local_of;  // valid only where member_marks set
+  std::vector<netlist::NodeId> members;
+  std::vector<std::uint32_t> hop;
+};
+
 /// Extracts the enclosing subgraph for link (u, v) over `graph`. The (u, v)
 /// edge is omitted from the local adjacency in both directions (SEAL rule:
 /// the model must never see the edge it is asked to predict).
 Subgraph extract_subgraph(const AttackGraph& graph, netlist::NodeId u,
                           netlist::NodeId v, const SubgraphConfig& config);
+
+/// Allocation-reusing variant: writes into `out` (buffers retained across
+/// calls) using `scratch`. Produces exactly the same subgraph as
+/// extract_subgraph.
+void extract_subgraph_into(const AttackGraph& graph, netlist::NodeId u,
+                           netlist::NodeId v, const SubgraphConfig& config,
+                           SubgraphScratch& scratch, Subgraph& out);
 
 /// Computes DRNL labels for a subgraph whose nodes 0 and 1 are the link
 /// endpoints. Exposed for testing.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "attacks/attack_scratch.hpp"
 #include "util/rng.hpp"
 
 namespace autolock::attack {
@@ -12,14 +13,22 @@ using netlist::NodeId;
 MuxLinkAttack::MuxLinkAttack(MuxLinkConfig config) : config_(config) {}
 
 MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked) const {
+  AttackScratch scratch;
+  return attack(locked, scratch);
+}
+
+MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked,
+                                    AttackScratch& scratch) const {
   MuxLinkResult result;
-  const AttackGraph graph(locked);
+  scratch.graph.build(locked);
+  const AttackGraph& graph = scratch.graph;
   if (graph.problems().empty()) return result;
 
   util::Rng rng(config_.seed ^ (locked.size() * 0x9E37ULL));
 
   // ---- assemble the self-supervised training set ---------------------------
-  std::vector<CandidateLink> positives = graph.known_links();
+  std::vector<CandidateLink>& positives = scratch.positives;
+  positives = graph.known_links();
   if (positives.size() > config_.max_train_links) {
     rng.shuffle(positives);
     positives.resize(config_.max_train_links);
@@ -28,8 +37,10 @@ MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked) const {
   // Present nodes, split into "possible drivers" (anything present) and
   // "possible sinks" (present gates with fanins) so negatives share the
   // directional shape of positives.
-  std::vector<NodeId> present_nodes;
-  std::vector<NodeId> present_sinks;
+  std::vector<NodeId>& present_nodes = scratch.present_nodes;
+  std::vector<NodeId>& present_sinks = scratch.present_sinks;
+  present_nodes.clear();
+  present_sinks.clear();
   for (NodeId v = 0; v < locked.size(); ++v) {
     if (!graph.in_graph(v)) continue;
     present_nodes.push_back(v);
@@ -37,9 +48,8 @@ MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked) const {
   }
   if (present_nodes.size() < 4 || present_sinks.empty()) return result;
 
-  const auto& adjacency = graph.adjacency();
   auto is_adjacent = [&](NodeId a, NodeId b) {
-    const auto& list = adjacency[a];
+    const auto list = graph.neighbors(a);
     return std::binary_search(list.begin(), list.end(), b);
   };
 
@@ -49,22 +59,26 @@ MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked) const {
   // inference time.
   auto sample_hard_negative = [&](CandidateLink& out) {
     const NodeId v = present_sinks[rng.next_below(present_sinks.size())];
-    // Bounded BFS to 3 hops.
-    std::vector<NodeId> ring;
-    std::vector<NodeId> frontier{v};
-    std::vector<std::uint8_t> seen(locked.size(), 0);
-    seen[v] = 1;
+    // Bounded BFS to 3 hops; visited marks are epoch-stamped, so this
+    // allocates nothing once the scratch is warm.
+    std::vector<NodeId>& ring = scratch.ring;
+    std::vector<NodeId>& frontier = scratch.frontier;
+    std::vector<NodeId>& next = scratch.next_frontier;
+    ring.clear();
+    frontier.clear();
+    frontier.push_back(v);
+    scratch.seen.begin_epoch(locked.size());
+    scratch.seen.mark(v);
     for (int hop = 1; hop <= 3; ++hop) {
-      std::vector<NodeId> next;
+      next.clear();
       for (const NodeId x : frontier) {
-        for (const NodeId y : adjacency[x]) {
-          if (seen[y]) continue;
-          seen[y] = 1;
+        for (const NodeId y : graph.neighbors(x)) {
+          if (!scratch.seen.try_mark(y)) continue;
           next.push_back(y);
           if (hop >= 2) ring.push_back(y);  // distance 2..3: non-adjacent
         }
       }
-      frontier = std::move(next);
+      std::swap(frontier, next);
       if (ring.size() > 64) break;
     }
     if (ring.empty()) return false;
@@ -72,7 +86,8 @@ MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked) const {
     return true;
   };
 
-  std::vector<CandidateLink> negatives;
+  std::vector<CandidateLink>& negatives = scratch.negatives;
+  negatives.clear();
   negatives.reserve(positives.size());
   std::size_t guard = 0;
   while (negatives.size() < positives.size() &&
@@ -94,12 +109,16 @@ MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked) const {
   std::vector<Subgraph> samples;
   samples.reserve(positives.size() + negatives.size());
   for (const auto& link : positives) {
-    Subgraph sub = extract_subgraph(graph, link.u, link.v, config_.subgraph);
+    Subgraph sub;
+    extract_subgraph_into(graph, link.u, link.v, config_.subgraph,
+                          scratch.subgraph, sub);
     sub.label = 1.0;
     samples.push_back(std::move(sub));
   }
   for (const auto& link : negatives) {
-    Subgraph sub = extract_subgraph(graph, link.u, link.v, config_.subgraph);
+    Subgraph sub;
+    extract_subgraph_into(graph, link.u, link.v, config_.subgraph,
+                          scratch.subgraph, sub);
     sub.label = 0.0;
     samples.push_back(std::move(sub));
   }
@@ -138,8 +157,9 @@ MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked) const {
     auto mean_prob = [&](const std::vector<CandidateLink>& links) {
       double sum = 0.0;
       for (const auto& link : links) {
-        const Subgraph sub =
-            extract_subgraph(graph, link.u, link.v, config_.subgraph);
+        Subgraph& sub = scratch.inference_subgraph;
+        extract_subgraph_into(graph, link.u, link.v, config_.subgraph,
+                              scratch.subgraph, sub);
         double p = 0.0;
         for (const Gnn& model : models) p += model.predict(sub);
         sum += p / static_cast<double>(models.size());

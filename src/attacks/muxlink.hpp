@@ -63,12 +63,18 @@ struct MuxLinkScore {
   std::size_t key_bits = 0;
 };
 
+struct AttackScratch;
+
 class MuxLinkAttack {
  public:
   explicit MuxLinkAttack(MuxLinkConfig config = {});
 
   /// Runs the attack on a locked netlist (attacker knowledge only).
   MuxLinkResult attack(const netlist::Netlist& locked) const;
+
+  /// Scratch-reusing variant for evaluation loops; bit-identical results.
+  MuxLinkResult attack(const netlist::Netlist& locked,
+                       AttackScratch& scratch) const;
 
   /// Scores a result against the ground-truth key (evaluation only).
   static MuxLinkScore score(const MuxLinkResult& result,
@@ -77,6 +83,11 @@ class MuxLinkAttack {
   /// Convenience: attack + score in one call.
   MuxLinkScore run(const lock::LockedDesign& design) const {
     return score(attack(design.netlist), design.key);
+  }
+
+  MuxLinkScore run(const lock::LockedDesign& design,
+                   AttackScratch& scratch) const {
+    return score(attack(design.netlist, scratch), design.key);
   }
 
   const MuxLinkConfig& config() const noexcept { return config_; }

@@ -1,8 +1,20 @@
 #include "attacks/scope.hpp"
 
+#include "attacks/attack_scratch.hpp"
 #include "netlist/opt.hpp"
 
 namespace autolock::attack {
+
+namespace {
+
+int decide_from_areas(std::size_t area0, std::size_t area1) {
+  // The correct hypothesis synthesizes *smaller* (key gate disappears).
+  if (area0 < area1) return 0;
+  if (area1 < area0) return 1;
+  return -1;
+}
+
+}  // namespace
 
 ScopeResult ScopeAttack::attack(const netlist::Netlist& locked) const {
   ScopeResult result;
@@ -14,11 +26,26 @@ ScopeResult ScopeAttack::attack(const netlist::Netlist& locked) const {
     const auto one = netlist::optimize_with_key_bit(locked, bit, true);
     const std::size_t area0 = zero.stats().gates;
     const std::size_t area1 = one.stats().gates;
-    int decision = -1;
-    // The correct hypothesis synthesizes *smaller* (key gate disappears).
-    if (area0 < area1) decision = 0;
-    else if (area1 < area0) decision = 1;
-    result.predicted_bits.push_back(decision);
+    result.predicted_bits.push_back(decide_from_areas(area0, area1));
+    result.areas.emplace_back(area0, area1);
+  }
+  return result;
+}
+
+ScopeResult ScopeAttack::attack(const netlist::Netlist& locked,
+                                AttackScratch& scratch) const {
+  ScopeResult result;
+  const std::size_t key_bits = locked.key_inputs().size();
+  result.predicted_bits.reserve(key_bits);
+  result.areas.reserve(key_bits);
+  for (std::size_t bit = 0; bit < key_bits; ++bit) {
+    const std::size_t area0 =
+        netlist::optimized_gate_count_with_key_bit(locked, bit, false,
+                                                   scratch.opt);
+    const std::size_t area1 =
+        netlist::optimized_gate_count_with_key_bit(locked, bit, true,
+                                                   scratch.opt);
+    result.predicted_bits.push_back(decide_from_areas(area0, area1));
     result.areas.emplace_back(area0, area1);
   }
   return result;

@@ -19,6 +19,8 @@
 
 namespace autolock::attack {
 
+struct AttackScratch;
+
 struct ScopeResult {
   /// Per key bit: 0 / 1, or -1 when both hypotheses cost the same
   /// (undecidable by this attack).
@@ -39,11 +41,23 @@ class ScopeAttack {
  public:
   ScopeResult attack(const netlist::Netlist& locked) const;
 
+  /// Scratch-reusing variant: the per-hypothesis areas come from the flat
+  /// gate-count optimizer (netlist::optimized_gate_count_with_key_bit)
+  /// instead of two fully materialized synthesis runs per key bit. Areas —
+  /// and therefore every decision — are identical to attack(locked).
+  ScopeResult attack(const netlist::Netlist& locked,
+                     AttackScratch& scratch) const;
+
   static ScopeScore score(const ScopeResult& result,
                           const netlist::Key& correct_key);
 
   ScopeScore run(const lock::LockedDesign& design) const {
     return score(attack(design.netlist), design.key);
+  }
+
+  ScopeScore run(const lock::LockedDesign& design,
+                 AttackScratch& scratch) const {
+    return score(attack(design.netlist, scratch), design.key);
   }
 };
 

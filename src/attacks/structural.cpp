@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "attacks/attack_scratch.hpp"
 #include "netlist/analysis.hpp"
 #include "util/rng.hpp"
 
@@ -16,9 +17,8 @@ namespace {
 std::array<double, StructuralLinkPredictor::kPairFeatureDim> pair_features(
     const AttackGraph& graph, const std::vector<std::size_t>& levels,
     NodeId u, NodeId v) {
-  const auto& adjacency = graph.adjacency();
-  const auto& nu = adjacency[u];
-  const auto& nv = adjacency[v];
+  const auto nu = graph.neighbors(u);
+  const auto nv = graph.neighbors(v);
 
   double common = 0.0;
   double adamic_adar = 0.0;
@@ -32,7 +32,7 @@ std::array<double, StructuralLinkPredictor::kPairFeatureDim> pair_features(
         ++iv;
       } else {
         common += 1.0;
-        const double degree = static_cast<double>(adjacency[*iu].size());
+        const double degree = static_cast<double>(graph.degree(*iu));
         if (degree > 1.0) adamic_adar += 1.0 / std::log(degree);
         ++iu;
         ++iv;
@@ -94,47 +94,60 @@ StructuralLinkPredictor::StructuralLinkPredictor(
 
 MuxLinkResult StructuralLinkPredictor::attack(
     const netlist::Netlist& locked) const {
+  AttackScratch scratch;
+  return attack(locked, scratch);
+}
+
+MuxLinkResult StructuralLinkPredictor::attack(const netlist::Netlist& locked,
+                                              AttackScratch& scratch) const {
   MuxLinkResult result;
-  const AttackGraph graph(locked);
+  scratch.graph.build(locked);
+  const AttackGraph& graph = scratch.graph;
   if (graph.problems().empty()) return result;
 
   util::Rng rng(config_.seed ^ (locked.size() * 0xC0FFEEULL));
-  const std::vector<std::size_t> levels = netlist::node_levels(locked);
+  netlist::node_levels_into(locked, scratch.levels);
+  const std::vector<std::size_t>& levels = scratch.levels;
 
-  std::vector<CandidateLink> positives = graph.known_links();
+  std::vector<CandidateLink>& positives = scratch.positives;
+  positives = graph.known_links();
   if (positives.size() > config_.max_train_links) {
     rng.shuffle(positives);
     positives.resize(config_.max_train_links);
   }
-  std::vector<NodeId> present_nodes;
-  std::vector<NodeId> present_sinks;
+  std::vector<NodeId>& present_nodes = scratch.present_nodes;
+  std::vector<NodeId>& present_sinks = scratch.present_sinks;
+  present_nodes.clear();
+  present_sinks.clear();
   for (NodeId v = 0; v < locked.size(); ++v) {
     if (!graph.in_graph(v)) continue;
     present_nodes.push_back(v);
     if (!locked.node(v).fanins.empty()) present_sinks.push_back(v);
   }
   if (present_nodes.size() < 4 || present_sinks.empty()) return result;
-  const auto& adjacency = graph.adjacency();
 
   // Mirror the GNN attack's negative mix: half uniform, half hard
   // (near-the-sink) negatives — see muxlink.cpp for rationale.
   auto sample_hard_negative = [&](CandidateLink& out) {
     const NodeId v = present_sinks[rng.next_below(present_sinks.size())];
-    std::vector<NodeId> ring;
-    std::vector<NodeId> frontier{v};
-    std::vector<std::uint8_t> seen(locked.size(), 0);
-    seen[v] = 1;
+    std::vector<NodeId>& ring = scratch.ring;
+    std::vector<NodeId>& frontier = scratch.frontier;
+    std::vector<NodeId>& next = scratch.next_frontier;
+    ring.clear();
+    frontier.clear();
+    frontier.push_back(v);
+    scratch.seen.begin_epoch(locked.size());
+    scratch.seen.mark(v);
     for (int hop = 1; hop <= 3; ++hop) {
-      std::vector<NodeId> next;
+      next.clear();
       for (const NodeId x : frontier) {
-        for (const NodeId y : adjacency[x]) {
-          if (seen[y]) continue;
-          seen[y] = 1;
+        for (const NodeId y : graph.neighbors(x)) {
+          if (!scratch.seen.try_mark(y)) continue;
           next.push_back(y);
           if (hop >= 2) ring.push_back(y);
         }
       }
-      frontier = std::move(next);
+      std::swap(frontier, next);
       if (ring.size() > 64) break;
     }
     if (ring.empty()) return false;
@@ -142,7 +155,8 @@ MuxLinkResult StructuralLinkPredictor::attack(
     return true;
   };
 
-  std::vector<CandidateLink> negatives;
+  std::vector<CandidateLink>& negatives = scratch.negatives;
+  negatives.clear();
   std::size_t guard = 0;
   while (negatives.size() < positives.size() &&
          guard < 100 * positives.size() + 1000) {
@@ -157,7 +171,8 @@ MuxLinkResult StructuralLinkPredictor::attack(
     const NodeId u = present_nodes[rng.next_below(present_nodes.size())];
     const NodeId v = present_sinks[rng.next_below(present_sinks.size())];
     if (u == v) continue;
-    if (std::binary_search(adjacency[u].begin(), adjacency[u].end(), v)) {
+    const auto nu = graph.neighbors(u);
+    if (std::binary_search(nu.begin(), nu.end(), v)) {
       continue;
     }
     negatives.push_back(CandidateLink{u, v});
@@ -178,7 +193,8 @@ MuxLinkResult StructuralLinkPredictor::attack(
   result.train_samples = samples.size();
 
   std::array<double, kPairFeatureDim> w{};
-  std::vector<std::size_t> order(samples.size());
+  std::vector<std::size_t>& order = scratch.order;
+  order.resize(samples.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     rng.shuffle(order);

@@ -34,8 +34,17 @@ class StructuralLinkPredictor {
 
   MuxLinkResult attack(const netlist::Netlist& locked) const;
 
+  /// Scratch-reusing variant for evaluation loops; bit-identical results.
+  MuxLinkResult attack(const netlist::Netlist& locked,
+                       AttackScratch& scratch) const;
+
   MuxLinkScore run(const lock::LockedDesign& design) const {
     return MuxLinkAttack::score(attack(design.netlist), design.key);
+  }
+
+  MuxLinkScore run(const lock::LockedDesign& design,
+                   AttackScratch& scratch) const {
+    return MuxLinkAttack::score(attack(design.netlist, scratch), design.key);
   }
 
   const StructuralPredictorConfig& config() const noexcept { return config_; }

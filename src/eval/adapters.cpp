@@ -11,6 +11,7 @@
 #include "attacks/scope.hpp"
 #include "attacks/structural.hpp"
 #include "eval/registry.hpp"
+#include "eval/workspace.hpp"
 #include "util/timer.hpp"
 
 namespace autolock::eval {
@@ -46,6 +47,14 @@ class MuxLinkAdapter : public Attack {
     return from_muxlink_score(name_, score, timer.elapsed_seconds());
   }
 
+  AttackReport evaluate(const lock::LockedDesign& design,
+                        EvalWorkspace& workspace) const override {
+    util::Timer timer;
+    const auto score =
+        attack::MuxLinkAttack(config_).run(design, workspace.attack);
+    return from_muxlink_score(name_, score, timer.elapsed_seconds());
+  }
+
  private:
   std::string name_;
   attack::MuxLinkConfig config_;
@@ -64,6 +73,14 @@ class StructuralAdapter : public Attack {
     return from_muxlink_score(name_, score, timer.elapsed_seconds());
   }
 
+  AttackReport evaluate(const lock::LockedDesign& design,
+                        EvalWorkspace& workspace) const override {
+    util::Timer timer;
+    const auto score =
+        attack::StructuralLinkPredictor(config_).run(design, workspace.attack);
+    return from_muxlink_score(name_, score, timer.elapsed_seconds());
+  }
+
  private:
   std::string name_ = "structural";
   attack::StructuralPredictorConfig config_;
@@ -75,7 +92,19 @@ class ScopeAdapter : public Attack {
 
   AttackReport evaluate(const lock::LockedDesign& design) const override {
     util::Timer timer;
-    const auto score = attack::ScopeAttack().run(design);
+    return from_scope_score(attack::ScopeAttack().run(design), timer);
+  }
+
+  AttackReport evaluate(const lock::LockedDesign& design,
+                        EvalWorkspace& workspace) const override {
+    util::Timer timer;
+    return from_scope_score(attack::ScopeAttack().run(design, workspace.attack),
+                            timer);
+  }
+
+ private:
+  AttackReport from_scope_score(const attack::ScopeScore& score,
+                                const util::Timer& timer) const {
     AttackReport report;
     report.attack = name_;
     report.key_bits = score.key_bits;
@@ -93,7 +122,6 @@ class ScopeAdapter : public Attack {
     return report;
   }
 
- private:
   std::string name_ = "scope";
 };
 

@@ -50,6 +50,8 @@ struct AttackOptions {
   std::uint64_t seed = 0;
 };
 
+class EvalWorkspace;
+
 /// Interface every attack adapter implements. Implementations must be
 /// thread-safe: evaluate() is invoked concurrently for different designs.
 class Attack {
@@ -61,6 +63,17 @@ class Attack {
 
   /// Runs the attack on `design` and scores it against the ground-truth key.
   virtual AttackReport evaluate(const lock::LockedDesign& design) const = 0;
+
+  /// Workspace-reusing variant: adapters with an allocation-free path
+  /// override this to route scratch state through `workspace`; the result
+  /// must be identical to evaluate(design). The workspace is exclusively
+  /// the caller's for the duration of the call (one per pool shard), so
+  /// overrides need no internal synchronization.
+  virtual AttackReport evaluate(const lock::LockedDesign& design,
+                                EvalWorkspace& workspace) const {
+    (void)workspace;
+    return evaluate(design);
+  }
 };
 
 }  // namespace autolock::eval

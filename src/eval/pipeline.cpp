@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "eval/registry.hpp"
+#include "eval/workspace.hpp"
 
 namespace autolock::eval {
 
@@ -30,6 +31,8 @@ EvalPipeline::EvalPipeline(const netlist::Netlist& original,
   oracle_sim_ = std::make_unique<netlist::Simulator>(*original_);
 }
 
+EvalPipeline::~EvalPipeline() = default;
+
 std::vector<std::string> EvalPipeline::attack_names() const {
   std::vector<std::string> names;
   names.reserve(attacks_.size());
@@ -48,6 +51,22 @@ LockedDesign EvalPipeline::decode(const ga::Genotype& genes,
   return lock::apply_genotype(*original_, context_, genes, repair_rng);
 }
 
+void EvalPipeline::decode_into(EvalWorkspace& workspace,
+                               const ga::Genotype& genes,
+                               std::uint64_t repair_seed) const {
+  util::Rng repair_rng(config_.seed ^ repair_seed ^ config_.repair_salt);
+  lock::apply_genotype_into(workspace.design, *original_, context_, genes,
+                            repair_rng, workspace.reach);
+}
+
+void EvalPipeline::ensure_workspaces(std::size_t count) {
+  while (workspaces_.size() < count) {
+    auto workspace = std::make_unique<EvalWorkspace>();
+    workspace->reserve(*original_, /*key_bits=*/64);
+    workspaces_.push_back(std::move(workspace));
+  }
+}
+
 std::vector<AttackReport> EvalPipeline::reports(
     const LockedDesign& design) const {
   std::vector<AttackReport> result;
@@ -56,19 +75,34 @@ std::vector<AttackReport> EvalPipeline::reports(
   return result;
 }
 
-double EvalPipeline::corruption(const LockedDesign& design) const {
-  util::Rng rng(0xC0441ULL ^ design.netlist.size());
-  const netlist::Simulator locked_sim(design.netlist);
+double EvalPipeline::corruption(const LockedDesign& design,
+                                EvalWorkspace* workspace) const {
+  // Mix the configured seed into the vector stream: two same-size designs
+  // under different pipeline seeds must not share vectors (and the same
+  // seed must reproduce exactly).
+  util::Rng rng(0xC0441ULL ^ (config_.seed * 0x9E3779B97F4A7C15ULL) ^
+                design.netlist.size());
   // One random wrong key (all bits flipped is the cheapest adversarial
   // proxy; full sampling lives in lock::measure_corruption).
   netlist::Key wrong = design.key;
   for (std::size_t b = 0; b < wrong.size(); ++b) wrong[b] = !wrong[b];
+  if (workspace != nullptr) {
+    // Rebind the workspace's simulator slot to the design under test: the
+    // order/input captures and the per-word value buffers are all reused.
+    workspace->locked_sim.rebind(design.netlist);
+    return netlist::Simulator::output_error_rate(
+        workspace->locked_sim, wrong, *oracle_sim_, netlist::Key{},
+        config_.corruption_vectors, rng, workspace->sim);
+  }
+  const netlist::Simulator locked_sim(design.netlist);
   return netlist::Simulator::output_error_rate(locked_sim, wrong, *oracle_sim_,
                                                netlist::Key{},
-                                               config_.corruption_vectors, rng);
+                                               config_.corruption_vectors,
+                                               rng);
 }
 
-ga::Evaluation EvalPipeline::score(const LockedDesign& design) const {
+ga::Evaluation EvalPipeline::score(const LockedDesign& design,
+                                   EvalWorkspace* workspace) const {
   if (config_.fitness_override) return config_.fitness_override(design);
   if (attacks_.empty()) {
     throw std::logic_error(
@@ -79,7 +113,9 @@ ga::Evaluation EvalPipeline::score(const LockedDesign& design) const {
   double accuracy = 0.0;
   double precision = 0.0;
   for (const auto& attack : attacks_) {
-    const AttackReport report = attack->evaluate(design);
+    const AttackReport report = workspace != nullptr
+                                    ? attack->evaluate(design, *workspace)
+                                    : attack->evaluate(design);
     accuracy += report.accuracy;
     precision += report.precision;
   }
@@ -89,7 +125,7 @@ ga::Evaluation EvalPipeline::score(const LockedDesign& design) const {
   eval.attack_precision = precision;
   eval.fitness = 1.0 - accuracy;
   if (config_.corruption_weight > 0.0) {
-    eval.corruption = corruption(design);
+    eval.corruption = corruption(design, workspace);
     // Saturate at 0.5 (ideal corruption); scale into [0, weight].
     eval.fitness += std::min(eval.corruption, 0.5) / 0.5 *
                     config_.corruption_weight;
@@ -98,7 +134,7 @@ ga::Evaluation EvalPipeline::score(const LockedDesign& design) const {
 }
 
 std::vector<double> EvalPipeline::score_objectives(
-    const LockedDesign& design) const {
+    const LockedDesign& design, EvalWorkspace* workspace) const {
   if (config_.objectives_override) {
     auto objectives = config_.objectives_override(design);
     check_objective_arity(objectives);
@@ -112,10 +148,14 @@ std::vector<double> EvalPipeline::score_objectives(
   std::vector<double> objectives;
   objectives.reserve(num_objectives());
   for (const auto& attack : attacks_) {
-    objectives.push_back(attack->evaluate(design).accuracy);
+    const AttackReport report = workspace != nullptr
+                                    ? attack->evaluate(design, *workspace)
+                                    : attack->evaluate(design);
+    objectives.push_back(report.accuracy);
   }
   if (config_.corruption_objective) {
-    objectives.push_back(1.0 - std::min(corruption(design), 0.5) / 0.5);
+    objectives.push_back(1.0 - std::min(corruption(design, workspace), 0.5) /
+                                   0.5);
   }
   return objectives;
 }
@@ -137,11 +177,28 @@ ga::Evaluation EvalPipeline::evaluate(ga::Genotype& genes,
       return hit;
     }
   }
-  LockedDesign design = decode(genes, repair_seed);
-  genes = design.sites;  // write repaired genes back
-  const ga::Evaluation eval = score(design);
+  ga::Genotype pre_repair;
+  if (config_.cache) pre_repair = genes;
+  ga::Evaluation eval;
+  if (config_.workspaces) {
+    ensure_workspaces(1);
+    EvalWorkspace& workspace = *workspaces_.front();
+    decode_into(workspace, genes, repair_seed);
+    genes = workspace.design.sites;  // write repaired genes back
+    eval = score(workspace.design, &workspace);
+  } else {
+    LockedDesign design = decode(genes, repair_seed);
+    genes = design.sites;
+    eval = score(design);
+  }
   evaluations_.fetch_add(1, std::memory_order_relaxed);
-  if (config_.cache) scalar_cache_.store(genes, eval);
+  if (config_.cache) {
+    // Store under the pre-repair genes too: a later duplicate of the
+    // original genotype looks up with those, and would otherwise re-decode
+    // (with a different repair stream) forever.
+    scalar_cache_.store(pre_repair, eval);
+    if (genes != pre_repair) scalar_cache_.store(genes, eval);
+  }
   return eval;
 }
 
@@ -154,11 +211,25 @@ std::vector<double> EvalPipeline::evaluate_objectives(
       return hit;
     }
   }
-  LockedDesign design = decode(genes, repair_seed);
-  genes = design.sites;
-  std::vector<double> objectives = score_objectives(design);
+  ga::Genotype pre_repair;
+  if (config_.cache) pre_repair = genes;
+  std::vector<double> objectives;
+  if (config_.workspaces) {
+    ensure_workspaces(1);
+    EvalWorkspace& workspace = *workspaces_.front();
+    decode_into(workspace, genes, repair_seed);
+    genes = workspace.design.sites;
+    objectives = score_objectives(workspace.design, &workspace);
+  } else {
+    LockedDesign design = decode(genes, repair_seed);
+    genes = design.sites;
+    objectives = score_objectives(design);
+  }
   evaluations_.fetch_add(1, std::memory_order_relaxed);
-  if (config_.cache) objective_cache_.store(genes, objectives);
+  if (config_.cache) {
+    objective_cache_.store(pre_repair, objectives);
+    if (genes != pre_repair) objective_cache_.store(genes, objectives);
+  }
   return objectives;
 }
 
@@ -176,37 +247,69 @@ std::uint64_t EvalPipeline::batch_repair_seed(std::size_t generation,
          (index * 0x9E3779B9ULL);
 }
 
-EvalPipeline::BatchStats EvalPipeline::evaluate_population(
-    std::vector<ga::Individual>& population, std::size_t generation) {
+template <typename Individual, typename Value, typename NeedsEval,
+          typename ResultOf, typename Compute>
+EvalPipeline::BatchStats EvalPipeline::evaluate_batch(
+    std::vector<Individual>& population, std::size_t generation,
+    FitnessCache<Value>& cache, NeedsEval needs_eval, ResultOf result_of,
+    Compute compute) {
   BatchStats stats;
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < population.size(); ++i) {
+    if (!needs_eval(population[i])) continue;
     if (config_.cache) {
-      ga::Evaluation hit;
-      if (scalar_cache_.lookup(population[i].genes, hit)) {
-        population[i].eval = hit;
+      Value hit;
+      if (cache.lookup(population[i].genes, hit)) {
+        result_of(population[i]) = std::move(hit);
         ++stats.cache_hits;
         continue;
       }
     }
     pending.push_back(i);
   }
-  const auto eval_one = [&](std::size_t idx) {
+  // Pre-repair genes are retained so the post-batch cache stores can key
+  // results under them as well (see evaluate()).
+  std::vector<ga::Genotype> pre_repair;
+  if (config_.cache) {
+    pre_repair.reserve(pending.size());
+    for (const std::size_t i : pending) pre_repair.push_back(population[i].genes);
+  }
+  const bool use_workspaces = config_.workspaces;
+  const auto eval_one = [&](std::size_t shard, std::size_t idx) {
     const std::size_t i = pending[idx];
-    LockedDesign design =
-        decode(population[i].genes, batch_repair_seed(generation, i));
-    population[i].genes = design.sites;
-    population[i].eval = score(design);
-    evaluations_.fetch_add(1, std::memory_order_relaxed);
-    if (config_.cache) {
-      scalar_cache_.store(population[i].genes, population[i].eval);
+    if (use_workspaces) {
+      EvalWorkspace& workspace = *workspaces_[shard];
+      decode_into(workspace, population[i].genes,
+                  batch_repair_seed(generation, i));
+      population[i].genes = workspace.design.sites;
+      result_of(population[i]) = compute(workspace.design, &workspace);
+    } else {
+      LockedDesign design =
+          decode(population[i].genes, batch_repair_seed(generation, i));
+      population[i].genes = design.sites;
+      result_of(population[i]) = compute(design, nullptr);
     }
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
   };
   util::ThreadPool* pool = worker_pool();
   if (pool != nullptr && pending.size() > 1) {
-    pool->parallel_for(pending.size(), eval_one);
+    if (use_workspaces) ensure_workspaces(std::min(pending.size(), pool->size()));
+    pool->parallel_for_sharded(pending.size(), eval_one);
   } else {
-    for (std::size_t idx = 0; idx < pending.size(); ++idx) eval_one(idx);
+    if (use_workspaces) ensure_workspaces(1);
+    for (std::size_t idx = 0; idx < pending.size(); ++idx) eval_one(0, idx);
+  }
+  // Cache stores run sequentially in index order after the batch: the
+  // end-state is deterministic (the last duplicate wins) regardless of
+  // thread count or completion order.
+  if (config_.cache) {
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      const std::size_t i = pending[k];
+      cache.store(pre_repair[k], result_of(population[i]));
+      if (population[i].genes != pre_repair[k]) {
+        cache.store(population[i].genes, result_of(population[i]));
+      }
+    }
   }
   stats.evaluated = pending.size();
   cache_hits_.fetch_add(stats.cache_hits, std::memory_order_relaxed);
@@ -214,41 +317,28 @@ EvalPipeline::BatchStats EvalPipeline::evaluate_population(
 }
 
 EvalPipeline::BatchStats EvalPipeline::evaluate_population(
+    std::vector<ga::Individual>& population, std::size_t generation) {
+  return evaluate_batch(
+      population, generation, scalar_cache_,
+      [](const ga::Individual&) { return true; },
+      [](ga::Individual& ind) -> ga::Evaluation& { return ind.eval; },
+      [this](const LockedDesign& design, EvalWorkspace* workspace) {
+        return score(design, workspace);
+      });
+}
+
+EvalPipeline::BatchStats EvalPipeline::evaluate_population(
     std::vector<ga::MoIndividual>& population, std::size_t generation) {
-  BatchStats stats;
-  std::vector<std::size_t> pending;
-  for (std::size_t i = 0; i < population.size(); ++i) {
-    if (!population[i].objectives.empty()) continue;  // survivor carry-over
-    if (config_.cache) {
-      std::vector<double> hit;
-      if (objective_cache_.lookup(population[i].genes, hit)) {
-        population[i].objectives = std::move(hit);
-        ++stats.cache_hits;
-        continue;
-      }
-    }
-    pending.push_back(i);
-  }
-  const auto eval_one = [&](std::size_t idx) {
-    const std::size_t i = pending[idx];
-    LockedDesign design =
-        decode(population[i].genes, batch_repair_seed(generation, i));
-    population[i].genes = design.sites;
-    population[i].objectives = score_objectives(design);
-    evaluations_.fetch_add(1, std::memory_order_relaxed);
-    if (config_.cache) {
-      objective_cache_.store(population[i].genes, population[i].objectives);
-    }
-  };
-  util::ThreadPool* pool = worker_pool();
-  if (pool != nullptr && pending.size() > 1) {
-    pool->parallel_for(pending.size(), eval_one);
-  } else {
-    for (std::size_t idx = 0; idx < pending.size(); ++idx) eval_one(idx);
-  }
-  stats.evaluated = pending.size();
-  cache_hits_.fetch_add(stats.cache_hits, std::memory_order_relaxed);
-  return stats;
+  return evaluate_batch(
+      population, generation, objective_cache_,
+      // Survivor carry-over: only individuals without objectives re-run.
+      [](const ga::MoIndividual& ind) { return ind.objectives.empty(); },
+      [](ga::MoIndividual& ind) -> std::vector<double>& {
+        return ind.objectives;
+      },
+      [this](const LockedDesign& design, EvalWorkspace* workspace) {
+        return score_objectives(design, workspace);
+      });
 }
 
 void EvalPipeline::clear_cache() {

@@ -62,6 +62,13 @@ struct EvalPipelineConfig {
   /// Borrowed external pool (not owned; must outlive the pipeline).
   util::ThreadPool* pool = nullptr;
 
+  /// Route evaluations through per-worker EvalWorkspaces (the
+  /// allocation-free hot path: reused decode buffers, CSR attack graphs,
+  /// epoch-stamped traversal marks, flat-optimizer area queries, simulator
+  /// scratch). Results are bit-identical either way; disable only to
+  /// measure the legacy allocating paths (bench_eval_throughput does).
+  bool workspaces = true;
+
   /// Disable to force one attack run per evaluate call (single-trajectory
   /// heuristics count proposals, not unique genotypes).
   bool cache = true;
@@ -81,11 +88,14 @@ struct EvalPipelineConfig {
   std::size_t objectives_override_arity = 0;
 };
 
+class EvalWorkspace;
+
 class EvalPipeline {
  public:
   /// `original` must outlive the pipeline.
   explicit EvalPipeline(const netlist::Netlist& original,
                         EvalPipelineConfig config = {});
+  ~EvalPipeline();
 
   EvalPipeline(const EvalPipeline&) = delete;
   EvalPipeline& operator=(const EvalPipeline&) = delete;
@@ -103,21 +113,39 @@ class EvalPipeline {
   lock::LockedDesign decode(const ga::Genotype& genes,
                             std::uint64_t repair_seed = 0) const;
 
+  /// Buffer-reusing decode into `workspace.design` — the same design
+  /// decode() returns, without the per-call netlist and visited-set
+  /// allocations.
+  void decode_into(EvalWorkspace& workspace, const ga::Genotype& genes,
+                   std::uint64_t repair_seed = 0) const;
+
   // ---- scoring an already-decoded design (no cache) ----------------------
 
   /// Runs every configured attack and returns the raw reports.
   std::vector<AttackReport> reports(const lock::LockedDesign& design) const;
   /// Scalar fitness of a design: 1 - mean accuracy (+ corruption term).
-  ga::Evaluation score(const lock::LockedDesign& design) const;
+  /// When `workspace` is non-null the attacks and the corruption
+  /// measurement run through its scratch state (identical results).
+  ga::Evaluation score(const lock::LockedDesign& design,
+                       EvalWorkspace* workspace = nullptr) const;
   /// Objective vector of a design: per-attack accuracy (+ corruption).
-  std::vector<double> score_objectives(const lock::LockedDesign& design) const;
-  /// Wrong-key output corruption against the shared oracle simulator.
-  double corruption(const lock::LockedDesign& design) const;
+  std::vector<double> score_objectives(
+      const lock::LockedDesign& design,
+      EvalWorkspace* workspace = nullptr) const;
+  /// Wrong-key output corruption against the shared oracle simulator. The
+  /// sampled vectors mix the configured seed, so distinct pipeline seeds
+  /// probe distinct vector sets (and equal seeds reproduce exactly).
+  double corruption(const lock::LockedDesign& design,
+                    EvalWorkspace* workspace = nullptr) const;
 
   // ---- cached genotype evaluation ----------------------------------------
 
   /// Decode + score one genotype; repaired genes are written back. Cache
-  /// lookups use the pre-repair genes, stores the repaired genes.
+  /// lookups use the pre-repair genes; results are stored under BOTH the
+  /// pre-repair and the repaired genes, so a later duplicate of the
+  /// original (unrepaired) genotype still hits. Not safe for concurrent
+  /// callers — parallelism belongs inside evaluate_population, which fans
+  /// one batch out over the pool.
   ga::Evaluation evaluate(ga::Genotype& genes, std::uint64_t repair_seed = 0);
   std::vector<double> evaluate_objectives(ga::Genotype& genes,
                                           std::uint64_t repair_seed = 0);
@@ -130,6 +158,13 @@ class EvalPipeline {
   /// Evaluates a GA population in parallel (thread pool permitting).
   /// Individuals hitting the cache keep their genes; misses are decoded
   /// (genes repaired in place) and scored.
+  ///
+  /// Concurrency contract: one batch fans out over the worker pool
+  /// internally, but distinct batches on the SAME pipeline must be
+  /// serialized by the caller — the per-shard workspaces (and the
+  /// workspace pool growth in ensure_workspaces) are not guarded against
+  /// two simultaneous batches. Every optimizer in core/ calls this from
+  /// its single driver thread.
   BatchStats evaluate_population(std::vector<ga::Individual>& population,
                                  std::size_t generation);
 
@@ -149,6 +184,22 @@ class EvalPipeline {
   static std::uint64_t batch_repair_seed(std::size_t generation,
                                          std::size_t index);
   void check_objective_arity(const std::vector<double>& objectives) const;
+  /// Grows the per-shard workspace pool to at least `count` entries. Must
+  /// not race with a running batch (callers invoke it before fan-out).
+  void ensure_workspaces(std::size_t count);
+
+  /// Shared batch protocol behind both evaluate_population overloads:
+  /// cache scan -> (sharded) decode + compute for the misses ->
+  /// deterministic sequential cache stores under pre-repair and repaired
+  /// keys. `needs_eval(ind)` filters carried-over survivors, `result_of
+  /// (ind)` yields the slot the cached/computed Value lands in, and
+  /// `compute(design, workspace*)` scores one decoded design.
+  template <typename Individual, typename Value, typename NeedsEval,
+            typename ResultOf, typename Compute>
+  BatchStats evaluate_batch(std::vector<Individual>& population,
+                            std::size_t generation, FitnessCache<Value>& cache,
+                            NeedsEval needs_eval, ResultOf result_of,
+                            Compute compute);
 
   const netlist::Netlist* original_;
   lock::SiteContext context_;
@@ -156,6 +207,7 @@ class EvalPipeline {
   std::vector<std::unique_ptr<Attack>> attacks_;
   std::unique_ptr<netlist::Simulator> oracle_sim_;
   std::unique_ptr<util::ThreadPool> owned_pool_;
+  std::vector<std::unique_ptr<EvalWorkspace>> workspaces_;
   FitnessCache<ga::Evaluation> scalar_cache_;
   FitnessCache<std::vector<double>> objective_cache_;
   std::atomic<std::size_t> evaluations_{0};

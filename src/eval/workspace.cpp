@@ -1,0 +1,18 @@
+#include "eval/workspace.hpp"
+
+namespace autolock::eval {
+
+void EvalWorkspace::reserve(const netlist::Netlist& original,
+                            std::size_t key_bits) {
+  // A locked design adds one key input and two MUXes per key bit.
+  const std::size_t locked_nodes = original.size() + 3 * key_bits;
+  design.key.reserve(key_bits);
+  design.sites.reserve(key_bits);
+  design.mux_pairs.reserve(key_bits);
+  reach.visited.begin_epoch(locked_nodes);
+  reach.stack.reserve(64);
+  attack.seen.begin_epoch(locked_nodes);
+  sim.values.reserve(locked_nodes);
+}
+
+}  // namespace autolock::eval

@@ -1,0 +1,53 @@
+// EvalWorkspace — all scratch state one worker needs to evaluate one
+// genotype, owned once per ThreadPool shard and reused across the whole
+// optimization run.
+//
+// One evaluation = decode the genotype into a locked netlist, run the
+// configured attacks against it, and (optionally) measure wrong-key output
+// corruption. Every stage used to allocate its working set per call:
+// apply_genotype deep-copied the netlist and allocated O(V) visited vectors
+// per cycle check, each attack rebuilt its AttackGraph as n heap vectors
+// plus a std::map, SCOPE materialized two full synthesis netlists per key
+// bit, and corruption built a fresh Simulator with fresh value buffers.
+// The workspace hoists all of that into per-worker state:
+//
+//   design   — the decode target; its netlist reuses node/name storage
+//   reach    — epoch-stamped DFS marks for decode-time cycle checks
+//   attack   — CSR AttackGraph + BFS/sampling buffers + flat-opt state
+//   sim      — simulator value/output buffers for corruption measurement
+//
+// Workspaces hold no result state: an evaluation through a freshly
+// constructed workspace and through a thousand-times-reused one are
+// bit-identical (pinned by test_workspace.cpp), which is what lets
+// EvalPipeline hand them to whichever pool shard picks up the individual.
+#pragma once
+
+#include "attacks/attack_scratch.hpp"
+#include "locking/mux_lock.hpp"
+#include "locking/sites.hpp"
+#include "netlist/simulator.hpp"
+
+namespace autolock::eval {
+
+class EvalWorkspace {
+ public:
+  EvalWorkspace() = default;
+
+  EvalWorkspace(const EvalWorkspace&) = delete;
+  EvalWorkspace& operator=(const EvalWorkspace&) = delete;
+
+  /// Pre-sizes the buffers for evaluating designs derived from `original`
+  /// with about `key_bits` key bits (optional — buffers grow on demand).
+  void reserve(const netlist::Netlist& original, std::size_t key_bits);
+
+  lock::LockedDesign design;
+  lock::ReachScratch reach;
+  attack::AttackScratch attack;
+  netlist::SimScratch sim;
+  /// Reusable simulator slot for the design under evaluation: corruption
+  /// measurement rebinds it per design instead of constructing a fresh
+  /// Simulator (and its order/input vectors) every call.
+  netlist::Simulator locked_sim;
+};
+
+}  // namespace autolock::eval

@@ -12,21 +12,24 @@ using netlist::NodeId;
 namespace {
 
 /// True iff `target` is in the transitive fanin of `from` in `working`
-/// (i.e. `from` functionally depends on `target`).
-bool depends_on(const Netlist& working, NodeId from, NodeId target) {
+/// (i.e. `from` functionally depends on `target`). The working netlist
+/// mutates as sites are applied (cross edges connect arbitrary topological
+/// ranks), so unlike SiteContext::reaches this check cannot be bounded by
+/// the original's topo ranks — but the visited set is epoch-stamped, so it
+/// allocates nothing once the scratch is warm.
+bool depends_on(const Netlist& working, NodeId from, NodeId target,
+                ReachScratch& scratch) {
   if (from == target) return true;
-  std::vector<bool> visited(working.size(), false);
-  std::vector<NodeId> stack{from};
-  visited[from] = true;
-  while (!stack.empty()) {
-    const NodeId v = stack.back();
-    stack.pop_back();
+  scratch.visited.begin_epoch(working.size());
+  scratch.stack.clear();
+  scratch.stack.push_back(from);
+  scratch.visited.mark(from);
+  while (!scratch.stack.empty()) {
+    const NodeId v = scratch.stack.back();
+    scratch.stack.pop_back();
     for (NodeId fanin : working.node(v).fanins) {
       if (fanin == target) return true;
-      if (!visited[fanin]) {
-        visited[fanin] = true;
-        stack.push_back(fanin);
-      }
+      if (scratch.visited.try_mark(fanin)) scratch.stack.push_back(fanin);
     }
   }
   return false;
@@ -35,7 +38,8 @@ bool depends_on(const Netlist& working, NodeId from, NodeId target) {
 /// A site is applicable to the *working* netlist iff the edges it locks are
 /// still present (no earlier site consumed them) and the two cross edges do
 /// not close a cycle given all previously inserted MUX pairs.
-bool applicable_to_working(const Netlist& working, const LockSite& site) {
+bool applicable_to_working(const Netlist& working, const LockSite& site,
+                           ReachScratch& scratch) {
   const auto has_fanin = [&](NodeId gate, NodeId fanin) {
     for (NodeId f : working.node(gate).fanins) {
       if (f == fanin) return true;
@@ -45,25 +49,21 @@ bool applicable_to_working(const Netlist& working, const LockSite& site) {
   if (!has_fanin(site.g_i, site.f_i)) return false;
   if (!has_fanin(site.g_j, site.f_j)) return false;
   // Cycle check on the working graph: new edges f_j -> g_i and f_i -> g_j.
-  if (depends_on(working, site.f_j, site.g_i)) return false;
-  if (depends_on(working, site.f_i, site.g_j)) return false;
+  if (depends_on(working, site.f_j, site.g_i, scratch)) return false;
+  if (depends_on(working, site.f_i, site.g_j, scratch)) return false;
   return true;
 }
 
-}  // namespace
-
-LockedDesign apply_genotype(const Netlist& original,
-                            const SiteContext& context,
-                            std::vector<LockSite> sites, util::Rng& repair_rng,
-                            const MuxLockOptions& options) {
-  LockedDesign design{original, {}, {}, {}};
-  design.netlist.set_name(original.name() + "_muxlocked");
-
+/// Shared decode loop. `out.netlist` must already hold a copy of the
+/// original netlist; key/sites/mux_pairs must be empty.
+void apply_sites(LockedDesign& design, const SiteContext& context,
+                 const std::vector<LockSite>& sites, util::Rng& repair_rng,
+                 ReachScratch& scratch, const MuxLockOptions& options) {
   for (std::size_t t = 0; t < sites.size(); ++t) {
     LockSite site = sites[t];
-    const bool ok = context.structurally_valid(site) &&
+    const bool ok = context.structurally_valid(site, scratch) &&
                     SiteContext::edges_available(site, design.sites) &&
-                    applicable_to_working(design.netlist, site);
+                    applicable_to_working(design.netlist, site, scratch);
     if (!ok) {
       if (!options.repair_invalid) {
         throw std::runtime_error("apply_genotype: invalid site at key bit " +
@@ -72,8 +72,11 @@ LockedDesign apply_genotype(const Netlist& original,
       bool repaired = false;
       for (int attempt = 0; attempt < 64 && !repaired; ++attempt) {
         LockSite candidate;
-        if (!context.sample_site(repair_rng, design.sites, candidate)) break;
-        if (applicable_to_working(design.netlist, candidate)) {
+        if (!context.sample_site(repair_rng, design.sites, candidate,
+                                 scratch)) {
+          break;
+        }
+        if (applicable_to_working(design.netlist, candidate, scratch)) {
           site = candidate;
           repaired = true;
         }
@@ -102,9 +105,41 @@ LockedDesign apply_genotype(const Netlist& original,
     design.sites.push_back(site);
     design.mux_pairs.emplace_back(m1, m2);
   }
+}
 
+}  // namespace
+
+LockedDesign apply_genotype(const Netlist& original,
+                            const SiteContext& context,
+                            std::vector<LockSite> sites, util::Rng& repair_rng,
+                            const MuxLockOptions& options) {
+  LockedDesign design{original, {}, {}, {}};
+  design.netlist.set_name(original.name() + "_muxlocked");
+  ReachScratch scratch;
+  apply_sites(design, context, sites, repair_rng, scratch, options);
   design.netlist.validate();
   return design;
+}
+
+void apply_genotype_into(LockedDesign& out, const Netlist& original,
+                         const SiteContext& context,
+                         const std::vector<LockSite>& sites,
+                         util::Rng& repair_rng, ReachScratch& scratch,
+                         const MuxLockOptions& options) {
+  // Copy-assignment reuses the destination's node/name storage where the
+  // allocator permits; the first decode into a workspace pays the full copy,
+  // later ones mostly memcpy.
+  out.netlist = original;
+  out.netlist.set_name(original.name() + "_muxlocked");
+  out.key.clear();
+  out.sites.clear();
+  out.mux_pairs.clear();
+  out.sites.reserve(sites.size());
+  apply_sites(out, context, sites, repair_rng, scratch, options);
+  // Cheap acyclicity guarantee in place of the full validate(): computing
+  // the topological order throws on a cycle and primes the traversal cache
+  // every downstream attack and simulator construction consumes anyway.
+  out.netlist.topological_order();
 }
 
 std::vector<LockSite> random_genotype(const SiteContext& context,

@@ -51,6 +51,20 @@ LockedDesign apply_genotype(const netlist::Netlist& original,
                             std::vector<LockSite> sites, util::Rng& repair_rng,
                             const MuxLockOptions& options = {});
 
+/// Buffer-reusing decode for evaluation loops: writes the locked design
+/// into `out` (its netlist buffers, key, site and MUX-pair vectors are
+/// reused across calls) and runs every cycle check through `scratch`.
+/// Produces a design identical to apply_genotype, but skips the full
+/// structural validate() — the per-site acyclicity checks plus the final
+/// topological-order computation (which throws on a cycle) already cover
+/// everything decode can get wrong, and the construction-side invariants
+/// (names, arity) are enforced by the Netlist mutators themselves.
+void apply_genotype_into(LockedDesign& out, const netlist::Netlist& original,
+                         const SiteContext& context,
+                         const std::vector<LockSite>& sites,
+                         util::Rng& repair_rng, ReachScratch& scratch,
+                         const MuxLockOptions& options = {});
+
 /// D-MUX-style random MUX locking with `key_bits` key bits.
 LockedDesign dmux_lock(const netlist::Netlist& original, std::size_t key_bits,
                        std::uint64_t seed);

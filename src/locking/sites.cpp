@@ -19,29 +19,44 @@ SiteContext::SiteContext(const netlist::Netlist& original)
     }
     if (!fanouts_[v].empty()) candidate_drivers_.push_back(v);
   }
+  topo_rank_.resize(original.size());
+  const auto& order = original.topological_order();
+  for (std::uint32_t rank = 0; rank < order.size(); ++rank) {
+    topo_rank_[order[rank]] = rank;
+  }
 }
 
-bool SiteContext::reaches(NodeId from, NodeId target) const {
+bool SiteContext::reaches(NodeId from, NodeId target,
+                          ReachScratch& scratch) const {
   if (from == target) return true;
+  // Only nodes whose topological rank lies between the endpoints' ranks can
+  // sit on a forward path, so anything at or past target's rank is pruned.
+  const std::uint32_t target_rank = topo_rank_[target];
+  if (topo_rank_[from] > target_rank) return false;
   // Forward DFS along fanout edges.
-  std::vector<bool> visited(original_->size(), false);
-  std::vector<NodeId> stack{from};
-  visited[from] = true;
-  while (!stack.empty()) {
-    const NodeId v = stack.back();
-    stack.pop_back();
+  scratch.visited.begin_epoch(original_->size());
+  scratch.stack.clear();
+  scratch.stack.push_back(from);
+  scratch.visited.mark(from);
+  while (!scratch.stack.empty()) {
+    const NodeId v = scratch.stack.back();
+    scratch.stack.pop_back();
     for (NodeId w : fanouts_[v]) {
       if (w == target) return true;
-      if (!visited[w]) {
-        visited[w] = true;
-        stack.push_back(w);
-      }
+      if (topo_rank_[w] >= target_rank) continue;  // cannot lead to target
+      if (scratch.visited.try_mark(w)) scratch.stack.push_back(w);
     }
   }
   return false;
 }
 
 bool SiteContext::structurally_valid(const LockSite& site) const {
+  ReachScratch scratch;
+  return structurally_valid(site, scratch);
+}
+
+bool SiteContext::structurally_valid(const LockSite& site,
+                                     ReachScratch& scratch) const {
   const auto n = original_->size();
   if (site.f_i >= n || site.f_j >= n || site.g_i >= n || site.g_j >= n) {
     return false;
@@ -56,8 +71,8 @@ bool SiteContext::structurally_valid(const LockSite& site) const {
   }
   // New cross edges: f_j -> g_i and f_i -> g_j. A cycle would close iff the
   // destination gate already reaches the new source.
-  if (reaches(site.g_i, site.f_j)) return false;
-  if (reaches(site.g_j, site.f_i)) return false;
+  if (reaches(site.g_i, site.f_j, scratch)) return false;
+  if (reaches(site.g_j, site.f_i, scratch)) return false;
   return true;
 }
 
@@ -80,6 +95,13 @@ bool SiteContext::edges_available(const LockSite& site,
 bool SiteContext::sample_site(util::Rng& rng,
                               const std::vector<LockSite>& taken,
                               LockSite& out) const {
+  ReachScratch scratch;
+  return sample_site(rng, taken, out, scratch);
+}
+
+bool SiteContext::sample_site(util::Rng& rng,
+                              const std::vector<LockSite>& taken,
+                              LockSite& out, ReachScratch& scratch) const {
   if (candidate_drivers_.size() < 2) return false;
   constexpr int kMaxAttempts = 400;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
@@ -93,7 +115,7 @@ bool SiteContext::sample_site(util::Rng& rng,
     site.g_j = outs_j[rng.next_below(outs_j.size())];
     site.key_bit = rng.next_bool();
     if (!edges_available(site, taken)) continue;
-    if (!structurally_valid(site)) continue;
+    if (!structurally_valid(site, scratch)) continue;
     out = site;
     return true;
   }

@@ -14,9 +14,19 @@
 
 #include "netlist/analysis.hpp"
 #include "netlist/netlist.hpp"
+#include "util/epoch_flags.hpp"
 #include "util/rng.hpp"
 
 namespace autolock::lock {
+
+/// Reusable DFS state for reachability / cycle checks (one per worker).
+/// Every site-validity query otherwise allocates an O(V) visited vector;
+/// decode repairs and GA mutations run hundreds of such queries per
+/// genotype.
+struct ReachScratch {
+  util::EpochFlags visited;
+  std::vector<netlist::NodeId> stack;
+};
 
 struct LockSite {
   netlist::NodeId f_i = netlist::kNoNode;
@@ -50,6 +60,9 @@ class SiteContext {
   /// time against the working netlist.)
   bool structurally_valid(const LockSite& site) const;
 
+  /// Scratch-reusing variant (identical verdicts, no allocation once warm).
+  bool structurally_valid(const LockSite& site, ReachScratch& scratch) const;
+
   /// True iff the two edges (f_i,g_i) and (f_j,g_j) are disjoint from the
   /// edges of every site in `taken` (no edge may be locked twice).
   static bool edges_available(const LockSite& site,
@@ -61,17 +74,28 @@ class SiteContext {
   bool sample_site(util::Rng& rng, const std::vector<LockSite>& taken,
                    LockSite& out) const;
 
+  /// Scratch-reusing variant (identical sampling stream for a given rng).
+  bool sample_site(util::Rng& rng, const std::vector<LockSite>& taken,
+                   LockSite& out, ReachScratch& scratch) const;
+
   /// All gates that have at least one gate fanout (candidate f nodes).
   const std::vector<netlist::NodeId>& candidate_drivers() const noexcept {
     return candidate_drivers_;
   }
 
  private:
-  bool reaches(netlist::NodeId from, netlist::NodeId target) const;
+  bool reaches(netlist::NodeId from, netlist::NodeId target,
+               ReachScratch& scratch) const;
 
   const netlist::Netlist* original_;
   std::vector<std::vector<netlist::NodeId>> fanouts_;
   std::vector<netlist::NodeId> candidate_drivers_;
+  /// Position of every node in the original's topological order. A forward
+  /// path from `from` to `target` can only pass through nodes whose rank
+  /// lies strictly between the endpoints' ranks, which bounds every
+  /// reachability DFS (the original netlist is immutable, so the ranks
+  /// never go stale).
+  std::vector<std::uint32_t> topo_rank_;
 };
 
 }  // namespace autolock::lock

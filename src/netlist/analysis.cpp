@@ -21,14 +21,19 @@ std::vector<std::vector<NodeId>> undirected_adjacency(const Netlist& netlist) {
 }
 
 std::vector<std::size_t> node_levels(const Netlist& netlist) {
-  std::vector<std::size_t> level(netlist.size(), 0);
+  std::vector<std::size_t> level;
+  node_levels_into(netlist, level);
+  return level;
+}
+
+void node_levels_into(const Netlist& netlist, std::vector<std::size_t>& out) {
+  out.assign(netlist.size(), 0);
   for (NodeId v : netlist.topological_order()) {
     const Node& node = netlist.node(v);
     std::size_t best = 0;
-    for (NodeId fanin : node.fanins) best = std::max(best, level[fanin] + 1);
-    level[v] = node.fanins.empty() ? 0 : best;
+    for (NodeId fanin : node.fanins) best = std::max(best, out[fanin] + 1);
+    out[v] = node.fanins.empty() ? 0 : best;
   }
-  return level;
 }
 
 std::vector<bool> transitive_fanout(

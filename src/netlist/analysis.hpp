@@ -17,6 +17,10 @@ std::vector<std::vector<NodeId>> undirected_adjacency(const Netlist& netlist);
 /// Gate level of every node (sources at 0; level = 1 + max fanin level).
 std::vector<std::size_t> node_levels(const Netlist& netlist);
 
+/// Buffer-reusing variant of node_levels (evaluation hot paths recompute
+/// levels for every candidate design).
+void node_levels_into(const Netlist& netlist, std::vector<std::size_t>& out);
+
 /// Set of nodes reachable from `from` by following fanout edges (i.e. the
 /// transitive fanout), excluding `from` itself. `fanouts` must come from
 /// netlist.fanouts().

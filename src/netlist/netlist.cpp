@@ -307,6 +307,14 @@ std::size_t Netlist::depth() const {
   return max_level;
 }
 
+std::size_t Netlist::gate_count() const noexcept {
+  std::size_t gates = 0;
+  for (const Node& node : nodes_) {
+    if (!is_source(node.type)) ++gates;
+  }
+  return gates;
+}
+
 NetlistStats Netlist::stats() const {
   NetlistStats s;
   for (NodeId id : inputs_) {

@@ -124,6 +124,10 @@ class Netlist {
   /// Structural statistics (computes depth; O(V+E)).
   NetlistStats stats() const;
 
+  /// Number of non-source nodes — the same value as stats().gates without
+  /// the depth computation (hot paths compare areas thousands of times).
+  std::size_t gate_count() const noexcept;
+
   /// Longest path length in gate levels (sources are level 0).
   std::size_t depth() const;
 

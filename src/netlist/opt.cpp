@@ -3,250 +3,343 @@
 #include <algorithm>
 #include <optional>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 namespace autolock::netlist {
 
 namespace {
 
-/// Rewrite state: every original node maps to either a node in the output
-/// netlist or a known constant.
-struct Value {
-  NodeId node = kNoNode;  // valid when constant is nullopt
-  std::optional<bool> constant;
+// The rewrite pass is generic over how the output graph is materialized:
+// NetlistBuilder produces a real Netlist (names, name index, validation)
+// for `optimize` / `optimize_with_key_bit`, FlatBuilder appends to plain
+// type/fanin arrays for area-only queries. Both builders assign ids in
+// insertion order, so the two instantiations build structurally identical
+// graphs — the equivalence test in test_workspace.cpp pins this.
 
-  static Value of_node(NodeId id) { return Value{id, std::nullopt}; }
-  static Value of_const(bool b) { return Value{kNoNode, b}; }
+/// Rewrite value of one input-netlist node: either a node id in the output
+/// graph or a known constant, packed into one word (bit 32 = "is constant",
+/// bit 0 = constant value when set, low 32 bits = node id otherwise).
+using PackedValue = std::uint64_t;
+constexpr PackedValue kConstFlag = 1ULL << 32;
+
+constexpr PackedValue pack_node(NodeId id) noexcept { return id; }
+constexpr PackedValue pack_const(bool b) noexcept {
+  return kConstFlag | static_cast<PackedValue>(b);
+}
+constexpr bool is_const(PackedValue v) noexcept { return (v & kConstFlag) != 0; }
+constexpr bool const_of(PackedValue v) noexcept { return (v & 1ULL) != 0; }
+constexpr NodeId node_of(PackedValue v) noexcept {
+  return static_cast<NodeId>(v);
+}
+
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(std::string name) : out_(std::move(name)) {}
+
+  NodeId add_input(const Node& node) {
+    return out_.add_input(node.name, node.is_key_input);
+  }
+  NodeId add_const(bool b) {
+    return out_.add_const(b, b ? "opt_const1" : "opt_const0");
+  }
+  NodeId add_gate(GateType type, const NodeId* fanins, std::size_t n) {
+    return out_.add_gate(type, std::vector<NodeId>(fanins, fanins + n));
+  }
+  void mark_output(NodeId driver, const std::string& port_name) {
+    out_.mark_output(driver, port_name);
+  }
+
+  Netlist& netlist() noexcept { return out_; }
+
+ private:
+  Netlist out_;
 };
 
-class Rewriter {
+class FlatBuilder {
  public:
-  explicit Rewriter(const Netlist& input) : input_(&input), out_(input.name()) {}
+  explicit FlatBuilder(OptScratch& scratch) : s_(&scratch) {
+    s_->out_types.clear();
+    s_->out_fanins.clear();
+    s_->out_fanin_begin.assign(1, 0);
+    s_->drivers.clear();
+  }
 
-  Netlist run(OptStats* stats,
-              const std::vector<std::optional<bool>>& pinned_inputs) {
+  NodeId add_input(const Node&) { return add_node(GateType::kInput, nullptr, 0); }
+  NodeId add_const(bool b) {
+    return add_node(b ? GateType::kConst1 : GateType::kConst0, nullptr, 0);
+  }
+  NodeId add_gate(GateType type, const NodeId* fanins, std::size_t n) {
+    return add_node(type, fanins, n);
+  }
+  void mark_output(NodeId driver, const std::string&) {
+    s_->drivers.push_back(driver);
+  }
+
+ private:
+  NodeId add_node(GateType type, const NodeId* fanins, std::size_t n) {
+    const auto id = static_cast<NodeId>(s_->out_types.size());
+    s_->out_types.push_back(static_cast<std::uint8_t>(type));
+    s_->out_fanins.insert(s_->out_fanins.end(), fanins, fanins + n);
+    s_->out_fanin_begin.push_back(
+        static_cast<std::uint32_t>(s_->out_fanins.size()));
+    return id;
+  }
+
+  OptScratch* s_;
+};
+
+template <class Builder>
+class RewriterT {
+ public:
+  RewriterT(const Netlist& input, OptScratch& scratch, Builder& builder)
+      : input_(&input), s_(&scratch), builder_(&builder) {}
+
+  /// Rewrites `input` into the builder. `stats` (when non-null) receives
+  /// the fold/collapse counters; area fields are filled by the callers.
+  void run(const std::vector<std::optional<bool>>& pinned, OptStats* stats) {
     OptStats local;
-    local.gates_before = input_->stats().gates;
+    s_->values.resize(input_->size());
+    s_->inverter_input.clear();
 
-    values_.assign(input_->size(), Value{});
     // Inputs first (interface stability). Pinned key inputs keep their
     // input node but uses are redirected to a constant.
     std::size_t input_index = 0;
     for (const NodeId id : input_->inputs()) {
-      const auto& node = input_->node(id);
-      const NodeId fresh = out_.add_input(node.name, node.is_key_input);
-      if (pinned_inputs[input_index].has_value()) {
-        values_[id] = Value::of_const(*pinned_inputs[input_index]);
+      const Node& node = input_->node(id);
+      const NodeId fresh = builder_->add_input(node);
+      if (pinned[input_index].has_value()) {
+        s_->values[id] = pack_const(*pinned[input_index]);
         ++local.constants_folded;
         (void)fresh;
       } else {
-        values_[id] = Value::of_node(fresh);
+        s_->values[id] = pack_node(fresh);
       }
       ++input_index;
     }
 
     for (const NodeId v : input_->topological_order()) {
-      const auto& node = input_->node(v);
+      const Node& node = input_->node(v);
       if (node.type == GateType::kInput) continue;
-      values_[v] = rewrite_gate(node, local);
+      s_->values[v] = rewrite_gate(node, local);
     }
 
     for (const auto& port : input_->outputs()) {
-      const Value& value = values_[port.driver];
-      NodeId driver;
-      if (value.constant.has_value()) {
-        driver = get_const(*value.constant);
-      } else {
-        driver = value.node;
-      }
-      out_.mark_output(driver, port.name);
+      builder_->mark_output(materialize(s_->values[port.driver]), port.name);
     }
-
-    Netlist compact = out_.compacted();
-    local.gates_after = compact.stats().gates;
-    local.dead_removed = out_.stats().gates - local.gates_after;
     if (stats != nullptr) *stats = local;
-    return compact;
   }
 
  private:
   NodeId get_const(bool b) {
     NodeId& cache = b ? const1_ : const0_;
-    if (cache == kNoNode) {
-      cache = out_.add_const(b, b ? "opt_const1" : "opt_const0");
-    }
+    if (cache == kNoNode) cache = builder_->add_const(b);
     return cache;
   }
 
-  NodeId materialize(const Value& value) {
-    return value.constant.has_value() ? get_const(*value.constant)
-                                      : value.node;
+  NodeId materialize(PackedValue value) {
+    return is_const(value) ? get_const(const_of(value)) : node_of(value);
   }
 
-  Value rewrite_gate(const Node& node, OptStats& stats) {
-    // Gather fanin values.
-    std::vector<Value> ins;
-    ins.reserve(node.fanins.size());
-    for (const NodeId fanin : node.fanins) ins.push_back(values_[fanin]);
-
-    switch (node.type) {
-      case GateType::kConst0:
-        return Value::of_const(false);
-      case GateType::kConst1:
-        return Value::of_const(true);
-      case GateType::kBuf:
-        ++stats.buffers_collapsed;
-        return ins[0];
-      case GateType::kNot:
-        if (ins[0].constant.has_value()) {
-          ++stats.constants_folded;
-          return Value::of_const(!*ins[0].constant);
-        }
-        // NOT(NOT(x)) -> x
-        if (const auto inner = inverter_input_.find(ins[0].node);
-            inner != inverter_input_.end()) {
-          ++stats.buffers_collapsed;
-          return Value::of_node(inner->second);
-        }
-        {
-          const NodeId fresh =
-              out_.add_gate(GateType::kNot, {ins[0].node});
-          inverter_input_.emplace(fresh, ins[0].node);
-          return Value::of_node(fresh);
-        }
-      case GateType::kAnd:
-      case GateType::kNand: {
-        std::vector<NodeId> live;
-        for (const Value& in : ins) {
-          if (in.constant.has_value()) {
-            ++stats.constants_folded;
-            if (!*in.constant) {
-              return Value::of_const(node.type == GateType::kNand);
-            }
-            continue;  // AND with 1: drop
-          }
-          live.push_back(in.node);
-        }
-        return finish_andor(node.type == GateType::kNand, /*is_and=*/true,
-                            std::move(live));
-      }
-      case GateType::kOr:
-      case GateType::kNor: {
-        std::vector<NodeId> live;
-        for (const Value& in : ins) {
-          if (in.constant.has_value()) {
-            ++stats.constants_folded;
-            if (*in.constant) {
-              return Value::of_const(node.type != GateType::kNor);
-            }
-            continue;  // OR with 0: drop
-          }
-          live.push_back(in.node);
-        }
-        return finish_andor(node.type == GateType::kNor, /*is_and=*/false,
-                            std::move(live));
-      }
-      case GateType::kXor:
-      case GateType::kXnor: {
-        bool phase = node.type == GateType::kXnor;
-        std::vector<NodeId> live;
-        for (const Value& in : ins) {
-          if (in.constant.has_value()) {
-            ++stats.constants_folded;
-            phase ^= *in.constant;
-            continue;
-          }
-          live.push_back(in.node);
-        }
-        if (live.empty()) return Value::of_const(phase);
-        if (live.size() == 1) {
-          if (!phase) return Value::of_node(live[0]);
-          return invert(live[0], stats);
-        }
-        const NodeId fresh = out_.add_gate(
-            phase ? GateType::kXnor : GateType::kXor, std::move(live));
-        return Value::of_node(fresh);
-      }
-      case GateType::kMux: {
-        const Value& sel = ins[0];
-        const Value& in0 = ins[1];
-        const Value& in1 = ins[2];
-        if (sel.constant.has_value()) {
-          ++stats.constants_folded;
-          return *sel.constant ? in1 : in0;
-        }
-        // MUX with equal data inputs is the data input.
-        if (!in0.constant.has_value() && !in1.constant.has_value() &&
-            in0.node == in1.node) {
-          ++stats.constants_folded;
-          return in0;
-        }
-        if (in0.constant.has_value() && in1.constant.has_value()) {
-          ++stats.constants_folded;
-          if (*in0.constant == *in1.constant) {
-            return Value::of_const(*in0.constant);
-          }
-          // MUX(s, 0, 1) = s ; MUX(s, 1, 0) = ~s.
-          if (!*in0.constant) return Value::of_node(sel.node);
-          return invert(sel.node, stats);
-        }
-        const NodeId fresh = out_.add_gate(
-            GateType::kMux,
-            {sel.node, materialize(in0), materialize(in1)});
-        return Value::of_node(fresh);
-      }
-      case GateType::kInput:
-        break;  // unreachable
+  NodeId emit_gate(GateType type, const NodeId* fanins, std::size_t n) {
+    const NodeId fresh = builder_->add_gate(type, fanins, n);
+    if (s_->inverter_input.size() <= fresh) {
+      s_->inverter_input.resize(fresh + 1, kNoNode);
     }
-    return Value{};
+    return fresh;
   }
 
-  Value invert(NodeId node, OptStats& stats) {
-    if (const auto inner = inverter_input_.find(node);
-        inner != inverter_input_.end()) {
+  PackedValue make_not(NodeId node, OptStats& stats) {
+    // NOT(NOT(x)) -> x.
+    if (node < s_->inverter_input.size() &&
+        s_->inverter_input[node] != kNoNode) {
       ++stats.buffers_collapsed;
-      return Value::of_node(inner->second);
+      return pack_node(s_->inverter_input[node]);
     }
-    const NodeId fresh = out_.add_gate(GateType::kNot, {node});
-    inverter_input_.emplace(fresh, node);
-    return Value::of_node(fresh);
+    const NodeId fresh = emit_gate(GateType::kNot, &node, 1);
+    s_->inverter_input[fresh] = node;
+    return pack_node(fresh);
   }
 
-  Value finish_andor(bool inverted, bool is_and, std::vector<NodeId> live) {
+  PackedValue finish_andor(bool inverted, bool is_and) {
+    std::vector<NodeId>& live = s_->live;
     // Deduplicate identical fanins (x AND x = x).
     std::sort(live.begin(), live.end());
     live.erase(std::unique(live.begin(), live.end()), live.end());
     if (live.empty()) {
       // All fanins were identity constants: AND() = 1, OR() = 0.
-      return Value::of_const(is_and != inverted);
+      return pack_const(is_and != inverted);
     }
     if (live.size() == 1) {
-      if (!inverted) return Value::of_node(live[0]);
-      OptStats scratch;
-      return invert(live[0], scratch);
+      if (!inverted) return pack_node(live[0]);
+      // Historical behaviour: inversions introduced here do not count
+      // towards buffers_collapsed.
+      OptStats scratch_stats;
+      return make_not(live[0], scratch_stats);
     }
     const GateType type =
         is_and ? (inverted ? GateType::kNand : GateType::kAnd)
                : (inverted ? GateType::kNor : GateType::kOr);
-    return Value::of_node(out_.add_gate(type, std::move(live)));
+    return pack_node(emit_gate(type, live.data(), live.size()));
+  }
+
+  PackedValue rewrite_gate(const Node& node, OptStats& stats) {
+    std::vector<PackedValue>& ins = s_->ins;
+    ins.clear();
+    for (const NodeId fanin : node.fanins) ins.push_back(s_->values[fanin]);
+
+    switch (node.type) {
+      case GateType::kConst0:
+        return pack_const(false);
+      case GateType::kConst1:
+        return pack_const(true);
+      case GateType::kBuf:
+        ++stats.buffers_collapsed;
+        return ins[0];
+      case GateType::kNot:
+        if (is_const(ins[0])) {
+          ++stats.constants_folded;
+          return pack_const(!const_of(ins[0]));
+        }
+        return make_not(node_of(ins[0]), stats);
+      case GateType::kAnd:
+      case GateType::kNand: {
+        std::vector<NodeId>& live = s_->live;
+        live.clear();
+        for (const PackedValue in : ins) {
+          if (is_const(in)) {
+            ++stats.constants_folded;
+            if (!const_of(in)) {
+              return pack_const(node.type == GateType::kNand);
+            }
+            continue;  // AND with 1: drop
+          }
+          live.push_back(node_of(in));
+        }
+        return finish_andor(node.type == GateType::kNand, /*is_and=*/true);
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        std::vector<NodeId>& live = s_->live;
+        live.clear();
+        for (const PackedValue in : ins) {
+          if (is_const(in)) {
+            ++stats.constants_folded;
+            if (const_of(in)) {
+              return pack_const(node.type != GateType::kNor);
+            }
+            continue;  // OR with 0: drop
+          }
+          live.push_back(node_of(in));
+        }
+        return finish_andor(node.type == GateType::kNor, /*is_and=*/false);
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        bool phase = node.type == GateType::kXnor;
+        std::vector<NodeId>& live = s_->live;
+        live.clear();
+        for (const PackedValue in : ins) {
+          if (is_const(in)) {
+            ++stats.constants_folded;
+            phase ^= const_of(in);
+            continue;
+          }
+          live.push_back(node_of(in));
+        }
+        if (live.empty()) return pack_const(phase);
+        if (live.size() == 1) {
+          if (!phase) return pack_node(live[0]);
+          return make_not(live[0], stats);
+        }
+        return pack_node(emit_gate(phase ? GateType::kXnor : GateType::kXor,
+                                   live.data(), live.size()));
+      }
+      case GateType::kMux: {
+        const PackedValue sel = ins[0];
+        const PackedValue in0 = ins[1];
+        const PackedValue in1 = ins[2];
+        if (is_const(sel)) {
+          ++stats.constants_folded;
+          return const_of(sel) ? in1 : in0;
+        }
+        // MUX with equal data inputs is the data input.
+        if (!is_const(in0) && !is_const(in1) &&
+            node_of(in0) == node_of(in1)) {
+          ++stats.constants_folded;
+          return in0;
+        }
+        if (is_const(in0) && is_const(in1)) {
+          ++stats.constants_folded;
+          if (const_of(in0) == const_of(in1)) {
+            return pack_const(const_of(in0));
+          }
+          // MUX(s, 0, 1) = s ; MUX(s, 1, 0) = ~s.
+          if (!const_of(in0)) return pack_node(node_of(sel));
+          return make_not(node_of(sel), stats);
+        }
+        const NodeId fanins[3] = {node_of(sel), materialize(in0),
+                                  materialize(in1)};
+        return pack_node(emit_gate(GateType::kMux, fanins, 3));
+      }
+      case GateType::kInput:
+        break;  // unreachable
+    }
+    return pack_node(kNoNode);
   }
 
   const Netlist* input_;
-  Netlist out_;
-  std::vector<Value> values_;
+  OptScratch* s_;
+  Builder* builder_;
   NodeId const0_ = kNoNode;
   NodeId const1_ = kNoNode;
-  // Maps an inverter node in `out_` to its input (for NOT(NOT(x)) -> x).
-  std::unordered_map<NodeId, NodeId> inverter_input_;
 };
+
+Netlist optimize_impl(const Netlist& input, OptStats* stats,
+                      const std::vector<std::optional<bool>>& pinned) {
+  OptScratch scratch;
+  NetlistBuilder builder(input.name());
+  RewriterT<NetlistBuilder> rewriter(input, scratch, builder);
+  OptStats local;
+  rewriter.run(pinned, stats != nullptr ? &local : nullptr);
+  Netlist compact = builder.netlist().compacted();
+  if (stats != nullptr) {
+    local.gates_before = input.gate_count();
+    local.gates_after = compact.gate_count();
+    local.dead_removed = builder.netlist().gate_count() - local.gates_after;
+    *stats = local;
+  }
+  return compact;
+}
+
+/// Live (output-reachable) non-source nodes of the flat output graph —
+/// exactly what `compacted().gate_count()` reports for the Netlist path.
+std::size_t flat_live_gate_count(OptScratch& s) {
+  const std::size_t n = s.out_types.size();
+  s.marks.begin_epoch(n);
+  s.stack.clear();
+  for (const NodeId driver : s.drivers) {
+    if (s.marks.try_mark(driver)) s.stack.push_back(driver);
+  }
+  std::size_t gates = 0;
+  while (!s.stack.empty()) {
+    const NodeId v = s.stack.back();
+    s.stack.pop_back();
+    if (!is_source(static_cast<GateType>(s.out_types[v]))) ++gates;
+    for (std::uint32_t e = s.out_fanin_begin[v]; e < s.out_fanin_begin[v + 1];
+         ++e) {
+      const NodeId fanin = s.out_fanins[e];
+      if (s.marks.try_mark(fanin)) s.stack.push_back(fanin);
+    }
+  }
+  return gates;
+}
 
 }  // namespace
 
 Netlist optimize(const Netlist& input, OptStats* stats) {
-  Rewriter rewriter(input);
-  return rewriter.run(stats, std::vector<std::optional<bool>>(
-                                 input.inputs().size(), std::nullopt));
+  return optimize_impl(input, stats,
+                       std::vector<std::optional<bool>>(
+                           input.inputs().size(), std::nullopt));
 }
 
 Netlist optimize_with_key_bit(const Netlist& input, std::size_t bit,
@@ -260,8 +353,32 @@ Netlist optimize_with_key_bit(const Netlist& input, std::size_t bit,
   for (std::size_t i = 0; i < all_inputs.size(); ++i) {
     if (all_inputs[i] == keys[bit]) pinned[i] = value;
   }
-  Rewriter rewriter(input);
-  return rewriter.run(stats, pinned);
+  return optimize_impl(input, stats, pinned);
+}
+
+std::size_t optimized_gate_count_with_key_bit(const Netlist& input,
+                                              std::size_t bit, bool value,
+                                              OptScratch& scratch) {
+  const auto& all_inputs = input.inputs();
+  scratch.pinned.assign(all_inputs.size(), std::nullopt);
+  std::size_t key_seen = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < all_inputs.size(); ++i) {
+    if (!input.node(all_inputs[i]).is_key_input) continue;
+    if (key_seen++ == bit) {
+      scratch.pinned[i] = value;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument(
+        "optimized_gate_count_with_key_bit: bit out of range");
+  }
+  FlatBuilder builder(scratch);
+  RewriterT<FlatBuilder> rewriter(input, scratch, builder);
+  rewriter.run(scratch.pinned, nullptr);
+  return flat_live_gate_count(scratch);
 }
 
 }  // namespace autolock::netlist

@@ -12,8 +12,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/epoch_flags.hpp"
 
 namespace autolock::netlist {
 
@@ -39,5 +43,34 @@ Netlist optimize(const Netlist& input, OptStats* stats = nullptr);
 /// constant). Used by hypothesis-testing attacks.
 Netlist optimize_with_key_bit(const Netlist& input, std::size_t bit,
                               bool value, OptStats* stats = nullptr);
+
+/// Reusable working storage for the allocation-light optimizer paths (one
+/// per worker thread). Contents are an implementation detail of opt.cpp;
+/// callers only construct it and pass it back in.
+struct OptScratch {
+  // Rewrite state: packed per-input-node values and per-gate staging.
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint64_t> ins;
+  std::vector<NodeId> live;
+  // Flat output graph (types + CSR fanins), built instead of a Netlist.
+  std::vector<std::uint8_t> out_types;
+  std::vector<std::uint32_t> out_fanin_begin;
+  std::vector<NodeId> out_fanins;
+  std::vector<NodeId> inverter_input;
+  std::vector<NodeId> drivers;
+  std::vector<NodeId> stack;
+  std::vector<std::optional<bool>> pinned;
+  util::EpochFlags marks;
+};
+
+/// Gate count of the synthesized result of optimize_with_key_bit — exactly
+/// the value of `optimize_with_key_bit(input, bit, value).gate_count()` —
+/// computed through a flat value-numbering pass that materializes no
+/// Netlist (no node names, no name index, no compaction copy). This is the
+/// SCOPE attack's inner loop: 2 * key_bits synthesis runs per evaluated
+/// design, where only the area is consumed.
+std::size_t optimized_gate_count_with_key_bit(const Netlist& input,
+                                              std::size_t bit, bool value,
+                                              OptScratch& scratch);
 
 }  // namespace autolock::netlist

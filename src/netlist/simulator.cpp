@@ -5,14 +5,31 @@
 
 namespace autolock::netlist {
 
-Simulator::Simulator(const Netlist& netlist)
-    : netlist_(&netlist),
-      order_(netlist.topological_order()),
-      primary_inputs_(netlist.primary_inputs()),
-      key_inputs_(netlist.key_inputs()) {}
+void Simulator::rebind(const Netlist& netlist) {
+  netlist_ = &netlist;
+  order_ = netlist.topological_order();  // copy-assign: reuses capacity
+  primary_inputs_.clear();
+  key_inputs_.clear();
+  for (const NodeId id : netlist.inputs()) {
+    if (netlist.node(id).is_key_input) {
+      key_inputs_.push_back(id);
+    } else {
+      primary_inputs_.push_back(id);
+    }
+  }
+}
 
 std::vector<std::uint64_t> Simulator::run_word(
     const std::vector<std::uint64_t>& primary_words, const Key& key) const {
+  SimScratch scratch;
+  std::vector<std::uint64_t> out;
+  run_word_into(primary_words, key, scratch, out);
+  return out;
+}
+
+void Simulator::run_word_into(const std::vector<std::uint64_t>& primary_words,
+                              const Key& key, SimScratch& scratch,
+                              std::vector<std::uint64_t>& out) const {
   if (primary_words.size() != primary_inputs_.size()) {
     throw std::invalid_argument("Simulator: primary input word count mismatch");
   }
@@ -21,7 +38,10 @@ std::vector<std::uint64_t> Simulator::run_word(
                                 std::to_string(key_inputs_.size()) + ", got " +
                                 std::to_string(key.size()) + ")");
   }
-  std::vector<std::uint64_t> value(netlist_->size(), 0);
+  // No zero-fill needed: every input is written below and every non-input
+  // node is written during the topological sweep.
+  std::vector<std::uint64_t>& value = scratch.values;
+  value.resize(netlist_->size());
   for (std::size_t i = 0; i < primary_inputs_.size(); ++i) {
     value[primary_inputs_[i]] = primary_words[i];
   }
@@ -45,10 +65,9 @@ std::vector<std::uint64_t> Simulator::run_word(
       value[v] = eval_gate_words(node.type, wide.data(), wide.size());
     }
   }
-  std::vector<std::uint64_t> out;
-  out.reserve(netlist_->outputs().size());
-  for (const auto& port : netlist_->outputs()) out.push_back(value[port.driver]);
-  return out;
+  out.resize(netlist_->outputs().size());
+  std::size_t o = 0;
+  for (const auto& port : netlist_->outputs()) out[o++] = value[port.driver];
 }
 
 std::vector<bool> Simulator::run_single(const std::vector<bool>& primary_bits,
@@ -69,6 +88,16 @@ double Simulator::output_error_rate(const Simulator& dut, const Key& dut_key,
                                     const Simulator& reference,
                                     const Key& reference_key,
                                     std::size_t vectors, util::Rng& rng) {
+  SimScratch scratch;
+  return output_error_rate(dut, dut_key, reference, reference_key, vectors,
+                           rng, scratch);
+}
+
+double Simulator::output_error_rate(const Simulator& dut, const Key& dut_key,
+                                    const Simulator& reference,
+                                    const Key& reference_key,
+                                    std::size_t vectors, util::Rng& rng,
+                                    SimScratch& scratch) {
   if (dut.primary_inputs_.size() != reference.primary_inputs_.size() ||
       dut.netlist_->outputs().size() != reference.netlist_->outputs().size()) {
     throw std::invalid_argument(
@@ -77,13 +106,15 @@ double Simulator::output_error_rate(const Simulator& dut, const Key& dut_key,
   if (vectors == 0) return 0.0;
   const std::size_t words = (vectors + 63) / 64;
   std::size_t diff_bits = 0;
-  std::vector<std::uint64_t> in(dut.primary_inputs_.size());
+  std::vector<std::uint64_t>& in = scratch.in;
+  in.resize(dut.primary_inputs_.size());
   for (std::size_t w = 0; w < words; ++w) {
     for (auto& word : in) word = rng();
-    const auto a = dut.run_word(in, dut_key);
-    const auto b = reference.run_word(in, reference_key);
-    for (std::size_t o = 0; o < a.size(); ++o) {
-      diff_bits += static_cast<std::size_t>(std::popcount(a[o] ^ b[o]));
+    dut.run_word_into(in, dut_key, scratch, scratch.out_a);
+    reference.run_word_into(in, reference_key, scratch, scratch.out_b);
+    for (std::size_t o = 0; o < scratch.out_a.size(); ++o) {
+      diff_bits += static_cast<std::size_t>(
+          std::popcount(scratch.out_a[o] ^ scratch.out_b[o]));
     }
   }
   const double total =

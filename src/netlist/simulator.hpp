@@ -16,11 +16,32 @@ namespace autolock::netlist {
 /// A key assignment: bit i = value of key input i (in key_inputs() order).
 using Key = std::vector<bool>;
 
+/// Reusable simulation buffers (one per worker thread). Every run_word call
+/// otherwise allocates an O(V) value array; evaluation hot paths simulate
+/// hundreds of words per individual, so the buffers live in the caller's
+/// workspace and are resized (never reallocated once warm) per call.
+struct SimScratch {
+  std::vector<std::uint64_t> values;  // one word per netlist node
+  std::vector<std::uint64_t> in;      // random input words
+  std::vector<std::uint64_t> out_a;   // DUT output words
+  std::vector<std::uint64_t> out_b;   // reference output words
+};
+
 class Simulator {
  public:
   /// Captures the topological order once; the netlist must outlive the
   /// simulator and must not be structurally modified afterwards.
-  explicit Simulator(const Netlist& netlist);
+  explicit Simulator(const Netlist& netlist) { rebind(netlist); }
+
+  /// Creates an unbound simulator (a reusable workspace slot); rebind()
+  /// must be called before any run_* method.
+  Simulator() = default;
+
+  /// Re-captures `netlist` (same contract as the constructor), reusing the
+  /// order/input buffers from the previous binding — evaluation loops
+  /// rebind one workspace simulator per decoded design instead of
+  /// constructing a fresh one.
+  void rebind(const Netlist& netlist);
 
   const Netlist& netlist() const noexcept { return *netlist_; }
 
@@ -29,6 +50,13 @@ class Simulator {
   /// across the word. Returns one word per output port.
   std::vector<std::uint64_t> run_word(
       const std::vector<std::uint64_t>& primary_words, const Key& key) const;
+
+  /// Allocation-free run_word: node values go through `scratch`, output
+  /// words are written into `out` (resized to the output-port count).
+  /// Identical results to run_word.
+  void run_word_into(const std::vector<std::uint64_t>& primary_words,
+                     const Key& key, SimScratch& scratch,
+                     std::vector<std::uint64_t>& out) const;
 
   /// Single-vector convenience (bools in primary_inputs() order).
   std::vector<bool> run_single(const std::vector<bool>& primary_bits,
@@ -42,6 +70,13 @@ class Simulator {
                                   const Simulator& reference,
                                   const Key& reference_key,
                                   std::size_t vectors, util::Rng& rng);
+
+  /// Allocation-free variant: all working buffers come from `scratch`.
+  static double output_error_rate(const Simulator& dut, const Key& dut_key,
+                                  const Simulator& reference,
+                                  const Key& reference_key,
+                                  std::size_t vectors, util::Rng& rng,
+                                  SimScratch& scratch);
 
   /// Random-vector equivalence screening: true if no difference was observed
   /// on `vectors` random vectors (necessary, not sufficient, for
@@ -57,7 +92,7 @@ class Simulator {
                                     const Simulator& b, const Key& b_key);
 
  private:
-  const Netlist* netlist_;
+  const Netlist* netlist_ = nullptr;
   std::vector<NodeId> order_;
   std::vector<NodeId> primary_inputs_;
   std::vector<NodeId> key_inputs_;

@@ -1,0 +1,50 @@
+// Epoch-stamped visited set: an O(1)-reset replacement for the per-call
+// `std::vector<bool> visited(n, false)` pattern in graph traversals.
+//
+// Instead of clearing (or reallocating) a flag array before every traversal,
+// each slot stores the epoch in which it was last marked; bumping the epoch
+// invalidates every mark at once. The array is only touched (zeroed) when it
+// grows or when the 32-bit epoch counter wraps — both rare. Hot paths that
+// run thousands of small DFS/BFS passes per evaluation (cycle checks during
+// genotype decode, hard-negative sampling in the link-prediction attacks,
+// subgraph extraction) keep one EpochFlags per worker in their scratch
+// state and call begin_epoch() per traversal.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace autolock::util {
+
+class EpochFlags {
+ public:
+  /// Starts a fresh traversal over a domain of `n` slots: previous marks
+  /// become invisible. O(1) except on growth or epoch wrap-around.
+  void begin_epoch(std::size_t n) {
+    if (stamps_.size() < n) stamps_.resize(n, 0);
+    if (++epoch_ == 0) {  // wrapped: every stale stamp could collide
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  bool marked(std::size_t i) const noexcept { return stamps_[i] == epoch_; }
+
+  void mark(std::size_t i) noexcept { stamps_[i] = epoch_; }
+
+  /// Marks slot i; returns true iff it was not already marked (test-and-set).
+  bool try_mark(std::size_t i) noexcept {
+    if (stamps_[i] == epoch_) return false;
+    stamps_[i] = epoch_;
+    return true;
+  }
+
+  std::size_t capacity() const noexcept { return stamps_.size(); }
+
+ private:
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace autolock::util

@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -40,8 +41,18 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  parallel_for_sharded(
+      n, [&fn](std::size_t, std::size_t index) { fn(index); }, grain);
+}
+
+void ThreadPool::parallel_for_sharded(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   if (n == 0) return;
+  if (grain == 0) grain = 1;
 
   // Shared control block owned by every enqueued task copy. parallel_for
   // can return while unstarted task copies are still queued (when one
@@ -52,7 +63,8 @@ void ThreadPool::parallel_for(std::size_t n,
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::size_t n = 0;
-    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
     std::exception_ptr first_error;
     std::mutex error_mutex;
     std::condition_variable done_cv;
@@ -60,22 +72,30 @@ void ThreadPool::parallel_for(std::size_t n,
   };
   auto state = std::make_shared<State>();
   state->n = n;
+  state->grain = grain;
   state->fn = &fn;
 
-  // One task per worker; each task pulls indices from the shared counter so
-  // uneven per-index costs (typical for GA individuals) balance out.
-  const std::size_t shards = std::min(n, workers_.size());
-  auto body = [state] {
+  // One task per worker (not per index); each task claims `grain` indices
+  // per fetch from the shared counter so uneven per-index costs (typical
+  // for GA individuals) balance out without per-index queue traffic.
+  const std::size_t shards = std::min((n + grain - 1) / grain,
+                                      std::max<std::size_t>(workers_.size(), 1));
+  const auto body = [state](std::size_t shard) {
     for (;;) {
-      const std::size_t i = state->next.fetch_add(1);
-      if (i >= state->n) break;
-      try {
-        (*state->fn)(i);
-      } catch (...) {
-        const std::scoped_lock lock(state->error_mutex);
-        if (!state->first_error) state->first_error = std::current_exception();
+      const std::size_t begin = state->next.fetch_add(state->grain);
+      if (begin >= state->n) break;
+      const std::size_t end = std::min(begin + state->grain, state->n);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          (*state->fn)(shard, i);
+        } catch (...) {
+          const std::scoped_lock lock(state->error_mutex);
+          if (!state->first_error) {
+            state->first_error = std::current_exception();
+          }
+        }
       }
-      if (state->done.fetch_add(1) + 1 == state->n) {
+      if (state->done.fetch_add(end - begin) + (end - begin) == state->n) {
         const std::scoped_lock lock(state->done_mutex);
         state->done_cv.notify_all();
       }
@@ -84,7 +104,9 @@ void ThreadPool::parallel_for(std::size_t n,
 
   {
     const std::scoped_lock lock(mutex_);
-    for (std::size_t s = 0; s < shards; ++s) tasks_.emplace(body);
+    for (std::size_t s = 0; s < shards; ++s) {
+      tasks_.emplace([body, s] { body(s); });
+    }
   }
   cv_.notify_all();
 

@@ -27,7 +27,23 @@ class ThreadPool {
   /// Runs fn(i) for all i in [0, n), distributing across workers, and blocks
   /// until every index has completed. Exceptions thrown by fn propagate
   /// (the first one captured is rethrown after all work finishes).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  ///
+  /// `grain` is the number of consecutive indices a worker claims per fetch
+  /// from the shared counter: 1 gives the finest load balancing (GA
+  /// individuals with very uneven attack costs), larger grains amortize the
+  /// atomic traffic for cheap uniform bodies.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// Like parallel_for, but the callback also receives the id of the task
+  /// shard executing it (in [0, min(n, size()))). One shard runs strictly
+  /// sequentially, so shard-indexed scratch state (e.g. one EvalWorkspace
+  /// per shard) needs no synchronization. Index-to-shard assignment is
+  /// timing-dependent; callers must not let it influence results.
+  void parallel_for_sharded(
+      std::size_t n,
+      const std::function<void(std::size_t shard, std::size_t index)>& fn,
+      std::size_t grain = 1);
 
  private:
   void worker_loop();

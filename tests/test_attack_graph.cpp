@@ -86,7 +86,7 @@ TEST(AttackGraph, AdjacencySymmetricAndPresentOnly) {
       netlist::gen::make_profile(netlist::gen::ProfileId::kC880, 11);
   const lock::LockedDesign design = lock::dmux_lock(original, 20, 11);
   const AttackGraph graph(design.netlist);
-  const auto& adjacency = graph.adjacency();
+  const auto adjacency = graph.adjacency_lists();
   for (NodeId v = 0; v < design.netlist.size(); ++v) {
     if (!graph.in_graph(v)) {
       EXPECT_TRUE(adjacency[v].empty());

@@ -90,5 +90,44 @@ TEST(ThreadPool, MoreItemsThanThreads) {
   EXPECT_EQ(count.load(), 100);
 }
 
+TEST(ThreadPool, ChunkedGrainCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> seen(101);
+    pool.parallel_for(
+        101, [&](std::size_t i) { ++seen[i]; }, grain);
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ShardedReportsValidShardIds) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::atomic<bool> shard_in_range{true};
+  pool.parallel_for_sharded(50, [&](std::size_t shard, std::size_t) {
+    if (shard >= 3) shard_in_range = false;
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 50);
+  EXPECT_TRUE(shard_in_range.load());
+}
+
+TEST(ThreadPool, ShardedSameShardRunsSequentially) {
+  // Two indices claimed by the same shard must never run concurrently —
+  // that is what makes shard-indexed workspaces safe without locks.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> in_flight(2);
+  std::atomic<bool> overlap{false};
+  pool.parallel_for_sharded(40, [&](std::size_t shard, std::size_t) {
+    if (in_flight[shard].fetch_add(1) != 0) overlap = true;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    in_flight[shard].fetch_sub(1);
+  });
+  EXPECT_FALSE(overlap.load());
+}
+
 }  // namespace
 }  // namespace autolock::util

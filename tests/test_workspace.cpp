@@ -1,0 +1,459 @@
+// The allocation-free evaluation hot path must be a pure performance
+// change: per-worker EvalWorkspaces, CSR attack graphs, the flat-optimizer
+// area queries, epoch-stamped traversals and buffer-reusing decode must all
+// produce bit-identical results to the legacy allocating paths — across
+// thread counts, and whether a workspace is fresh or has evaluated a
+// thousand designs before. These tests pin every one of those equivalences
+// plus the two behavioural fixes that rode along (repaired-genotype cache
+// keys, corruption RNG seed mixing).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "attacks/attack_scratch.hpp"
+#include "attacks/scope.hpp"
+#include "core/ga.hpp"
+#include "core/nsga2.hpp"
+#include "eval/pipeline.hpp"
+#include "eval/workspace.hpp"
+#include "locking/mux_lock.hpp"
+#include "locking/rll.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/opt.hpp"
+#include "netlist/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace autolock {
+namespace {
+
+using netlist::Netlist;
+using netlist::NodeId;
+
+Netlist profile(netlist::gen::ProfileId id, std::uint64_t seed) {
+  return netlist::gen::make_profile(id, seed);
+}
+
+eval::EvalPipelineConfig attack_mix(bool workspaces, std::uint64_t seed) {
+  eval::EvalPipelineConfig config;
+  config.attacks = {"structural", "scope"};
+  config.workspaces = workspaces;
+  config.seed = seed;
+  return config;
+}
+
+// ---- flat optimizer vs legacy synthesis ------------------------------------
+
+TEST(FlatOptimizer, GateCountMatchesLegacySynthesisOnMuxLocking) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 3);
+  const auto design = lock::dmux_lock(original, 12, 3);
+  netlist::OptScratch scratch;  // one scratch across every query: reuse
+  for (std::size_t bit = 0; bit < design.key.size(); ++bit) {
+    for (const bool value : {false, true}) {
+      const auto legacy =
+          netlist::optimize_with_key_bit(design.netlist, bit, value);
+      EXPECT_EQ(netlist::optimized_gate_count_with_key_bit(design.netlist, bit,
+                                                           value, scratch),
+                legacy.gate_count())
+          << "bit " << bit << " value " << value;
+    }
+  }
+}
+
+TEST(FlatOptimizer, GateCountMatchesLegacySynthesisOnRll) {
+  // RLL XOR/XNOR key gates are the case SCOPE actually strips: the two
+  // hypotheses produce asymmetric areas, so both branches of the rewriter
+  // (folds and collapses) are exercised.
+  const Netlist original = profile(netlist::gen::ProfileId::kC880, 5);
+  const auto design = lock::rll_lock(original, 16, 5);
+  netlist::OptScratch scratch;
+  for (std::size_t bit = 0; bit < design.key.size(); ++bit) {
+    for (const bool value : {false, true}) {
+      const auto legacy =
+          netlist::optimize_with_key_bit(design.netlist, bit, value);
+      EXPECT_EQ(netlist::optimized_gate_count_with_key_bit(design.netlist, bit,
+                                                           value, scratch),
+                legacy.gate_count())
+          << "bit " << bit << " value " << value;
+    }
+  }
+}
+
+TEST(FlatOptimizer, ScopeScratchPathMatchesLegacyAttack) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 7);
+  const auto design = lock::dmux_lock(original, 10, 7);
+  const attack::ScopeAttack scope;
+  const auto legacy = scope.attack(design.netlist);
+  attack::AttackScratch scratch;
+  const auto fast = scope.attack(design.netlist, scratch);
+  ASSERT_EQ(fast.predicted_bits, legacy.predicted_bits);
+  ASSERT_EQ(fast.areas, legacy.areas);
+}
+
+TEST(FlatOptimizer, GateCountAccessorMatchesStats) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 11);
+  EXPECT_EQ(original.gate_count(), original.stats().gates);
+}
+
+// ---- CSR attack graph ------------------------------------------------------
+
+TEST(CsrAttackGraph, MatchesIndependentlyBuiltReference) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC880, 11);
+  const auto design = lock::dmux_lock(original, 20, 11);
+  const Netlist& locked = design.netlist;
+  const attack::AttackGraph graph(locked);
+
+  // Reference adjacency, built the way the legacy list-of-lists code did:
+  // undirected edges over present nodes, rows sorted + deduplicated.
+  const std::size_t n = locked.size();
+  std::vector<std::vector<NodeId>> reference(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!graph.in_graph(v)) continue;
+    for (const NodeId fanin : locked.node(v).fanins) {
+      if (!graph.in_graph(fanin)) continue;
+      reference[v].push_back(fanin);
+      reference[fanin].push_back(v);
+    }
+  }
+  for (auto& row : reference) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  EXPECT_EQ(graph.adjacency_lists(), reference);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto span = graph.neighbors(v);
+    ASSERT_EQ(std::vector<NodeId>(span.begin(), span.end()), reference[v]);
+    EXPECT_EQ(graph.degree(v), reference[v].size());
+  }
+
+  // Reference problems, grouped through a std::map exactly as the legacy
+  // implementation did.
+  const auto& fanouts = locked.fanouts();
+  const auto key_nodes = locked.key_inputs();
+  std::vector<int> bit_of(n, -1);
+  for (std::size_t i = 0; i < key_nodes.size(); ++i) {
+    bit_of[key_nodes[i]] = static_cast<int>(i);
+  }
+  std::map<int, attack::KeyBitProblem> by_bit;
+  for (NodeId m = 0; m < n; ++m) {
+    const auto& node = locked.node(m);
+    if (node.type != netlist::GateType::kMux || node.fanins.empty()) continue;
+    const auto& sel = locked.node(node.fanins[0]);
+    if (sel.type != netlist::GateType::kInput || !sel.is_key_input) continue;
+    const NodeId in0 = node.fanins[1];
+    const NodeId in1 = node.fanins[2];
+    if (!graph.in_graph(in0) || !graph.in_graph(in1)) continue;
+    auto& problem = by_bit[bit_of[node.fanins[0]]];
+    problem.key_bit_index = bit_of[node.fanins[0]];
+    for (const NodeId sink : fanouts[m]) {
+      if (!graph.in_graph(sink)) continue;
+      problem.if_zero.push_back(attack::CandidateLink{in0, sink});
+      problem.if_one.push_back(attack::CandidateLink{in1, sink});
+    }
+  }
+  std::size_t expected_problems = 0;
+  for (const auto& [bit, problem] : by_bit) {
+    if (problem.if_zero.empty()) continue;
+    ASSERT_LT(expected_problems, graph.problems().size());
+    const auto& actual = graph.problems()[expected_problems++];
+    EXPECT_EQ(actual.key_bit_index, bit);
+    ASSERT_EQ(actual.if_zero.size(), problem.if_zero.size());
+    for (std::size_t p = 0; p < problem.if_zero.size(); ++p) {
+      EXPECT_EQ(actual.if_zero[p].u, problem.if_zero[p].u);
+      EXPECT_EQ(actual.if_zero[p].v, problem.if_zero[p].v);
+      EXPECT_EQ(actual.if_one[p].u, problem.if_one[p].u);
+      EXPECT_EQ(actual.if_one[p].v, problem.if_one[p].v);
+    }
+  }
+  EXPECT_EQ(graph.problems().size(), expected_problems);
+}
+
+TEST(CsrAttackGraph, RebuildReusesStorageAndMatchesFreshBuild) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 13);
+  const auto design_a = lock::dmux_lock(original, 8, 13);
+  const auto design_b = lock::dmux_lock(original, 14, 17);
+
+  attack::AttackGraph reused;
+  reused.build(design_a.netlist);   // warm the buffers on a different design
+  reused.build(design_b.netlist);   // then rebuild for the design under test
+  const attack::AttackGraph fresh(design_b.netlist);
+
+  EXPECT_EQ(reused.adjacency_lists(), fresh.adjacency_lists());
+  ASSERT_EQ(reused.known_links().size(), fresh.known_links().size());
+  for (std::size_t i = 0; i < fresh.known_links().size(); ++i) {
+    EXPECT_EQ(reused.known_links()[i].u, fresh.known_links()[i].u);
+    EXPECT_EQ(reused.known_links()[i].v, fresh.known_links()[i].v);
+  }
+  ASSERT_EQ(reused.problems().size(), fresh.problems().size());
+  for (std::size_t i = 0; i < fresh.problems().size(); ++i) {
+    EXPECT_EQ(reused.problems()[i].key_bit_index,
+              fresh.problems()[i].key_bit_index);
+    EXPECT_EQ(reused.problems()[i].if_zero.size(),
+              fresh.problems()[i].if_zero.size());
+  }
+}
+
+// ---- simulator scratch API -------------------------------------------------
+
+TEST(SimulatorScratch, RunWordIntoMatchesRunWord) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 19);
+  const auto design = lock::dmux_lock(original, 6, 19);
+  const netlist::Simulator sim(design.netlist);
+  util::Rng rng(99);
+  netlist::SimScratch scratch;
+  std::vector<std::uint64_t> out;
+  std::vector<std::uint64_t> in(original.primary_inputs().size());
+  for (int round = 0; round < 8; ++round) {
+    for (auto& word : in) word = rng();
+    sim.run_word_into(in, design.key, scratch, out);
+    EXPECT_EQ(out, sim.run_word(in, design.key));
+  }
+}
+
+TEST(SimulatorScratch, ScratchErrorRateMatchesAllocatingErrorRate) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 23);
+  const auto design = lock::dmux_lock(original, 6, 23);
+  const netlist::Simulator locked(design.netlist);
+  const netlist::Simulator oracle(original);
+  netlist::Key wrong = design.key;
+  for (std::size_t b = 0; b < wrong.size(); ++b) wrong[b] = !wrong[b];
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  netlist::SimScratch scratch;
+  const double with_scratch = netlist::Simulator::output_error_rate(
+      locked, wrong, oracle, netlist::Key{}, 256, rng_a, scratch);
+  const double without = netlist::Simulator::output_error_rate(
+      locked, wrong, oracle, netlist::Key{}, 256, rng_b);
+  EXPECT_EQ(with_scratch, without);
+}
+
+// ---- decode into a reused workspace ---------------------------------------
+
+TEST(WorkspaceDecode, MatchesApplyGenotypeAndSurvivesReuse) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 29);
+  const lock::SiteContext context(original);
+  util::Rng rng(29);
+  const auto genes_a = lock::random_genotype(context, 10, rng);
+  const auto genes_b = lock::random_genotype(context, 10, rng);
+
+  eval::EvalWorkspace workspace;
+  const auto check = [&](const std::vector<lock::LockSite>& genes,
+                         std::uint64_t seed) {
+    util::Rng repair_fresh(seed);
+    const auto fresh = lock::apply_genotype(original, context, genes,
+                                            repair_fresh);
+    util::Rng repair_reused(seed);
+    lock::apply_genotype_into(workspace.design, original, context, genes,
+                              repair_reused, workspace.reach);
+    const auto& reused = workspace.design;
+    ASSERT_EQ(reused.netlist.size(), fresh.netlist.size());
+    for (NodeId v = 0; v < fresh.netlist.size(); ++v) {
+      EXPECT_EQ(reused.netlist.node(v).type, fresh.netlist.node(v).type);
+      EXPECT_EQ(reused.netlist.node(v).name, fresh.netlist.node(v).name);
+      EXPECT_EQ(reused.netlist.node(v).fanins, fresh.netlist.node(v).fanins);
+    }
+    EXPECT_EQ(reused.key, fresh.key);
+    EXPECT_EQ(reused.sites, fresh.sites);
+    EXPECT_EQ(reused.mux_pairs, fresh.mux_pairs);
+    // The reused decode skips full validate(); make sure it would pass.
+    EXPECT_NO_THROW(reused.netlist.validate());
+  };
+  check(genes_a, 0xA);
+  check(genes_b, 0xB);  // reuse with a different genotype
+  check(genes_a, 0xA);  // and back: no state leaks across decodes
+}
+
+// ---- pipeline equivalences -------------------------------------------------
+
+TEST(WorkspacePipeline, LegacyAndWorkspaceGaTrajectoriesIdentical) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 31);
+  ga::GaConfig config;
+  config.population = 8;
+  config.generations = 3;
+  config.seed = 2024;
+
+  ga::GaResult results[2];
+  for (const bool workspaces : {false, true}) {
+    eval::EvalPipeline pipeline(original, attack_mix(workspaces, config.seed));
+    ga::GeneticAlgorithm ga(original, config);
+    results[workspaces ? 1 : 0] = ga.run(10, pipeline);
+  }
+  const auto& legacy = results[0];
+  const auto& fast = results[1];
+  EXPECT_EQ(fast.evaluations, legacy.evaluations);
+  EXPECT_EQ(fast.best.genes, legacy.best.genes);
+  EXPECT_EQ(fast.best.eval.fitness, legacy.best.eval.fitness);
+  ASSERT_EQ(fast.history.size(), legacy.history.size());
+  for (std::size_t g = 0; g < legacy.history.size(); ++g) {
+    EXPECT_EQ(fast.history[g].best_fitness, legacy.history[g].best_fitness);
+    EXPECT_EQ(fast.history[g].mean_fitness, legacy.history[g].mean_fitness);
+    EXPECT_EQ(fast.history[g].worst_fitness, legacy.history[g].worst_fitness);
+    EXPECT_EQ(fast.history[g].cache_hits, legacy.history[g].cache_hits);
+  }
+}
+
+TEST(WorkspacePipeline, ThreadCountDoesNotChangeGaTrajectory) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 37);
+  ga::GaConfig config;
+  config.population = 8;
+  config.generations = 3;
+  config.seed = 77;
+
+  ga::GaResult results[2];
+  int slot = 0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    auto pipeline_config = attack_mix(true, config.seed);
+    pipeline_config.threads = threads;
+    eval::EvalPipeline pipeline(original, pipeline_config);
+    ga::GeneticAlgorithm ga(original, config);
+    results[slot++] = ga.run(10, pipeline);
+  }
+  EXPECT_EQ(results[0].evaluations, results[1].evaluations);
+  EXPECT_EQ(results[0].best.genes, results[1].best.genes);
+  ASSERT_EQ(results[0].history.size(), results[1].history.size());
+  for (std::size_t g = 0; g < results[0].history.size(); ++g) {
+    EXPECT_EQ(results[0].history[g].best_fitness,
+              results[1].history[g].best_fitness);
+    EXPECT_EQ(results[0].history[g].mean_fitness,
+              results[1].history[g].mean_fitness);
+    EXPECT_EQ(results[0].history[g].cache_hits,
+              results[1].history[g].cache_hits);
+  }
+}
+
+TEST(WorkspacePipeline, LegacyAndWorkspaceNsga2FrontsIdentical) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 41);
+  ga::Nsga2Config config;
+  config.population = 8;
+  config.generations = 2;
+  config.seed = 4242;
+
+  ga::Nsga2Result results[2];
+  for (const bool workspaces : {false, true}) {
+    eval::EvalPipeline pipeline(original, attack_mix(workspaces, config.seed));
+    ga::Nsga2 nsga2(original, config);
+    results[workspaces ? 1 : 0] = nsga2.run(8, pipeline);
+  }
+  EXPECT_EQ(results[1].evaluations, results[0].evaluations);
+  EXPECT_EQ(results[1].front_size_history, results[0].front_size_history);
+  ASSERT_EQ(results[1].front.size(), results[0].front.size());
+  for (std::size_t i = 0; i < results[0].front.size(); ++i) {
+    EXPECT_EQ(results[1].front[i].genes, results[0].front[i].genes);
+    EXPECT_EQ(results[1].front[i].objectives, results[0].front[i].objectives);
+  }
+}
+
+TEST(WorkspacePipeline, FreshAndReusedWorkspacesAgree) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 43);
+  const lock::SiteContext context(original);
+  util::Rng rng(43);
+  auto genes_a = lock::random_genotype(context, 8, rng);
+  auto genes_b = lock::random_genotype(context, 8, rng);
+
+  auto config = attack_mix(true, 9);
+  config.cache = false;
+  eval::EvalPipeline reused_pipeline(original, config);
+  // The reused pipeline evaluates b first, warming (and dirtying) its
+  // workspace, then a; the fresh pipeline evaluates a on a cold workspace.
+  auto genes_b_copy = genes_b;
+  (void)reused_pipeline.evaluate(genes_b_copy, 1);
+  auto genes_a_reused = genes_a;
+  const auto reused = reused_pipeline.evaluate(genes_a_reused, 2);
+
+  eval::EvalPipeline fresh_pipeline(original, config);
+  auto genes_a_fresh = genes_a;
+  const auto fresh = fresh_pipeline.evaluate(genes_a_fresh, 2);
+
+  EXPECT_EQ(genes_a_reused, genes_a_fresh);
+  EXPECT_EQ(reused.fitness, fresh.fitness);
+  EXPECT_EQ(reused.attack_accuracy, fresh.attack_accuracy);
+  EXPECT_EQ(reused.attack_precision, fresh.attack_precision);
+}
+
+TEST(WorkspacePipeline, PinnedGaTrajectory) {
+  // Frozen reference trajectory (c432 profile, structural+scope, seed
+  // 2024), recorded when the workspace hot path landed. Any change to
+  // decode, the attacks, the optimizer, the cache or the repair RNG that
+  // shifts optimizer results shows up here as an exact-value mismatch —
+  // performance work must not move these numbers.
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 31);
+  ga::GaConfig config;
+  config.population = 8;
+  config.generations = 3;
+  config.seed = 2024;
+  eval::EvalPipeline pipeline(original, attack_mix(true, config.seed));
+  ga::GeneticAlgorithm ga(original, config);
+  const auto result = ga.run(10, pipeline);
+
+  EXPECT_EQ(result.evaluations, 24u);
+  EXPECT_EQ(result.best.eval.fitness, 0.65000000000000002);
+  EXPECT_EQ(result.best.eval.attack_accuracy, 0.34999999999999998);
+  ASSERT_EQ(result.history.size(), 4u);
+  const double expected_best[] = {0.65000000000000002, 0.65000000000000002,
+                                  0.65000000000000002, 0.65000000000000002};
+  const double expected_mean[] = {0.56874999999999998, 0.63124999999999998,
+                                  0.61875000000000002, 0.63749999999999996};
+  const double expected_worst[] = {0.5, 0.59999999999999998,
+                                   0.55000000000000004, 0.59999999999999998};
+  const std::size_t expected_hits[] = {0, 2, 2, 4};
+  for (std::size_t g = 0; g < 4; ++g) {
+    EXPECT_EQ(result.history[g].best_fitness, expected_best[g]) << "gen " << g;
+    EXPECT_EQ(result.history[g].mean_fitness, expected_mean[g]) << "gen " << g;
+    EXPECT_EQ(result.history[g].worst_fitness, expected_worst[g])
+        << "gen " << g;
+    EXPECT_EQ(result.history[g].cache_hits, expected_hits[g]) << "gen " << g;
+  }
+}
+
+// ---- satellite fixes -------------------------------------------------------
+
+TEST(WorkspacePipeline, RepairedGenotypeHitsCacheUnderPreRepairKey) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 47);
+  const lock::SiteContext context(original);
+  util::Rng rng(47);
+  auto genes = lock::random_genotype(context, 6, rng);
+  // Invalidate one gene (f_i == f_j is never structurally valid), forcing a
+  // decode-time repair.
+  genes[2].f_j = genes[2].f_i;
+
+  eval::EvalPipeline pipeline(original, attack_mix(true, 5));
+  auto first = genes;
+  (void)pipeline.evaluate(first, 0);
+  ASSERT_NE(first, genes) << "expected the invalid gene to be repaired";
+  EXPECT_EQ(pipeline.evaluations(), 1u);
+
+  // A later duplicate of the *pre-repair* genotype must hit the cache: the
+  // legacy store keyed only the repaired genes, so this exact lookup used
+  // to miss forever.
+  auto duplicate = genes;
+  (void)pipeline.evaluate(duplicate, 0);
+  EXPECT_EQ(pipeline.evaluations(), 1u);
+  EXPECT_EQ(pipeline.cache_hits(), 1u);
+
+  // The repaired genotype keeps hitting too.
+  auto repaired = first;
+  (void)pipeline.evaluate(repaired, 0);
+  EXPECT_EQ(pipeline.evaluations(), 1u);
+  EXPECT_EQ(pipeline.cache_hits(), 2u);
+}
+
+TEST(WorkspacePipeline, CorruptionMixesConfiguredSeed) {
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 53);
+  const lock::SiteContext context(original);
+  util::Rng rng(53);
+  const auto genes = lock::random_genotype(context, 8, rng);
+
+  const auto corruption_for = [&](std::uint64_t seed) {
+    eval::EvalPipeline pipeline(original, attack_mix(true, seed));
+    const auto design = pipeline.decode(genes, 0);
+    return pipeline.corruption(design);
+  };
+  const double seed_a_once = corruption_for(101);
+  const double seed_a_again = corruption_for(101);
+  const double seed_b = corruption_for(202);
+  EXPECT_EQ(seed_a_once, seed_a_again) << "same seed must reproduce exactly";
+  EXPECT_NE(seed_a_once, seed_b)
+      << "different pipeline seeds must sample different vectors";
+}
+
+}  // namespace
+}  // namespace autolock
