@@ -25,9 +25,13 @@ struct AttackScratch {
   util::EpochFlags seen;
   /// Enclosing-subgraph extraction state (MuxLink).
   SubgraphScratch subgraph;
-  /// One reusable inference subgraph (training samples are still owned
-  /// individually — the trainer needs them all alive at once).
+  /// One reusable inference subgraph (inference scores one link at a time).
   Subgraph inference_subgraph;
+  /// Training-sample slots, reused across designs: the trainer needs every
+  /// sample alive at once, so unlike inference there is one Subgraph per
+  /// sample — but each slot's adjacency/feature buffers are retained, so a
+  /// warm scratch assembles a training set without allocating.
+  std::vector<Subgraph> train_samples;
   /// Flat-optimizer state for SCOPE's per-key-bit area queries.
   netlist::OptScratch opt;
   // BFS / sampling buffers.

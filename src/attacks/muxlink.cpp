@@ -106,23 +106,28 @@ MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked,
     negatives.push_back(CandidateLink{u, v});
   }
 
-  std::vector<Subgraph> samples;
-  samples.reserve(positives.size() + negatives.size());
+  // Assemble training samples into the scratch arena: slots (and their
+  // adjacency/feature buffers) are reused across designs and epochs instead
+  // of building one fresh Subgraph per sample. Slots beyond `sample_count`
+  // may hold stale data from a larger previous design; the training order
+  // below never indexes them.
+  std::vector<Subgraph>& samples = scratch.train_samples;
+  const std::size_t sample_count = positives.size() + negatives.size();
+  if (samples.size() < sample_count) samples.resize(sample_count);
+  std::size_t next_sample = 0;
   for (const auto& link : positives) {
-    Subgraph sub;
+    Subgraph& sub = samples[next_sample++];
     extract_subgraph_into(graph, link.u, link.v, config_.subgraph,
                           scratch.subgraph, sub);
     sub.label = 1.0;
-    samples.push_back(std::move(sub));
   }
   for (const auto& link : negatives) {
-    Subgraph sub;
+    Subgraph& sub = samples[next_sample++];
     extract_subgraph_into(graph, link.u, link.v, config_.subgraph,
                           scratch.subgraph, sub);
     sub.label = 0.0;
-    samples.push_back(std::move(sub));
   }
-  result.train_samples = samples.size();
+  result.train_samples = sample_count;
 
   // ---- train ---------------------------------------------------------------
   const std::size_t ensemble_size = std::max<std::size_t>(config_.ensemble, 1);
@@ -131,7 +136,8 @@ MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked,
   for (std::size_t m = 0; m < ensemble_size; ++m) {
     models.emplace_back(config_.gnn, config_.seed ^ 0x517EULL ^ (m * 7919));
   }
-  std::vector<std::size_t> order(samples.size());
+  std::vector<std::size_t>& order = scratch.order;
+  order.resize(sample_count);
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     double loss = 0.0;

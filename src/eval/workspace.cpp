@@ -11,6 +11,7 @@ void EvalWorkspace::reserve(const netlist::Netlist& original,
   design.mux_pairs.reserve(key_bits);
   reach.visited.begin_epoch(locked_nodes);
   reach.stack.reserve(64);
+  lock::warm_decode_names(original, key_bits, reach);
   attack.seen.begin_epoch(locked_nodes);
   sim.values.reserve(locked_nodes);
 }

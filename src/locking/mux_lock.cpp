@@ -54,6 +54,26 @@ bool applicable_to_working(const Netlist& working, const LockSite& site,
   return true;
 }
 
+/// The interned {keyinput<t>, keymux<t>a, keymux<t>b} symbols for key bit
+/// `t`, from the scratch cache; interns (allocates) only the first time a
+/// given bit index is seen per design family.
+const std::array<netlist::NameId, 3>& key_bit_names(const Netlist& net,
+                                                    std::size_t t,
+                                                    ReachScratch& scratch) {
+  netlist::NameTable& table = *net.names();
+  if (scratch.key_name_table != net.names()) {
+    scratch.key_name_table = net.names();
+    scratch.key_names.clear();
+  }
+  while (scratch.key_names.size() <= t) {
+    const std::string suffix = std::to_string(scratch.key_names.size());
+    scratch.key_names.push_back({table.intern("keyinput" + suffix),
+                                 table.intern("keymux" + suffix + "a"),
+                                 table.intern("keymux" + suffix + "b")});
+  }
+  return scratch.key_names[t];
+}
+
 /// Shared decode loop. `out.netlist` must already hold a copy of the
 /// original netlist; key/sites/mux_pairs must be empty.
 void apply_sites(LockedDesign& design, const SiteContext& context,
@@ -88,15 +108,15 @@ void apply_sites(LockedDesign& design, const SiteContext& context,
       }
     }
 
-    const NodeId sel = design.netlist.add_input(
-        "keyinput" + std::to_string(t), /*is_key=*/true);
+    const auto& names = key_bit_names(design.netlist, t, scratch);
+    const NodeId sel = design.netlist.add_input(names[0], /*is_key=*/true);
     // Wire so that select == site.key_bit restores the original paths.
     const NodeId a0 = site.key_bit ? site.f_j : site.f_i;
     const NodeId a1 = site.key_bit ? site.f_i : site.f_j;
-    const NodeId m1 = design.netlist.add_gate(
-        GateType::kMux, {sel, a0, a1}, "keymux" + std::to_string(t) + "a");
-    const NodeId m2 = design.netlist.add_gate(
-        GateType::kMux, {sel, a1, a0}, "keymux" + std::to_string(t) + "b");
+    const NodeId m1 =
+        design.netlist.add_gate(GateType::kMux, {sel, a0, a1}, names[1]);
+    const NodeId m2 =
+        design.netlist.add_gate(GateType::kMux, {sel, a1, a0}, names[2]);
     if (design.netlist.replace_fanin(site.g_i, site.f_i, m1) == 0 ||
         design.netlist.replace_fanin(site.g_j, site.f_j, m2) == 0) {
       throw std::logic_error("apply_genotype: edge vanished during rewiring");
@@ -140,6 +160,13 @@ void apply_genotype_into(LockedDesign& out, const Netlist& original,
   // the topological order throws on a cycle and primes the traversal cache
   // every downstream attack and simulator construction consumes anyway.
   out.netlist.topological_order();
+}
+
+void warm_decode_names(const Netlist& original, std::size_t key_bits,
+                       ReachScratch& scratch) {
+  if (key_bits != 0) {
+    (void)key_bit_names(original, key_bits - 1, scratch);
+  }
 }
 
 std::vector<LockSite> random_genotype(const SiteContext& context,

@@ -65,6 +65,13 @@ void apply_genotype_into(LockedDesign& out, const netlist::Netlist& original,
                          util::Rng& repair_rng, ReachScratch& scratch,
                          const MuxLockOptions& options = {});
 
+/// Pre-interns the decode-generated names ({keyinput<t>, keymux<t>a/b} for
+/// t in [0, key_bits)) into `original`'s name table and fills `scratch`'s
+/// cache, so even the very first apply_genotype_into through a fresh
+/// workspace builds no name strings.
+void warm_decode_names(const netlist::Netlist& original, std::size_t key_bits,
+                       ReachScratch& scratch);
+
 /// D-MUX-style random MUX locking with `key_bits` key bits.
 LockedDesign dmux_lock(const netlist::Netlist& original, std::size_t key_bits,
                        std::uint64_t seed);

@@ -9,7 +9,9 @@
 // the same original netlist.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "netlist/analysis.hpp"
@@ -19,13 +21,21 @@
 
 namespace autolock::lock {
 
-/// Reusable DFS state for reachability / cycle checks (one per worker).
-/// Every site-validity query otherwise allocates an O(V) visited vector;
-/// decode repairs and GA mutations run hundreds of such queries per
-/// genotype.
+/// Reusable per-worker decode state: DFS marks for reachability / cycle
+/// checks (every site-validity query otherwise allocates an O(V) visited
+/// vector; decode repairs and GA mutations run hundreds per genotype) plus
+/// the interned ids of the decode-generated names.
 struct ReachScratch {
   util::EpochFlags visited;
   std::vector<netlist::NodeId> stack;
+  /// key_names[t] = interned {keyinput<t>, keymux<t>a, keymux<t>b}, built
+  /// lazily against `key_name_table` (and rebuilt if the scratch moves to a
+  /// different design family). With the cache warm, apply_genotype_into
+  /// never builds a name string. Holding the shared_ptr keeps the table
+  /// alive, so the identity check can never be fooled by a new family's
+  /// table reusing a dead table's address.
+  std::shared_ptr<const netlist::NameTable> key_name_table;
+  std::vector<std::array<netlist::NameId, 3>> key_names;
 };
 
 struct LockSite {

@@ -26,6 +26,11 @@ std::string_view trim(std::string_view s) noexcept {
                            std::to_string(line_no) + ": " + message);
 }
 
+struct PendingPort {
+  std::string name;
+  std::size_t line_no = 0;
+};
+
 struct PendingGate {
   std::string name;
   GateType type = GateType::kBuf;
@@ -33,9 +38,11 @@ struct PendingGate {
   std::size_t line_no = 0;
 };
 
-}  // namespace
-
-bool is_key_input_name(std::string_view name) noexcept {
+/// True iff `name` is "keyinput" followed by one or more digits — the key
+/// naming *shape*, regardless of whether the index fits kMaxKeyBitIndex.
+/// Used to turn out-of-range indices into parse errors instead of silently
+/// demoting them to primary inputs.
+bool has_key_input_shape(std::string_view name) noexcept {
   constexpr std::string_view kPrefix = "keyinput";
   if (name.size() <= kPrefix.size()) return false;
   if (name.substr(0, kPrefix.size()) != kPrefix) return false;
@@ -45,16 +52,31 @@ bool is_key_input_name(std::string_view name) noexcept {
   return true;
 }
 
+}  // namespace
+
 int key_bit_index(std::string_view name) noexcept {
-  if (!is_key_input_name(name)) return -1;
+  constexpr std::string_view kPrefix = "keyinput";
+  if (name.size() <= kPrefix.size()) return -1;
+  if (name.substr(0, kPrefix.size()) != kPrefix) return -1;
   int value = 0;
-  for (char ch : name.substr(8)) value = value * 10 + (ch - '0');
+  for (char ch : name.substr(kPrefix.size())) {
+    // Digits only; accumulate with an overflow guard so "keyinput99999999999"
+    // cannot wrap around into a bogus (possibly colliding) bit index.
+    if (!std::isdigit(static_cast<unsigned char>(ch))) return -1;
+    if (value > kMaxKeyBitIndex / 10) return -1;
+    value = value * 10 + (ch - '0');
+    if (value > kMaxKeyBitIndex) return -1;
+  }
   return value;
 }
 
+bool is_key_input_name(std::string_view name) noexcept {
+  return key_bit_index(name) >= 0;
+}
+
 Netlist parse(std::string_view text, std::string circuit_name) {
-  std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
+  std::vector<PendingPort> input_names;
+  std::vector<PendingPort> output_names;
   std::vector<PendingGate> gates;
 
   std::size_t line_no = 0;
@@ -72,13 +94,23 @@ Netlist parse(std::string_view text, std::string circuit_name) {
     if (line.empty()) continue;
 
     const std::size_t eq = line.find('=');
+    const std::size_t first_open = line.find('(');
+    // An '=' inside the parentheses of a directive ("INPUT(a=b)") used to
+    // slip through as a bogus BUF alias named "INPUT(a"; diagnose it.
+    if (eq != std::string_view::npos && first_open != std::string_view::npos &&
+        first_open < eq) {
+      fail(line_no, "unexpected '=' after '('");
+    }
     if (eq == std::string_view::npos) {
       // INPUT(...) or OUTPUT(...)
-      const std::size_t open = line.find('(');
+      const std::size_t open = first_open;
       const std::size_t close = line.rfind(')');
       if (open == std::string_view::npos || close == std::string_view::npos ||
           close < open) {
         fail(line_no, "expected INPUT(name) or OUTPUT(name)");
+      }
+      if (!trim(line.substr(close + 1)).empty()) {
+        fail(line_no, "trailing characters after ')'");
       }
       const std::string keyword{trim(line.substr(0, open))};
       const std::string arg{trim(line.substr(open + 1, close - open - 1))};
@@ -88,8 +120,8 @@ Netlist parse(std::string_view text, std::string circuit_name) {
         upper.push_back(
             static_cast<char>(std::toupper(static_cast<unsigned char>(ch))));
       }
-      if (upper == "INPUT") input_names.push_back(arg);
-      else if (upper == "OUTPUT") output_names.push_back(arg);
+      if (upper == "INPUT") input_names.push_back({arg, line_no});
+      else if (upper == "OUTPUT") output_names.push_back({arg, line_no});
       else fail(line_no, "unknown directive '" + keyword + "'");
       continue;
     }
@@ -102,6 +134,9 @@ Netlist parse(std::string_view text, std::string circuit_name) {
     const std::size_t open = rhs.find('(');
     if (open == std::string_view::npos) {
       // CONST0 / CONST1 extension, or bare alias "a = b" (treated as BUF).
+      if (rhs.find(')') != std::string_view::npos) {
+        fail(line_no, "')' without matching '('");
+      }
       const std::string keyword{trim(rhs)};
       if (const auto type = parse_gate_type(keyword);
           type && (*type == GateType::kConst0 || *type == GateType::kConst1)) {
@@ -119,6 +154,9 @@ Netlist parse(std::string_view text, std::string circuit_name) {
     if (close == std::string_view::npos || close < open) {
       fail(line_no, "unbalanced parentheses");
     }
+    if (!trim(rhs.substr(close + 1)).empty()) {
+      fail(line_no, "trailing characters after ')'");
+    }
     const std::string keyword{trim(rhs.substr(0, open))};
     const auto type = parse_gate_type(keyword);
     if (!type) fail(line_no, "unknown gate type '" + keyword + "'");
@@ -127,13 +165,18 @@ Netlist parse(std::string_view text, std::string circuit_name) {
     }
     gate.type = *type;
     std::string_view args = rhs.substr(open + 1, close - open - 1);
-    std::size_t start = 0;
-    while (start <= args.size()) {
-      std::size_t comma = args.find(',', start);
-      if (comma == std::string_view::npos) comma = args.size();
-      const std::string operand{trim(args.substr(start, comma - start))};
-      if (!operand.empty()) gate.operands.push_back(operand);
-      start = comma + 1;
+    if (!trim(args).empty()) {
+      std::size_t start = 0;
+      while (start <= args.size()) {
+        std::size_t comma = args.find(',', start);
+        if (comma == std::string_view::npos) comma = args.size();
+        const std::string operand{trim(args.substr(start, comma - start))};
+        // "AND(a,,b)" / "AND(a,)" used to silently drop the empty slot,
+        // shifting every later operand (fatal for MUX fanin order).
+        if (operand.empty()) fail(line_no, "empty operand");
+        gate.operands.push_back(operand);
+        start = comma + 1;
+      }
     }
     if (gate.operands.empty() && *type != GateType::kConst0 &&
         *type != GateType::kConst1) {
@@ -146,14 +189,19 @@ Netlist parse(std::string_view text, std::string circuit_name) {
   // (bench files may reference signals before definition).
   Netlist netlist(std::move(circuit_name));
   std::unordered_map<std::string, NodeId> defined;
-  for (const std::string& input_name : input_names) {
-    if (defined.contains(input_name)) {
-      throw std::runtime_error("bench parse error: duplicate input '" +
-                               input_name + "'");
+  for (const PendingPort& input : input_names) {
+    if (defined.contains(input.name)) {
+      fail(input.line_no, "duplicate input '" + input.name + "'");
     }
-    defined.emplace(input_name,
-                    netlist.add_input(input_name,
-                                      is_key_input_name(input_name)));
+    // A name shaped like a key input whose index does not parse (overflow /
+    // out of range) is a corrupt key declaration, not a primary input.
+    if (has_key_input_shape(input.name) && !is_key_input_name(input.name)) {
+      fail(input.line_no,
+           "key input index out of range in '" + input.name + "'");
+    }
+    defined.emplace(input.name,
+                    netlist.add_input(input.name,
+                                      is_key_input_name(input.name)));
   }
 
   std::unordered_map<std::string, std::size_t> gate_by_name;
@@ -214,13 +262,12 @@ Netlist parse(std::string_view text, std::string circuit_name) {
     }
   }
 
-  for (const std::string& output_name : output_names) {
-    const auto it = defined.find(output_name);
+  for (const PendingPort& output : output_names) {
+    const auto it = defined.find(output.name);
     if (it == defined.end()) {
-      throw std::runtime_error("bench parse error: undefined output '" +
-                               output_name + "'");
+      fail(output.line_no, "undefined output '" + output.name + "'");
     }
-    netlist.mark_output(it->second, output_name);
+    netlist.mark_output(it->second, output.name);
   }
   netlist.validate();
   return netlist;
@@ -251,22 +298,22 @@ std::string write(const Netlist& netlist) {
       << " key inputs, " << s.outputs << " outputs, " << s.gates
       << " gates, depth " << s.depth << "\n";
   for (NodeId id : netlist.inputs()) {
-    out << "INPUT(" << netlist.node(id).name << ")\n";
+    out << "INPUT(" << netlist.name(id) << ")\n";
   }
   for (const auto& port : netlist.outputs()) {
-    out << "OUTPUT(" << port.name << ")\n";
+    out << "OUTPUT(" << netlist.name_text(port.name) << ")\n";
   }
   // Output ports whose name differs from the driver need an alias BUF line.
-  std::vector<std::pair<std::string, NodeId>> aliases;
+  std::vector<std::pair<NameId, NodeId>> aliases;
   for (const auto& port : netlist.outputs()) {
-    if (port.name != netlist.node(port.driver).name) {
+    if (port.name != netlist.name_id(port.driver)) {
       aliases.emplace_back(port.name, port.driver);
     }
   }
   for (NodeId id : netlist.topological_order()) {
     const Node& node = netlist.node(id);
     if (node.type == GateType::kInput) continue;
-    out << node.name << " = ";
+    out << netlist.name(id) << " = ";
     if (node.type == GateType::kConst0 || node.type == GateType::kConst1) {
       out << gate_type_name(node.type) << "\n";
       continue;
@@ -274,12 +321,13 @@ std::string write(const Netlist& netlist) {
     out << gate_type_name(node.type) << "(";
     for (std::size_t i = 0; i < node.fanins.size(); ++i) {
       if (i) out << ", ";
-      out << netlist.node(node.fanins[i]).name;
+      out << netlist.name(node.fanins[i]);
     }
     out << ")\n";
   }
   for (const auto& [alias, driver] : aliases) {
-    out << alias << " = BUF(" << netlist.node(driver).name << ")\n";
+    out << netlist.name_text(alias) << " = BUF(" << netlist.name(driver)
+        << ")\n";
   }
   return out.str();
 }

@@ -36,10 +36,18 @@ std::string write(const Netlist& netlist);
 /// Writes to a file (throws on I/O failure).
 void save_file(const Netlist& netlist, const std::string& path);
 
-/// True if `name` follows the key-input convention ("keyinput<digits>").
+/// Largest key-bit index accepted in a key-input name. Indices beyond this
+/// (or digit runs that overflow int) are rejected: key_bit_index returns
+/// -1, and parse() reports a line-numbered error instead of silently
+/// treating the signal as a primary input.
+inline constexpr int kMaxKeyBitIndex = 1'000'000;
+
+/// True if `name` follows the key-input convention ("keyinput<digits>" with
+/// an in-range index).
 bool is_key_input_name(std::string_view name) noexcept;
 
-/// Extracts the key-bit index from a key-input name; -1 if not a key name.
+/// Extracts the key-bit index from a key-input name; -1 if not a key name
+/// (including indices that overflow or exceed kMaxKeyBitIndex).
 int key_bit_index(std::string_view name) noexcept;
 
 }  // namespace autolock::netlist::bench

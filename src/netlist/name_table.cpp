@@ -1,0 +1,44 @@
+#include "netlist/name_table.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace autolock::netlist {
+
+NameId NameTable::intern(std::string_view text) {
+  {
+    const std::shared_lock lock(mutex_);
+    const auto it = index_.find(text);
+    if (it != index_.end()) return it->second;
+  }
+  const std::unique_lock lock(mutex_);
+  // Re-check: another thread may have interned it between the locks.
+  const auto it = index_.find(text);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<NameId>(texts_.size());
+  texts_.emplace_back(text);
+  index_.emplace(std::string_view(texts_.back()), id);
+  return id;
+}
+
+NameId NameTable::find(std::string_view text) const noexcept {
+  const std::shared_lock lock(mutex_);
+  const auto it = index_.find(text);
+  return it == index_.end() ? kNoName : it->second;
+}
+
+std::string_view NameTable::text(NameId id) const {
+  const std::shared_lock lock(mutex_);
+  if (id >= texts_.size()) {
+    throw std::out_of_range("NameTable::text: unknown NameId " +
+                            std::to_string(id));
+  }
+  return std::string_view(texts_[id]);
+}
+
+std::size_t NameTable::size() const noexcept {
+  const std::shared_lock lock(mutex_);
+  return texts_.size();
+}
+
+}  // namespace autolock::netlist

@@ -1,0 +1,58 @@
+// Interned signal names.
+//
+// A NameTable maps signal-name strings to dense u32 NameIds and back. One
+// table is shared by a whole design family — an original netlist, every
+// locked copy decoded from it, optimizer outputs, compacted views — which
+// is what makes Netlist copies allocation-free: nodes store NameIds, the
+// name -> node index copies as a POD vector, and the strings themselves
+// are interned once and never copied again. The GA decode hot path
+// (apply_genotype_into) interns its generated names ("keyinput<t>",
+// "keymux<t>a/b") exactly once per family and reuses the ids thereafter.
+//
+// Thread safety: intern/find/text/size are safe to call concurrently
+// (parallel decode workers share one table); lookups take a shared lock,
+// interning a *new* name upgrades to an exclusive lock. Interned text is
+// stored in a deque, so returned string_views stay valid for the table's
+// lifetime regardless of later growth.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace autolock::netlist {
+
+/// Index of an interned name inside a NameTable. Ids are dense and stable;
+/// names are never removed.
+using NameId = std::uint32_t;
+inline constexpr NameId kNoName = static_cast<NameId>(-1);
+
+class NameTable {
+ public:
+  NameTable() = default;
+  NameTable(const NameTable&) = delete;
+  NameTable& operator=(const NameTable&) = delete;
+
+  /// Returns the id of `text`, interning it first if absent.
+  NameId intern(std::string_view text);
+
+  /// Returns the id of `text`, or kNoName if it was never interned.
+  NameId find(std::string_view text) const noexcept;
+
+  /// The interned text for `id`. The view stays valid for the table's
+  /// lifetime. Throws std::out_of_range for ids this table never issued.
+  std::string_view text(NameId id) const;
+
+  /// Number of interned names (issued ids are exactly [0, size())).
+  std::size_t size() const noexcept;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::deque<std::string> texts_;  // stable storage: ids index this deque
+  std::unordered_map<std::string_view, NameId> index_;  // views into texts_
+};
+
+}  // namespace autolock::netlist

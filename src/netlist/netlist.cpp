@@ -7,28 +7,31 @@ namespace autolock::netlist {
 
 Netlist::Netlist(const Netlist& other)
     : name_(other.name_),
+      names_(other.names_),
       nodes_(other.nodes_),
       inputs_(other.inputs_),
       outputs_(other.outputs_),
-      by_name_(other.by_name_) {}
+      node_of_name_(other.node_of_name_) {}
 
 Netlist& Netlist::operator=(const Netlist& other) {
   if (this == &other) return *this;
   name_ = other.name_;
+  names_ = other.names_;
   nodes_ = other.nodes_;
   inputs_ = other.inputs_;
   outputs_ = other.outputs_;
-  by_name_ = other.by_name_;
+  node_of_name_ = other.node_of_name_;
   cache_ = TraversalCache{};
   return *this;
 }
 
 Netlist::Netlist(Netlist&& other) noexcept
     : name_(std::move(other.name_)),
+      names_(other.names_),  // keep the source usable: tables are shared
       nodes_(std::move(other.nodes_)),
       inputs_(std::move(other.inputs_)),
       outputs_(std::move(other.outputs_)),
-      by_name_(std::move(other.by_name_)),
+      node_of_name_(std::move(other.node_of_name_)),
       cache_(std::move(other.cache_)) {
   other.cache_ = TraversalCache{};
 }
@@ -36,10 +39,11 @@ Netlist::Netlist(Netlist&& other) noexcept
 Netlist& Netlist::operator=(Netlist&& other) noexcept {
   if (this == &other) return *this;
   name_ = std::move(other.name_);
+  names_ = other.names_;
   nodes_ = std::move(other.nodes_);
   inputs_ = std::move(other.inputs_);
   outputs_ = std::move(other.outputs_);
-  by_name_ = std::move(other.by_name_);
+  node_of_name_ = std::move(other.node_of_name_);
   cache_ = std::move(other.cache_);
   other.cache_ = TraversalCache{};
   return *this;
@@ -50,47 +54,83 @@ void Netlist::invalidate_traversal_cache() noexcept {
   cache_.fanouts_valid = false;
 }
 
+void Netlist::index_name(NameId symbol, NodeId id) {
+  if (node_of_name_.size() <= symbol) {
+    node_of_name_.resize(symbol + 1, kNoNode);
+  }
+  node_of_name_[symbol] = id;
+}
+
 NodeId Netlist::add_node(Node node) {
   const auto id = static_cast<NodeId>(nodes_.size());
-  if (node.name.empty()) node.name = fresh_name(id);
-  if (by_name_.contains(node.name)) {
-    throw std::invalid_argument("Netlist: duplicate node name '" + node.name +
-                                "'");
+  if (node.name == kNoName) {
+    node.name = fresh_name(id);
+  } else if (names_->text(node.name).empty()) {
+    // text() also throws out_of_range for ids this table never issued —
+    // the NameId overloads must not accept symbols from a foreign table.
+    throw std::invalid_argument("Netlist: empty node name");
   }
-  by_name_.emplace(node.name, id);
+  if (lookup_name(node.name) != kNoNode) {
+    throw std::invalid_argument("Netlist: duplicate node name '" +
+                                std::string(names_->text(node.name)) + "'");
+  }
+  index_name(node.name, id);
   nodes_.push_back(std::move(node));
   invalidate_traversal_cache();
   return id;
 }
 
-std::string Netlist::fresh_name(NodeId id) const {
+NameId Netlist::fresh_name(NodeId id) const {
   std::string candidate = "n" + std::to_string(id);
-  while (by_name_.contains(candidate)) candidate += "_";
-  return candidate;
+  NameId symbol = names_->intern(candidate);
+  while (lookup_name(symbol) != kNoNode) {
+    candidate += "_";
+    symbol = names_->intern(candidate);
+  }
+  return symbol;
 }
 
-NodeId Netlist::add_input(std::string node_name, bool is_key) {
+NodeId Netlist::add_input(std::string_view node_name, bool is_key) {
   if (node_name.empty()) {
+    throw std::invalid_argument("Netlist::add_input: empty name");
+  }
+  return add_input(names_->intern(node_name), is_key);
+}
+
+NodeId Netlist::add_input(NameId node_name, bool is_key) {
+  // Inputs are never auto-named; range/emptiness is checked by add_node.
+  if (node_name == kNoName) {
     throw std::invalid_argument("Netlist::add_input: empty name");
   }
   Node node;
   node.type = GateType::kInput;
   node.is_key_input = is_key;
-  node.name = std::move(node_name);
+  node.name = node_name;
   const NodeId id = add_node(std::move(node));
   inputs_.push_back(id);
   return id;
 }
 
-NodeId Netlist::add_const(bool value, std::string node_name) {
+NodeId Netlist::add_const(bool value, std::string_view node_name) {
+  return add_const(value,
+                   node_name.empty() ? kNoName : names_->intern(node_name));
+}
+
+NodeId Netlist::add_const(bool value, NameId node_name) {
   Node node;
   node.type = value ? GateType::kConst1 : GateType::kConst0;
-  node.name = std::move(node_name);
+  node.name = node_name;
   return add_node(std::move(node));
 }
 
 NodeId Netlist::add_gate(GateType type, std::vector<NodeId> fanins,
-                         std::string node_name) {
+                         std::string_view node_name) {
+  return add_gate(type, std::move(fanins),
+                  node_name.empty() ? kNoName : names_->intern(node_name));
+}
+
+NodeId Netlist::add_gate(GateType type, std::vector<NodeId> fanins,
+                         NameId node_name) {
   if (is_source(type)) {
     throw std::invalid_argument("Netlist::add_gate: use add_input/add_const");
   }
@@ -108,23 +148,31 @@ NodeId Netlist::add_gate(GateType type, std::vector<NodeId> fanins,
   }
   Node node;
   node.type = type;
-  node.name = std::move(node_name);
+  node.name = node_name;
   node.fanins = std::move(fanins);
   return add_node(std::move(node));
 }
 
-void Netlist::mark_output(NodeId id, std::string port_name) {
+void Netlist::mark_output(NodeId id, std::string_view port_name) {
+  mark_output(id, port_name.empty() ? kNoName : names_->intern(port_name));
+}
+
+void Netlist::mark_output(NodeId id, NameId port_name) {
   if (!valid_id(id)) {
     throw std::invalid_argument("Netlist::mark_output: id out of range");
   }
-  if (port_name.empty()) port_name = nodes_[id].name;
+  if (port_name == kNoName) {
+    port_name = nodes_[id].name;
+  } else {
+    (void)names_->text(port_name);  // throws for ids from a foreign table
+  }
   for (const auto& port : outputs_) {
     if (port.name == port_name) {
       throw std::invalid_argument("Netlist::mark_output: duplicate port '" +
-                                  port_name + "'");
+                                  std::string(names_->text(port_name)) + "'");
     }
   }
-  outputs_.push_back(OutputPort{std::move(port_name), id});
+  outputs_.push_back(OutputPort{port_name, id});
 }
 
 void Netlist::set_output_driver(std::size_t output_index, NodeId new_driver) {
@@ -180,10 +228,40 @@ std::vector<NodeId> Netlist::key_inputs() const {
   return result;
 }
 
-NodeId Netlist::find(const std::string& node_name) const noexcept {
-  const auto it = by_name_.find(node_name);
-  return it == by_name_.end() ? kNoNode : it->second;
+NodeId Netlist::find(std::string_view node_name) const noexcept {
+  const NameId symbol = names_->find(node_name);
+  return symbol == kNoName ? kNoNode : lookup_name(symbol);
 }
+
+NodeId Netlist::find(NameId node_name) const noexcept {
+  return node_name == kNoName ? kNoNode : lookup_name(node_name);
+}
+
+namespace {
+
+/// Flat (CSR) fanout adjacency — Kahn's algorithm over it allocates three
+/// plain vectors instead of one heap vector per node, which matters because
+/// every decode ends with a topological-order computation.
+struct FlatFanouts {
+  std::vector<std::uint32_t> offsets;  // size n+1
+  std::vector<NodeId> edges;           // fanout targets, grouped by source
+
+  explicit FlatFanouts(const std::vector<Node>& nodes) {
+    const std::size_t n = nodes.size();
+    offsets.assign(n + 1, 0);
+    for (const Node& node : nodes) {
+      for (NodeId fanin : node.fanins) ++offsets[fanin + 1];
+    }
+    for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+    edges.resize(offsets[n]);
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId fanin : nodes[v].fanins) edges[cursor[fanin]++] = v;
+    }
+  }
+};
+
+}  // namespace
 
 bool Netlist::is_acyclic() const {
   {
@@ -191,11 +269,10 @@ bool Netlist::is_acyclic() const {
     if (cache_.topo_valid) return true;  // a full topo order exists
   }
   // Kahn's algorithm: count processed nodes.
+  const FlatFanouts outs(nodes_);
   std::vector<std::uint32_t> pending(nodes_.size(), 0);
-  std::vector<std::vector<NodeId>> outs(nodes_.size());
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     pending[v] = static_cast<std::uint32_t>(nodes_[v].fanins.size());
-    for (NodeId fanin : nodes_[v].fanins) outs[fanin].push_back(v);
   }
   std::vector<NodeId> queue;
   for (NodeId v = 0; v < nodes_.size(); ++v) {
@@ -206,8 +283,8 @@ bool Netlist::is_acyclic() const {
     const NodeId v = queue.back();
     queue.pop_back();
     ++processed;
-    for (NodeId w : outs[v]) {
-      if (--pending[w] == 0) queue.push_back(w);
+    for (std::uint32_t e = outs.offsets[v]; e < outs.offsets[v + 1]; ++e) {
+      if (--pending[outs.edges[e]] == 0) queue.push_back(outs.edges[e]);
     }
   }
   return processed == nodes_.size();
@@ -232,11 +309,14 @@ const std::vector<std::vector<NodeId>>& Netlist::fanouts() const {
 }
 
 std::vector<NodeId> Netlist::compute_topological_order() const {
+  // Same Kahn traversal as before the CSR rewrite: sources are visited in
+  // ascending id via a LIFO queue and fanout lists are grouped in ascending
+  // sink order, so the produced order is bit-identical to the historical
+  // vector<vector> implementation.
+  const FlatFanouts outs(nodes_);
   std::vector<std::uint32_t> pending(nodes_.size(), 0);
-  std::vector<std::vector<NodeId>> outs(nodes_.size());
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     pending[v] = static_cast<std::uint32_t>(nodes_[v].fanins.size());
-    for (NodeId fanin : nodes_[v].fanins) outs[fanin].push_back(v);
   }
   std::vector<NodeId> order;
   order.reserve(nodes_.size());
@@ -248,8 +328,8 @@ std::vector<NodeId> Netlist::compute_topological_order() const {
     const NodeId v = queue.back();
     queue.pop_back();
     order.push_back(v);
-    for (NodeId w : outs[v]) {
-      if (--pending[w] == 0) queue.push_back(w);
+    for (std::uint32_t e = outs.offsets[v]; e < outs.offsets[v + 1]; ++e) {
+      if (--pending[outs.edges[e]] == 0) queue.push_back(outs.edges[e]);
     }
   }
   if (order.size() != nodes_.size()) {
@@ -331,7 +411,7 @@ NetlistStats Netlist::stats() const {
 
 Netlist Netlist::compacted() const {
   const auto live = live_mask();
-  Netlist out(name_);
+  Netlist out(name_, names_);  // same design family: NameIds carry over
   std::vector<NodeId> remap(nodes_.size(), kNoNode);
   // Keep every input (interface stability), in order.
   for (NodeId id : inputs_) {
@@ -359,13 +439,12 @@ Netlist Netlist::compacted() const {
 void Netlist::validate() const {
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     const Node& node = nodes_[v];
-    if (node.name.empty()) {
+    if (node.name == kNoName || names_->text(node.name).empty()) {
       throw std::runtime_error("Netlist::validate: unnamed node");
     }
-    const auto it = by_name_.find(node.name);
-    if (it == by_name_.end() || it->second != v) {
+    if (lookup_name(node.name) != v) {
       throw std::runtime_error("Netlist::validate: name index broken for '" +
-                               node.name + "'");
+                               std::string(names_->text(node.name)) + "'");
     }
     if (is_source(node.type)) {
       if (!node.fanins.empty()) {
@@ -377,12 +456,12 @@ void Netlist::validate() const {
     if (node.fanins.size() < arity.min ||
         (arity.max != 0 && node.fanins.size() > arity.max)) {
       throw std::runtime_error("Netlist::validate: bad arity at '" +
-                               node.name + "'");
+                               std::string(names_->text(node.name)) + "'");
     }
     for (NodeId fanin : node.fanins) {
       if (!valid_id(fanin)) {
         throw std::runtime_error("Netlist::validate: dangling fanin at '" +
-                                 node.name + "'");
+                                 std::string(names_->text(node.name)) + "'");
       }
     }
   }

@@ -5,14 +5,26 @@
 // outputs are references to nodes. The container is value-semantic
 // (copyable), which the GA relies on: each individual decodes into its own
 // locked Netlist.
+//
+// Names are interned: every Netlist holds a shared_ptr to a NameTable and
+// nodes store u32 NameIds, not strings. Copies share the table, so the
+// decode hot path (copy the original, splice key logic in) never touches a
+// string — nodes, ports and the flat NameId -> NodeId index all copy as
+// plain vectors. String-facing APIs remain: construction accepts
+// string_views (interned on entry), `name(NodeId)` / `name_text(NameId)` /
+// `output_name(i)` return string_views into the table, and `find()` looks
+// up by text. Id-taking overloads exist for hot paths and for rebuilding
+// netlists within the same design family (compacted(), the optimizer).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "netlist/name_table.hpp"
 #include "netlist/types.hpp"
 
 namespace autolock::netlist {
@@ -20,7 +32,7 @@ namespace autolock::netlist {
 struct Node {
   GateType type = GateType::kInput;
   bool is_key_input = false;
-  std::string name;
+  NameId name = kNoName;
   std::vector<NodeId> fanins;  // kMux order: {select, in0, in1}
 };
 
@@ -36,9 +48,14 @@ class Netlist {
  public:
   Netlist() = default;
   explicit Netlist(std::string name) : name_(std::move(name)) {}
+  /// Constructs an empty netlist sharing `names` — the same design family
+  /// as every other netlist holding that table, so NameIds are exchangeable.
+  Netlist(std::string name, std::shared_ptr<NameTable> names)
+      : name_(std::move(name)), names_(std::move(names)) {}
 
   // Copies do not inherit the traversal cache (a freshly decoded individual
   // is mutated immediately, which would discard it anyway); moves keep it.
+  // Both share the name table (names are append-only family state).
   Netlist(const Netlist& other);
   Netlist& operator=(const Netlist& other);
   Netlist(Netlist&& other) noexcept;
@@ -47,19 +64,24 @@ class Netlist {
   // ---- construction ------------------------------------------------------
 
   /// Adds a primary input (or key input). Name must be unique and non-empty.
-  NodeId add_input(std::string node_name, bool is_key = false);
+  NodeId add_input(std::string_view node_name, bool is_key = false);
+  /// Id-taking overload (symbol must come from this netlist's table).
+  NodeId add_input(NameId node_name, bool is_key = false);
 
   /// Adds a constant-0 / constant-1 source.
-  NodeId add_const(bool value, std::string node_name = {});
+  NodeId add_const(bool value, std::string_view node_name = {});
+  NodeId add_const(bool value, NameId node_name);
 
   /// Adds a combinational gate. Checks arity and fanin validity. Name may be
   /// empty, in which case a unique one is generated (n<id>).
   NodeId add_gate(GateType type, std::vector<NodeId> fanins,
-                  std::string node_name = {});
+                  std::string_view node_name = {});
+  NodeId add_gate(GateType type, std::vector<NodeId> fanins, NameId node_name);
 
   /// Marks a node as a primary output under `port_name` (defaults to the
   /// node's own name). A node may drive multiple output ports.
-  void mark_output(NodeId id, std::string port_name = {});
+  void mark_output(NodeId id, std::string_view port_name = {});
+  void mark_output(NodeId id, NameId port_name);
 
   /// Redirects the output port at `output_index` to drive `new_driver`.
   void set_output_driver(std::size_t output_index, NodeId new_driver);
@@ -78,9 +100,20 @@ class Netlist {
   const std::string& name() const noexcept { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
 
+  /// The interner shared by this netlist's design family.
+  const std::shared_ptr<NameTable>& names() const noexcept { return names_; }
+
   std::size_t size() const noexcept { return nodes_.size(); }
   const Node& node(NodeId id) const { return nodes_.at(id); }
   bool valid_id(NodeId id) const noexcept { return id < nodes_.size(); }
+
+  /// The node's name text (view into the shared table; stays valid for the
+  /// table's lifetime).
+  std::string_view name(NodeId id) const { return names_->text(nodes_.at(id).name); }
+  /// The node's interned name symbol.
+  NameId name_id(NodeId id) const { return nodes_.at(id).name; }
+  /// Text of an arbitrary symbol from this family's table.
+  std::string_view name_text(NameId symbol) const { return names_->text(symbol); }
 
   /// All input nodes in creation order (primary inputs and key inputs).
   const std::vector<NodeId>& inputs() const noexcept { return inputs_; }
@@ -90,13 +123,18 @@ class Netlist {
   std::vector<NodeId> key_inputs() const;
 
   struct OutputPort {
-    std::string name;
-    NodeId driver;
+    NameId name = kNoName;
+    NodeId driver = kNoNode;
   };
   const std::vector<OutputPort>& outputs() const noexcept { return outputs_; }
+  /// Port name text of the output at `output_index`.
+  std::string_view output_name(std::size_t output_index) const {
+    return names_->text(outputs_.at(output_index).name);
+  }
 
   /// Looks up a node by name; returns kNoNode if absent.
-  NodeId find(const std::string& node_name) const noexcept;
+  NodeId find(std::string_view node_name) const noexcept;
+  NodeId find(NameId node_name) const noexcept;
 
   // ---- structure ---------------------------------------------------------
 
@@ -132,7 +170,8 @@ class Netlist {
   std::size_t depth() const;
 
   /// Returns a compacted copy with dead nodes removed (inputs are always
-  /// kept so interfaces stay stable). Node ids change; names are preserved.
+  /// kept so interfaces stay stable). Node ids change; names (and the name
+  /// table) are preserved.
   Netlist compacted() const;
 
   /// Internal consistency check (fanin ids in range, arities respected,
@@ -141,16 +180,26 @@ class Netlist {
 
  private:
   NodeId add_node(Node node);
-  std::string fresh_name(NodeId id) const;
+  NameId fresh_name(NodeId id) const;
+  /// This netlist's node for `symbol`, or kNoNode (index lookup, no lock).
+  NodeId lookup_name(NameId symbol) const noexcept {
+    return symbol < node_of_name_.size() ? node_of_name_[symbol] : kNoNode;
+  }
+  void index_name(NameId symbol, NodeId id);
   void invalidate_traversal_cache() noexcept;
   std::vector<NodeId> compute_topological_order() const;
   std::vector<std::vector<NodeId>> compute_fanouts() const;
 
   std::string name_;
+  std::shared_ptr<NameTable> names_ = std::make_shared<NameTable>();
   std::vector<Node> nodes_;
   std::vector<NodeId> inputs_;
   std::vector<OutputPort> outputs_;
-  std::unordered_map<std::string, NodeId> by_name_;
+  /// Flat name index: node_of_name_[NameId] = NodeId (kNoNode = unused in
+  /// this netlist). Sized to the largest symbol this netlist uses; copies
+  /// as one POD vector — the replacement for the per-copy rebuild of the
+  /// old unordered_map<string, NodeId>.
+  std::vector<NodeId> node_of_name_;
 
   // Lazily filled by the const traversal accessors; guarded so that
   // concurrent readers (parallel fitness evaluation over a shared original

@@ -34,7 +34,10 @@ constexpr NodeId node_of(PackedValue v) noexcept {
 
 class NetlistBuilder {
  public:
-  explicit NetlistBuilder(std::string name) : out_(std::move(name)) {}
+  // The output shares the input's name table (same design family), so node
+  // and port NameIds can be copied over without ever materializing strings.
+  explicit NetlistBuilder(const Netlist& input)
+      : out_(input.name(), input.names()) {}
 
   NodeId add_input(const Node& node) {
     return out_.add_input(node.name, node.is_key_input);
@@ -45,7 +48,7 @@ class NetlistBuilder {
   NodeId add_gate(GateType type, const NodeId* fanins, std::size_t n) {
     return out_.add_gate(type, std::vector<NodeId>(fanins, fanins + n));
   }
-  void mark_output(NodeId driver, const std::string& port_name) {
+  void mark_output(NodeId driver, NameId port_name) {
     out_.mark_output(driver, port_name);
   }
 
@@ -71,9 +74,7 @@ class FlatBuilder {
   NodeId add_gate(GateType type, const NodeId* fanins, std::size_t n) {
     return add_node(type, fanins, n);
   }
-  void mark_output(NodeId driver, const std::string&) {
-    s_->drivers.push_back(driver);
-  }
+  void mark_output(NodeId driver, NameId) { s_->drivers.push_back(driver); }
 
  private:
   NodeId add_node(GateType type, const NodeId* fanins, std::size_t n) {
@@ -297,7 +298,7 @@ class RewriterT {
 Netlist optimize_impl(const Netlist& input, OptStats* stats,
                       const std::vector<std::optional<bool>>& pinned) {
   OptScratch scratch;
-  NetlistBuilder builder(input.name());
+  NetlistBuilder builder(input);
   RewriterT<NetlistBuilder> rewriter(input, scratch, builder);
   OptStats local;
   rewriter.run(pinned, stats != nullptr ? &local : nullptr);

@@ -67,6 +67,17 @@ TEST(BenchParse, KeyNameHelpers) {
   EXPECT_EQ(key_bit_index("other"), -1);
 }
 
+TEST(BenchParse, KeyIndexOverflowRejected) {
+  // These digit runs overflow int (the old parser accumulated them with
+  // silent wraparound, corrupting the bit index).
+  EXPECT_EQ(key_bit_index("keyinput99999999999"), -1);
+  EXPECT_EQ(key_bit_index("keyinput4294967296"), -1);
+  EXPECT_FALSE(is_key_input_name("keyinput99999999999"));
+  // Indices beyond kMaxKeyBitIndex are rejected even when they fit an int.
+  EXPECT_EQ(key_bit_index("keyinput1000001"), -1);
+  EXPECT_EQ(key_bit_index("keyinput1000000"), kMaxKeyBitIndex);
+}
+
 TEST(BenchParse, MuxAndConst) {
   const Netlist n = parse(R"(
 INPUT(s)
@@ -126,6 +137,75 @@ TEST(BenchParse, ErrorMalformedDirective) {
   EXPECT_THROW(parse("x = AND(a\n"), std::runtime_error);
 }
 
+// Returns the parse-error message for `text`, or "" if parsing succeeded.
+std::string parse_error(std::string_view text) {
+  try {
+    (void)parse(text);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(BenchParse, ErrorEqualsInsideDirective) {
+  // "INPUT(a=b)" used to slip through as a BUF alias named "INPUT(a".
+  const std::string what = parse_error("INPUT(x)\nINPUT(a=b)\nOUTPUT(x)\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("'='"), std::string::npos) << what;
+}
+
+TEST(BenchParse, ErrorEmptyOperand) {
+  // Empty slots used to be dropped silently, shifting MUX fanin order.
+  const std::string what =
+      parse_error("INPUT(s)\nINPUT(a)\nOUTPUT(y)\ny = MUX(s, a, )\n");
+  EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+  EXPECT_NE(what.find("empty operand"), std::string::npos) << what;
+  EXPECT_THROW(parse("INPUT(a)\nOUTPUT(y)\ny = AND(a,,a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchParse, ErrorTrailingGarbage) {
+  EXPECT_THROW(parse("INPUT(a) junk\nOUTPUT(a)\n"), std::runtime_error);
+  EXPECT_THROW(parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a) junk\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("INPUT(a)\nOUTPUT(y)\ny = a)\n"), std::runtime_error);
+}
+
+TEST(BenchParse, ErrorKeyIndexOutOfRangeHasLineNumber) {
+  const std::string what = parse_error(
+      "INPUT(a)\nINPUT(keyinput99999999999)\nOUTPUT(a)\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("key input index"), std::string::npos) << what;
+}
+
+TEST(BenchParse, ErrorDuplicateInputHasLineNumber) {
+  const std::string what = parse_error("INPUT(a)\nINPUT(a)\nOUTPUT(a)\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+}
+
+TEST(BenchFile, MalformedFixturesRejectedWithLineNumbers) {
+  const std::string dir = AUTOLOCK_TEST_DATA_DIR;
+  const struct {
+    const char* file;
+    const char* line_tag;
+  } cases[] = {
+      {"/malformed_unbalanced.bench", "line 5"},
+      {"/malformed_eq_in_directive.bench", "line 3"},
+      {"/malformed_empty_operand.bench", "line 5"},
+      {"/malformed_key_index.bench", "line 3"},
+  };
+  for (const auto& test_case : cases) {
+    try {
+      (void)load_file(dir + test_case.file);
+      FAIL() << test_case.file << " parsed without error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(test_case.line_tag),
+                std::string::npos)
+          << test_case.file << ": " << e.what();
+    }
+  }
+}
+
 TEST(BenchRoundTrip, C17PreservesStructureAndFunction) {
   const Netlist original = gen::c17();
   const Netlist reparsed = parse(write(original), "c17rt");
@@ -181,7 +261,7 @@ TEST(BenchWrite, AliasedOutputGetsBufLine) {
   EXPECT_NE(text.find("different_name = BUF(g)"), std::string::npos);
   const Netlist reparsed = parse(text);
   EXPECT_EQ(reparsed.outputs().size(), 1u);
-  EXPECT_EQ(reparsed.outputs()[0].name, "different_name");
+  EXPECT_EQ(reparsed.output_name(0), "different_name");
 }
 
 }  // namespace

@@ -185,7 +185,8 @@ TEST_P(CnfRandomEquivalence, SimulatorAgreesWithSatOnRandomCircuits) {
     else if (type == GateType::kOr) target = GateType::kNor;
     else continue;
     // Rebuild with the flipped type (Netlist is immutable in type; rebuild).
-    Netlist rebuilt(mutated.name());
+    // Share the name table so the NameIds below stay meaningful.
+    Netlist rebuilt(mutated.name(), mutated.names());
     std::vector<NodeId> remap(mutated.size());
     for (NodeId w = 0; w < mutated.size(); ++w) {
       const auto& node = mutated.node(w);

@@ -48,7 +48,7 @@ TEST(Generator, AllGatesLive) {
   const auto live = n.live_mask();
   for (NodeId v = 0; v < n.size(); ++v) {
     if (n.node(v).type == GateType::kInput) continue;
-    EXPECT_TRUE(live[v]) << "dead gate " << n.node(v).name;
+    EXPECT_TRUE(live[v]) << "dead gate " << n.name(v);
   }
 }
 

@@ -25,7 +25,7 @@ TEST(Netlist, BasicConstruction) {
   EXPECT_EQ(n.size(), 6u);
   EXPECT_EQ(n.inputs().size(), 3u);
   EXPECT_EQ(n.outputs().size(), 1u);
-  EXPECT_EQ(n.outputs()[0].name, "y");
+  EXPECT_EQ(n.output_name(0), "y");
   EXPECT_NO_THROW(n.validate());
 }
 
@@ -226,7 +226,7 @@ TEST(Netlist, CompactedDropsDeadGatesKeepsInputs) {
   EXPECT_NE(compact.find("used"), kNoNode);
   EXPECT_EQ(compact.find("dead"), kNoNode);
   EXPECT_NO_THROW(compact.validate());
-  EXPECT_EQ(compact.outputs()[0].name, "y");
+  EXPECT_EQ(compact.output_name(0), "y");
 }
 
 TEST(Netlist, ConstNodes) {
