@@ -11,6 +11,11 @@ void EvalWorkspace::reserve(const netlist::Netlist& original,
   design.mux_pairs.reserve(key_bits);
   reach.visited.begin_epoch(locked_nodes);
   reach.stack.reserve(64);
+  std::size_t original_edges = 0;
+  for (netlist::NodeId v = 0; v < original.size(); ++v) {
+    original_edges += original.node(v).fanins.size();
+  }
+  reach.topo.reserve(original.size(), original_edges, 3 * key_bits);
   lock::warm_decode_names(original, key_bits, reach);
   attack.seen.begin_epoch(locked_nodes);
   sim.values.reserve(locked_nodes);

@@ -1,0 +1,212 @@
+#include "locking/decode_topo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autolock::lock {
+
+using netlist::NodeId;
+
+void DecodeTopo::reset(const netlist::CsrFanins& base,
+                       const std::vector<std::uint64_t>& seed_ranks) {
+  base_nodes_ = base.node_count();
+  base_offsets_ = &base.offsets();
+  edges_.assign(base.edges().begin(), base.edges().end());
+  tail_offsets_.assign(1, 0);
+  tail_edges_.clear();
+  rank_.assign(seed_ranks.begin(), seed_ranks.end());
+  renumbers_ = 0;
+}
+
+void DecodeTopo::reserve(std::size_t base_nodes, std::size_t base_edges,
+                         std::size_t extra_nodes) {
+  const std::size_t nodes = base_nodes + extra_nodes;
+  edges_.reserve(base_edges);
+  tail_offsets_.reserve(extra_nodes + 1);
+  tail_edges_.reserve(3 * extra_nodes);  // appended MUXes carry 3 fanins
+  rank_.reserve(nodes);
+  visited_.begin_epoch(nodes);
+  stack_.reserve(64);
+  window_.reserve(64);
+}
+
+bool DecodeTopo::depends_on(NodeId from, NodeId target) {
+  if (from == target) return true;
+  const std::uint64_t floor = rank_[target];
+  if (floor > rank_[from]) return false;  // a path would force floor < rank
+  // Backward DFS from `from`: only nodes ranked strictly above `target`
+  // can sit on a path target ~> v ~> from, so everything at or below the
+  // floor is pruned (ties are unordered, hence unreachable from target).
+  visited_.begin_epoch(node_count());
+  stack_.clear();
+  stack_.push_back(from);
+  visited_.mark(from);
+  while (!stack_.empty()) {
+    const NodeId v = stack_.back();
+    stack_.pop_back();
+    for (NodeId f : fanins(v)) {
+      if (f == target) return true;
+      if (rank_[f] <= floor) continue;
+      if (visited_.try_mark(f)) stack_.push_back(f);
+    }
+  }
+  return false;
+}
+
+bool DecodeTopo::ensure_order(NodeId node, NodeId pivot) {
+  if (node == pivot) return false;
+  if (rank_[node] < rank_[pivot]) return true;  // ordered => no path possible
+  // Collect the window: node plus every dependency of node ranked at or
+  // above pivot. If pivot turns up among them the prospective edge closes a
+  // cycle; otherwise all of them must end up below pivot (node itself so
+  // the new MUX fits between them, its dependencies so node stays above
+  // them). Every fanin the rank prune rejects is external to the window,
+  // so the DFS doubles as the scan for the relabel's lower bound `lo`.
+  const std::uint64_t floor = rank_[pivot];
+  std::uint64_t lo = 0;
+  visited_.begin_epoch(node_count());
+  stack_.clear();
+  window_.clear();
+  visited_.mark(node);
+  stack_.push_back(node);
+  window_.emplace_back(rank_[node], node);
+  while (!stack_.empty()) {
+    const NodeId v = stack_.back();
+    stack_.pop_back();
+    for (NodeId f : fanins(v)) {
+      if (f == pivot) return false;
+      const std::uint64_t r = rank_[f];
+      if (r < floor) {
+        if (r > lo) lo = r;
+        continue;
+      }
+      if (visited_.try_mark(f)) {
+        stack_.push_back(f);
+        window_.emplace_back(r, f);
+      }
+    }
+  }
+  relabel_window_below(pivot, lo);
+  return true;
+}
+
+void DecodeTopo::demote_before(NodeId node, NodeId pivot) {
+  if (rank_[node] < rank_[pivot]) return;
+  if (!ensure_order(node, pivot)) {
+    throw std::logic_error(
+        "DecodeTopo::demote_before: pivot is a dependency (cycle check "
+        "missing)");
+  }
+}
+
+void DecodeTopo::relabel_window_below(NodeId pivot, std::uint64_t lo) {
+  // Relabel in current relative order (rank, then id for unordered ties —
+  // any tiebreak is a valid linearization; this one is deterministic).
+  std::uint64_t floor = rank_[pivot];
+  std::sort(window_.begin(), window_.end());
+  for (int attempt = 0;; ++attempt) {
+    // New ranks sit strictly between `lo` (the highest-ranked edge into the
+    // window from outside it — by closure every such fanin already ranks
+    // below pivot) and pivot.
+    const std::uint64_t step = (floor - lo) / (window_.size() + 1);
+    if (step == 0) {
+      // Gap below pivot exhausted: re-space globally and retry (order and
+      // window membership are rank-order-preserving, so nothing else moves).
+      if (attempt != 0) {
+        throw std::logic_error("DecodeTopo::relabel_window_below: no space");
+      }
+      renumber();
+      floor = rank_[pivot];
+      lo = 0;
+      for (const auto& entry : window_) {
+        for (NodeId f : fanins(entry.second)) {
+          if (!visited_.marked(f)) lo = std::max(lo, rank_[f]);
+        }
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < window_.size(); ++i) {
+      rank_[window_[i].second] = lo + (i + 1) * step;
+    }
+    return;
+  }
+}
+
+void DecodeTopo::renumber() {
+  const std::size_t n = node_count();
+  order_scratch_.resize(n);
+  for (NodeId v = 0; v < n; ++v) order_scratch_[v] = v;
+  std::sort(order_scratch_.begin(), order_scratch_.end(),
+            [&](NodeId x, NodeId y) {
+              return rank_[x] != rank_[y] ? rank_[x] < rank_[y] : x < y;
+            });
+  // Gap must exceed any window size so a post-renumber relabel always fits.
+  const std::uint64_t gap = std::max<std::uint64_t>(kRankGap, n + 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    rank_[order_scratch_[i]] = (i + 1) * gap;
+  }
+  ++renumbers_;
+}
+
+void DecodeTopo::append_node(NodeId id,
+                             std::initializer_list<NodeId> node_fanins,
+                             std::uint64_t r) {
+  if (id != node_count()) {
+    throw std::logic_error("DecodeTopo::append_node: ids out of step");
+  }
+  for (NodeId f : node_fanins) tail_edges_.push_back(f);
+  tail_offsets_.push_back(static_cast<std::uint32_t>(tail_edges_.size()));
+  rank_.push_back(r);
+}
+
+std::size_t DecodeTopo::patch_fanin(NodeId gate, NodeId old_fanin,
+                                    NodeId new_fanin) {
+  std::size_t replaced = 0;
+  NodeId* begin;
+  NodeId* end;
+  if (gate < base_nodes_) {
+    begin = edges_.data() + (*base_offsets_)[gate];
+    end = edges_.data() + (*base_offsets_)[gate + 1];
+  } else {
+    const std::uint32_t t = gate - static_cast<std::uint32_t>(base_nodes_);
+    begin = tail_edges_.data() + tail_offsets_[t];
+    end = tail_edges_.data() + tail_offsets_[t + 1];
+  }
+  for (NodeId* f = begin; f != end; ++f) {
+    if (*f == old_fanin) {
+      *f = new_fanin;
+      ++replaced;
+    }
+  }
+  return replaced;
+}
+
+void DecodeTopo::insert_mux_pair(NodeId f_i, NodeId f_j, NodeId g_i,
+                                 NodeId g_j, NodeId a0, NodeId a1, NodeId sel,
+                                 NodeId m1, NodeId m2) {
+  // After these, both drivers rank strictly below both gates (the caller's
+  // cycle checks guarantee neither gate is a dependency of a driver).
+  demote_before(f_j, g_i);
+  demote_before(f_i, g_j);
+  for (int attempt = 0;; ++attempt) {
+    const std::uint64_t low = std::max(rank_[f_i], rank_[f_j]);
+    const std::uint64_t high = std::min(rank_[g_i], rank_[g_j]);
+    const std::uint64_t step = (high - low) / 4;
+    if (step == 0) {
+      if (attempt != 0) {
+        throw std::logic_error("DecodeTopo::insert_mux_pair: no rank space");
+      }
+      renumber();
+      continue;
+    }
+    append_node(sel, {}, low + step);
+    append_node(m1, {sel, a0, a1}, low + 2 * step);
+    append_node(m2, {sel, a1, a0}, low + 3 * step);
+    break;
+  }
+  if (patch_fanin(g_i, f_i, m1) == 0 || patch_fanin(g_j, f_j, m2) == 0) {
+    throw std::logic_error("DecodeTopo::insert_mux_pair: edge not mirrored");
+  }
+}
+
+}  // namespace autolock::lock

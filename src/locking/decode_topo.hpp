@@ -1,0 +1,171 @@
+// Incrementally maintained dynamic topological order over the decode-time
+// working netlist (Pearce–Kelly style).
+//
+// Genotype decode applies MUX-pair lock sites one at a time to a working
+// copy of the original netlist, and must reject any site whose cross edges
+// would close a combinational cycle. The historical check ran a from-scratch
+// backward DFS over the working netlist's per-gate fanin vectors for every
+// candidate site — and gene repair probes up to 64 candidates per key bit,
+// so one decode could walk the whole graph hundreds of times.
+//
+// DecodeTopo replaces that with a dynamic topological order:
+//
+//   - Ranks are sparse u64 values seeded once per decode from the original
+//     netlist's longest-path levels, spaced kRankGap apart (the seed array
+//     lives in SiteContext, computed once per design family from the cached
+//     topological order). Invariant: every working-netlist edge u -> v has
+//     rank(u) < rank(v) strictly. Ties between unordered nodes are allowed
+//     and harmless — levels tie every pair the edges do not order, which
+//     keeps relabel windows small.
+//   - A cycle check "does the working netlist have a path g ~> f?" is
+//     answered O(1) false when rank(g) > rank(f) — the common case — and
+//     otherwise by a backward DFS from f over the flat CSR fanin mirror,
+//     pruned to the rank window [rank(g), rank(f)].
+//   - An accepted site appends its three new nodes (key input + two MUXes)
+//     with ranks placed directly between the site's drivers and gates. When
+//     a driver currently sits above a target gate (legal — ranks are one
+//     linearization, not reachability), its bounded dependency window is
+//     relabelled to just below the gate (the Pearce–Kelly reorder,
+//     restricted to the affected window) instead of recomputing the order.
+//   - The fanin adjacency is mirrored in CSR form: a memcpy of the
+//     original's flat edge array (see netlist::CsrFanins) patched in place
+//     as MUXes splice into fanin lists, plus a tail for appended nodes —
+//     traversals walk contiguous u32 spans, never per-node heap vectors.
+//
+// Verdict equivalence with the legacy DFS (same accepts, same rejects, in
+// the same order — decode repair RNG consumption is bit-identical) is pinned
+// by the property test in tests/test_sites.cpp.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "netlist/csr.hpp"
+#include "netlist/types.hpp"
+#include "util/epoch_flags.hpp"
+
+namespace autolock::lock {
+
+class DecodeTopo {
+ public:
+  /// Rank spacing of a freshly seeded order. SiteContext multiplies the
+  /// original's longest-path levels by this to produce the seed array;
+  /// relabels subdivide the gaps and a (rare) global renumber restores
+  /// them.
+  static constexpr std::uint64_t kRankGap = std::uint64_t{1} << 20;
+
+  /// Rebinds the working graph to a new decode: adjacency := `base` (the
+  /// offsets array is aliased, the edge array copied so it can be patched),
+  /// ranks := `seed_ranks`. `base` must outlive this object (both live for
+  /// the duration of one apply_genotype call; SiteContext owns the base).
+  void reset(const netlist::CsrFanins& base,
+             const std::vector<std::uint64_t>& seed_ranks);
+
+  /// Pre-sizes the buffers for a base graph of `base_nodes` nodes and
+  /// `base_edges` edges plus up to `extra_nodes` appended nodes (optional —
+  /// everything grows on demand).
+  void reserve(std::size_t base_nodes, std::size_t base_edges,
+               std::size_t extra_nodes);
+
+  std::size_t node_count() const noexcept { return rank_.size(); }
+
+  std::uint64_t rank(netlist::NodeId v) const noexcept { return rank_[v]; }
+
+  /// Fanins of `v` in the working netlist (mirrors Node::fanins exactly).
+  std::span<const netlist::NodeId> fanins(netlist::NodeId v) const noexcept {
+    if (v < base_nodes_) {
+      const std::uint32_t begin = (*base_offsets_)[v];
+      return {edges_.data() + begin, (*base_offsets_)[v + 1] - begin};
+    }
+    const std::uint32_t t = v - static_cast<std::uint32_t>(base_nodes_);
+    return {tail_edges_.data() + tail_offsets_[t],
+            tail_offsets_[t + 1] - tail_offsets_[t]};
+  }
+
+  bool has_fanin(netlist::NodeId gate, netlist::NodeId fanin) const noexcept {
+    for (netlist::NodeId f : fanins(gate)) {
+      if (f == fanin) return true;
+    }
+    return false;
+  }
+
+  /// True iff `target` is in the transitive fanin of `from` in the working
+  /// netlist — the same verdict as a from-scratch backward DFS. O(1) when
+  /// rank(target) > rank(from); otherwise a backward DFS over the CSR
+  /// mirror pruned to the [rank(target), rank(from)] window.
+  bool depends_on(netlist::NodeId from, netlist::NodeId target);
+
+  /// Fused cycle check + ordering guarantee for one prospective cross edge:
+  /// returns false iff `pivot` is a dependency of `node` (identical verdict
+  /// to !depends_on(node, pivot) — the site must be rejected). On true,
+  /// additionally guarantees rank(node) < rank(pivot), relabelling node's
+  /// bounded dependency window below pivot when the ranks were inverted —
+  /// the DFS that proves pivot unreachable IS the window collection, so
+  /// check and relabel share a single traversal. A relabel performed for a
+  /// site its second check later rejects is harmless: relabels never touch
+  /// the graph, only pick another equally valid linearization.
+  bool ensure_order(netlist::NodeId node, netlist::NodeId pivot);
+
+  /// Mirrors one accepted site insertion (must match apply_sites exactly):
+  /// a new key input `sel` (no fanins), MUX nodes m1 = {sel, a0, a1}
+  /// replacing the f_i fanin of g_i and m2 = {sel, a1, a0} replacing the
+  /// f_j fanin of g_j, where {a0, a1} is {f_i, f_j} in key-bit order. The
+  /// three ids must be consecutive, in that order, starting at
+  /// node_count(). Precondition (checked by the caller via depends_on): the
+  /// working netlist has no path g_i ~> f_j and no path g_j ~> f_i.
+  void insert_mux_pair(netlist::NodeId f_i, netlist::NodeId f_j,
+                       netlist::NodeId g_i, netlist::NodeId g_j,
+                       netlist::NodeId a0, netlist::NodeId a1,
+                       netlist::NodeId sel, netlist::NodeId m1,
+                       netlist::NodeId m2);
+
+  /// Global renumbers performed since reset() (observability: the relabel
+  /// windows are expected to stay bounded, making this almost always 0).
+  std::size_t renumber_count() const noexcept { return renumbers_; }
+
+ private:
+  /// Ensures rank(node) < rank(pivot) by relabelling node's dependency
+  /// window — the fanin closure of `node` restricted to ranks >= rank(pivot)
+  /// — to fresh ranks strictly between the window's external fanins and
+  /// pivot, preserving relative order. Throws std::logic_error if pivot is
+  /// a dependency of node (the caller's cycle check must rule that out).
+  void demote_before(netlist::NodeId node, netlist::NodeId pivot);
+
+  /// Relabels the nodes in `window_` (visited_-marked, any order) to fresh
+  /// ranks strictly between `lo` (the max rank of any edge into the window
+  /// from outside it, collected by the caller's DFS) and rank(pivot),
+  /// preserving relative (rank, id) order. Renumbers globally if the gap
+  /// below pivot is exhausted.
+  void relabel_window_below(netlist::NodeId pivot, std::uint64_t lo);
+
+  /// Re-spaces all ranks kRankGap apart, preserving the current order.
+  void renumber();
+
+  /// Appends node `id` (== node_count()) with `fanins` at rank `r`.
+  void append_node(netlist::NodeId id,
+                   std::initializer_list<netlist::NodeId> node_fanins,
+                   std::uint64_t r);
+
+  /// Replaces every `old_fanin` in gate's mirrored fanin span. Returns the
+  /// number of replacements (the netlist-side replace_fanin must agree).
+  std::size_t patch_fanin(netlist::NodeId gate, netlist::NodeId old_fanin,
+                          netlist::NodeId new_fanin);
+
+  std::size_t base_nodes_ = 0;
+  const std::vector<std::uint32_t>* base_offsets_ = nullptr;
+  std::vector<netlist::NodeId> edges_;       // patched copy of base edges
+  std::vector<std::uint32_t> tail_offsets_;  // appended-node spans; [0] == 0
+  std::vector<netlist::NodeId> tail_edges_;
+  std::vector<std::uint64_t> rank_;
+  util::EpochFlags visited_;
+  std::vector<netlist::NodeId> stack_;
+  /// The closure collected by ensure_order, as (rank, node) pairs so the
+  /// relative-order sort runs over contiguous keys.
+  std::vector<std::pair<std::uint64_t, netlist::NodeId>> window_;
+  std::vector<netlist::NodeId> order_scratch_;  // renumber's sort buffer
+  std::size_t renumbers_ = 0;
+};
+
+}  // namespace autolock::lock

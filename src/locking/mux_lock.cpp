@@ -1,5 +1,6 @@
 #include "locking/mux_lock.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -11,52 +12,12 @@ using netlist::NodeId;
 
 namespace {
 
-/// True iff `target` is in the transitive fanin of `from` in `working`
-/// (i.e. `from` functionally depends on `target`). The working netlist
-/// mutates as sites are applied (cross edges connect arbitrary topological
-/// ranks), so unlike SiteContext::reaches this check cannot be bounded by
-/// the original's topo ranks — but the visited set is epoch-stamped, so it
-/// allocates nothing once the scratch is warm.
-bool depends_on(const Netlist& working, NodeId from, NodeId target,
-                ReachScratch& scratch) {
-  if (from == target) return true;
-  scratch.visited.begin_epoch(working.size());
-  scratch.stack.clear();
-  scratch.stack.push_back(from);
-  scratch.visited.mark(from);
-  while (!scratch.stack.empty()) {
-    const NodeId v = scratch.stack.back();
-    scratch.stack.pop_back();
-    for (NodeId fanin : working.node(v).fanins) {
-      if (fanin == target) return true;
-      if (scratch.visited.try_mark(fanin)) scratch.stack.push_back(fanin);
-    }
-  }
-  return false;
-}
-
-/// A site is applicable to the *working* netlist iff the edges it locks are
-/// still present (no earlier site consumed them) and the two cross edges do
-/// not close a cycle given all previously inserted MUX pairs.
-bool applicable_to_working(const Netlist& working, const LockSite& site,
-                           ReachScratch& scratch) {
-  const auto has_fanin = [&](NodeId gate, NodeId fanin) {
-    for (NodeId f : working.node(gate).fanins) {
-      if (f == fanin) return true;
-    }
-    return false;
-  };
-  if (!has_fanin(site.g_i, site.f_i)) return false;
-  if (!has_fanin(site.g_j, site.f_j)) return false;
-  // Cycle check on the working graph: new edges f_j -> g_i and f_i -> g_j.
-  if (depends_on(working, site.f_j, site.g_i, scratch)) return false;
-  if (depends_on(working, site.f_i, site.g_j, scratch)) return false;
-  return true;
-}
-
 /// The interned {keyinput<t>, keymux<t>a, keymux<t>b} symbols for key bit
-/// `t`, from the scratch cache; interns (allocates) only the first time a
-/// given bit index is seen per design family.
+/// `t`, from the scratch cache; interns only the first time a given bit
+/// index is seen per design family. The suffixed names are formatted into a
+/// stack buffer (NameTable::intern takes a string_view), so even a cold
+/// cache builds no heap strings — pinned by the zero-intern regression in
+/// test_mux_lock.cpp.
 const std::array<netlist::NameId, 3>& key_bit_names(const Netlist& net,
                                                     std::size_t t,
                                                     ReachScratch& scratch) {
@@ -66,24 +27,45 @@ const std::array<netlist::NameId, 3>& key_bit_names(const Netlist& net,
     scratch.key_names.clear();
   }
   while (scratch.key_names.size() <= t) {
-    const std::string suffix = std::to_string(scratch.key_names.size());
-    scratch.key_names.push_back({table.intern("keyinput" + suffix),
-                                 table.intern("keymux" + suffix + "a"),
-                                 table.intern("keymux" + suffix + "b")});
+    const unsigned long long bit = scratch.key_names.size();
+    char buf[32];
+    const auto format = [&](const char* pattern) {
+      const int len = std::snprintf(buf, sizeof buf, pattern, bit);
+      return table.intern({buf, static_cast<std::size_t>(len)});
+    };
+    const netlist::NameId key_input = format("keyinput%llu");
+    const netlist::NameId mux_a = format("keymux%llua");
+    const netlist::NameId mux_b = format("keymux%llub");
+    scratch.key_names.push_back({key_input, mux_a, mux_b});
   }
   return scratch.key_names[t];
 }
 
 /// Shared decode loop. `out.netlist` must already hold a copy of the
-/// original netlist; key/sites/mux_pairs must be empty.
+/// original netlist; key/sites/mux_pairs must be empty. When
+/// `recycled_tail` is nonzero, the netlist additionally already contains
+/// the (undone) key-input/MUX tail nodes of a previous decode of the same
+/// family: the first `recycled_tail` sites rewrite those nodes' fanins in
+/// place instead of appending fresh nodes — same ids, same names, same
+/// resulting netlist, no allocation.
 void apply_sites(LockedDesign& design, const SiteContext& context,
                  const std::vector<LockSite>& sites, util::Rng& repair_rng,
-                 ReachScratch& scratch, const MuxLockOptions& options) {
+                 ReachScratch& scratch, const MuxLockOptions& options,
+                 std::size_t recycled_tail = 0) {
+  const NodeId first_tail = static_cast<NodeId>(context.original().size());
+  // Decode-local dynamic topological order over the working netlist: seeded
+  // from the original's longest-path levels, relabelled incrementally per
+  // accepted site. Every applicability query below is an O(1) rank
+  // comparison in the common case, with a rank-window-bounded DFS otherwise
+  // — never the from-scratch whole-graph DFS the pre-incremental decode
+  // ran.
+  DecodeTopo& topo = scratch.topo;
+  topo.reset(context.fanin_csr(), context.seed_ranks());
   for (std::size_t t = 0; t < sites.size(); ++t) {
     LockSite site = sites[t];
     const bool ok = context.structurally_valid(site, scratch) &&
                     SiteContext::edges_available(site, design.sites) &&
-                    applicable_to_working(design.netlist, site, scratch);
+                    applicable_to_working_ranks(topo, site);
     if (!ok) {
       if (!options.repair_invalid) {
         throw std::runtime_error("apply_genotype: invalid site at key bit " +
@@ -96,7 +78,7 @@ void apply_sites(LockedDesign& design, const SiteContext& context,
                                  scratch)) {
           break;
         }
-        if (applicable_to_working(design.netlist, candidate, scratch)) {
+        if (applicable_to_working_ranks(topo, candidate)) {
           site = candidate;
           repaired = true;
         }
@@ -108,19 +90,32 @@ void apply_sites(LockedDesign& design, const SiteContext& context,
       }
     }
 
-    const auto& names = key_bit_names(design.netlist, t, scratch);
-    const NodeId sel = design.netlist.add_input(names[0], /*is_key=*/true);
     // Wire so that select == site.key_bit restores the original paths.
     const NodeId a0 = site.key_bit ? site.f_j : site.f_i;
     const NodeId a1 = site.key_bit ? site.f_i : site.f_j;
-    const NodeId m1 =
-        design.netlist.add_gate(GateType::kMux, {sel, a0, a1}, names[1]);
-    const NodeId m2 =
-        design.netlist.add_gate(GateType::kMux, {sel, a1, a0}, names[2]);
+    NodeId sel, m1, m2;
+    if (t < recycled_tail) {
+      // Recycle the previous decode's nodes for this bit (ids, names, types
+      // and is_key flags are decode-invariant within a family).
+      sel = first_tail + static_cast<NodeId>(3 * t);
+      m1 = sel + 1;
+      m2 = sel + 2;
+      const NodeId m1_fanins[3] = {sel, a0, a1};
+      const NodeId m2_fanins[3] = {sel, a1, a0};
+      design.netlist.set_gate_fanins(m1, m1_fanins);
+      design.netlist.set_gate_fanins(m2, m2_fanins);
+    } else {
+      const auto& names = key_bit_names(design.netlist, t, scratch);
+      sel = design.netlist.add_input(names[0], /*is_key=*/true);
+      m1 = design.netlist.add_gate(GateType::kMux, {sel, a0, a1}, names[1]);
+      m2 = design.netlist.add_gate(GateType::kMux, {sel, a1, a0}, names[2]);
+    }
     if (design.netlist.replace_fanin(site.g_i, site.f_i, m1) == 0 ||
         design.netlist.replace_fanin(site.g_j, site.f_j, m2) == 0) {
       throw std::logic_error("apply_genotype: edge vanished during rewiring");
     }
+    topo.insert_mux_pair(site.f_i, site.f_j, site.g_i, site.g_j, a0, a1, sel,
+                         m1, m2);
     design.key.push_back(site.key_bit);
     design.sites.push_back(site);
     design.mux_pairs.emplace_back(m1, m2);
@@ -128,6 +123,57 @@ void apply_sites(LockedDesign& design, const SiteContext& context,
 }
 
 }  // namespace
+
+namespace testing {
+
+bool applicable_to_working_dfs(const Netlist& working, const LockSite& site,
+                               ReachScratch& scratch) {
+  // True iff `target` is in the transitive fanin of `from` — the
+  // pre-incremental check: a from-scratch backward DFS over the working
+  // netlist's per-gate fanin vectors, unbounded by any rank structure.
+  const auto depends_on = [&](NodeId from, NodeId target) {
+    if (from == target) return true;
+    scratch.visited.begin_epoch(working.size());
+    scratch.stack.clear();
+    scratch.stack.push_back(from);
+    scratch.visited.mark(from);
+    while (!scratch.stack.empty()) {
+      const NodeId v = scratch.stack.back();
+      scratch.stack.pop_back();
+      for (NodeId fanin : working.node(v).fanins) {
+        if (fanin == target) return true;
+        if (scratch.visited.try_mark(fanin)) scratch.stack.push_back(fanin);
+      }
+    }
+    return false;
+  };
+  const auto has_fanin = [&](NodeId gate, NodeId fanin) {
+    for (NodeId f : working.node(gate).fanins) {
+      if (f == fanin) return true;
+    }
+    return false;
+  };
+  if (!has_fanin(site.g_i, site.f_i)) return false;
+  if (!has_fanin(site.g_j, site.f_j)) return false;
+  // Cycle check on the working graph: new edges f_j -> g_i and f_i -> g_j.
+  if (depends_on(site.f_j, site.g_i)) return false;
+  if (depends_on(site.f_i, site.g_j)) return false;
+  return true;
+}
+
+}  // namespace testing
+
+bool applicable_to_working_ranks(DecodeTopo& topo, const LockSite& site) {
+  if (!topo.has_fanin(site.g_i, site.f_i)) return false;
+  if (!topo.has_fanin(site.g_j, site.f_j)) return false;
+  // Cycle check on the working graph: new edges f_j -> g_i and f_i -> g_j.
+  // ensure_order doubles as the pre-relabel for a subsequent
+  // insert_mux_pair — an accepted site's MUXes slot straight in between
+  // the already-ordered drivers and gates.
+  if (!topo.ensure_order(site.f_j, site.g_i)) return false;
+  if (!topo.ensure_order(site.f_i, site.g_j)) return false;
+  return true;
+}
 
 LockedDesign apply_genotype(const Netlist& original,
                             const SiteContext& context,
@@ -146,20 +192,73 @@ void apply_genotype_into(LockedDesign& out, const Netlist& original,
                          const std::vector<LockSite>& sites,
                          util::Rng& repair_rng, ReachScratch& scratch,
                          const MuxLockOptions& options) {
-  // Copy-assignment reuses the destination's node/name storage where the
-  // allocator permits; the first decode into a workspace pays the full copy,
-  // later ones mostly memcpy.
-  out.netlist = original;
+  // Fast path: when this (out, original) pair is the one the previous
+  // decode through this scratch produced — and the caller has not shrunk
+  // the key or mutated the design since — the previous rewiring is undone
+  // in place and the key-input/MUX tail nodes are recycled, skipping the
+  // netlist copy and all node re-insertion. Falls back to the full copy on
+  // any mismatch; both paths produce identical designs.
+  const std::size_t prev = out.sites.size();
+  // The structural-version comparison makes the netlist side watertight:
+  // ANY structural mutation of the netlist since the previous decode (by
+  // the caller, or by a decode through a different scratch) bumps the
+  // version and drops this call to the copy path.
+  bool recycle =
+      scratch.last_design == &out && scratch.last_original == &original &&
+      scratch.last_design_version == out.netlist.structural_version() &&
+      out.mux_pairs.size() == prev && sites.size() >= prev &&
+      out.netlist.size() == original.size() + 3 * prev &&
+      out.netlist.names() == original.names();
+  // The version cannot see edits to the out.sites/out.mux_pairs metadata
+  // vectors themselves, so additionally require every recorded splice to
+  // still be wired exactly where its site says — otherwise the undo below
+  // would have nothing to revert. Any mismatch falls back to the copy.
+  for (std::size_t t = 0; recycle && t < prev; ++t) {
+    const auto wired = [&](NodeId gate, NodeId mux) {
+      if (gate >= out.netlist.size()) return false;
+      for (NodeId f : out.netlist.node(gate).fanins) {
+        if (f == mux) return true;
+      }
+      return false;
+    };
+    recycle = wired(out.sites[t].g_i, out.mux_pairs[t].first) &&
+              wired(out.sites[t].g_j, out.mux_pairs[t].second);
+  }
+  scratch.last_design = nullptr;
+  if (recycle) {
+    // Revert the previous rewiring: each MUX occupies exactly the fanin
+    // slots of the driver it replaced, and feeds nothing else.
+    for (std::size_t t = prev; t-- > 0;) {
+      const LockSite& s = out.sites[t];
+      if (out.netlist.replace_fanin(s.g_i, out.mux_pairs[t].first, s.f_i) ==
+              0 ||
+          out.netlist.replace_fanin(s.g_j, out.mux_pairs[t].second, s.f_j) ==
+              0) {
+        throw std::logic_error("apply_genotype_into: undo lost an edge");
+      }
+    }
+  } else {
+    // Copy-assignment reuses the destination's node/name storage where the
+    // allocator permits; the first decode into a workspace pays the full
+    // copy.
+    out.netlist = original;
+  }
   out.netlist.set_name(original.name() + "_muxlocked");
   out.key.clear();
   out.sites.clear();
   out.mux_pairs.clear();
   out.sites.reserve(sites.size());
-  apply_sites(out, context, sites, repair_rng, scratch, options);
+  apply_sites(out, context, sites, repair_rng, scratch, options,
+              recycle ? prev : 0);
   // Cheap acyclicity guarantee in place of the full validate(): computing
   // the topological order throws on a cycle and primes the traversal cache
   // every downstream attack and simulator construction consumes anyway.
-  out.netlist.topological_order();
+  // (The dynamic order already proves acyclicity site-by-site; this is the
+  // cache-priming sort, run through the scratch so it allocates nothing.)
+  out.netlist.topological_order(scratch.topo_scratch);
+  scratch.last_design = &out;
+  scratch.last_original = &original;
+  scratch.last_design_version = out.netlist.structural_version();
 }
 
 void warm_decode_names(const Netlist& original, std::size_t key_bits,

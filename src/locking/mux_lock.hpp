@@ -59,6 +59,14 @@ LockedDesign apply_genotype(const netlist::Netlist& original,
 /// topological-order computation (which throws on a cycle) already cover
 /// everything decode can get wrong, and the construction-side invariants
 /// (names, arity) are enforced by the Netlist mutators themselves.
+///
+/// Keep the (out, scratch) pairing stable across calls: when consecutive
+/// decodes reuse the same pair against the same original, the previous
+/// rewiring is undone in place and the key-MUX tail nodes are recycled
+/// instead of re-copying the netlist (a structural mutation of `out`
+/// between decodes safely falls back to the copy path). Cycle checks run
+/// against an incrementally maintained dynamic topological order — see
+/// locking/decode_topo.hpp.
 void apply_genotype_into(LockedDesign& out, const netlist::Netlist& original,
                          const SiteContext& context,
                          const std::vector<LockSite>& sites,
@@ -75,6 +83,26 @@ void warm_decode_names(const netlist::Netlist& original, std::size_t key_bits,
 /// D-MUX-style random MUX locking with `key_bits` key bits.
 LockedDesign dmux_lock(const netlist::Netlist& original, std::size_t key_bits,
                        std::uint64_t seed);
+
+/// The production applicability check decode runs per candidate site: a
+/// site is applicable to the working netlist iff the edges it locks are
+/// still present (no earlier site consumed them) and the two cross edges do
+/// not close a cycle given all previously inserted MUX pairs — answered
+/// against `topo`'s incrementally maintained ranks. Site ids must be in
+/// range (decode guarantees this via SiteContext::structurally_valid).
+bool applicable_to_working_ranks(DecodeTopo& topo, const LockSite& site);
+
+namespace testing {
+
+/// Test-only hook: the pre-incremental applicability check — from-scratch
+/// backward-DFS cycle checks over the working netlist's per-gate fanin
+/// vectors. Kept compiled so tests/test_sites.cpp can cross-check the
+/// incremental rank-based path against it on random genotypes; decode never
+/// calls it. Site ids must be in range for `working`.
+bool applicable_to_working_dfs(const netlist::Netlist& working,
+                               const LockSite& site, ReachScratch& scratch);
+
+}  // namespace testing
 
 /// Random genotype of `key_bits` valid, pairwise edge-disjoint sites
 /// (the paper's population initialisation: "lock the provided ON with a key

@@ -7,7 +7,21 @@ namespace autolock::lock {
 using netlist::NodeId;
 
 SiteContext::SiteContext(const netlist::Netlist& original)
-    : original_(&original), fanouts_(original.fanouts()) {
+    : original_(&original) {
+  // Flatten the netlist's cached (deduplicated, ascending) fanout lists
+  // into CSR spans once; every validity query and sample walks these.
+  const auto& fanout_lists = original.fanouts();
+  fanout_offsets_.resize(original.size() + 1);
+  fanout_offsets_[0] = 0;
+  for (NodeId v = 0; v < original.size(); ++v) {
+    fanout_offsets_[v + 1] =
+        fanout_offsets_[v] + static_cast<std::uint32_t>(fanout_lists[v].size());
+  }
+  fanout_edges_.reserve(fanout_offsets_[original.size()]);
+  for (NodeId v = 0; v < original.size(); ++v) {
+    fanout_edges_.insert(fanout_edges_.end(), fanout_lists[v].begin(),
+                         fanout_lists[v].end());
+  }
   for (NodeId v = 0; v < original.size(); ++v) {
     // Drivers may be inputs or gates, but not constants (locking a constant
     // wire leaks the key bit trivially) and must have at least one gate
@@ -17,12 +31,28 @@ SiteContext::SiteContext(const netlist::Netlist& original)
         type == netlist::GateType::kConst1) {
       continue;
     }
-    if (!fanouts_[v].empty()) candidate_drivers_.push_back(v);
+    if (!fanouts(v).empty()) candidate_drivers_.push_back(v);
   }
   topo_rank_.resize(original.size());
   const auto& order = original.topological_order();
   for (std::uint32_t rank = 0; rank < order.size(); ++rank) {
     topo_rank_[order[rank]] = rank;
+  }
+  fanin_csr_.build(original);
+  // Seed the decode-local dynamic order from longest-path levels rather
+  // than dense topological positions: levels are the tightest valid rank
+  // assignment, so unrelated nodes tie instead of being artificially
+  // ordered — which keeps the relabel windows (dependencies ranked at or
+  // above an inverted site gate) small.
+  seed_ranks_.resize(original.size());
+  std::vector<std::uint64_t> level(original.size(), 0);
+  for (const NodeId v : order) {
+    std::uint64_t depth = 0;
+    for (const NodeId f : fanin_csr_.fanins(v)) {
+      depth = std::max(depth, level[f] + 1);
+    }
+    level[v] = depth;
+    seed_ranks_[v] = (depth + 1) * DecodeTopo::kRankGap;
   }
 }
 
@@ -41,7 +71,7 @@ bool SiteContext::reaches(NodeId from, NodeId target,
   while (!scratch.stack.empty()) {
     const NodeId v = scratch.stack.back();
     scratch.stack.pop_back();
-    for (NodeId w : fanouts_[v]) {
+    for (NodeId w : fanouts(v)) {
       if (w == target) return true;
       if (topo_rank_[w] >= target_rank) continue;  // cannot lead to target
       if (scratch.visited.try_mark(w)) scratch.stack.push_back(w);
@@ -63,7 +93,7 @@ bool SiteContext::structurally_valid(const LockSite& site,
   }
   if (site.f_i == site.f_j) return false;
   const auto has_edge = [&](NodeId f, NodeId g) {
-    const auto& outs = fanouts_[f];
+    const auto outs = fanouts(f);
     return std::binary_search(outs.begin(), outs.end(), g);
   };
   if (!has_edge(site.f_i, site.g_i) || !has_edge(site.f_j, site.g_j)) {
@@ -109,8 +139,8 @@ bool SiteContext::sample_site(util::Rng& rng,
     site.f_i = candidate_drivers_[rng.next_below(candidate_drivers_.size())];
     site.f_j = candidate_drivers_[rng.next_below(candidate_drivers_.size())];
     if (site.f_i == site.f_j) continue;
-    const auto& outs_i = fanouts_[site.f_i];
-    const auto& outs_j = fanouts_[site.f_j];
+    const auto outs_i = fanouts(site.f_i);
+    const auto outs_j = fanouts(site.f_j);
     site.g_i = outs_i[rng.next_below(outs_i.size())];
     site.g_j = outs_j[rng.next_below(outs_j.size())];
     site.key_bit = rng.next_bool();

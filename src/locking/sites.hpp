@@ -12,8 +12,10 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "locking/decode_topo.hpp"
 #include "netlist/analysis.hpp"
 #include "netlist/netlist.hpp"
 #include "util/epoch_flags.hpp"
@@ -23,11 +25,32 @@ namespace autolock::lock {
 
 /// Reusable per-worker decode state: DFS marks for reachability / cycle
 /// checks (every site-validity query otherwise allocates an O(V) visited
-/// vector; decode repairs and GA mutations run hundreds per genotype) plus
-/// the interned ids of the decode-generated names.
+/// vector; decode repairs and GA mutations run hundreds per genotype), the
+/// decode-local dynamic topological order, the buffers for the final
+/// cache-priming topological sort, and the interned ids of the
+/// decode-generated names.
 struct ReachScratch {
   util::EpochFlags visited;
   std::vector<netlist::NodeId> stack;
+  /// Working-netlist ranks + CSR fanin mirror for the incremental cycle
+  /// checks; apply_sites reseeds it from the SiteContext per decode. The
+  /// ranks are a decode-local overlay — nothing in the Netlist itself
+  /// refers to them.
+  DecodeTopo topo;
+  /// Buffers for the decode-final Netlist::topological_order(TopoScratch&).
+  netlist::TopoScratch topo_scratch;
+  /// Fast-path token: the (design, original) pair the previous successful
+  /// apply_genotype_into decoded through this scratch, plus the design
+  /// netlist's structural version at that moment. When the next decode sees
+  /// the same pair with the version unchanged (i.e. nobody mutated the
+  /// design in between), it undoes the previous rewiring in place and
+  /// recycles the key-input/MUX tail nodes instead of re-copying the
+  /// original netlist and re-adding them. Cleared while a decode is in
+  /// flight, so an exception can never leave a half-rewired netlist
+  /// trusted.
+  const void* last_design = nullptr;
+  const netlist::Netlist* last_original = nullptr;
+  std::uint64_t last_design_version = 0;
   /// key_names[t] = interned {keyinput<t>, keymux<t>a, keymux<t>b}, built
   /// lazily against `key_name_table` (and rebuilt if the scratch moves to a
   /// different design family). With the cache warm, apply_genotype_into
@@ -55,8 +78,13 @@ class SiteContext {
   explicit SiteContext(const netlist::Netlist& original);
 
   const netlist::Netlist& original() const noexcept { return *original_; }
-  const std::vector<std::vector<netlist::NodeId>>& fanouts() const noexcept {
-    return fanouts_;
+
+  /// Deduplicated, ascending fanouts of `v` in the original netlist (the
+  /// netlist's cached fanout lists, flattened to CSR at construction so
+  /// sampling and reachability walk contiguous spans).
+  std::span<const netlist::NodeId> fanouts(netlist::NodeId v) const noexcept {
+    return {fanout_edges_.data() + fanout_offsets_[v],
+            fanout_offsets_[v + 1] - fanout_offsets_[v]};
   }
 
   /// Structural validity against the ORIGINAL netlist:
@@ -93,12 +121,27 @@ class SiteContext {
     return candidate_drivers_;
   }
 
+  /// CSR view of the original's fanin adjacency. DecodeTopo::reset copies
+  /// its edge array as the decode-time working mirror.
+  const netlist::CsrFanins& fanin_csr() const noexcept { return fanin_csr_; }
+
+  /// Sparse seed ranks for the decode-local dynamic topological order: the
+  /// original's longest-path levels spaced DecodeTopo::kRankGap apart.
+  /// Levels (not dense topological positions) are deliberate: they tie
+  /// every pair of nodes the edges do not order, which keeps the relabel
+  /// windows of accepted site insertions small.
+  const std::vector<std::uint64_t>& seed_ranks() const noexcept {
+    return seed_ranks_;
+  }
+
  private:
   bool reaches(netlist::NodeId from, netlist::NodeId target,
                ReachScratch& scratch) const;
 
   const netlist::Netlist* original_;
-  std::vector<std::vector<netlist::NodeId>> fanouts_;
+  /// CSR of the original's deduplicated fanout lists.
+  std::vector<std::uint32_t> fanout_offsets_;
+  std::vector<netlist::NodeId> fanout_edges_;
   std::vector<netlist::NodeId> candidate_drivers_;
   /// Position of every node in the original's topological order. A forward
   /// path from `from` to `target` can only pass through nodes whose rank
@@ -106,6 +149,8 @@ class SiteContext {
   /// reachability DFS (the original netlist is immutable, so the ranks
   /// never go stale).
   std::vector<std::uint32_t> topo_rank_;
+  netlist::CsrFanins fanin_csr_;
+  std::vector<std::uint64_t> seed_ranks_;
 };
 
 }  // namespace autolock::lock

@@ -22,6 +22,7 @@ Netlist& Netlist::operator=(const Netlist& other) {
   outputs_ = other.outputs_;
   node_of_name_ = other.node_of_name_;
   cache_ = TraversalCache{};
+  ++structural_version_;  // own history: assignment is a structural change
   return *this;
 }
 
@@ -46,12 +47,15 @@ Netlist& Netlist::operator=(Netlist&& other) noexcept {
   node_of_name_ = std::move(other.node_of_name_);
   cache_ = std::move(other.cache_);
   other.cache_ = TraversalCache{};
+  ++structural_version_;  // own history: assignment is a structural change
+  ++other.structural_version_;
   return *this;
 }
 
 void Netlist::invalidate_traversal_cache() noexcept {
   cache_.topo_valid = false;
   cache_.fanouts_valid = false;
+  ++structural_version_;
 }
 
 void Netlist::index_name(NameId symbol, NodeId id) {
@@ -173,6 +177,9 @@ void Netlist::mark_output(NodeId id, NameId port_name) {
     }
   }
   outputs_.push_back(OutputPort{port_name, id});
+  // Output ports are not traversal edges (no cache invalidation needed),
+  // but they are structure: the decode recycle path must see this.
+  ++structural_version_;
 }
 
 void Netlist::set_output_driver(std::size_t output_index, NodeId new_driver) {
@@ -197,6 +204,31 @@ std::size_t Netlist::replace_fanin(NodeId gate, NodeId old_fanin,
   }
   if (replaced != 0) invalidate_traversal_cache();
   return replaced;
+}
+
+void Netlist::set_gate_fanins(NodeId gate, std::span<const NodeId> new_fanins) {
+  if (!valid_id(gate)) {
+    throw std::invalid_argument("Netlist::set_gate_fanins: id out of range");
+  }
+  Node& node = nodes_[gate];
+  if (is_source(node.type)) {
+    throw std::invalid_argument("Netlist::set_gate_fanins: node is a source");
+  }
+  const Arity arity = gate_arity(node.type);
+  if (new_fanins.size() < arity.min ||
+      (arity.max != 0 && new_fanins.size() > arity.max)) {
+    throw std::invalid_argument(
+        std::string("Netlist::set_gate_fanins: bad fanin count for ") +
+        std::string(gate_type_name(node.type)));
+  }
+  for (NodeId fanin : new_fanins) {
+    if (!valid_id(fanin)) {
+      throw std::invalid_argument(
+          "Netlist::set_gate_fanins: fanin id out of range");
+    }
+  }
+  node.fanins.assign(new_fanins.begin(), new_fanins.end());
+  invalidate_traversal_cache();
 }
 
 void Netlist::append_fanin(NodeId gate, NodeId fanin) {
@@ -237,39 +269,14 @@ NodeId Netlist::find(NameId node_name) const noexcept {
   return node_name == kNoName ? kNoNode : lookup_name(node_name);
 }
 
-namespace {
-
-/// Flat (CSR) fanout adjacency — Kahn's algorithm over it allocates three
-/// plain vectors instead of one heap vector per node, which matters because
-/// every decode ends with a topological-order computation.
-struct FlatFanouts {
-  std::vector<std::uint32_t> offsets;  // size n+1
-  std::vector<NodeId> edges;           // fanout targets, grouped by source
-
-  explicit FlatFanouts(const std::vector<Node>& nodes) {
-    const std::size_t n = nodes.size();
-    offsets.assign(n + 1, 0);
-    for (const Node& node : nodes) {
-      for (NodeId fanin : node.fanins) ++offsets[fanin + 1];
-    }
-    for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
-    edges.resize(offsets[n]);
-    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (NodeId v = 0; v < n; ++v) {
-      for (NodeId fanin : nodes[v].fanins) edges[cursor[fanin]++] = v;
-    }
-  }
-};
-
-}  // namespace
-
 bool Netlist::is_acyclic() const {
   {
     const std::scoped_lock lock(cache_mutex_);
     if (cache_.topo_valid) return true;  // a full topo order exists
   }
   // Kahn's algorithm: count processed nodes.
-  const FlatFanouts outs(nodes_);
+  CsrFanouts outs;
+  outs.build(*this);
   std::vector<std::uint32_t> pending(nodes_.size(), 0);
   for (NodeId v = 0; v < nodes_.size(); ++v) {
     pending[v] = static_cast<std::uint32_t>(nodes_[v].fanins.size());
@@ -283,8 +290,8 @@ bool Netlist::is_acyclic() const {
     const NodeId v = queue.back();
     queue.pop_back();
     ++processed;
-    for (std::uint32_t e = outs.offsets[v]; e < outs.offsets[v + 1]; ++e) {
-      if (--pending[outs.edges[e]] == 0) queue.push_back(outs.edges[e]);
+    for (NodeId w : outs.fanouts(v)) {
+      if (--pending[w] == 0) queue.push_back(w);
     }
   }
   return processed == nodes_.size();
@@ -308,34 +315,53 @@ const std::vector<std::vector<NodeId>>& Netlist::fanouts() const {
   return cache_.fanouts;
 }
 
+const std::vector<NodeId>& Netlist::topological_order(
+    TopoScratch& scratch) const {
+  const std::scoped_lock lock(cache_mutex_);
+  if (!cache_.topo_valid) {
+    compute_topological_order_into(scratch);
+    // Swap rather than move: the cache's previous buffer becomes the
+    // scratch's capacity for the next computation.
+    cache_.topo.swap(scratch.order);
+    cache_.topo_valid = true;
+  }
+  return cache_.topo;
+}
+
 std::vector<NodeId> Netlist::compute_topological_order() const {
+  TopoScratch scratch;
+  compute_topological_order_into(scratch);
+  return std::move(scratch.order);
+}
+
+void Netlist::compute_topological_order_into(TopoScratch& scratch) const {
   // Same Kahn traversal as before the CSR rewrite: sources are visited in
   // ascending id via a LIFO queue and fanout lists are grouped in ascending
   // sink order, so the produced order is bit-identical to the historical
   // vector<vector> implementation.
-  const FlatFanouts outs(nodes_);
-  std::vector<std::uint32_t> pending(nodes_.size(), 0);
-  for (NodeId v = 0; v < nodes_.size(); ++v) {
-    pending[v] = static_cast<std::uint32_t>(nodes_[v].fanins.size());
+  const std::size_t n = nodes_.size();
+  scratch.fanouts.build(*this);
+  scratch.pending.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    scratch.pending[v] = static_cast<std::uint32_t>(nodes_[v].fanins.size());
   }
-  std::vector<NodeId> order;
-  order.reserve(nodes_.size());
-  std::vector<NodeId> queue;
-  for (NodeId v = 0; v < nodes_.size(); ++v) {
-    if (pending[v] == 0) queue.push_back(v);
+  scratch.order.clear();
+  scratch.order.reserve(n);
+  scratch.queue.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    if (scratch.pending[v] == 0) scratch.queue.push_back(v);
   }
-  while (!queue.empty()) {
-    const NodeId v = queue.back();
-    queue.pop_back();
-    order.push_back(v);
-    for (std::uint32_t e = outs.offsets[v]; e < outs.offsets[v + 1]; ++e) {
-      if (--pending[outs.edges[e]] == 0) queue.push_back(outs.edges[e]);
+  while (!scratch.queue.empty()) {
+    const NodeId v = scratch.queue.back();
+    scratch.queue.pop_back();
+    scratch.order.push_back(v);
+    for (NodeId w : scratch.fanouts.fanouts(v)) {
+      if (--scratch.pending[w] == 0) scratch.queue.push_back(w);
     }
   }
-  if (order.size() != nodes_.size()) {
+  if (scratch.order.size() != n) {
     throw std::runtime_error("Netlist::topological_order: graph is cyclic");
   }
-  return order;
 }
 
 std::vector<std::vector<NodeId>> Netlist::compute_fanouts() const {

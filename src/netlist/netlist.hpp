@@ -20,14 +20,28 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "netlist/csr.hpp"
 #include "netlist/name_table.hpp"
 #include "netlist/types.hpp"
 
 namespace autolock::netlist {
+
+/// Reusable buffers for topological_order(TopoScratch&): the CSR fanout
+/// adjacency, Kahn's in-degree and queue arrays, and the order vector the
+/// result is computed into before being swapped into the netlist's cache.
+/// One scratch per worker; decode loops that re-sort thousands of locked
+/// netlists per second allocate nothing once it is warm.
+struct TopoScratch {
+  CsrFanouts fanouts;
+  std::vector<std::uint32_t> pending;
+  std::vector<NodeId> queue;
+  std::vector<NodeId> order;
+};
 
 struct Node {
   GateType type = GateType::kInput;
@@ -90,6 +104,13 @@ class Netlist {
   /// `new_fanin`. Returns the number of replacements made.
   std::size_t replace_fanin(NodeId gate, NodeId old_fanin, NodeId new_fanin);
 
+  /// Replaces `gate`'s entire fanin list in place (same arity/validity
+  /// checks as add_gate; the existing vector's capacity is reused). The
+  /// decode hot path rewrites the fanins of recycled key-MUX nodes instead
+  /// of destroying and re-adding them. Caller is responsible for keeping
+  /// the graph acyclic.
+  void set_gate_fanins(NodeId gate, std::span<const NodeId> new_fanins);
+
   /// Appends an extra fanin to an n-ary gate (AND/NAND/OR/NOR/XOR/XNOR).
   /// Throws if the gate's type has bounded arity. Caller is responsible for
   /// keeping the graph acyclic (safe when fanin < gate in creation order).
@@ -106,6 +127,16 @@ class Netlist {
   std::size_t size() const noexcept { return nodes_.size(); }
   const Node& node(NodeId id) const { return nodes_.at(id); }
   bool valid_id(NodeId id) const noexcept { return id < nodes_.size(); }
+
+  /// Monotonic counter bumped by every structural mutation (node additions,
+  /// fanin rewrites, output redirection, whole-netlist assignment). Two
+  /// observations with equal versions (on the same object) are guaranteed
+  /// to have seen the same structure — the decode recycle path uses this to
+  /// detect any mutation between decodes. Never copied from the source on
+  /// assignment; the counter belongs to this object's own history.
+  std::uint64_t structural_version() const noexcept {
+    return structural_version_;
+  }
 
   /// The node's name text (view into the shared table; stays valid for the
   /// table's lifetime).
@@ -152,6 +183,13 @@ class Netlist {
   /// safe; the reference stays valid until mutation recomputes it.
   const std::vector<NodeId>& topological_order() const;
 
+  /// Scratch-reusing variant: identical result and caching, but the Kahn
+  /// traversal runs through `scratch`'s buffers, so a warm scratch makes the
+  /// computation allocation-free (the decode hot path re-sorts every locked
+  /// netlist it produces). When the cache is already valid the scratch is
+  /// untouched.
+  const std::vector<NodeId>& topological_order(TopoScratch& scratch) const;
+
   /// Fanout adjacency: fanouts[v] = gates having v as a fanin (deduplicated,
   /// ascending). Output ports are not edges. Cached like topological_order().
   const std::vector<std::vector<NodeId>>& fanouts() const;
@@ -179,6 +217,12 @@ class Netlist {
   void validate() const;
 
  private:
+  // The CSR builders iterate every node's fanin list in one pass; friend
+  // access lets them walk nodes_ directly instead of bounds-checking each
+  // node() call.
+  friend class CsrFanins;
+  friend class CsrFanouts;
+
   NodeId add_node(Node node);
   NameId fresh_name(NodeId id) const;
   /// This netlist's node for `symbol`, or kNoNode (index lookup, no lock).
@@ -188,6 +232,8 @@ class Netlist {
   void index_name(NameId symbol, NodeId id);
   void invalidate_traversal_cache() noexcept;
   std::vector<NodeId> compute_topological_order() const;
+  /// Computes the order into `scratch.order` (throws on a cycle).
+  void compute_topological_order_into(TopoScratch& scratch) const;
   std::vector<std::vector<NodeId>> compute_fanouts() const;
 
   std::string name_;
@@ -212,6 +258,7 @@ class Netlist {
   };
   mutable TraversalCache cache_;
   mutable std::mutex cache_mutex_;
+  std::uint64_t structural_version_ = 0;
 };
 
 }  // namespace autolock::netlist

@@ -172,6 +172,130 @@ TEST(MuxLock, C17SmallKeyWorks) {
   EXPECT_TRUE(verify_unlocks(design, c17, VerifyMode::kBoth));
 }
 
+TEST(MuxLock, WarmDecodeInternsNoNames) {
+  // warm_decode_names pre-interns every decode-generated symbol, and
+  // key_bit_names formats suffixes into a stack buffer — so a warmed
+  // scratch must add nothing to the family's NameTable, on the first
+  // decode or any later one.
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 7);
+  const SiteContext context(original);
+  util::Rng rng(7);
+  const auto genes = random_genotype(context, 8, rng);
+
+  ReachScratch scratch;
+  warm_decode_names(original, 8, scratch);
+  const std::size_t warm_names = original.names()->size();
+
+  LockedDesign out;
+  util::Rng repair_a(1);
+  apply_genotype_into(out, original, context, genes, repair_a, scratch);
+  EXPECT_EQ(original.names()->size(), warm_names) << "first decode interned";
+  util::Rng repair_b(2);
+  apply_genotype_into(out, original, context, genes, repair_b, scratch);
+  EXPECT_EQ(original.names()->size(), warm_names) << "warm decode interned";
+}
+
+TEST(MuxLock, RecycledDecodeMatchesFreshDecode) {
+  // Consecutive apply_genotype_into calls through one (design, scratch)
+  // pair recycle the MUX tail nodes in place; the result must be
+  // node-for-node identical to a cold decode of the same genotype.
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC880, 11);
+  const SiteContext context(original);
+  util::Rng rng(11);
+  const auto genes_a = random_genotype(context, 12, rng);
+  auto genes_b = random_genotype(context, 12, rng);
+  genes_b[3].f_j = genes_b[3].f_i;  // force one repair on the second decode
+
+  ReachScratch reused_scratch;
+  LockedDesign reused;
+  util::Rng repair_a(5);
+  apply_genotype_into(reused, original, context, genes_a, repair_a,
+                      reused_scratch);
+  util::Rng repair_b(6);
+  apply_genotype_into(reused, original, context, genes_b, repair_b,
+                      reused_scratch);  // recycled path
+
+  ReachScratch fresh_scratch;
+  LockedDesign fresh;
+  util::Rng repair_c(6);
+  apply_genotype_into(fresh, original, context, genes_b, repair_c,
+                      fresh_scratch);  // cold path
+
+  ASSERT_EQ(reused.netlist.size(), fresh.netlist.size());
+  for (NodeId v = 0; v < fresh.netlist.size(); ++v) {
+    EXPECT_EQ(reused.netlist.node(v).type, fresh.netlist.node(v).type);
+    EXPECT_EQ(reused.netlist.node(v).name, fresh.netlist.node(v).name);
+    EXPECT_EQ(reused.netlist.node(v).fanins, fresh.netlist.node(v).fanins);
+  }
+  EXPECT_EQ(reused.key, fresh.key);
+  EXPECT_EQ(reused.sites, fresh.sites);
+  EXPECT_EQ(reused.mux_pairs, fresh.mux_pairs);
+  EXPECT_EQ(reused.netlist.topological_order(),
+            fresh.netlist.topological_order());
+  EXPECT_NO_THROW(reused.netlist.validate());
+}
+
+TEST(MuxLock, RecycleFallsBackAfterExternalMutation) {
+  // A caller that structurally modifies the decoded design between decodes
+  // must not poison the fast path: the undo detects the mutation and drops
+  // to the full-copy decode.
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 13);
+  const SiteContext context(original);
+  util::Rng rng(13);
+  const auto genes = random_genotype(context, 6, rng);
+
+  ReachScratch scratch;
+  LockedDesign out;
+  util::Rng repair_a(1);
+  apply_genotype_into(out, original, context, genes, repair_a, scratch);
+  // Rewire one locked gate back to its original driver behind decode's back.
+  const auto& site = out.sites[2];
+  ASSERT_EQ(out.netlist.replace_fanin(site.g_i, out.mux_pairs[2].first,
+                                      site.f_i),
+            1u);
+  util::Rng repair_b(1);
+  apply_genotype_into(out, original, context, genes, repair_b, scratch);
+
+  ReachScratch fresh_scratch;
+  LockedDesign fresh;
+  util::Rng repair_c(1);
+  apply_genotype_into(fresh, original, context, genes, repair_c,
+                      fresh_scratch);
+  ASSERT_EQ(out.netlist.size(), fresh.netlist.size());
+  for (NodeId v = 0; v < fresh.netlist.size(); ++v) {
+    EXPECT_EQ(out.netlist.node(v).fanins, fresh.netlist.node(v).fanins);
+  }
+  EXPECT_NO_THROW(out.netlist.validate());
+
+  // Same discipline for a mutation on a gate NO site touches: the
+  // structural-version token catches every mutation, not just unwired
+  // MUXes, so the stray edge must be discarded by the next decode.
+  NodeId untouched = netlist::kNoNode;
+  for (NodeId v = 0; v < original.size() && untouched == netlist::kNoNode;
+       ++v) {
+    const auto& fanins = out.netlist.node(v).fanins;
+    bool in_site = false;
+    for (const auto& s : out.sites) {
+      in_site = in_site || s.g_i == v || s.g_j == v;
+    }
+    if (!in_site && fanins.size() >= 2 && fanins[0] != fanins[1]) {
+      untouched = v;
+    }
+  }
+  ASSERT_NE(untouched, netlist::kNoNode);
+  const auto fanin0 = out.netlist.node(untouched).fanins[0];
+  const auto fanin1 = out.netlist.node(untouched).fanins[1];
+  ASSERT_NE(out.netlist.replace_fanin(untouched, fanin0, fanin1), 0u);
+  util::Rng repair_d(1);
+  apply_genotype_into(out, original, context, genes, repair_d, scratch);
+  for (NodeId v = 0; v < fresh.netlist.size(); ++v) {
+    EXPECT_EQ(out.netlist.node(v).fanins, fresh.netlist.node(v).fanins);
+  }
+}
+
 class MuxLockSweep
     : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
 };

@@ -404,6 +404,39 @@ TEST(WorkspacePipeline, PinnedGaTrajectory) {
   }
 }
 
+TEST(WorkspacePipeline, PinnedNsga2Trajectory) {
+  // Frozen reference trajectory (c432 profile, structural+scope, seed
+  // 2025), recorded BEFORE the incremental dynamic-topological-order
+  // decode landed — passing on the rank-based decode proves NSGA-II runs
+  // are bit-identical across the refactor (same decode verdicts => same
+  // repair RNG stream => same fronts, genes included).
+  const Netlist original = profile(netlist::gen::ProfileId::kC432, 31);
+  ga::Nsga2Config config;
+  config.population = 8;
+  config.generations = 3;
+  config.seed = 2025;
+  eval::EvalPipeline pipeline(original, attack_mix(true, config.seed));
+  ga::Nsga2 nsga2(original, config);
+  const auto result = nsga2.run(10, pipeline);
+
+  EXPECT_EQ(result.evaluations, 32u);
+  const std::vector<std::size_t> expected_front_sizes = {1, 2, 3, 7};
+  EXPECT_EQ(result.front_size_history, expected_front_sizes);
+  ASSERT_EQ(result.front.size(), 7u);
+  for (const auto& individual : result.front) {
+    ASSERT_EQ(individual.objectives.size(), 2u);
+    EXPECT_EQ(individual.objectives[0], 0.29999999999999999);
+    EXPECT_EQ(individual.objectives[1], 0.45000000000000001);
+  }
+  const std::vector<lock::LockSite> expected_front0 = {
+      {33, 69, 41, 79, true},    {60, 4, 65, 36, false},
+      {69, 127, 93, 129, true},  {72, 158, 81, 171, true},
+      {8, 189, 63, 194, false},  {156, 42, 160, 51, true},
+      {162, 108, 168, 119, true}, {170, 131, 191, 146, true},
+      {178, 182, 184, 187, false}, {125, 62, 130, 126, false}};
+  EXPECT_EQ(result.front[0].genes, expected_front0);
+}
+
 // ---- satellite fixes -------------------------------------------------------
 
 TEST(WorkspacePipeline, RepairedGenotypeHitsCacheUnderPreRepairKey) {
