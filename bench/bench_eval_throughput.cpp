@@ -11,9 +11,12 @@
 // by tests/test_workspace.cpp.
 #include "bench/common.hpp"
 
+#include "attacks/attack_scratch.hpp"
+#include "attacks/muxlink.hpp"
 #include "core/ga.hpp"
 #include "eval/workspace.hpp"
 #include "locking/mux_lock.hpp"
+#include "netlist/simulator.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -80,6 +83,12 @@ int main(int argc, char** argv) {
   util::Table eval_table({"circuit", "K", "mode", "evals/s", "seconds"});
   util::Table ga_table(
       {"circuit", "K", "mode", "gens/s", "seconds", "evals", "speedup"});
+  util::Table corruption_table(
+      {"circuit", "K", "mode", "probes/s", "seconds", "speedup"});
+  util::Table gnn_table(
+      {"circuit", "K", "mode", "attacks/s", "seconds", "last loss"});
+  util::Table scaling_table(
+      {"circuit", "K", "mode", "gens/s", "seconds", "speedup"});
 
   for (const Workload& w : workloads) {
     const auto& info = netlist::gen::profile_info(w.profile);
@@ -140,10 +149,133 @@ int main(int argc, char** argv) {
            workspace_mode ? util::fmt(gens_per_s / legacy_gens_per_s, 2) + "x"
                           : "1.00x"});
     }
+    // ---- corruption probe throughput: single-key loop vs multi-key lanes --
+    // The pipeline's probe shape: 64 wrong keys sharing 4 random vectors.
+    // single-key pays one output_error_rate call per key (2 sweeps each,
+    // vectors rounded up to a 64-lane word); multi-key pays 4 lane-transposed
+    // sweeps plus 1 reference sweep for the whole batch.
+    {
+      const auto design = lock::dmux_lock(original, w.key_bits, 7);
+      const netlist::Simulator dut(design.netlist);
+      const netlist::Simulator reference(original);
+      netlist::SimScratch scratch;
+      const std::size_t probe_keys = 64;
+      const std::size_t probe_vectors = 4;
+
+      util::Rng key_rng(0xBA7C4ULL);
+      std::vector<netlist::Key> wrong_keys;
+      netlist::KeyBatch batch;
+      batch.reset(design.key.size());
+      for (std::size_t k = 0; k < probe_keys; ++k) {
+        netlist::Key wrong = design.key;
+        bool differs = false;
+        while (!differs) {
+          for (std::size_t b = 0; b < wrong.size(); ++b) {
+            wrong[b] = key_rng.next_bool();
+            differs = differs || (wrong[b] != design.key[b]);
+          }
+        }
+        wrong_keys.push_back(wrong);
+        batch.push(wrong);
+      }
+
+      const std::size_t single_reps = args.quick ? 10 : 50;
+      double sink = 0.0;
+      util::Timer single_timer;
+      for (std::size_t r = 0; r < single_reps; ++r) {
+        util::Rng vec_rng(0x7EC ^ r);
+        for (const auto& wrong : wrong_keys) {
+          sink += netlist::Simulator::output_error_rate(
+              dut, wrong, reference, netlist::Key{}, probe_vectors, vec_rng,
+              scratch);
+        }
+      }
+      const double single_s = single_timer.elapsed_seconds();
+      const double probes_per_rep =
+          static_cast<double>(probe_keys * probe_vectors);
+      const double single_rate = single_reps * probes_per_rep / single_s;
+
+      const std::size_t multi_reps = args.quick ? 100 : 500;
+      std::vector<std::uint64_t> in_words, ref_words;
+      std::vector<double> rates;
+      util::Timer multi_timer;
+      for (std::size_t r = 0; r < multi_reps; ++r) {
+        util::Rng vec_rng(0x7EC ^ r);
+        netlist::Simulator::multi_key_error_rate(
+            dut, batch, reference, netlist::Key{}, probe_vectors, vec_rng,
+            scratch, in_words, ref_words, rates);
+        sink += rates[0];
+      }
+      const double multi_s = multi_timer.elapsed_seconds();
+      const double multi_rate = multi_reps * probes_per_rep / multi_s;
+      if (sink == 0.0) std::abort();  // keep both loops observable
+
+      corruption_table.add_row({std::string(info.name),
+                                std::to_string(w.key_bits), "single-key",
+                                util::fmt(single_rate, 0),
+                                util::fmt(single_s, 3), "1.00x"});
+      corruption_table.add_row({std::string(info.name),
+                                std::to_string(w.key_bits), "multi-key",
+                                util::fmt(multi_rate, 0),
+                                util::fmt(multi_s, 3),
+                                util::fmt(multi_rate / single_rate, 2) + "x"});
+    }
+
+    // ---- GNN train+inference throughput (MuxLink) --------------------------
+    {
+      const auto design = lock::dmux_lock(original, w.key_bits, 7);
+      attack::MuxLinkConfig mux_config;
+      mux_config.epochs = 6;
+      mux_config.max_train_links = 200;
+      mux_config.subgraph.max_nodes = 48;
+      const attack::MuxLinkAttack attacker(mux_config);
+      attack::AttackScratch scratch;
+      // Warm the scratch (graph, sample arena, GNN buffers).
+      auto warm = attacker.attack(design.netlist, scratch);
+      const std::size_t attack_reps = args.quick ? 1 : 4;
+      util::Timer timer;
+      for (std::size_t r = 0; r < attack_reps; ++r) {
+        warm = attacker.attack(design.netlist, scratch);
+      }
+      const double s = timer.elapsed_seconds();
+      gnn_table.add_row({std::string(info.name), std::to_string(w.key_bits),
+                         "scratch",
+                         util::fmt(static_cast<double>(attack_reps) / s, 3),
+                         util::fmt(s, 3),
+                         util::fmt(warm.last_epoch_loss, 4)});
+    }
+
+    // ---- GA thread scaling (workspace mode, parallel_for_sharded) ----------
+    {
+      double single_thread_rate = 0.0;
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{4}}) {
+        eval::EvalPipelineConfig config =
+            attack_mix_config(true, ga_config.seed);
+        config.threads = threads;
+        eval::EvalPipeline pipeline(original, config);
+        ga::GeneticAlgorithm ga(original, ga_config);
+        util::Timer timer;
+        const auto result = ga.run(w.key_bits, pipeline);
+        const double s = timer.elapsed_seconds();
+        (void)result;
+        const double gens_per_s =
+            static_cast<double>(ga_config.generations) / s;
+        if (threads == 1) single_thread_rate = gens_per_s;
+        scaling_table.add_row(
+            {std::string(info.name), std::to_string(w.key_bits),
+             "threads=" + std::to_string(threads), util::fmt(gens_per_s, 3),
+             util::fmt(s, 3),
+             util::fmt(gens_per_s / single_thread_rate, 2) + "x"});
+      }
+    }
   }
 
   benchx::emit(decode_table, args, "decode throughput");
   benchx::emit(eval_table, args, "evaluation throughput (structural+scope)");
   benchx::emit(ga_table, args, "GA generation throughput");
+  benchx::emit(corruption_table, args, "corruption probe throughput");
+  benchx::emit(gnn_table, args, "gnn attack throughput (muxlink)");
+  benchx::emit(scaling_table, args, "GA thread scaling");
   return 0;
 }

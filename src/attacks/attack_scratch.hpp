@@ -13,6 +13,7 @@
 
 #include "attacks/attack_graph.hpp"
 #include "attacks/features.hpp"
+#include "attacks/gnn.hpp"
 #include "netlist/opt.hpp"
 #include "util/epoch_flags.hpp"
 
@@ -34,6 +35,8 @@ struct AttackScratch {
   std::vector<Subgraph> train_samples;
   /// Flat-optimizer state for SCOPE's per-key-bit area queries.
   netlist::OptScratch opt;
+  /// GNN forward/backward buffers (MuxLink training and inference).
+  GnnScratch gnn;
   // BFS / sampling buffers.
   std::vector<netlist::NodeId> frontier;
   std::vector<netlist::NodeId> next_frontier;

@@ -5,6 +5,228 @@
 
 namespace autolock::attack {
 
+namespace detail {
+
+// The micro-kernels below block the output into register tiles and keep the
+// reduction loop innermost and ASCENDING: each output element therefore
+// accumulates its terms in exactly the order of the naive triple loop, so
+// blocked and naive results are bit-identical (packed vmulpd/vaddpd perform
+// the same IEEE operation per lane as their scalar forms, and gnn.cpp is
+// compiled with -ffp-contract=off so no FMA rounds differently). The old
+// kernels' `if (av == 0.0) continue;` zero-skip is gone — adding a ±0.0
+// term never changes a running sum that started at +0.0, and the branch
+// cost more than the multiply on dense activations.
+//
+// GCC refuses to keep a `double acc[4][8]` tile in ymm registers (it
+// spills every add to the stack — measured 3x slower than gemm_at, whose
+// tile it did promote), so the tiles are spelled as explicit 4-lane vector
+// variables via the GNU vector extension. Plain scalar fallback otherwise.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AUTOLOCK_GNN_VEC 1
+#endif
+
+#if AUTOLOCK_GNN_VEC
+
+namespace {
+
+typedef double V4 __attribute__((vector_size(32)));
+
+inline V4 v4_load(const double* __restrict p) {
+  V4 v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void v4_store(double* __restrict p, V4 v) {
+  __builtin_memcpy(p, &v, sizeof(v));
+}
+
+inline V4 v4_splat(double x) { return V4{x, x, x, x}; }
+
+}  // namespace
+
+void gemm(const double* a_, const double* b_, double* c_, std::size_t m,
+          std::size_t k, std::size_t n, bool accumulate) {
+  const double* __restrict a = a_;
+  const double* __restrict b = b_;
+  double* __restrict c = c_;
+  constexpr std::size_t kTileM = 4;
+  constexpr std::size_t kTileN = 8;
+  const V4 zero = v4_splat(0.0);
+  std::size_t i = 0;
+  for (; i + kTileM <= m; i += kTileM) {
+    const double* __restrict a0 = a + (i + 0) * k;
+    const double* __restrict a1 = a + (i + 1) * k;
+    const double* __restrict a2 = a + (i + 2) * k;
+    const double* __restrict a3 = a + (i + 3) * k;
+    double* __restrict c0 = c + (i + 0) * n;
+    double* __restrict c1 = c + (i + 1) * n;
+    double* __restrict c2 = c + (i + 2) * n;
+    double* __restrict c3 = c + (i + 3) * n;
+    std::size_t j = 0;
+    for (; j + kTileN <= n; j += kTileN) {
+      V4 s00 = zero, s01 = zero, s10 = zero, s11 = zero;
+      V4 s20 = zero, s21 = zero, s30 = zero, s31 = zero;
+      if (accumulate) {
+        s00 = v4_load(c0 + j), s01 = v4_load(c0 + j + 4);
+        s10 = v4_load(c1 + j), s11 = v4_load(c1 + j + 4);
+        s20 = v4_load(c2 + j), s21 = v4_load(c2 + j + 4);
+        s30 = v4_load(c3 + j), s31 = v4_load(c3 + j + 4);
+      }
+      for (std::size_t p = 0; p < k; ++p) {
+        const V4 b0 = v4_load(b + p * n + j);
+        const V4 b1 = v4_load(b + p * n + j + 4);
+        V4 av = v4_splat(a0[p]);
+        s00 += av * b0, s01 += av * b1;
+        av = v4_splat(a1[p]);
+        s10 += av * b0, s11 += av * b1;
+        av = v4_splat(a2[p]);
+        s20 += av * b0, s21 += av * b1;
+        av = v4_splat(a3[p]);
+        s30 += av * b0, s31 += av * b1;
+      }
+      v4_store(c0 + j, s00), v4_store(c0 + j + 4, s01);
+      v4_store(c1 + j, s10), v4_store(c1 + j + 4, s11);
+      v4_store(c2 + j, s20), v4_store(c2 + j + 4, s21);
+      v4_store(c3 + j, s30), v4_store(c3 + j + 4, s31);
+    }
+    for (; j < n; ++j) {
+      double acc0 = accumulate ? c0[j] : 0.0;
+      double acc1 = accumulate ? c1[j] : 0.0;
+      double acc2 = accumulate ? c2[j] : 0.0;
+      double acc3 = accumulate ? c3[j] : 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double bv = b[p * n + j];
+        acc0 += a0[p] * bv;
+        acc1 += a1[p] * bv;
+        acc2 += a2[p] * bv;
+        acc3 += a3[p] * bv;
+      }
+      c0[j] = acc0, c1[j] = acc1, c2[j] = acc2, c3[j] = acc3;
+    }
+  }
+  for (; i < m; ++i) {
+    const double* __restrict arow = a + i * k;
+    double* __restrict crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + kTileN <= n; j += kTileN) {
+      V4 s0 = zero, s1 = zero;
+      if (accumulate) s0 = v4_load(crow + j), s1 = v4_load(crow + j + 4);
+      for (std::size_t p = 0; p < k; ++p) {
+        const V4 av = v4_splat(arow[p]);
+        s0 += av * v4_load(b + p * n + j);
+        s1 += av * v4_load(b + p * n + j + 4);
+      }
+      v4_store(crow + j, s0), v4_store(crow + j + 4, s1);
+    }
+    for (; j < n; ++j) {
+      double acc = accumulate ? crow[j] : 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * b[p * n + j];
+      crow[j] = acc;
+    }
+  }
+}
+
+void gemm_at(const double* a_, const double* d_, double* c_, std::size_t m,
+             std::size_t k, std::size_t n) {
+  const double* __restrict a = a_;
+  const double* __restrict d = d_;
+  double* __restrict c = c_;
+  constexpr std::size_t kTileC = 4;
+  constexpr std::size_t kTileN = 8;
+  std::size_t cc = 0;
+  for (; cc + kTileC <= k; cc += kTileC) {
+    double* __restrict c0 = c + (cc + 0) * n;
+    double* __restrict c1 = c + (cc + 1) * n;
+    double* __restrict c2 = c + (cc + 2) * n;
+    double* __restrict c3 = c + (cc + 3) * n;
+    std::size_t j = 0;
+    for (; j + kTileN <= n; j += kTileN) {
+      V4 s00 = v4_load(c0 + j), s01 = v4_load(c0 + j + 4);
+      V4 s10 = v4_load(c1 + j), s11 = v4_load(c1 + j + 4);
+      V4 s20 = v4_load(c2 + j), s21 = v4_load(c2 + j + 4);
+      V4 s30 = v4_load(c3 + j), s31 = v4_load(c3 + j + 4);
+      for (std::size_t p = 0; p < m; ++p) {
+        const double* __restrict arow = a + p * k + cc;
+        const V4 d0 = v4_load(d + p * n + j);
+        const V4 d1 = v4_load(d + p * n + j + 4);
+        V4 av = v4_splat(arow[0]);
+        s00 += av * d0, s01 += av * d1;
+        av = v4_splat(arow[1]);
+        s10 += av * d0, s11 += av * d1;
+        av = v4_splat(arow[2]);
+        s20 += av * d0, s21 += av * d1;
+        av = v4_splat(arow[3]);
+        s30 += av * d0, s31 += av * d1;
+      }
+      v4_store(c0 + j, s00), v4_store(c0 + j + 4, s01);
+      v4_store(c1 + j, s10), v4_store(c1 + j + 4, s11);
+      v4_store(c2 + j, s20), v4_store(c2 + j + 4, s21);
+      v4_store(c3 + j, s30), v4_store(c3 + j + 4, s31);
+    }
+    for (; j < n; ++j) {
+      double acc0 = c0[j], acc1 = c1[j], acc2 = c2[j], acc3 = c3[j];
+      for (std::size_t p = 0; p < m; ++p) {
+        const double dv = d[p * n + j];
+        acc0 += a[p * k + cc + 0] * dv;
+        acc1 += a[p * k + cc + 1] * dv;
+        acc2 += a[p * k + cc + 2] * dv;
+        acc3 += a[p * k + cc + 3] * dv;
+      }
+      c0[j] = acc0, c1[j] = acc1, c2[j] = acc2, c3[j] = acc3;
+    }
+  }
+  for (; cc < k; ++cc) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = c[cc * n + j];
+      for (std::size_t p = 0; p < m; ++p) acc += a[p * k + cc] * d[p * n + j];
+      c[cc * n + j] = acc;
+    }
+  }
+}
+
+#else  // !AUTOLOCK_GNN_VEC — scalar fallbacks, same reduction order.
+
+void gemm(const double* a_, const double* b_, double* c_, std::size_t m,
+          std::size_t k, std::size_t n, bool accumulate) {
+  const double* __restrict a = a_;
+  const double* __restrict b = b_;
+  double* __restrict c = c_;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = accumulate ? c[i * n + j] : 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void gemm_at(const double* a_, const double* d_, double* c_, std::size_t m,
+             std::size_t k, std::size_t n) {
+  const double* __restrict a = a_;
+  const double* __restrict d = d_;
+  double* __restrict c = c_;
+  for (std::size_t cc = 0; cc < k; ++cc) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = c[cc * n + j];
+      for (std::size_t p = 0; p < m; ++p) acc += a[p * k + cc] * d[p * n + j];
+      c[cc * n + j] = acc;
+    }
+  }
+}
+
+#endif  // AUTOLOCK_GNN_VEC
+
+void transpose(const double* in, double* out, std::size_t rows,
+               std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) out[c * rows + r] = in[r * cols + c];
+  }
+}
+
+}  // namespace detail
+
 namespace {
 
 void xavier_init(Mat& mat, util::Rng& rng) {
@@ -19,49 +241,39 @@ void xavier_init(std::vector<double>& vec, std::size_t fan_in,
   for (double& w : vec) w = (2.0 * rng.next_double() - 1.0) * limit;
 }
 
-/// out(n x c) = mean-aggregate of rows of in(n x c) over adjacency.
-void mean_aggregate(const std::vector<std::vector<std::uint32_t>>& adjacency,
-                    const Mat& in, Mat& out) {
-  out = Mat(in.rows, in.cols);
+/// Copies the sample's vector-of-vectors adjacency into the scratch's flat
+/// CSR arrays (neighbor list order — including duplicates — preserved).
+void flatten_adjacency(const Subgraph& sample, GnnScratch& scratch) {
+  const std::size_t n = sample.node_count;
+  scratch.adj_offsets.resize(n + 1);
+  scratch.adj_edges.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.adj_offsets[i] = static_cast<std::uint32_t>(scratch.adj_edges.size());
+    const auto& nbrs = sample.adjacency[i];
+    scratch.adj_edges.insert(scratch.adj_edges.end(), nbrs.begin(), nbrs.end());
+  }
+  scratch.adj_offsets[n] = static_cast<std::uint32_t>(scratch.adj_edges.size());
+}
+
+/// out(n x c) = mean of rows of in(n x c) over the CSR adjacency.
+void mean_aggregate_csr(const std::vector<std::uint32_t>& offsets,
+                        const std::vector<std::uint32_t>& edges, const Mat& in,
+                        Mat& out) {
+  out.reshape(in.rows, in.cols);
+  const std::size_t cols = in.cols;
+  const double* __restrict src_base = in.data.data();
   for (std::size_t i = 0; i < in.rows; ++i) {
-    const auto& nbrs = adjacency[i];
-    if (nbrs.empty()) continue;
-    double* dst = &out.data[i * out.cols];
-    for (std::uint32_t j : nbrs) {
-      const double* src = &in.data[j * in.cols];
-      for (std::size_t c = 0; c < in.cols; ++c) dst[c] += src[c];
+    double* __restrict dst = &out.data[i * cols];
+    const std::uint32_t begin = offsets[i];
+    const std::uint32_t end = offsets[i + 1];
+    for (std::size_t c = 0; c < cols; ++c) dst[c] = 0.0;
+    if (begin == end) continue;
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const double* __restrict src = src_base + edges[e] * cols;
+      for (std::size_t c = 0; c < cols; ++c) dst[c] += src[c];
     }
-    const double inv = 1.0 / static_cast<double>(nbrs.size());
-    for (std::size_t c = 0; c < in.cols; ++c) dst[c] *= inv;
-  }
-}
-
-/// out(n x k) = a(n x c) * w(c x k)   (accumulating variant adds).
-void matmul(const Mat& a, const Mat& w, Mat& out, bool accumulate) {
-  if (!accumulate) out = Mat(a.rows, w.cols);
-  for (std::size_t i = 0; i < a.rows; ++i) {
-    const double* arow = &a.data[i * a.cols];
-    double* orow = &out.data[i * out.cols];
-    for (std::size_t c = 0; c < a.cols; ++c) {
-      const double av = arow[c];
-      if (av == 0.0) continue;
-      const double* wrow = &w.data[c * w.cols];
-      for (std::size_t k = 0; k < w.cols; ++k) orow[k] += av * wrow[k];
-    }
-  }
-}
-
-/// grad_w(c x k) += a(n x c)^T * d(n x k)
-void accumulate_weight_grad(const Mat& a, const Mat& d, Mat& grad_w) {
-  for (std::size_t i = 0; i < a.rows; ++i) {
-    const double* arow = &a.data[i * a.cols];
-    const double* drow = &d.data[i * d.cols];
-    for (std::size_t c = 0; c < a.cols; ++c) {
-      const double av = arow[c];
-      if (av == 0.0) continue;
-      double* grow = &grad_w.data[c * grad_w.cols];
-      for (std::size_t k = 0; k < d.cols; ++k) grow[k] += av * drow[k];
-    }
+    const double inv = 1.0 / static_cast<double>(end - begin);
+    for (std::size_t c = 0; c < cols; ++c) dst[c] *= inv;
   }
 }
 
@@ -121,148 +333,178 @@ std::vector<std::vector<double>*> Gnn::grad_views() {
           &g_mlp_w1_.data,        &g_mlp_b1_,              &g_mlp_w2_};
 }
 
-Gnn::Forward Gnn::forward(const Subgraph& sample) const {
-  Forward fwd;
+void Gnn::forward(const Subgraph& sample, GnnScratch& scratch) const {
   const std::size_t n = sample.node_count;
   const std::size_t d0 = config_.input_dim;
   const std::size_t h = config_.hidden_dim;
   const std::size_t m = config_.mlp_dim;
 
-  fwd.x = Mat(n, d0);
-  std::copy(sample.features.begin(), sample.features.end(), fwd.x.data.begin());
+  flatten_adjacency(sample, scratch);
+  scratch.x.reshape(n, d0);
+  std::copy(sample.features.begin(), sample.features.end(),
+            scratch.x.data.begin());
 
   // Layer 1.
-  mean_aggregate(sample.adjacency, fwd.x, fwd.agg0);
-  matmul(fwd.x, layer1_.w_self, fwd.z1, false);
-  matmul(fwd.agg0, layer1_.w_neigh, fwd.z1, true);
+  mean_aggregate_csr(scratch.adj_offsets, scratch.adj_edges, scratch.x,
+                     scratch.agg0);
+  scratch.z1.reshape(n, h);
+  detail::gemm(scratch.x.data.data(), layer1_.w_self.data.data(),
+               scratch.z1.data.data(), n, d0, h, false);
+  detail::gemm(scratch.agg0.data.data(), layer1_.w_neigh.data.data(),
+               scratch.z1.data.data(), n, d0, h, true);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t k = 0; k < h; ++k) fwd.z1.at(i, k) += layer1_.bias[k];
+    for (std::size_t k = 0; k < h; ++k) scratch.z1.at(i, k) += layer1_.bias[k];
   }
-  fwd.h1 = fwd.z1;
-  for (double& value : fwd.h1.data) value = std::max(value, 0.0);
+  scratch.h1.reshape(n, h);
+  for (std::size_t idx = 0; idx < scratch.z1.data.size(); ++idx) {
+    scratch.h1.data[idx] = std::max(scratch.z1.data[idx], 0.0);
+  }
 
   // Layer 2.
-  mean_aggregate(sample.adjacency, fwd.h1, fwd.agg1);
-  matmul(fwd.h1, layer2_.w_self, fwd.z2, false);
-  matmul(fwd.agg1, layer2_.w_neigh, fwd.z2, true);
+  mean_aggregate_csr(scratch.adj_offsets, scratch.adj_edges, scratch.h1,
+                     scratch.agg1);
+  scratch.z2.reshape(n, h);
+  detail::gemm(scratch.h1.data.data(), layer2_.w_self.data.data(),
+               scratch.z2.data.data(), n, h, h, false);
+  detail::gemm(scratch.agg1.data.data(), layer2_.w_neigh.data.data(),
+               scratch.z2.data.data(), n, h, h, true);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t k = 0; k < h; ++k) fwd.z2.at(i, k) += layer2_.bias[k];
+    for (std::size_t k = 0; k < h; ++k) scratch.z2.at(i, k) += layer2_.bias[k];
   }
-  fwd.h2 = fwd.z2;
-  for (double& value : fwd.h2.data) value = std::max(value, 0.0);
+  scratch.h2.reshape(n, h);
+  for (std::size_t idx = 0; idx < scratch.z2.data.size(); ++idx) {
+    scratch.h2.data[idx] = std::max(scratch.z2.data[idx], 0.0);
+  }
 
   // Mean pooling.
-  fwd.pooled.assign(h, 0.0);
+  scratch.pooled.assign(h, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t k = 0; k < h; ++k) fwd.pooled[k] += fwd.h2.at(i, k);
+    for (std::size_t k = 0; k < h; ++k) scratch.pooled[k] += scratch.h2.at(i, k);
   }
   if (n > 0) {
-    for (double& value : fwd.pooled) value /= static_cast<double>(n);
+    for (double& value : scratch.pooled) value /= static_cast<double>(n);
   }
 
-  // MLP head.
-  fwd.mlp_z.assign(m, 0.0);
+  // MLP head (h x m is register-sized; plain loops, reduction ascending).
+  scratch.mlp_z.assign(m, 0.0);
   for (std::size_t a = 0; a < h; ++a) {
-    const double pa = fwd.pooled[a];
-    if (pa == 0.0) continue;
+    const double pa = scratch.pooled[a];
     for (std::size_t k = 0; k < m; ++k) {
-      fwd.mlp_z[k] += pa * mlp_w1_.at(a, k);
+      scratch.mlp_z[k] += pa * mlp_w1_.at(a, k);
     }
   }
-  for (std::size_t k = 0; k < m; ++k) fwd.mlp_z[k] += mlp_b1_[k];
-  fwd.mlp_h = fwd.mlp_z;
-  for (double& value : fwd.mlp_h) value = std::max(value, 0.0);
+  for (std::size_t k = 0; k < m; ++k) scratch.mlp_z[k] += mlp_b1_[k];
+  scratch.mlp_h = scratch.mlp_z;
+  for (double& value : scratch.mlp_h) value = std::max(value, 0.0);
 
-  fwd.logit = mlp_b2_;
-  for (std::size_t k = 0; k < m; ++k) fwd.logit += fwd.mlp_h[k] * mlp_w2_[k];
-  fwd.prob = 1.0 / (1.0 + std::exp(-fwd.logit));
-  return fwd;
+  scratch.logit = mlp_b2_;
+  for (std::size_t k = 0; k < m; ++k) {
+    scratch.logit += scratch.mlp_h[k] * mlp_w2_[k];
+  }
+  scratch.prob = 1.0 / (1.0 + std::exp(-scratch.logit));
+}
+
+double Gnn::predict(const Subgraph& sample, GnnScratch& scratch) const {
+  forward(sample, scratch);
+  return scratch.prob;
 }
 
 double Gnn::predict(const Subgraph& sample) const {
-  return forward(sample).prob;
+  GnnScratch scratch;
+  return predict(sample, scratch);
 }
 
-void Gnn::backward(const Subgraph& sample, const Forward& fwd, double dlogit) {
+void Gnn::backward(const Subgraph& sample, GnnScratch& scratch,
+                   double dlogit) {
   const std::size_t n = sample.node_count;
+  const std::size_t d0 = config_.input_dim;
   const std::size_t h = config_.hidden_dim;
   const std::size_t m = config_.mlp_dim;
 
   // MLP head.
   g_mlp_b2_ += dlogit;
-  std::vector<double> d_mlp_h(m);
+  scratch.d_mlp_h.resize(m);
   for (std::size_t k = 0; k < m; ++k) {
-    g_mlp_w2_[k] += dlogit * fwd.mlp_h[k];
-    d_mlp_h[k] = dlogit * mlp_w2_[k];
+    g_mlp_w2_[k] += dlogit * scratch.mlp_h[k];
+    scratch.d_mlp_h[k] = dlogit * mlp_w2_[k];
   }
-  std::vector<double> d_mlp_z(m);
+  scratch.d_mlp_z.resize(m);
   for (std::size_t k = 0; k < m; ++k) {
-    d_mlp_z[k] = fwd.mlp_z[k] > 0.0 ? d_mlp_h[k] : 0.0;
-    g_mlp_b1_[k] += d_mlp_z[k];
+    scratch.d_mlp_z[k] = scratch.mlp_z[k] > 0.0 ? scratch.d_mlp_h[k] : 0.0;
+    g_mlp_b1_[k] += scratch.d_mlp_z[k];
   }
-  std::vector<double> d_pooled(h, 0.0);
+  scratch.d_pooled.assign(h, 0.0);
   for (std::size_t a = 0; a < h; ++a) {
     for (std::size_t k = 0; k < m; ++k) {
-      g_mlp_w1_.at(a, k) += fwd.pooled[a] * d_mlp_z[k];
-      d_pooled[a] += mlp_w1_.at(a, k) * d_mlp_z[k];
+      g_mlp_w1_.at(a, k) += scratch.pooled[a] * scratch.d_mlp_z[k];
+      scratch.d_pooled[a] += mlp_w1_.at(a, k) * scratch.d_mlp_z[k];
     }
   }
 
   // Un-pool (mean): every node row receives d_pooled / n.
-  Mat d_h2(n, h);
+  scratch.d_h2.reshape(n, h);
   const double inv_n = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t k = 0; k < h; ++k) {
-      d_h2.at(i, k) = d_pooled[k] * inv_n;
+      scratch.d_h2.at(i, k) = scratch.d_pooled[k] * inv_n;
     }
   }
 
   // Layer 2 backward.
-  Mat d_z2 = d_h2;
-  for (std::size_t idx = 0; idx < d_z2.data.size(); ++idx) {
-    if (fwd.z2.data[idx] <= 0.0) d_z2.data[idx] = 0.0;
+  scratch.d_z2.reshape(n, h);
+  for (std::size_t idx = 0; idx < scratch.d_z2.data.size(); ++idx) {
+    scratch.d_z2.data[idx] =
+        scratch.z2.data[idx] > 0.0 ? scratch.d_h2.data[idx] : 0.0;
   }
-  accumulate_weight_grad(fwd.h1, d_z2, g_layer2_.w_self);
-  accumulate_weight_grad(fwd.agg1, d_z2, g_layer2_.w_neigh);
+  detail::gemm_at(scratch.h1.data.data(), scratch.d_z2.data.data(),
+                  g_layer2_.w_self.data.data(), n, h, h);
+  detail::gemm_at(scratch.agg1.data.data(), scratch.d_z2.data.data(),
+                  g_layer2_.w_neigh.data.data(), n, h, h);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t k = 0; k < h; ++k) g_layer2_.bias[k] += d_z2.at(i, k);
-  }
-  // d_h1 = d_z2 * W2s^T + Agg^T(d_z2 * W2n^T)
-  Mat d_h1(n, h);
-  Mat d_agg1(n, h);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t c = 0; c < h; ++c) {
-      double acc_self = 0.0;
-      double acc_neigh = 0.0;
-      for (std::size_t k = 0; k < h; ++k) {
-        acc_self += d_z2.at(i, k) * layer2_.w_self.at(c, k);
-        acc_neigh += d_z2.at(i, k) * layer2_.w_neigh.at(c, k);
-      }
-      d_h1.at(i, c) = acc_self;
-      d_agg1.at(i, c) = acc_neigh;
+    for (std::size_t k = 0; k < h; ++k) {
+      g_layer2_.bias[k] += scratch.d_z2.at(i, k);
     }
   }
-  // Transpose of mean aggregation: d_h1[j] += sum_{i : j in N(i)} d_agg1[i]/|N(i)|.
+  // d_h1 = d_z2 * W2s^T; d_agg1 = d_z2 * W2n^T. The weight transpose is
+  // staged explicitly so both products run on the row-major kernel.
+  scratch.d_h1.reshape(n, h);
+  scratch.d_agg1.reshape(n, h);
+  scratch.w_t.reshape(h, h);
+  detail::transpose(layer2_.w_self.data.data(), scratch.w_t.data.data(), h, h);
+  detail::gemm(scratch.d_z2.data.data(), scratch.w_t.data.data(),
+               scratch.d_h1.data.data(), n, h, h, false);
+  detail::transpose(layer2_.w_neigh.data.data(), scratch.w_t.data.data(), h, h);
+  detail::gemm(scratch.d_z2.data.data(), scratch.w_t.data.data(),
+               scratch.d_agg1.data.data(), n, h, h, false);
+  // Transpose of mean aggregation over the CSR rows:
+  // d_h1[j] += sum_{i : j in N(i)} d_agg1[i] / |N(i)|.
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& nbrs = sample.adjacency[i];
-    if (nbrs.empty()) continue;
-    const double inv = 1.0 / static_cast<double>(nbrs.size());
-    for (std::uint32_t j : nbrs) {
+    const std::uint32_t begin = scratch.adj_offsets[i];
+    const std::uint32_t end = scratch.adj_offsets[i + 1];
+    if (begin == end) continue;
+    const double inv = 1.0 / static_cast<double>(end - begin);
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const std::uint32_t j = scratch.adj_edges[e];
       for (std::size_t c = 0; c < h; ++c) {
-        d_h1.at(j, c) += d_agg1.at(i, c) * inv;
+        scratch.d_h1.at(j, c) += scratch.d_agg1.at(i, c) * inv;
       }
     }
   }
 
   // Layer 1 backward.
-  Mat d_z1 = d_h1;
-  for (std::size_t idx = 0; idx < d_z1.data.size(); ++idx) {
-    if (fwd.z1.data[idx] <= 0.0) d_z1.data[idx] = 0.0;
+  scratch.d_z1.reshape(n, h);
+  for (std::size_t idx = 0; idx < scratch.d_z1.data.size(); ++idx) {
+    scratch.d_z1.data[idx] =
+        scratch.z1.data[idx] > 0.0 ? scratch.d_h1.data[idx] : 0.0;
   }
-  accumulate_weight_grad(fwd.x, d_z1, g_layer1_.w_self);
-  accumulate_weight_grad(fwd.agg0, d_z1, g_layer1_.w_neigh);
+  detail::gemm_at(scratch.x.data.data(), scratch.d_z1.data.data(),
+                  g_layer1_.w_self.data.data(), n, d0, h);
+  detail::gemm_at(scratch.agg0.data.data(), scratch.d_z1.data.data(),
+                  g_layer1_.w_neigh.data.data(), n, d0, h);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t k = 0; k < h; ++k) g_layer1_.bias[k] += d_z1.at(i, k);
+    for (std::size_t k = 0; k < h; ++k) {
+      g_layer1_.bias[k] += scratch.d_z1.at(i, k);
+    }
   }
 }
 
@@ -301,24 +543,31 @@ void Gnn::adam_step() {
 }
 
 double Gnn::train_epoch(const std::vector<Subgraph>& samples,
-                        const std::vector<std::size_t>& order) {
+                        const std::vector<std::size_t>& order,
+                        GnnScratch& scratch) {
   double loss_sum = 0.0;
   std::size_t in_batch = 0;
   for (std::size_t pos = 0; pos < order.size(); ++pos) {
     const Subgraph& sample = samples[order[pos]];
-    const Forward fwd = forward(sample);
-    const double p = std::clamp(fwd.prob, 1e-9, 1.0 - 1e-9);
+    forward(sample, scratch);
+    const double p = std::clamp(scratch.prob, 1e-9, 1.0 - 1e-9);
     loss_sum += -(sample.label * std::log(p) +
                   (1.0 - sample.label) * std::log(1.0 - p));
-    const double dlogit = (fwd.prob - sample.label) /
+    const double dlogit = (scratch.prob - sample.label) /
                           static_cast<double>(config_.batch_size);
-    backward(sample, fwd, dlogit);
+    backward(sample, scratch, dlogit);
     if (++in_batch == config_.batch_size || pos + 1 == order.size()) {
       adam_step();
       in_batch = 0;
     }
   }
   return order.empty() ? 0.0 : loss_sum / static_cast<double>(order.size());
+}
+
+double Gnn::train_epoch(const std::vector<Subgraph>& samples,
+                        const std::vector<std::size_t>& order) {
+  GnnScratch scratch;
+  return train_epoch(samples, order, scratch);
 }
 
 }  // namespace autolock::attack

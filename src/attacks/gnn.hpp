@@ -5,6 +5,13 @@
 //
 // This is the stand-in for MuxLink's DGCNN (see DESIGN.md §4): same attack
 // surface (learned link prediction over enclosing subgraphs), CPU-sized.
+//
+// The dense work runs through small register-blocked GEMM micro-kernels
+// (detail::gemm*) over buffers that live in GnnScratch, so a training epoch
+// allocates nothing once the scratch is warm. Every kernel accumulates each
+// output element with the reduction loop innermost and ascending — exactly
+// the naive triple-loop order — so kernel and naive results are
+// bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -35,17 +42,82 @@ struct Mat {
   double& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
   double at(std::size_t r, std::size_t c) const { return data[r * cols + c]; }
   void zero() { std::fill(data.begin(), data.end(), 0.0); }
+  /// Reshapes without zeroing; existing capacity is reused. Callers must
+  /// overwrite every element (the kernels below always do).
+  void reshape(std::size_t r, std::size_t c) {
+    rows = r;
+    cols = c;
+    data.resize(r * c);
+  }
+};
+
+namespace detail {
+
+// Register-blocked GEMM micro-kernels (row-major, restrict-qualified inside).
+// All three keep the reduction loop innermost and ascending per output
+// element, so results match a naive triple loop bit-for-bit. Exposed for
+// tests and benchmarks.
+
+/// c(m x n) = (or +=) a(m x k) * b(k x n).
+void gemm(const double* a, const double* b, double* c, std::size_t m,
+          std::size_t k, std::size_t n, bool accumulate);
+
+/// c(k x n) += a(m x k)^T * d(m x n) (weight-gradient shape; the reduction
+/// runs over the m rows, ascending).
+void gemm_at(const double* a, const double* d, double* c, std::size_t m,
+             std::size_t k, std::size_t n);
+
+/// out(cols x rows) = in(rows x cols)^T. Backward needs a handful of
+/// weight-transposed products; an explicit 32x32 transpose (~1% of the GEMM
+/// it feeds) keeps every product on the fast row-major kernel instead of a
+/// strided-load variant.
+void transpose(const double* in, double* out, std::size_t rows,
+               std::size_t cols);
+
+}  // namespace detail
+
+/// Reusable per-worker GNN buffers: forward activations, backward
+/// temporaries, and a flattened CSR copy of the current sample's adjacency.
+/// Lives in AttackScratch so MuxLink's training epochs and inference sweeps
+/// allocate nothing once warm. Holds no model or result state — predictions
+/// through a fresh scratch and a reused one are bit-identical.
+struct GnnScratch {
+  // CSR adjacency of the current sample (neighbor list order preserved).
+  std::vector<std::uint32_t> adj_offsets;
+  std::vector<std::uint32_t> adj_edges;
+  // Forward activations, one per message-passing stage.
+  Mat x;             // input features
+  Mat agg0, z1, h1;  // layer 1: neighbor mean, pre-activation, activation
+  Mat agg1, z2, h2;  // layer 2
+  std::vector<double> pooled;        // mean-pooled h2
+  std::vector<double> mlp_z, mlp_h;  // MLP hidden pre/post activation
+  double logit = 0.0;
+  double prob = 0.0;
+  // Backward temporaries.
+  Mat d_h2, d_z2, d_h1, d_agg1, d_z1;
+  Mat w_t;  // transposed weight staging for the d_h1/d_agg1 products
+  std::vector<double> d_mlp_h, d_mlp_z, d_pooled;
 };
 
 class Gnn {
  public:
   Gnn(const GnnConfig& config, std::uint64_t seed);
 
-  /// Predicted probability that the subgraph's (0,1) link exists.
+  /// Predicted probability that the subgraph's (0,1) link exists; all
+  /// working buffers come from `scratch`.
+  double predict(const Subgraph& sample, GnnScratch& scratch) const;
+
+  /// Allocating convenience (one-shot callers and tests); identical result.
   double predict(const Subgraph& sample) const;
 
   /// One epoch of minibatch Adam over `samples` in the given order
-  /// (shuffle outside). Returns mean BCE loss.
+  /// (shuffle outside). Returns mean BCE loss; all per-sample buffers come
+  /// from `scratch`.
+  double train_epoch(const std::vector<Subgraph>& samples,
+                     const std::vector<std::size_t>& order,
+                     GnnScratch& scratch);
+
+  /// Allocating convenience; identical result.
   double train_epoch(const std::vector<Subgraph>& samples,
                      const std::vector<std::size_t>& order);
 
@@ -59,19 +131,10 @@ class Gnn {
   struct AdamState {
     std::vector<double> m, v;
   };
-  struct Forward {
-    // Cached activations for backprop, one per message-passing layer.
-    Mat x;            // input features
-    Mat agg0, z1, h1; // layer 1: neighbor mean, pre-activation, activation
-    Mat agg1, z2, h2; // layer 2
-    std::vector<double> pooled;   // mean-pooled h2
-    std::vector<double> mlp_z, mlp_h;  // MLP hidden pre/post activation
-    double logit = 0.0;
-    double prob = 0.0;
-  };
 
-  Forward forward(const Subgraph& sample) const;
-  void backward(const Subgraph& sample, const Forward& fwd, double dlogit);
+  /// Fills scratch with the forward pass (logit/prob included).
+  void forward(const Subgraph& sample, GnnScratch& scratch) const;
+  void backward(const Subgraph& sample, GnnScratch& scratch, double dlogit);
   void adam_step();
 
   // Parameter/gradient flattening helpers.

@@ -143,7 +143,7 @@ MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked,
     double loss = 0.0;
     for (Gnn& model : models) {
       rng.shuffle(order);
-      loss += model.train_epoch(samples, order);
+      loss += model.train_epoch(samples, order, scratch.gnn);
     }
     loss /= static_cast<double>(ensemble_size);
     if (epoch == 0) result.first_epoch_loss = loss;
@@ -167,7 +167,7 @@ MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked,
         extract_subgraph_into(graph, link.u, link.v, config_.subgraph,
                               scratch.subgraph, sub);
         double p = 0.0;
-        for (const Gnn& model : models) p += model.predict(sub);
+        for (const Gnn& model : models) p += model.predict(sub, scratch.gnn);
         sum += p / static_cast<double>(models.size());
       }
       return links.empty() ? 0.5 : sum / static_cast<double>(links.size());

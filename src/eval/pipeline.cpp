@@ -75,30 +75,107 @@ std::vector<AttackReport> EvalPipeline::reports(
   return result;
 }
 
+const EvalPipeline::OracleBlocks& EvalPipeline::oracle_blocks(
+    std::size_t netlist_size, std::size_t vectors, util::Rng vec_rng) const {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(netlist_size) << 24) ^ vectors;
+  std::lock_guard<std::mutex> guard(oracle_mutex_);
+  auto it = oracle_blocks_.find(key);
+  if (it == oracle_blocks_.end()) {
+    OracleBlocks blocks;
+    netlist::SimScratch scratch;  // one-time fill, local scratch is fine
+    netlist::Simulator::draw_reference_blocks(*oracle_sim_, netlist::Key{},
+                                              vectors, vec_rng, scratch,
+                                              blocks.in_words, blocks.ref_words);
+    corruption_sweeps_.fetch_add((vectors + 63) / 64,
+                                 std::memory_order_relaxed);
+    it = oracle_blocks_.emplace(key, std::move(blocks)).first;
+  }
+  return it->second;
+}
+
 double EvalPipeline::corruption(const LockedDesign& design,
                                 EvalWorkspace* workspace) const {
-  // Mix the configured seed into the vector stream: two same-size designs
-  // under different pipeline seeds must not share vectors (and the same
-  // seed must reproduce exactly).
+  // Mix the configured seed into the probe streams: two same-size designs
+  // under different pipeline seeds must not share vectors or wrong keys
+  // (and the same seed must reproduce exactly).
   util::Rng rng(0xC0441ULL ^ (config_.seed * 0x9E3779B97F4A7C15ULL) ^
                 design.netlist.size());
-  // One random wrong key (all bits flipped is the cheapest adversarial
-  // proxy; full sampling lives in lock::measure_corruption).
-  netlist::Key wrong = design.key;
+  // Draw-order contract: the key stream and the vector stream are forked
+  // independently (keys first), so neither the configured key count nor
+  // rejection redraws can shift the vector draws. The vector stream is then
+  // a pure function of (seed, netlist size) — which is what lets every
+  // same-size design in a batch share one cached oracle response.
+  util::Rng key_rng = rng.fork();
+  util::Rng vec_rng = rng.fork();
+  const std::size_t want_keys =
+      design.key.empty()
+          ? 1
+          : std::max<std::size_t>(
+                1, std::min<std::size_t>(config_.corruption_keys, 64));
+  const std::size_t vectors =
+      std::max<std::size_t>(1, config_.corruption_vectors / want_keys);
+
+  netlist::KeyBatch local_batch;
+  netlist::KeyBatch& batch =
+      workspace != nullptr ? workspace->key_batch : local_batch;
+  batch.reset(design.key.size());
+  // Lane 0: all bits flipped — the historical single-key adversarial proxy.
+  netlist::Key local_wrong;
+  netlist::Key& wrong =
+      workspace != nullptr ? workspace->wrong_key : local_wrong;
+  wrong = design.key;
   for (std::size_t b = 0; b < wrong.size(); ++b) wrong[b] = !wrong[b];
+  batch.push(wrong);
+  // Remaining lanes: uniform random wrong keys, one rng() word per 64 key
+  // bits per key (rejection vs the correct key; duplicates between lanes
+  // are fine — it is sampling with replacement).
+  for (std::size_t k = 1; k < want_keys; ++k) {
+    bool differs = false;
+    while (!differs) {
+      std::uint64_t bits = 0;
+      for (std::size_t b = 0; b < wrong.size(); ++b) {
+        if (b % 64 == 0) bits = key_rng();
+        const bool value = (bits >> (b % 64)) & 1ULL;
+        wrong[b] = value;
+        differs = differs || (value != design.key[b]);
+      }
+    }
+    batch.push(wrong);
+  }
+
+  std::vector<double> local_errors;
+  std::vector<double>& errors =
+      workspace != nullptr ? workspace->key_errors : local_errors;
   if (workspace != nullptr) {
     // Rebind the workspace's simulator slot to the design under test: the
-    // order/input captures and the per-word value buffers are all reused.
+    // order/input captures and the per-word value buffers are all reused,
+    // and the oracle reference blocks come from the shared cache.
     workspace->locked_sim.rebind(design.netlist);
-    return netlist::Simulator::output_error_rate(
-        workspace->locked_sim, wrong, *oracle_sim_, netlist::Key{},
-        config_.corruption_vectors, rng, workspace->sim);
+    const OracleBlocks& blocks =
+        oracle_blocks(design.netlist.size(), vectors, vec_rng);
+    netlist::Simulator::multi_key_error_rate(workspace->locked_sim, batch,
+                                             blocks.in_words, blocks.ref_words,
+                                             vectors, workspace->sim, errors);
+  } else {
+    // Legacy allocating path (workspaces=false): same probe set, same
+    // results, fresh buffers per call.
+    const netlist::Simulator locked_sim(design.netlist);
+    netlist::SimScratch scratch;
+    std::vector<std::uint64_t> in_words, ref_words;
+    netlist::Simulator::multi_key_error_rate(
+        locked_sim, batch, *oracle_sim_, netlist::Key{}, vectors, vec_rng,
+        scratch, in_words, ref_words, errors);
+    corruption_sweeps_.fetch_add((vectors + 63) / 64,
+                                 std::memory_order_relaxed);
   }
-  const netlist::Simulator locked_sim(design.netlist);
-  return netlist::Simulator::output_error_rate(locked_sim, wrong, *oracle_sim_,
-                                               netlist::Key{},
-                                               config_.corruption_vectors,
-                                               rng);
+  corruption_probes_.fetch_add(batch.size() * vectors,
+                               std::memory_order_relaxed);
+  corruption_sweeps_.fetch_add(vectors, std::memory_order_relaxed);
+
+  double sum = 0.0;
+  for (const double err : errors) sum += err;
+  return sum / static_cast<double>(errors.size());
 }
 
 ga::Evaluation EvalPipeline::score(const LockedDesign& design,
@@ -254,6 +331,10 @@ EvalPipeline::BatchStats EvalPipeline::evaluate_batch(
     FitnessCache<Value>& cache, NeedsEval needs_eval, ResultOf result_of,
     Compute compute) {
   BatchStats stats;
+  const std::size_t probes_before =
+      corruption_probes_.load(std::memory_order_relaxed);
+  const std::size_t sweeps_before =
+      corruption_sweeps_.load(std::memory_order_relaxed);
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < population.size(); ++i) {
     if (!needs_eval(population[i])) continue;
@@ -312,6 +393,10 @@ EvalPipeline::BatchStats EvalPipeline::evaluate_batch(
     }
   }
   stats.evaluated = pending.size();
+  stats.corruption_probes =
+      corruption_probes_.load(std::memory_order_relaxed) - probes_before;
+  stats.corruption_sweeps =
+      corruption_sweeps_.load(std::memory_order_relaxed) - sweeps_before;
   cache_hits_.fetch_add(stats.cache_hits, std::memory_order_relaxed);
   return stats;
 }

@@ -23,7 +23,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/ga.hpp"
@@ -50,8 +52,16 @@ struct EvalPipelineConfig {
   /// Weight of the wrong-key corruption term added to the scalar fitness
   /// (0 = attack accuracy only, the paper's behaviour).
   double corruption_weight = 0.0;
-  /// Random vectors per corruption estimate.
+  /// Total (wrong key, vector) probe budget per corruption estimate: the
+  /// budget is spread over `corruption_keys` wrong keys, each probed on
+  /// max(1, corruption_vectors / corruption_keys) shared random vectors via
+  /// the lane-transposed multi-key simulator path.
   std::size_t corruption_vectors = 256;
+  /// Wrong keys sampled per corruption estimate (capped at 64 — one key
+  /// per bit lane). Lane 0 is the all-bits-flipped adversarial key (the
+  /// historical single-key proxy); the remaining lanes are uniform random
+  /// wrong keys.
+  std::size_t corruption_keys = 64;
   /// Append `1 - min(corruption, 0.5) / 0.5` as an extra minimized
   /// objective (multi-objective runs only).
   bool corruption_objective = false;
@@ -132,9 +142,13 @@ class EvalPipeline {
   std::vector<double> score_objectives(
       const lock::LockedDesign& design,
       EvalWorkspace* workspace = nullptr) const;
-  /// Wrong-key output corruption against the shared oracle simulator. The
-  /// sampled vectors mix the configured seed, so distinct pipeline seeds
-  /// probe distinct vector sets (and equal seeds reproduce exactly).
+  /// Mean wrong-key output corruption against the shared oracle simulator,
+  /// over `corruption_keys` wrong keys (lane 0 = all bits flipped, the rest
+  /// uniform random) probed on shared random vectors via one lane-transposed
+  /// multi-key sweep per vector. The key and vector streams mix the
+  /// configured seed and are forked independently (keys first), so distinct
+  /// pipeline seeds probe distinct sets, equal seeds reproduce exactly, and
+  /// the key count never shifts the vector draws.
   double corruption(const lock::LockedDesign& design,
                     EvalWorkspace* workspace = nullptr) const;
 
@@ -153,6 +167,11 @@ class EvalPipeline {
   struct BatchStats {
     std::size_t cache_hits = 0;
     std::size_t evaluated = 0;  // attack/fitness invocations (cache misses)
+    /// (wrong key, vector) corruption probes sampled during this batch.
+    std::size_t corruption_probes = 0;
+    /// Topological simulator sweeps those probes cost (DUT multi-key sweeps
+    /// plus uncached oracle reference sweeps).
+    std::size_t corruption_sweeps = 0;
   };
 
   /// Evaluates a GA population in parallel (thread pool permitting).
@@ -177,6 +196,15 @@ class EvalPipeline {
   std::size_t evaluations() const noexcept { return evaluations_.load(); }
   /// Total cache hits since construction.
   std::size_t cache_hits() const noexcept { return cache_hits_.load(); }
+  /// Total (wrong key, vector) corruption probes since construction.
+  std::size_t corruption_probes() const noexcept {
+    return corruption_probes_.load();
+  }
+  /// Total simulator sweeps those probes cost (oracle reference sweeps are
+  /// cached per netlist size, so a population batch pays them once).
+  std::size_t corruption_sweeps() const noexcept {
+    return corruption_sweeps_.load();
+  }
   void clear_cache();
 
  private:
@@ -201,6 +229,21 @@ class EvalPipeline {
                             NeedsEval needs_eval, ResultOf result_of,
                             Compute compute);
 
+  /// Cached oracle response blocks for one corruption vector stream. The
+  /// stream is a pure function of (config seed, netlist size), so every
+  /// same-size design in a population batch shares one entry — the oracle
+  /// reference sweeps are paid once per batch, not once per individual.
+  struct OracleBlocks {
+    std::vector<std::uint64_t> in_words;
+    std::vector<std::uint64_t> ref_words;
+  };
+  /// Returns (filling on first use) the oracle blocks for `vectors` vectors
+  /// drawn from `vec_rng`'s stream. Thread-safe; entries are immutable once
+  /// filled, so the returned reference stays valid across the map's growth.
+  const OracleBlocks& oracle_blocks(std::size_t netlist_size,
+                                    std::size_t vectors,
+                                    util::Rng vec_rng) const;
+
   const netlist::Netlist* original_;
   lock::SiteContext context_;
   EvalPipelineConfig config_;
@@ -212,6 +255,10 @@ class EvalPipeline {
   FitnessCache<std::vector<double>> objective_cache_;
   std::atomic<std::size_t> evaluations_{0};
   std::atomic<std::size_t> cache_hits_{0};
+  mutable std::atomic<std::size_t> corruption_probes_{0};
+  mutable std::atomic<std::size_t> corruption_sweeps_{0};
+  mutable std::mutex oracle_mutex_;
+  mutable std::unordered_map<std::uint64_t, OracleBlocks> oracle_blocks_;
 };
 
 }  // namespace autolock::eval

@@ -30,35 +30,57 @@ CorruptionReport measure_corruption(const LockedDesign& design,
                                     std::size_t key_trials,
                                     std::size_t vectors, std::uint64_t seed) {
   util::Rng rng(seed);
+  // Draw-order contract: the key stream and the vector stream are forked
+  // independently (keys first), so rejection redraws while sampling wrong
+  // keys never shift the vector draws — and a ragged (< 64 key) final batch
+  // consumes exactly the same vector stream as a full one.
+  util::Rng key_rng = rng.fork();
+  util::Rng vec_rng = rng.fork();
   const Simulator locked_sim(design.netlist);
   const Simulator original_sim(original);
 
   CorruptionReport report;
   if (design.key.empty() || key_trials == 0) return report;
 
+  netlist::KeyBatch batch;
+  netlist::SimScratch scratch;
+  std::vector<std::uint64_t> in_words, ref_words;
+  std::vector<double> errors;
+  Key wrong = design.key;
   double sum = 0.0;
-  for (std::size_t trial = 0; trial < key_trials; ++trial) {
-    // Draw a uniformly random key != the correct key (flip >= 1 bit).
-    Key wrong = design.key;
-    bool differs = false;
-    while (!differs) {
-      for (std::size_t b = 0; b < wrong.size(); ++b) {
-        wrong[b] = rng.next_bool();
-        differs = differs || (wrong[b] != design.key[b]);
+  bool first = true;
+  std::size_t remaining = key_trials;
+  while (remaining > 0) {
+    // Up to 64 wrong keys share one batch of `vectors` random vectors: one
+    // lane-transposed multi-key sweep per vector answers every key at once.
+    const std::size_t take = remaining < 64 ? remaining : 64;
+    batch.reset(design.key.size());
+    for (std::size_t t = 0; t < take; ++t) {
+      // Draw a uniformly random key != the correct key (flip >= 1 bit).
+      bool differs = false;
+      while (!differs) {
+        for (std::size_t b = 0; b < wrong.size(); ++b) {
+          wrong[b] = key_rng.next_bool();
+          differs = differs || (wrong[b] != design.key[b]);
+        }
       }
+      batch.push(wrong);
     }
-    const double err = Simulator::output_error_rate(
-        locked_sim, wrong, original_sim, Key{}, vectors, rng);
-    sum += err;
-    if (trial == 0) {
-      report.min_error_rate = report.max_error_rate = err;
-    } else {
-      report.min_error_rate = std::min(report.min_error_rate, err);
-      report.max_error_rate = std::max(report.max_error_rate, err);
+    Simulator::multi_key_error_rate(locked_sim, batch, original_sim, Key{},
+                                    vectors, vec_rng, scratch, in_words,
+                                    ref_words, errors);
+    for (const double err : errors) {
+      sum += err;
+      if (first) {
+        report.min_error_rate = report.max_error_rate = err;
+        first = false;
+      } else {
+        report.min_error_rate = std::min(report.min_error_rate, err);
+        report.max_error_rate = std::max(report.max_error_rate, err);
+      }
+      if (err == 0.0) report.silent_wrong_keys += 1.0;
     }
-    if (err == 0.0) {
-      report.silent_wrong_keys += 1.0;
-    }
+    remaining -= take;
   }
   report.keys_sampled = key_trials;
   report.mean_error_rate = sum / static_cast<double>(key_trials);

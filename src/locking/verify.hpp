@@ -36,8 +36,12 @@ struct CorruptionReport {
   std::size_t keys_sampled = 0;
 };
 
-/// Samples `key_trials` uniformly random wrong keys (and, for each, `vectors`
-/// random input vectors) and measures output corruption vs the original.
+/// Samples `key_trials` uniformly random wrong keys and measures output
+/// corruption vs the original on `vectors` random input vectors. Keys are
+/// probed in lane-transposed batches of up to 64 that share one vector set
+/// (one multi-key sweep answers every key in the batch per vector); the key
+/// and vector RNG streams are forked from `seed` independently, so the key
+/// count never shifts the vector draws.
 CorruptionReport measure_corruption(const LockedDesign& design,
                                     const netlist::Netlist& original,
                                     std::size_t key_trials = 32,

@@ -5,6 +5,22 @@
 
 namespace autolock::netlist {
 
+void KeyBatch::push(const Key& key) {
+  if (count_ == 64) {
+    throw std::invalid_argument("KeyBatch::push: batch already holds 64 keys");
+  }
+  if (key.size() != words_.size()) {
+    throw std::invalid_argument("KeyBatch::push: key width mismatch (want " +
+                                std::to_string(words_.size()) + ", got " +
+                                std::to_string(key.size()) + ")");
+  }
+  const std::uint64_t lane = 1ULL << count_;
+  for (std::size_t j = 0; j < key.size(); ++j) {
+    if (key[j]) words_[j] |= lane;
+  }
+  ++count_;
+}
+
 void Simulator::rebind(const Netlist& netlist) {
   netlist_ = &netlist;
   order_ = netlist.topological_order();  // copy-assign: reuses capacity
@@ -17,6 +33,65 @@ void Simulator::rebind(const Netlist& netlist) {
       primary_inputs_.push_back(id);
     }
   }
+  // Flatten the sweep: the old inner loop dereferenced Node::fanins (a heap
+  // vector) per gate per word; the flat arrays below make it three linear
+  // streams.
+  step_ids_.clear();
+  step_types_.clear();
+  step_offsets_.clear();
+  step_fanins_.clear();
+  step_offsets_.push_back(0);
+  for (const NodeId v : order_) {
+    const Node& node = netlist.node(v);
+    if (node.type == GateType::kInput) continue;
+    step_ids_.push_back(v);
+    step_types_.push_back(node.type);
+    step_fanins_.insert(step_fanins_.end(), node.fanins.begin(),
+                        node.fanins.end());
+    step_offsets_.push_back(static_cast<std::uint32_t>(step_fanins_.size()));
+  }
+}
+
+void Simulator::sweep(std::vector<std::uint64_t>& value) const {
+  std::uint64_t fanin_words[24];
+  const std::size_t steps = step_ids_.size();
+  const NodeId* __restrict fanins = step_fanins_.data();
+  const std::uint32_t* __restrict offsets = step_offsets_.data();
+  for (std::size_t s = 0; s < steps; ++s) {
+    const std::uint32_t begin = offsets[s];
+    const std::size_t n = offsets[s + 1] - begin;
+    if (n <= 24) {
+      for (std::size_t i = 0; i < n; ++i) {
+        fanin_words[i] = value[fanins[begin + i]];
+      }
+      value[step_ids_[s]] = eval_gate_words(step_types_[s], fanin_words, n);
+    } else {
+      // Rare wide gate: fall back to a heap gather.
+      std::vector<std::uint64_t> wide(n);
+      for (std::size_t i = 0; i < n; ++i) wide[i] = value[fanins[begin + i]];
+      value[step_ids_[s]] = eval_gate_words(step_types_[s], wide.data(), n);
+    }
+  }
+}
+
+void Simulator::load_primary(const std::vector<std::uint64_t>& primary_words,
+                             SimScratch& scratch) const {
+  if (primary_words.size() != primary_inputs_.size()) {
+    throw std::invalid_argument("Simulator: primary input word count mismatch");
+  }
+  // No zero-fill needed: every input is written and every non-input node is
+  // written during the topological sweep.
+  scratch.values.resize(netlist_->size());
+  for (std::size_t i = 0; i < primary_inputs_.size(); ++i) {
+    scratch.values[primary_inputs_[i]] = primary_words[i];
+  }
+}
+
+void Simulator::store_outputs(const std::vector<std::uint64_t>& value,
+                              std::vector<std::uint64_t>& out) const {
+  out.resize(netlist_->outputs().size());
+  std::size_t o = 0;
+  for (const auto& port : netlist_->outputs()) out[o++] = value[port.driver];
 }
 
 std::vector<std::uint64_t> Simulator::run_word(
@@ -30,44 +105,36 @@ std::vector<std::uint64_t> Simulator::run_word(
 void Simulator::run_word_into(const std::vector<std::uint64_t>& primary_words,
                               const Key& key, SimScratch& scratch,
                               std::vector<std::uint64_t>& out) const {
-  if (primary_words.size() != primary_inputs_.size()) {
-    throw std::invalid_argument("Simulator: primary input word count mismatch");
-  }
   if (key.size() != key_inputs_.size()) {
     throw std::invalid_argument("Simulator: key length mismatch (want " +
                                 std::to_string(key_inputs_.size()) + ", got " +
                                 std::to_string(key.size()) + ")");
   }
-  // No zero-fill needed: every input is written below and every non-input
-  // node is written during the topological sweep.
+  load_primary(primary_words, scratch);
   std::vector<std::uint64_t>& value = scratch.values;
-  value.resize(netlist_->size());
-  for (std::size_t i = 0; i < primary_inputs_.size(); ++i) {
-    value[primary_inputs_[i]] = primary_words[i];
-  }
   for (std::size_t j = 0; j < key_inputs_.size(); ++j) {
     value[key_inputs_[j]] = key[j] ? ~0ULL : 0ULL;
   }
-  std::uint64_t fanin_words[24];
-  for (NodeId v : order_) {
-    const Node& node = netlist_->node(v);
-    if (node.type == GateType::kInput) continue;
-    if (node.fanins.size() <= 24) {
-      for (std::size_t i = 0; i < node.fanins.size(); ++i) {
-        fanin_words[i] = value[node.fanins[i]];
-      }
-      value[v] = eval_gate_words(node.type, fanin_words, node.fanins.size());
-    } else {
-      std::vector<std::uint64_t> wide(node.fanins.size());
-      for (std::size_t i = 0; i < node.fanins.size(); ++i) {
-        wide[i] = value[node.fanins[i]];
-      }
-      value[v] = eval_gate_words(node.type, wide.data(), wide.size());
-    }
+  sweep(value);
+  store_outputs(value, out);
+}
+
+void Simulator::run_multi_key_word_into(
+    const std::vector<std::uint64_t>& primary_words, const KeyBatch& keys,
+    SimScratch& scratch, std::vector<std::uint64_t>& out) const {
+  if (keys.key_bits() != key_inputs_.size()) {
+    throw std::invalid_argument(
+        "Simulator: key batch width mismatch (want " +
+        std::to_string(key_inputs_.size()) + ", got " +
+        std::to_string(keys.key_bits()) + ")");
   }
-  out.resize(netlist_->outputs().size());
-  std::size_t o = 0;
-  for (const auto& port : netlist_->outputs()) out[o++] = value[port.driver];
+  load_primary(primary_words, scratch);
+  std::vector<std::uint64_t>& value = scratch.values;
+  for (std::size_t j = 0; j < key_inputs_.size(); ++j) {
+    value[key_inputs_[j]] = keys.word(j);
+  }
+  sweep(value);
+  store_outputs(value, out);
 }
 
 std::vector<bool> Simulator::run_single(const std::vector<bool>& primary_bits,
@@ -83,6 +150,16 @@ std::vector<bool> Simulator::run_single(const std::vector<bool>& primary_bits,
   }
   return out;
 }
+
+namespace {
+
+/// Valid-lane mask for 64-vector block `block` of a `vectors`-long run.
+std::uint64_t tail_mask(std::size_t vectors, std::size_t block) noexcept {
+  const std::size_t remaining = vectors - block * 64;
+  return remaining >= 64 ? ~0ULL : ((1ULL << remaining) - 1ULL);
+}
+
+}  // namespace
 
 double Simulator::output_error_rate(const Simulator& dut, const Key& dut_key,
                                     const Simulator& reference,
@@ -112,15 +189,111 @@ double Simulator::output_error_rate(const Simulator& dut, const Key& dut_key,
     for (auto& word : in) word = rng();
     dut.run_word_into(in, dut_key, scratch, scratch.out_a);
     reference.run_word_into(in, reference_key, scratch, scratch.out_b);
+    // Only the first `vectors` lanes count; the final word is masked so a
+    // ragged vector count is not silently rounded up.
+    const std::uint64_t valid = tail_mask(vectors, w);
     for (std::size_t o = 0; o < scratch.out_a.size(); ++o) {
       diff_bits += static_cast<std::size_t>(
-          std::popcount(scratch.out_a[o] ^ scratch.out_b[o]));
+          std::popcount((scratch.out_a[o] ^ scratch.out_b[o]) & valid));
     }
   }
   const double total =
-      static_cast<double>(words) * 64.0 *
+      static_cast<double>(vectors) *
       static_cast<double>(dut.netlist_->outputs().size());
   return static_cast<double>(diff_bits) / total;
+}
+
+void Simulator::draw_reference_blocks(const Simulator& reference,
+                                      const Key& reference_key,
+                                      std::size_t vectors, util::Rng& rng,
+                                      SimScratch& scratch,
+                                      std::vector<std::uint64_t>& in_words,
+                                      std::vector<std::uint64_t>& ref_words) {
+  const std::size_t blocks = (vectors + 63) / 64;
+  const std::size_t num_in = reference.primary_inputs_.size();
+  const std::size_t num_out = reference.netlist_->outputs().size();
+  in_words.resize(blocks * num_in);
+  ref_words.resize(blocks * num_out);
+  std::vector<std::uint64_t>& in = scratch.in;
+  in.resize(num_in);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    // Draw-order contract: one rng() word per primary input per 64-vector
+    // block, exactly like output_error_rate — a partial tail block draws
+    // the same words as a full one.
+    for (auto& word : in) word = rng();
+    reference.run_word_into(in, reference_key, scratch, scratch.out_b);
+    std::copy(in.begin(), in.end(), in_words.begin() + b * num_in);
+    std::copy(scratch.out_b.begin(), scratch.out_b.end(),
+              ref_words.begin() + b * num_out);
+  }
+}
+
+void Simulator::multi_key_error_rate(const Simulator& dut,
+                                     const KeyBatch& keys,
+                                     const std::vector<std::uint64_t>& in_words,
+                                     const std::vector<std::uint64_t>& ref_words,
+                                     std::size_t vectors, SimScratch& scratch,
+                                     std::vector<double>& error_rates) {
+  const std::size_t num_in = dut.primary_inputs_.size();
+  const std::size_t num_out = dut.netlist_->outputs().size();
+  const std::size_t blocks = (vectors + 63) / 64;
+  if (in_words.size() != blocks * num_in ||
+      ref_words.size() != blocks * num_out) {
+    throw std::invalid_argument(
+        "Simulator::multi_key_error_rate: reference block size mismatch");
+  }
+  error_rates.assign(keys.size(), 0.0);
+  if (keys.size() == 0 || vectors == 0) return;
+  std::vector<std::size_t>& diffs = scratch.lane_diffs;
+  diffs.assign(64, 0);
+  std::vector<std::uint64_t>& lane_in = scratch.lane_in;
+  lane_in.resize(num_in);
+  const std::uint64_t lanes = keys.lane_mask();
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::uint64_t* in = in_words.data() + b * num_in;
+    const std::uint64_t* ref = ref_words.data() + b * num_out;
+    // Tail contract: exactly `vectors` vectors count — a partial final
+    // block sweeps only its valid lanes (cheaper, never rounded up).
+    const std::size_t valid = vectors - b * 64 >= 64 ? 64 : vectors - b * 64;
+    for (std::size_t v = 0; v < valid; ++v) {
+      for (std::size_t i = 0; i < num_in; ++i) {
+        lane_in[i] = ((in[i] >> v) & 1ULL) ? ~0ULL : 0ULL;
+      }
+      dut.run_multi_key_word_into(lane_in, keys, scratch, scratch.out_a);
+      for (std::size_t o = 0; o < num_out; ++o) {
+        const std::uint64_t ref_bit = ((ref[o] >> v) & 1ULL) ? ~0ULL : 0ULL;
+        std::uint64_t diff = (scratch.out_a[o] ^ ref_bit) & lanes;
+        while (diff) {
+          ++diffs[static_cast<std::size_t>(std::countr_zero(diff))];
+          diff &= diff - 1;
+        }
+      }
+    }
+  }
+  const double total = static_cast<double>(vectors) *
+                       static_cast<double>(num_out);
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    error_rates[k] = static_cast<double>(diffs[k]) / total;
+  }
+}
+
+void Simulator::multi_key_error_rate(const Simulator& dut, const KeyBatch& keys,
+                                     const Simulator& reference,
+                                     const Key& reference_key,
+                                     std::size_t vectors, util::Rng& rng,
+                                     SimScratch& scratch,
+                                     std::vector<std::uint64_t>& in_words,
+                                     std::vector<std::uint64_t>& ref_words,
+                                     std::vector<double>& error_rates) {
+  if (dut.primary_inputs_.size() != reference.primary_inputs_.size() ||
+      dut.netlist_->outputs().size() != reference.netlist_->outputs().size()) {
+    throw std::invalid_argument(
+        "Simulator::multi_key_error_rate: interface mismatch");
+  }
+  draw_reference_blocks(reference, reference_key, vectors, rng, scratch,
+                        in_words, ref_words);
+  multi_key_error_rate(dut, keys, in_words, ref_words, vectors, scratch,
+                       error_rates);
 }
 
 bool Simulator::equivalent_on_random_vectors(const Simulator& a,
@@ -134,13 +307,14 @@ bool Simulator::equivalent_on_random_vectors(const Simulator& a,
     return false;
   }
   const std::size_t words = (vectors + 63) / 64;
-  std::vector<std::uint64_t> in(a.primary_inputs_.size());
+  SimScratch scratch;
+  scratch.in.resize(a.primary_inputs_.size());
   for (std::size_t w = 0; w < words; ++w) {
-    for (auto& word : in) word = rng();
-    const auto ra = a.run_word(in, a_key);
-    const auto rb = b.run_word(in, b_key);
-    for (std::size_t o = 0; o < ra.size(); ++o) {
-      if (ra[o] != rb[o]) return false;
+    for (auto& word : scratch.in) word = rng();
+    a.run_word_into(scratch.in, a_key, scratch, scratch.out_a);
+    b.run_word_into(scratch.in, b_key, scratch, scratch.out_b);
+    for (std::size_t o = 0; o < scratch.out_a.size(); ++o) {
+      if (scratch.out_a[o] != scratch.out_b[o]) return false;
     }
   }
   return true;
@@ -158,7 +332,8 @@ bool Simulator::equivalent_exhaustive(const Simulator& a, const Key& a_key,
         "Simulator::equivalent_exhaustive: too many inputs");
   }
   const std::uint64_t total = 1ULL << n;
-  std::vector<std::uint64_t> in(n);
+  SimScratch scratch;
+  scratch.in.resize(n);
   for (std::uint64_t base = 0; base < total; base += 64) {
     // Vector (base + i) occupies bit i of the word.
     for (std::size_t bit = 0; bit < n; ++bit) {
@@ -166,14 +341,14 @@ bool Simulator::equivalent_exhaustive(const Simulator& a, const Key& a_key,
       for (std::uint64_t i = 0; i < 64 && base + i < total; ++i) {
         if (((base + i) >> bit) & 1ULL) word |= (1ULL << i);
       }
-      in[bit] = word;
+      scratch.in[bit] = word;
     }
     const std::uint64_t valid =
         (total - base >= 64) ? ~0ULL : ((1ULL << (total - base)) - 1);
-    const auto ra = a.run_word(in, a_key);
-    const auto rb = b.run_word(in, b_key);
-    for (std::size_t o = 0; o < ra.size(); ++o) {
-      if (((ra[o] ^ rb[o]) & valid) != 0) return false;
+    a.run_word_into(scratch.in, a_key, scratch, scratch.out_a);
+    b.run_word_into(scratch.in, b_key, scratch, scratch.out_b);
+    for (std::size_t o = 0; o < scratch.out_a.size(); ++o) {
+      if (((scratch.out_a[o] ^ scratch.out_b[o]) & valid) != 0) return false;
     }
   }
   return true;

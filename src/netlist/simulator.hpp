@@ -1,8 +1,21 @@
 // 64-way bit-parallel functional simulator.
 //
-// Each simulation "word" carries 64 independent test vectors: bit i of every
-// signal word belongs to vector i. This makes random-vector equivalence
-// screening and output-corruption measurement cheap (one pass ≈ 64 vectors).
+// Lane semantics — the 64 bits of a simulation word are "lanes", and the
+// simulator supports two orientations:
+//
+//   - lanes = input patterns (run_word_into, output_error_rate, the
+//     equivalence screens): bit i of every signal word belongs to test
+//     vector i, and the key is broadcast (`key[j] ? ~0 : 0`). One sweep
+//     answers 64 input vectors for ONE key.
+//   - lanes = keys (run_multi_key_word_into, multi_key_error_rate): the
+//     primary inputs are broadcast (one fixed vector) and bit k of every
+//     key-input word belongs to wrong key k. One sweep answers ONE input
+//     vector for up to 64 DISTINCT keys.
+//
+// The second orientation is what makes wrong-key corruption sampling cheap:
+// probing W keys on V vectors costs V multi-key sweeps plus ceil(V/64)
+// reference sweeps, instead of the W * 2 * ceil(V/64) sweeps a per-key
+// output_error_rate loop pays (which also rounds V up to 64 per key).
 #pragma once
 
 #include <cstdint>
@@ -21,10 +34,44 @@ using Key = std::vector<bool>;
 /// hundreds of words per individual, so the buffers live in the caller's
 /// workspace and are resized (never reallocated once warm) per call.
 struct SimScratch {
-  std::vector<std::uint64_t> values;  // one word per netlist node
-  std::vector<std::uint64_t> in;      // random input words
-  std::vector<std::uint64_t> out_a;   // DUT output words
-  std::vector<std::uint64_t> out_b;   // reference output words
+  std::vector<std::uint64_t> values;    // one word per netlist node
+  std::vector<std::uint64_t> in;        // random input words
+  std::vector<std::uint64_t> out_a;     // DUT output words
+  std::vector<std::uint64_t> out_b;     // reference output words
+  // Multi-key (lanes = keys) buffers:
+  std::vector<std::uint64_t> lane_in;   // broadcast primary words, one vector
+  std::vector<std::size_t> lane_diffs;  // per-key-lane mismatch counters
+};
+
+/// Packs up to 64 distinct keys into lane-transposed key words: bit k of
+/// word(j) is key k's value for key input j. Lanes are assigned in push()
+/// order; lanes >= size() are zero and must be masked out via lane_mask().
+class KeyBatch {
+ public:
+  /// Starts a fresh batch over `key_bits` key inputs (buffer reused).
+  void reset(std::size_t key_bits) {
+    words_.assign(key_bits, 0);
+    count_ = 0;
+  }
+
+  /// Appends one key into the next free lane. Throws when the batch is full
+  /// or the key width does not match reset()'s `key_bits`.
+  void push(const Key& key);
+
+  /// Number of keys packed so far (= occupied lanes).
+  std::size_t size() const noexcept { return count_; }
+  bool full() const noexcept { return count_ == 64; }
+  std::size_t key_bits() const noexcept { return words_.size(); }
+  /// Low size() bits set — ANDed with output words to drop unused lanes.
+  std::uint64_t lane_mask() const noexcept {
+    return count_ == 64 ? ~0ULL : ((1ULL << count_) - 1ULL);
+  }
+  /// Lane-transposed word for key input j.
+  std::uint64_t word(std::size_t j) const { return words_[j]; }
+
+ private:
+  std::vector<std::uint64_t> words_;  // one word per key input
+  std::size_t count_ = 0;
 };
 
 class Simulator {
@@ -40,14 +87,17 @@ class Simulator {
   /// Re-captures `netlist` (same contract as the constructor), reusing the
   /// order/input buffers from the previous binding — evaluation loops
   /// rebind one workspace simulator per decoded design instead of
-  /// constructing a fresh one.
+  /// constructing a fresh one. Also flattens the sweep into step arrays
+  /// (gate type + CSR fanins per non-input node, topological order) so the
+  /// inner loop chases no per-Node heap vectors.
   void rebind(const Netlist& netlist);
 
   const Netlist& netlist() const noexcept { return *netlist_; }
 
-  /// Simulates one word. `primary_words[i]` feeds primary input i (in
-  /// primary_inputs() order); key bit j (in key_inputs() order) is broadcast
-  /// across the word. Returns one word per output port.
+  /// Simulates one word with lanes = input patterns. `primary_words[i]`
+  /// feeds primary input i (in primary_inputs() order); key bit j (in
+  /// key_inputs() order) is broadcast across the word. Returns one word per
+  /// output port.
   std::vector<std::uint64_t> run_word(
       const std::vector<std::uint64_t>& primary_words, const Key& key) const;
 
@@ -58,14 +108,26 @@ class Simulator {
                      const Key& key, SimScratch& scratch,
                      std::vector<std::uint64_t>& out) const;
 
+  /// Simulates one word with lanes = keys: `primary_words[i]` is broadcast
+  /// (use ~0ULL / 0ULL per input to encode one fixed vector) and key input
+  /// j carries `keys.word(j)`, so output bit k is the circuit's response to
+  /// the fixed vector under key k. Lanes >= keys.size() compute under
+  /// all-zero key bits; callers must mask them via keys.lane_mask().
+  void run_multi_key_word_into(const std::vector<std::uint64_t>& primary_words,
+                               const KeyBatch& keys, SimScratch& scratch,
+                               std::vector<std::uint64_t>& out) const;
+
   /// Single-vector convenience (bools in primary_inputs() order).
   std::vector<bool> run_single(const std::vector<bool>& primary_bits,
                                const Key& key) const;
 
-  /// Draws `vectors` random input vectors (rounded up to a multiple of 64)
-  /// and returns the fraction of (vector, output) pairs on which this
-  /// netlist under `key` differs from `reference` under `reference_key`.
-  /// Both netlists must have identical primary-input and output counts.
+  /// Draws `vectors` random input vectors and returns the fraction of
+  /// (vector, output) pairs on which this netlist under `key` differs from
+  /// `reference` under `reference_key`. Exactly `vectors` lanes count: the
+  /// final word is masked when `vectors` is not a multiple of 64 (the rng
+  /// still draws one word per primary input per 64-vector block, so the
+  /// draw stream is independent of the tail). Both netlists must have
+  /// identical primary-input and output counts.
   static double output_error_rate(const Simulator& dut, const Key& dut_key,
                                   const Simulator& reference,
                                   const Key& reference_key,
@@ -78,9 +140,52 @@ class Simulator {
                                   std::size_t vectors, util::Rng& rng,
                                   SimScratch& scratch);
 
+  // ---- multi-key corruption (lanes = keys) --------------------------------
+
+  /// Draws ceil(vectors/64) input blocks and the reference response in one
+  /// pass: `in_words` receives blocks * primary_inputs words (one rng()
+  /// draw per primary input per block — the exact stream output_error_rate
+  /// consumes, so the draw-order contract is shared) and `ref_words`
+  /// receives blocks * outputs words of `reference` under `reference_key`.
+  /// The pair can be reused across many multi_key_error_rate calls — this
+  /// is how a population batch amortizes oracle sweeps over every wrong-key
+  /// sample set.
+  static void draw_reference_blocks(const Simulator& reference,
+                                    const Key& reference_key,
+                                    std::size_t vectors, util::Rng& rng,
+                                    SimScratch& scratch,
+                                    std::vector<std::uint64_t>& in_words,
+                                    std::vector<std::uint64_t>& ref_words);
+
+  /// Per-key corruption against precomputed reference blocks: for each key
+  /// lane k of `keys`, `error_rates[k]` is the fraction of the
+  /// `vectors` * outputs (vector, output) pairs where `dut` under key k
+  /// differs from the reference response. Exactly `vectors` vectors count
+  /// (same tail contract as output_error_rate — partial final blocks never
+  /// touch lanes past the tail), and unused key lanes are masked out.
+  /// Results are bit-identical to a per-key output_error_rate loop over the
+  /// same input blocks. Costs `vectors` multi-key sweeps.
+  static void multi_key_error_rate(const Simulator& dut, const KeyBatch& keys,
+                                   const std::vector<std::uint64_t>& in_words,
+                                   const std::vector<std::uint64_t>& ref_words,
+                                   std::size_t vectors, SimScratch& scratch,
+                                   std::vector<double>& error_rates);
+
+  /// Convenience overload drawing fresh vectors and the reference response
+  /// itself (draw-order contract: exactly draw_reference_blocks' stream).
+  static void multi_key_error_rate(const Simulator& dut, const KeyBatch& keys,
+                                   const Simulator& reference,
+                                   const Key& reference_key,
+                                   std::size_t vectors, util::Rng& rng,
+                                   SimScratch& scratch,
+                                   std::vector<std::uint64_t>& in_words,
+                                   std::vector<std::uint64_t>& ref_words,
+                                   std::vector<double>& error_rates);
+
   /// Random-vector equivalence screening: true if no difference was observed
-  /// on `vectors` random vectors (necessary, not sufficient, for
-  /// equivalence; use sat::check_equivalent for a proof).
+  /// on `vectors` random vectors, rounded up to whole 64-lane words (a
+  /// stricter screen never hurts; necessary, not sufficient, for
+  /// equivalence — use sat::check_equivalent for a proof).
   static bool equivalent_on_random_vectors(const Simulator& a, const Key& a_key,
                                            const Simulator& b, const Key& b_key,
                                            std::size_t vectors,
@@ -92,10 +197,23 @@ class Simulator {
                                     const Simulator& b, const Key& b_key);
 
  private:
+  /// Topological sweep over the flattened step arrays; `value` must hold
+  /// the input words already.
+  void sweep(std::vector<std::uint64_t>& value) const;
+  void load_primary(const std::vector<std::uint64_t>& primary_words,
+                    SimScratch& scratch) const;
+  void store_outputs(const std::vector<std::uint64_t>& value,
+                     std::vector<std::uint64_t>& out) const;
+
   const Netlist* netlist_ = nullptr;
   std::vector<NodeId> order_;
   std::vector<NodeId> primary_inputs_;
   std::vector<NodeId> key_inputs_;
+  // Flattened sweep (non-input nodes in topological order, CSR fanins).
+  std::vector<NodeId> step_ids_;
+  std::vector<GateType> step_types_;
+  std::vector<std::uint32_t> step_offsets_;
+  std::vector<NodeId> step_fanins_;
 };
 
 }  // namespace autolock::netlist

@@ -154,5 +154,131 @@ TEST(Gnn, EmptyEpochIsZeroLoss) {
   EXPECT_EQ(model.train_epoch({}, {}), 0.0);
 }
 
+// ---- GEMM micro-kernels vs naive reference ---------------------------------
+
+// The blocked kernels promise bit-identical results to the naive triple
+// loop (reduction innermost, ascending). Exercised over shapes that hit
+// every tile/remainder combination, including the ragged row counts the
+// per-sample GNN passes produce.
+
+void naive_gemm(const std::vector<double>& a, const std::vector<double>& b,
+                std::vector<double>& c, std::size_t m, std::size_t k,
+                std::size_t n, bool accumulate) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = accumulate ? c[i * n + j] : 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void naive_gemm_at(const std::vector<double>& a, const std::vector<double>& d,
+                   std::vector<double>& c, std::size_t m, std::size_t k,
+                   std::size_t n) {
+  for (std::size_t cc = 0; cc < k; ++cc) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = c[cc * n + j];
+      for (std::size_t p = 0; p < m; ++p) acc += a[p * k + cc] * d[p * n + j];
+      c[cc * n + j] = acc;
+    }
+  }
+}
+
+std::vector<double> random_buffer(std::size_t size, util::Rng& rng) {
+  std::vector<double> buffer(size);
+  for (double& value : buffer) value = 2.0 * rng.next_double() - 1.0;
+  return buffer;
+}
+
+TEST(GnnKernels, GemmMatchesNaiveReferenceExactly) {
+  util::Rng rng(0x6E11);
+  const std::size_t shapes[][3] = {{1, 1, 1},   {3, 5, 7},   {4, 8, 8},
+                                   {8, 32, 32}, {19, 28, 32}, {48, 32, 32},
+                                   {5, 32, 16}, {33, 17, 9},  {48, 32, 37}};
+  for (const auto& shape : shapes) {
+    const std::size_t m = shape[0], k = shape[1], n = shape[2];
+    const auto a = random_buffer(m * k, rng);
+    const auto b = random_buffer(k * n, rng);
+    for (const bool accumulate : {false, true}) {
+      auto c_kernel = random_buffer(m * n, rng);
+      auto c_naive = c_kernel;
+      detail::gemm(a.data(), b.data(), c_kernel.data(), m, k, n, accumulate);
+      naive_gemm(a, b, c_naive, m, k, n, accumulate);
+      for (std::size_t i = 0; i < c_kernel.size(); ++i) {
+        ASSERT_EQ(c_kernel[i], c_naive[i])
+            << m << "x" << k << "x" << n << " accumulate=" << accumulate
+            << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(GnnKernels, GemmAtMatchesNaiveReferenceExactly) {
+  util::Rng rng(0x6E12);
+  const std::size_t shapes[][3] = {{1, 1, 1},    {5, 3, 7},   {48, 32, 32},
+                                   {19, 28, 32}, {7, 33, 9},  {48, 32, 16}};
+  for (const auto& shape : shapes) {
+    const std::size_t m = shape[0], k = shape[1], n = shape[2];
+    const auto a = random_buffer(m * k, rng);
+    const auto d = random_buffer(m * n, rng);
+    auto c_kernel = random_buffer(k * n, rng);  // accumulates into grads
+    auto c_naive = c_kernel;
+    detail::gemm_at(a.data(), d.data(), c_kernel.data(), m, k, n);
+    naive_gemm_at(a, d, c_naive, m, k, n);
+    for (std::size_t i = 0; i < c_kernel.size(); ++i) {
+      ASSERT_EQ(c_kernel[i], c_naive[i])
+          << m << "x" << k << "x" << n << " element " << i;
+    }
+  }
+}
+
+TEST(GnnKernels, TransposeIsExact) {
+  util::Rng rng(0x6E13);
+  const auto in = random_buffer(7 * 13, rng);
+  std::vector<double> out(13 * 7), back(7 * 13);
+  detail::transpose(in.data(), out.data(), 7, 13);
+  detail::transpose(out.data(), back.data(), 13, 7);
+  EXPECT_EQ(in, back);
+  for (std::size_t r = 0; r < 7; ++r) {
+    for (std::size_t c = 0; c < 13; ++c) {
+      ASSERT_EQ(out[c * 7 + r], in[r * 13 + c]);
+    }
+  }
+}
+
+// ---- scratch reuse vs allocating convenience -------------------------------
+
+TEST(GnnScratchReuse, PredictMatchesAllocatingPath) {
+  util::Rng rng(0x5C1A);
+  const Gnn model(GnnConfig{}, 77);
+  GnnScratch scratch;  // deliberately reused across differently-sized graphs
+  for (int i = 0; i < 8; ++i) {
+    const Subgraph sub = random_subgraph(3 + 5 * i, i % 2, rng);
+    EXPECT_EQ(model.predict(sub, scratch), model.predict(sub));
+  }
+}
+
+TEST(GnnScratchReuse, TrainEpochMatchesAllocatingPath) {
+  util::Rng rng(0x5C1B);
+  std::vector<Subgraph> samples;
+  for (int i = 0; i < 12; ++i) {
+    samples.push_back(random_subgraph(4 + i, i % 2, rng));
+  }
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  Gnn with_scratch(GnnConfig{}, 909);
+  Gnn allocating(GnnConfig{}, 909);
+  GnnScratch scratch;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const double a = with_scratch.train_epoch(samples, order, scratch);
+    const double b = allocating.train_epoch(samples, order);
+    ASSERT_EQ(a, b) << "epoch " << epoch;
+  }
+  const Subgraph probe = random_subgraph(9, 1.0, rng);
+  EXPECT_EQ(with_scratch.predict(probe), allocating.predict(probe));
+}
+
 }  // namespace
 }  // namespace autolock::attack

@@ -1,0 +1,257 @@
+// The lane-transposed multi-key path (lanes = keys) is a pure performance
+// change: every rate it reports must be bit-identical to the single-key
+// (lanes = input patterns) machinery probing the same keys on the same
+// vectors. These tests pin that equivalence — full and ragged batches, the
+// shared draw-order contract between the two orientations, and the exact
+// tail accounting when `vectors` is not a multiple of 64.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "locking/mux_lock.hpp"
+#include "locking/verify.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace autolock {
+namespace {
+
+using netlist::Key;
+using netlist::KeyBatch;
+using netlist::Netlist;
+using netlist::Simulator;
+using netlist::SimScratch;
+
+Key random_key(std::size_t bits, util::Rng& rng) {
+  Key key(bits);
+  for (std::size_t b = 0; b < bits; ++b) key[b] = rng.next_bool();
+  return key;
+}
+
+// ---- run_multi_key_word_into vs a loop of single-key runs ------------------
+
+void expect_multi_key_matches_single_key_loop(std::size_t batch_size) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 11);
+  util::Rng lock_rng(0x1234);
+  const auto design = lock::dmux_lock(original, 16, 5);
+  const Simulator sim(design.netlist);
+  util::Rng rng(0x9876 + batch_size);
+
+  KeyBatch batch;
+  batch.reset(design.key.size());
+  std::vector<Key> keys;
+  for (std::size_t k = 0; k < batch_size; ++k) {
+    keys.push_back(random_key(design.key.size(), rng));
+    batch.push(keys.back());
+  }
+  ASSERT_EQ(batch.size(), batch_size);
+
+  // One fixed input vector, broadcast across lanes.
+  const std::size_t inputs = design.netlist.primary_inputs().size();
+  std::vector<std::uint64_t> primary(inputs);
+  std::vector<bool> primary_bits(inputs);
+  for (std::size_t i = 0; i < inputs; ++i) {
+    primary_bits[i] = rng.next_bool();
+    primary[i] = primary_bits[i] ? ~0ULL : 0ULL;
+  }
+
+  SimScratch scratch;
+  std::vector<std::uint64_t> out;
+  sim.run_multi_key_word_into(primary, batch, scratch, out);
+
+  for (std::size_t k = 0; k < batch_size; ++k) {
+    const std::vector<bool> single = sim.run_single(primary_bits, keys[k]);
+    ASSERT_EQ(single.size(), out.size());
+    for (std::size_t o = 0; o < out.size(); ++o) {
+      EXPECT_EQ(((out[o] >> k) & 1ULL) != 0, single[o])
+          << "key lane " << k << " output " << o;
+    }
+  }
+}
+
+TEST(MultiKeySim, FullBatchMatchesSingleKeyLoop) {
+  expect_multi_key_matches_single_key_loop(64);
+}
+
+TEST(MultiKeySim, RaggedBatchesMatchSingleKeyLoop) {
+  expect_multi_key_matches_single_key_loop(1);
+  expect_multi_key_matches_single_key_loop(7);
+  expect_multi_key_matches_single_key_loop(63);
+}
+
+TEST(MultiKeySim, KeyBatchGuardsWidthAndCapacity) {
+  KeyBatch batch;
+  batch.reset(4);
+  EXPECT_EQ(batch.lane_mask(), 0ULL);
+  batch.push(Key{true, false, true, false});
+  EXPECT_EQ(batch.lane_mask(), 1ULL);
+  EXPECT_THROW(batch.push(Key{true}), std::invalid_argument);
+  for (int k = 1; k < 64; ++k) batch.push(Key{false, true, false, true});
+  EXPECT_TRUE(batch.full());
+  EXPECT_EQ(batch.lane_mask(), ~0ULL);
+  EXPECT_THROW(batch.push(Key{true, true, true, true}), std::invalid_argument);
+}
+
+// ---- multi_key_error_rate vs per-key output_error_rate ---------------------
+
+// The two orientations share the draw-order contract (one rng() word per
+// primary input per 64-vector block), so seeding identical Rngs must make a
+// per-key output_error_rate loop reproduce every multi-key lane exactly.
+void expect_error_rates_match(std::size_t batch_size, std::size_t vectors) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 23);
+  const auto design = lock::dmux_lock(original, 16, 7);
+  const Simulator locked(design.netlist);
+  const Simulator reference(original);
+  util::Rng key_rng(0x5151 + batch_size + vectors);
+
+  KeyBatch batch;
+  batch.reset(design.key.size());
+  std::vector<Key> keys;
+  for (std::size_t k = 0; k < batch_size; ++k) {
+    keys.push_back(random_key(design.key.size(), key_rng));
+    batch.push(keys.back());
+  }
+
+  const std::uint64_t vec_seed = 0xFEED + vectors;
+  SimScratch scratch;
+  std::vector<std::uint64_t> in_words, ref_words;
+  std::vector<double> rates;
+  util::Rng vec_rng(vec_seed);
+  Simulator::multi_key_error_rate(locked, batch, reference, Key{}, vectors,
+                                  vec_rng, scratch, in_words, ref_words, rates);
+  ASSERT_EQ(rates.size(), batch_size);
+
+  for (std::size_t k = 0; k < batch_size; ++k) {
+    util::Rng per_key_rng(vec_seed);  // same stream as the multi-key draw
+    const double single = Simulator::output_error_rate(
+        locked, keys[k], reference, Key{}, vectors, per_key_rng, scratch);
+    EXPECT_EQ(rates[k], single) << "key " << k << " of " << batch_size
+                                << " on " << vectors << " vectors";
+  }
+}
+
+TEST(MultiKeyErrorRate, MatchesPerKeyOutputErrorRate) {
+  expect_error_rates_match(64, 128);
+  expect_error_rates_match(5, 64);
+}
+
+TEST(MultiKeyErrorRate, MatchesPerKeyOnRaggedTails) {
+  expect_error_rates_match(3, 1);
+  expect_error_rates_match(8, 63);
+  expect_error_rates_match(64, 100);
+  expect_error_rates_match(17, 200);
+}
+
+// Key-count independence: the vector stream is a pure function of the seed,
+// so a 5-key batch and a 64-key batch sharing its first 5 keys must report
+// identical rates for those keys.
+TEST(MultiKeyErrorRate, RatesIndependentOfBatchSize) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 31);
+  const auto design = lock::dmux_lock(original, 16, 9);
+  const Simulator locked(design.netlist);
+  const Simulator reference(original);
+  util::Rng key_rng(0xABC);
+
+  std::vector<Key> keys;
+  for (std::size_t k = 0; k < 64; ++k) {
+    keys.push_back(random_key(design.key.size(), key_rng));
+  }
+  KeyBatch small, large;
+  small.reset(design.key.size());
+  large.reset(design.key.size());
+  for (std::size_t k = 0; k < 5; ++k) small.push(keys[k]);
+  for (std::size_t k = 0; k < 64; ++k) large.push(keys[k]);
+
+  SimScratch scratch;
+  std::vector<std::uint64_t> in_a, ref_a, in_b, ref_b;
+  std::vector<double> rates_small, rates_large;
+  util::Rng rng_a(0x77);
+  util::Rng rng_b(0x77);
+  Simulator::multi_key_error_rate(locked, small, reference, Key{}, 96, rng_a,
+                                  scratch, in_a, ref_a, rates_small);
+  Simulator::multi_key_error_rate(locked, large, reference, Key{}, 96, rng_b,
+                                  scratch, in_b, ref_b, rates_large);
+  ASSERT_EQ(rates_small.size(), 5u);
+  ASSERT_EQ(rates_large.size(), 64u);
+  for (std::size_t k = 0; k < 5; ++k) EXPECT_EQ(rates_small[k], rates_large[k]);
+}
+
+// ---- tail accounting -------------------------------------------------------
+
+// output_error_rate must count exactly `vectors` lanes: the final partial
+// word is masked, and the denominator is vectors * outputs. Verified
+// against a scalar per-vector recount of the same masked lanes.
+TEST(OutputErrorRate, CountsExactlyTheRequestedVectors) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 41);
+  const auto design = lock::dmux_lock(original, 12, 3);
+  const Simulator locked(design.netlist);
+  const Simulator reference(original);
+  const Key wrong(design.key.size(), false);
+
+  for (const std::size_t vectors :
+       {std::size_t{1}, std::size_t{63}, std::size_t{64}, std::size_t{100},
+        std::size_t{128}, std::size_t{200}}) {
+    SimScratch scratch;
+    util::Rng rng(0xD00D);
+    const double rate = Simulator::output_error_rate(
+        locked, wrong, reference, Key{}, vectors, rng, scratch);
+
+    // Recount: replay the identical draw stream (one word per input per
+    // block) and compare per masked lane via single-vector runs.
+    util::Rng replay(0xD00D);
+    const std::size_t inputs = original.primary_inputs().size();
+    const std::size_t blocks = (vectors + 63) / 64;
+    std::size_t mismatches = 0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::vector<std::uint64_t> words(inputs);
+      for (std::size_t i = 0; i < inputs; ++i) words[i] = replay();
+      const std::size_t valid =
+          vectors - b * 64 >= 64 ? 64 : vectors - b * 64;
+      for (std::size_t v = 0; v < valid; ++v) {
+        std::vector<bool> bits(inputs);
+        for (std::size_t i = 0; i < inputs; ++i) {
+          bits[i] = ((words[i] >> v) & 1ULL) != 0;
+        }
+        const auto dut_out = locked.run_single(bits, wrong);
+        const auto ref_out = reference.run_single(bits, Key{});
+        for (std::size_t o = 0; o < ref_out.size(); ++o) {
+          if (dut_out[o] != ref_out[o]) ++mismatches;
+        }
+      }
+    }
+    const double expected =
+        static_cast<double>(mismatches) /
+        (static_cast<double>(vectors) *
+         static_cast<double>(original.outputs().size()));
+    EXPECT_EQ(rate, expected) << vectors << " vectors";
+  }
+}
+
+// ---- measure_corruption over the batched path ------------------------------
+
+TEST(MeasureCorruption, BatchedReportIsDeterministicAndSane) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 51);
+  const auto design = lock::dmux_lock(original, 16, 13);
+
+  const auto a = lock::measure_corruption(design, original, 100, 96, 17);
+  const auto b = lock::measure_corruption(design, original, 100, 96, 17);
+  EXPECT_EQ(a.mean_error_rate, b.mean_error_rate);
+  EXPECT_EQ(a.min_error_rate, b.min_error_rate);
+  EXPECT_EQ(a.max_error_rate, b.max_error_rate);
+  EXPECT_EQ(a.silent_wrong_keys, b.silent_wrong_keys);
+  EXPECT_EQ(a.keys_sampled, 100u);
+  EXPECT_GT(a.mean_error_rate, 0.0);
+  EXPECT_LE(a.max_error_rate, 1.0);
+  EXPECT_GE(a.min_error_rate, 0.0);
+  EXPECT_LE(a.min_error_rate, a.mean_error_rate);
+  EXPECT_LE(a.mean_error_rate, a.max_error_rate);
+}
+
+}  // namespace
+}  // namespace autolock

@@ -83,6 +83,25 @@ TEST(MuxLink, TrainingLossDecreases) {
   EXPECT_LT(result.last_epoch_loss, result.first_epoch_loss);
 }
 
+// Pinned training-loss regression: the GEMM micro-kernels and the
+// scratch-reusing forward/backward promise bit-identical training to the
+// naive per-sample path, so these exact values must never drift. A change
+// here means the numerics changed, not just the speed.
+TEST(MuxLink, PinnedTrainingLossTrajectory) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 7);
+  const auto design = lock::dmux_lock(original, 8, 7);
+  MuxLinkConfig config;
+  config.epochs = 6;
+  config.max_train_links = 200;
+  config.subgraph.max_nodes = 40;
+  const MuxLinkAttack attacker(config);
+  const auto result = attacker.attack(design.netlist);
+  EXPECT_EQ(result.train_samples, 400u);
+  EXPECT_DOUBLE_EQ(result.first_epoch_loss, 0.69104071804088052);
+  EXPECT_DOUBLE_EQ(result.last_epoch_loss, 0.63005767891817088);
+}
+
 TEST(MuxLink, DeterministicForSameSeed) {
   const Netlist original =
       netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 9);
