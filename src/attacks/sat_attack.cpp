@@ -1,8 +1,11 @@
 #include "attacks/sat_attack.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "sat/backend.hpp"
 #include "sat/cnf.hpp"
+#include "sat/preprocess.hpp"
 #include "util/timer.hpp"
 
 namespace autolock::attack {
@@ -11,16 +14,27 @@ using netlist::Key;
 using netlist::Netlist;
 using netlist::Simulator;
 using sat::Encoding;
+using sat::Lit;
 using sat::make_lit;
 using sat::SolveResult;
 using sat::Var;
 
-SatAttack::SatAttack(SatAttackConfig config) : config_(config) {}
+SatAttack::SatAttack(SatAttackConfig config) : config_(std::move(config)) {}
 
 SatAttackResult SatAttack::attack(const Netlist& locked,
                                   const Netlist& oracle) const {
   util::Timer timer;
   SatAttackResult result;
+
+  if (!oracle.key_inputs().empty()) {
+    throw std::invalid_argument(
+        "SatAttack: oracle has key inputs — a locked netlist is not an "
+        "oracle (its simulation would run under an arbitrary key)");
+  }
+  if (locked.primary_inputs().size() != oracle.primary_inputs().size() ||
+      locked.outputs().size() != oracle.outputs().size()) {
+    throw std::invalid_argument("SatAttack: interface mismatch");
+  }
 
   const auto key_nodes = locked.key_inputs();
   const std::size_t key_bits = key_nodes.size();
@@ -28,10 +42,6 @@ SatAttackResult SatAttack::attack(const Netlist& locked,
     result.success = true;
     result.seconds = timer.elapsed_seconds();
     return result;
-  }
-  if (locked.primary_inputs().size() != oracle.primary_inputs().size() ||
-      locked.outputs().size() != oracle.outputs().size()) {
-    throw std::invalid_argument("SatAttack: interface mismatch");
   }
 
   const Simulator oracle_sim(oracle);
@@ -41,14 +51,75 @@ SatAttackResult SatAttack::attack(const Netlist& locked,
     solver.set_conflict_budget(config_.conflict_budget);
   }
 
-  // Two copies of the locked circuit sharing primary inputs, with
-  // independent key variable sets K1 and K2.
+  // One growing formula for the whole attack: two copies of the locked
+  // circuit sharing primary inputs with independent key sets K1/K2, the
+  // miter over them, and (appended per iteration) every DIP's IO
+  // constraints. The miter is attached by ASSUMPTION, never as a clause,
+  // so the final "find a consistent key" solve and the canonicalization
+  // solves reuse the same solver — learnt clauses and VSIDS state survive
+  // across all of it.
+  //
+  // In cone-template mode the second copy shares the key-independent
+  // remainder with the first (it is identical in both), so the initial
+  // miter grows by one key cone instead of one whole circuit — every DIP
+  // search then propagates a much smaller formula. The full-copy baseline
+  // keeps the classic two-full-copies miter.
+  sat::ConeTemplate cone(locked);
   const Encoding enc1 = sat::encode_netlist(solver, locked);
   const Encoding enc2 =
-      sat::encode_netlist(solver, locked, enc1.primary_input_var, std::nullopt);
-  const Var miter = sat::make_miter(solver, enc1, enc2);
+      config_.dip_encoding == DipEncoding::kConeTemplate
+          ? cone.encode_shared_copy(solver, enc1)
+          : sat::encode_netlist(solver, locked, enc1.primary_input_var,
+                                std::nullopt);
+  std::vector<Var> pi_vars = enc1.primary_input_var;
+  std::vector<Var> key1_vars = enc1.key_var;
+  std::vector<Var> key2_vars = enc2.key_var;
+  Var miter_var = sat::make_miter(solver, enc1, enc2);
 
-  const std::size_t primary_count = enc1.primary_input_var.size();
+  // Optional phase-2 preprocessing of the initial miter formula. The
+  // attack's interface variables (DIP extraction reads PI models, IO
+  // constraints reference key variables, the loop assumes the miter) are
+  // frozen so elimination cannot remove them; a frozen variable the
+  // preprocessor *fixed* at level 0 is re-materialized as a fresh pinned
+  // variable, which keeps every downstream path uniform.
+  if (config_.preprocess.enabled) {
+    std::vector<Var> frozen;
+    frozen.reserve(pi_vars.size() + 2 * key_bits + 1);
+    frozen.insert(frozen.end(), pi_vars.begin(), pi_vars.end());
+    frozen.insert(frozen.end(), key1_vars.begin(), key1_vars.end());
+    frozen.insert(frozen.end(), key2_vars.begin(), key2_vars.end());
+    frozen.push_back(miter_var);
+
+    sat::Preprocessor pre(config_.preprocess);
+    const bool feasible = pre.run(solver.export_cnf(), frozen);
+    sat::Solver simplified;
+    if (config_.conflict_budget != 0) {
+      simplified.set_conflict_budget(config_.conflict_budget);
+    }
+    if (!feasible || !pre.load_into(simplified)) {
+      // The raw miter formula is satisfiable by construction (any key
+      // pair is a model), so this is unreachable short of a preprocessor
+      // defect; report honestly rather than solving on a dead formula.
+      result.infeasible = true;
+      result.seconds = timer.elapsed_seconds();
+      return result;
+    }
+    solver = std::move(simplified);
+    const auto materialize = [&](Var original) {
+      const Var mapped = pre.map(original);
+      if (mapped >= 0) return mapped;
+      const Var fresh = solver.new_var();  // frozen ⇒ mapped or fixed
+      solver.add_clause(make_lit(fresh, pre.fixed_value(original) != 1));
+      return fresh;
+    };
+    for (Var& v : pi_vars) v = materialize(v);
+    for (Var& v : key1_vars) v = materialize(v);
+    for (Var& v : key2_vars) v = materialize(v);
+    miter_var = materialize(miter_var);
+  }
+  const Lit miter_lit = make_lit(miter_var, false);
+
+  const std::size_t primary_count = pi_vars.size();
 
   auto record_stats = [&] {
     const sat::Solver::Stats& stats = solver.stats();
@@ -60,21 +131,26 @@ SatAttackResult SatAttack::attack(const Netlist& locked,
     result.peak_arena_bytes = stats.peak_arena_bytes;
     result.mean_lbd = stats.mean_lbd();
   };
+  auto finish = [&](SatAttackResult&& r) {
+    record_stats();
+    r.seconds = timer.elapsed_seconds();
+    return std::move(r);
+  };
 
   for (;;) {
     if (config_.max_iterations != 0 &&
         result.dip_iterations >= config_.max_iterations) {
-      record_stats();
       result.budget_exhausted = true;
-      result.seconds = timer.elapsed_seconds();
-      return result;
+      return finish(std::move(result));
     }
-    const SolveResult res = solver.solve({make_lit(miter, false)});
+    const std::uint64_t vars_before = solver.num_vars();
+    const std::uint64_t clauses_before = solver.num_clauses();
+    const std::uint64_t conflicts_before = solver.stats().conflicts;
+
+    const SolveResult res = solver.solve({miter_lit});
     if (res == SolveResult::kUnknown) {
-      record_stats();
       result.budget_exhausted = true;
-      result.seconds = timer.elapsed_seconds();
-      return result;
+      return finish(std::move(result));
     }
     if (res == SolveResult::kUnsat) break;  // no DIP remains
 
@@ -82,48 +158,118 @@ SatAttackResult SatAttack::attack(const Netlist& locked,
     ++result.dip_iterations;
     std::vector<bool> dip(primary_count);
     for (std::size_t i = 0; i < primary_count; ++i) {
-      dip[i] = solver.model_value(enc1.primary_input_var[i]);
+      dip[i] = solver.model_value(pi_vars[i]);
     }
     const std::vector<bool> response = oracle_sim.run_single(dip, Key{});
 
-    // Pin two fresh copies of the locked circuit to (dip -> response), one
-    // per key variable set. This is the IO constraint that prunes keys.
-    // The DIP inputs are pinned as level-0 facts BEFORE the copy is
-    // encoded, so add_clause's level-0 simplification constant-folds the
-    // input cones while encoding: the copy costs far fewer clauses and
-    // watch-list visits. Note this changes watch-list structure vs
-    // pin-after-encode, so the (still fully deterministic) trajectory was
-    // re-baselined in the pinned tests when this was introduced.
-    for (const auto& key_vars : {enc1.key_var, enc2.key_var}) {
-      const Encoding pinned = sat::encode_netlist(
-          solver, locked, sat::pin_constants(solver, dip), key_vars);
-      for (std::size_t o = 0; o < pinned.output_var.size(); ++o) {
-        solver.add_clause(make_lit(pinned.output_var[o], !response[o]));
+    // Append the IO constraint (both copies must map dip -> response).
+    bool consistent = true;
+    if (config_.dip_encoding == DipEncoding::kConeTemplate) {
+      consistent = cone.bind_dip(dip, response) &&
+                   cone.encode_copy(solver, key1_vars) &&
+                   cone.encode_copy(solver, key2_vars);
+    } else {
+      // Baseline: two fresh pinned copies of the whole circuit. The DIP
+      // inputs are pinned as level-0 facts BEFORE each copy is encoded,
+      // so add_clause's level-0 simplification constant-folds the input
+      // cones while encoding.
+      for (const auto& key_vars : {key1_vars, key2_vars}) {
+        const Encoding pinned = sat::encode_netlist(
+            solver, locked, sat::pin_constants(solver, dip), key_vars);
+        for (std::size_t o = 0; o < pinned.output_var.size(); ++o) {
+          consistent = solver.add_clause(make_lit(pinned.output_var[o],
+                                                  !response[o])) &&
+                       consistent;
+        }
       }
+      consistent = consistent && solver.okay();
+    }
+    result.iterations.push_back(
+        {solver.num_vars() - vars_before,
+         solver.num_clauses() - clauses_before, solver.stats().arena_bytes,
+         solver.stats().conflicts - conflicts_before});
+    if (!consistent) {
+      // A response no key can produce, or IO constraints UNSAT at level
+      // 0: the oracle is not a completion of this locked circuit. Stop
+      // instead of looping on a dead solver.
+      result.infeasible = true;
+      return finish(std::move(result));
     }
   }
 
   // Any key consistent with all IO constraints is correct. Solve without
   // the miter assumption to obtain one.
   const SolveResult final_res = solver.solve({});
-  record_stats();
   if (final_res != SolveResult::kSat) {
-    // kUnsat can only mean the budget logic interfered or the locking is
-    // inconsistent; report failure honestly.
-    result.budget_exhausted = (final_res == SolveResult::kUnknown);
-    result.seconds = timer.elapsed_seconds();
-    return result;
+    if (final_res == SolveResult::kUnknown) {
+      result.budget_exhausted = true;
+    } else {
+      // UNSAT: no key satisfies the recorded IO pairs at all.
+      result.infeasible = true;
+    }
+    return finish(std::move(result));
   }
   result.recovered_key.resize(key_bits);
   for (std::size_t b = 0; b < key_bits; ++b) {
-    result.recovered_key[b] = solver.model_value(enc1.key_var[b]);
+    result.recovered_key[b] = solver.model_value(key1_vars[b]);
   }
 
-  // Verify functional correctness of the recovered key with a fresh miter.
-  result.success =
-      sat::check_equivalent(locked, result.recovered_key, oracle, Key{});
-  result.seconds = timer.elapsed_seconds();
-  return result;
+  // Canonicalize: walk the key bits most-significant-first, greedily
+  // forcing each to 0 when some consistent key allows it. Every query is
+  // an assumption solve on the warm solver. A kUnknown (conflict budget)
+  // aborts canonicalization but keeps the (valid) witness key.
+  if (config_.canonicalize_key) {
+    std::vector<Lit> prefix;
+    prefix.reserve(key_bits);
+    for (std::size_t b = 0; b < key_bits; ++b) {
+      if (!result.recovered_key[b]) {
+        // The current witness model already has this bit at 0.
+        prefix.push_back(make_lit(key1_vars[b], true));
+        continue;
+      }
+      prefix.push_back(make_lit(key1_vars[b], true));  // try 0
+      const SolveResult bit_res = solver.solve(prefix);
+      if (bit_res == SolveResult::kSat) {
+        // Adopt the new witness: this bit drops to 0 and the undecided
+        // suffix must be re-read from the new model.
+        for (std::size_t j = b; j < key_bits; ++j) {
+          result.recovered_key[j] = solver.model_value(key1_vars[j]);
+        }
+      } else if (bit_res == SolveResult::kUnsat) {
+        prefix.back() = make_lit(key1_vars[b], false);  // forced to 1
+      } else {
+        prefix.pop_back();  // budget: keep the witness key as-is
+        break;
+      }
+    }
+  }
+
+  // Verify functional correctness of the recovered key with a fresh
+  // miter. With a portfolio command, the in-tree solver races the
+  // external one — this is the only solve whose model is never read, so
+  // racing cannot perturb the (deterministic) trajectory.
+  if (!config_.portfolio_command.empty()) {
+    sat::Portfolio portfolio;
+    portfolio.add(sat::CdclBackend{});
+    portfolio.add(
+        sat::DimacsSubprocessBackend(config_.portfolio_command, "external"));
+    const sat::BackendResult verdict = portfolio.solve(
+        sat::export_equivalence_cnf(locked, result.recovered_key, oracle,
+                                    Key{}),
+        {}, config_.pool);
+    result.verify_backend = verdict.backend;
+    result.success = verdict.result == SolveResult::kUnsat;
+    result.budget_exhausted = result.budget_exhausted ||
+                              verdict.result == SolveResult::kUnknown;
+  } else {
+    sat::EquivCheckOptions options;
+    options.preprocess = config_.preprocess;
+    result.verify_backend = "cdcl";
+    result.success =
+        sat::check_equivalent(locked, result.recovered_key, oracle, Key{},
+                              options);
+  }
+  return finish(std::move(result));
 }
 
 }  // namespace autolock::attack

@@ -199,6 +199,13 @@ void register_builtin_attacks(AttackRegistry& registry) {
           "attack 'sat' is oracle-guided: AttackOptions.oracle must point at "
           "the original netlist");
     }
+    if (!options.oracle->key_inputs().empty()) {
+      // Fail at registry time, not on the first evaluate(): a locked
+      // netlist is not an oracle (SatAttack::attack would throw anyway).
+      throw std::invalid_argument(
+          "attack 'sat': AttackOptions.oracle has key inputs — pass the "
+          "ORIGINAL (unlocked) netlist, not the locked one");
+    }
     return std::make_unique<SatAdapter>(options.sat, options.oracle);
   });
 }

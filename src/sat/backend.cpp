@@ -1,0 +1,261 @@
+#include "sat/backend.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace autolock::sat {
+
+BackendResult CdclBackend::solve(const DimacsCnf& cnf,
+                                 const std::vector<Lit>& assumptions,
+                                 const std::atomic<bool>& stop) const {
+  BackendResult out;
+  out.backend = std::string(name());
+  Solver solver;
+  solver.set_interrupt(&stop);
+  if (!load_into(solver, cnf)) {
+    out.result = SolveResult::kUnsat;
+    return out;
+  }
+  out.result = solver.solve(assumptions);
+  if (out.result == SolveResult::kSat) {
+    out.model.resize(static_cast<std::size_t>(cnf.num_vars));
+    for (Var v = 0; v < cnf.num_vars; ++v) {
+      out.model[v] = solver.model_value(v);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// First whitespace-delimited token of a shell command.
+std::string first_token(const std::string& command) {
+  std::size_t begin = command.find_first_not_of(" \t");
+  if (begin == std::string::npos) return {};
+  std::size_t end = command.find_first_of(" \t", begin);
+  return command.substr(begin, end == std::string::npos ? std::string::npos
+                                                        : end - begin);
+}
+
+bool executable_on_path(const std::string& program) {
+  if (program.empty()) return false;
+  if (program.find('/') != std::string::npos) {
+    return access(program.c_str(), X_OK) == 0;
+  }
+  const char* path = std::getenv("PATH");
+  if (path == nullptr) return false;
+  std::stringstream dirs(path);
+  std::string dir;
+  while (std::getline(dirs, dir, ':')) {
+    if (dir.empty()) continue;
+    const std::string candidate = dir + '/' + program;
+    if (access(candidate.c_str(), X_OK) == 0) return true;
+  }
+  return false;
+}
+
+std::string substitute_cnf_path(const std::string& command_template,
+                                const std::string& path) {
+  std::string out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t hit = command_template.find("{cnf}", pos);
+    if (hit == std::string::npos) {
+      out.append(command_template, pos, std::string::npos);
+      return out;
+    }
+    out.append(command_template, pos, hit - pos);
+    out.append(path);
+    pos = hit + 5;
+  }
+}
+
+/// Temp-file handle that unlinks on destruction.
+struct TempCnfFile {
+  std::string path;
+  bool valid = false;
+
+  TempCnfFile() {
+    char name[] = "/tmp/autolock_cnf_XXXXXX";
+    const int fd = mkstemp(name);
+    if (fd < 0) return;
+    close(fd);
+    path = name;
+    valid = true;
+  }
+  ~TempCnfFile() {
+    if (valid) unlink(path.c_str());
+  }
+  TempCnfFile(const TempCnfFile&) = delete;
+  TempCnfFile& operator=(const TempCnfFile&) = delete;
+};
+
+}  // namespace
+
+bool DimacsSubprocessBackend::available() const noexcept {
+  return executable_on_path(first_token(command_));
+}
+
+BackendResult DimacsSubprocessBackend::solve(
+    const DimacsCnf& cnf, const std::vector<Lit>& assumptions,
+    const std::atomic<bool>& stop) const {
+  BackendResult out;
+  out.backend = std::string(name());
+
+  // DIMACS has no assumption interface: bake them in as unit clauses.
+  DimacsCnf query = cnf;
+  for (const Lit lit : assumptions) {
+    query.clauses.push_back({lit});
+  }
+
+  TempCnfFile cnf_file;
+  if (!cnf_file.valid) return out;
+  {
+    std::ofstream stream(cnf_file.path);
+    write_dimacs(stream, query);
+    if (!stream) return out;
+  }
+
+  int out_pipe[2];
+  if (pipe(out_pipe) != 0) return out;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    return out;
+  }
+  if (pid == 0) {
+    // Child: own process group (so cancellation can kill the shell AND
+    // anything it spawned), stdout -> pipe, run through the shell.
+    setpgid(0, 0);
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    const std::string command = substitute_cnf_path(command_, cnf_file.path);
+    execl("/bin/sh", "sh", "-c", command.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(out_pipe[1]);
+  // Also set the group from the parent: if the stop flag is raised before
+  // the child reaches its own setpgid, kill(-pid) would target a group
+  // that does not exist yet and the sleep would run to completion.
+  // Whichever setpgid runs second fails harmlessly (EACCES after exec).
+  setpgid(pid, pid);
+
+  // Parent: drain stdout (non-blocking) while polling for exit and for the
+  // portfolio stop flag; a raised flag kills the child.
+  fcntl(out_pipe[0], F_SETFL, O_NONBLOCK);
+  std::string output;
+  std::array<char, 4096> buffer;
+  int status = 0;
+  bool exited = false;
+  bool killed = false;
+  while (!exited) {
+    while (true) {
+      const ssize_t n = read(out_pipe[0], buffer.data(), buffer.size());
+      if (n <= 0) break;
+      output.append(buffer.data(), static_cast<std::size_t>(n));
+    }
+    const pid_t waited = waitpid(pid, &status, WNOHANG);
+    if (waited == pid) {
+      exited = true;
+      break;
+    }
+    if (!killed && stop.load(std::memory_order_relaxed)) {
+      if (kill(-pid, SIGKILL) != 0) {  // whole group, grandchildren too
+        kill(pid, SIGKILL);
+      }
+      killed = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  while (true) {  // drain whatever arrived between the last read and exit
+    const ssize_t n = read(out_pipe[0], buffer.data(), buffer.size());
+    if (n <= 0) break;
+    output.append(buffer.data(), static_cast<std::size_t>(n));
+  }
+  close(out_pipe[0]);
+  if (killed) return out;
+
+  // Verdict: the "s " status line is authoritative, exit code the backup.
+  bool sat = false;
+  bool unsat = false;
+  std::istringstream lines(output);
+  std::string line;
+  std::vector<int> model_lits;
+  while (std::getline(lines, line)) {
+    if (line.rfind("s SATISFIABLE", 0) == 0) sat = true;
+    if (line.rfind("s UNSATISFIABLE", 0) == 0) unsat = true;
+    if (line.rfind("v", 0) == 0 && (line.size() == 1 || line[1] == ' ')) {
+      std::istringstream values(line.substr(1));
+      int dimacs_lit = 0;
+      while (values >> dimacs_lit) {
+        if (dimacs_lit != 0) model_lits.push_back(dimacs_lit);
+      }
+    }
+  }
+  if (!sat && !unsat && WIFEXITED(status)) {
+    sat = WEXITSTATUS(status) == 10;
+    unsat = WEXITSTATUS(status) == 20;
+  }
+  if (unsat) {
+    out.result = SolveResult::kUnsat;
+  } else if (sat) {
+    out.result = SolveResult::kSat;
+    out.model.assign(static_cast<std::size_t>(query.num_vars), false);
+    for (const int dimacs_lit : model_lits) {
+      const Lit lit = from_dimacs(dimacs_lit);
+      if (lit_var(lit) < query.num_vars) {
+        out.model[lit_var(lit)] = !lit_sign(lit);
+      }
+    }
+  }
+  return out;
+}
+
+BackendResult Portfolio::solve(const DimacsCnf& cnf,
+                               const std::vector<Lit>& assumptions,
+                               util::ThreadPool* pool) const {
+  std::vector<const Entry*> ready;
+  for (const Entry& entry : entries_) {
+    if (entry.available()) ready.push_back(&entry);
+  }
+  if (ready.empty()) return {};
+
+  if (pool == nullptr || ready.size() == 1) {
+    for (const Entry* entry : ready) {
+      std::atomic<bool> stop{false};
+      BackendResult result = entry->solve(cnf, assumptions, stop);
+      if (result.result != SolveResult::kUnknown) return result;
+    }
+    return {};
+  }
+
+  // Race: every backend runs to completion or cancellation; the barrier in
+  // parallel_for makes the post-race tie-break deterministic.
+  std::atomic<bool> stop{false};
+  std::vector<BackendResult> results(ready.size());
+  pool->parallel_for(ready.size(), [&](std::size_t i) {
+    results[i] = ready[i]->solve(cnf, assumptions, stop);
+    if (results[i].result != SolveResult::kUnknown) {
+      stop.store(true, std::memory_order_relaxed);
+    }
+  });
+  for (BackendResult& result : results) {
+    if (result.result != SolveResult::kUnknown) return std::move(result);
+  }
+  return {};
+}
+
+}  // namespace autolock::sat

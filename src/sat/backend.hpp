@@ -1,0 +1,150 @@
+// Multi-solver backend facade and portfolio racing (percy-style).
+//
+// A SolverBackend is anything that can answer a DimacsCnf query: the
+// in-tree CDCL solver (CdclBackend), or any external DIMACS solver driven
+// through a subprocess (DimacsSubprocessBackend, using the
+// Solver::write_dimacs / export_cnf path). The Portfolio type-erases a set
+// of backends and races them on a ThreadPool, first definitive
+// (kSat/kUnsat) answer wins; losers are cancelled cooperatively through a
+// shared stop flag (Solver::set_interrupt for the in-tree solver, SIGKILL
+// for subprocesses).
+//
+// Determinism: racing is only a latency optimization. All backends decide
+// the same formula, so the *verdict* is backend-independent; the winning
+// *model* of a satisfiable query may differ between runs. The SAT attack
+// therefore only races queries whose models it never reads (the final
+// key-confirmation solve canonicalizes the key separately), and the
+// tie-break after the race barrier is deterministic: the lowest-indexed
+// backend that produced a definitive result wins.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+
+namespace autolock::util {
+class ThreadPool;
+}
+
+namespace autolock::sat {
+
+struct BackendResult {
+  SolveResult result = SolveResult::kUnknown;
+  /// Assignment per CNF variable, valid when result == kSat. Variables the
+  /// backend left unassigned (don't-cares) read false.
+  std::vector<bool> model;
+  /// name() of the backend that produced this result (empty if none did).
+  std::string backend;
+};
+
+/// The facade every backend models: a name for reporting, an availability
+/// probe (external binaries may be missing), and a blocking solve that
+/// honors cooperative cancellation through `stop`. Assumptions are plain
+/// literals over the CNF's variables; backends without native assumption
+/// support (subprocesses) add them as unit clauses.
+template <typename B>
+concept SolverBackend =
+    requires(const B& backend, const DimacsCnf& cnf,
+             const std::vector<Lit>& assumptions,
+             const std::atomic<bool>& stop) {
+      { backend.name() } -> std::convertible_to<std::string_view>;
+      { backend.available() } -> std::convertible_to<bool>;
+      { backend.solve(cnf, assumptions, stop) } -> std::same_as<BackendResult>;
+    };
+
+/// The in-tree CDCL solver as a backend: loads the CNF into a fresh
+/// Solver, wires `stop` to Solver::set_interrupt, and solves under the
+/// given assumptions.
+class CdclBackend {
+ public:
+  std::string_view name() const noexcept { return "cdcl"; }
+  bool available() const noexcept { return true; }
+  BackendResult solve(const DimacsCnf& cnf, const std::vector<Lit>& assumptions,
+                      const std::atomic<bool>& stop) const;
+};
+
+/// Runs an external DIMACS solver as a subprocess. The command template is
+/// a shell command in which every "{cnf}" is replaced with the path of a
+/// temporary DIMACS file, e.g. "minisat {cnf}" or "kissat -q {cnf}".
+///
+/// Result conventions (SAT-competition standard): exit code 10 or an
+/// "s SATISFIABLE" line means SAT (model parsed from "v " lines of DIMACS
+/// literals), exit code 20 or "s UNSATISFIABLE" means UNSAT; anything else
+/// — including a crash, a kill via `stop`, or unparseable output — is
+/// kUnknown, so a broken external solver can never corrupt a verdict, only
+/// lose the race.
+class DimacsSubprocessBackend {
+ public:
+  explicit DimacsSubprocessBackend(std::string command_template,
+                                   std::string display_name = "subprocess")
+      : command_(std::move(command_template)),
+        name_(std::move(display_name)) {}
+
+  std::string_view name() const noexcept { return name_; }
+  /// True iff the command's first token resolves to an executable (PATH
+  /// search, or direct access check when it contains a '/').
+  bool available() const noexcept;
+  BackendResult solve(const DimacsCnf& cnf, const std::vector<Lit>& assumptions,
+                      const std::atomic<bool>& stop) const;
+
+ private:
+  std::string command_;
+  std::string name_;
+};
+
+static_assert(SolverBackend<CdclBackend>);
+static_assert(SolverBackend<DimacsSubprocessBackend>);
+
+/// A type-erased set of backends raced first-result-wins.
+class Portfolio {
+ public:
+  template <SolverBackend B>
+  void add(B backend) {
+    Entry entry;
+    entry.name = std::string(backend.name());
+    // One shared copy serves both closures; solve() must stay const and
+    // thread-compatible per the concept.
+    auto shared = std::make_shared<const B>(std::move(backend));
+    entry.available = [shared] { return shared->available(); };
+    entry.solve = [shared](const DimacsCnf& cnf,
+                           const std::vector<Lit>& assumptions,
+                           const std::atomic<bool>& stop) {
+      return shared->solve(cnf, assumptions, stop);
+    };
+    entries_.push_back(std::move(entry));
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Solves `cnf` with every available backend. With a pool and more than
+  /// one available backend, all run concurrently and the first definitive
+  /// (kSat/kUnsat) finisher raises the shared stop flag; after the race
+  /// barrier the winner is the lowest-indexed backend holding a definitive
+  /// result, which makes the reported backend/model deterministic even
+  /// when finishes tie. Without a pool, backends run sequentially in order
+  /// and the first definitive result short-circuits. Returns kUnknown with
+  /// an empty backend name if no backend answers.
+  BackendResult solve(const DimacsCnf& cnf,
+                      const std::vector<Lit>& assumptions = {},
+                      util::ThreadPool* pool = nullptr) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::function<bool()> available;
+    std::function<BackendResult(const DimacsCnf&, const std::vector<Lit>&,
+                                const std::atomic<bool>&)>
+        solve;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace autolock::sat

@@ -7,11 +7,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "netlist/netlist.hpp"
 #include "netlist/simulator.hpp"
+#include "sat/preprocess.hpp"
 #include "sat/solver.hpp"
 
 namespace autolock::sat {
@@ -45,14 +47,101 @@ std::vector<Var> pin_constants(Solver& solver, const std::vector<bool>& bits);
 /// returns a variable that is true iff some output differs.
 Var make_miter(Solver& solver, const Encoding& a, const Encoding& b);
 
+/// Encode-once DIP constraint template for the incremental SAT attack.
+///
+/// The netlist is split once (at construction) into the key-dependent cone
+/// — nodes forward-reachable from key inputs — and the key-independent
+/// remainder. Per DIP, bind_dip() *simulates* the remainder to constants
+/// exactly once (that work is shared by every circuit copy), and
+/// encode_copy() then encodes only the cone per key-variable set, with
+/// constant folding and literal aliasing: a cone gate whose fanins folded
+/// to constants or a single literal costs zero fresh variables and zero
+/// clauses. Compared with encoding a fresh pinned copy of the whole
+/// netlist per DIP (the kFullCopy baseline in attacks/sat_attack.cpp),
+/// the per-DIP formula growth is proportional to the key cone, not the
+/// circuit.
+///
+/// bind_dip() doubles as the oracle consistency check: a key-independent
+/// output that already contradicts the response proves NO key can match
+/// (the oracle does not implement any completion of the locked circuit).
+class ConeTemplate {
+ public:
+  /// `netlist` must outlive the template.
+  explicit ConeTemplate(const netlist::Netlist& netlist);
+
+  /// Nodes in the key-dependent cone (encoded per copy per DIP).
+  std::size_t cone_size() const noexcept { return cone_count_; }
+
+  /// Encodes a second *symbolic* copy of the netlist that shares the
+  /// key-independent remainder with `base` (one encoding of it serves both
+  /// copies) and encodes only the key-dependent cone fresh, under fresh
+  /// key variables. The incremental attack builds its initial miter from
+  /// encode_netlist + this: the formula grows by one cone instead of one
+  /// whole circuit, and make_miter skips output pairs that share a driver
+  /// (a key-independent output can never differ between copies). Throws
+  /// std::invalid_argument if `base` does not encode this netlist.
+  Encoding encode_shared_copy(Solver& solver, const Encoding& base) const;
+
+  /// Simulates the key-independent remainder under `dip` and stores the
+  /// binding for subsequent encode_copy() calls. Returns false iff a
+  /// key-independent output differs from `response` — no key is
+  /// consistent, the attack is infeasible.
+  bool bind_dip(const std::vector<bool>& dip,
+                const std::vector<bool>& response);
+
+  /// Encodes one circuit copy against the last bind_dip() binding, with
+  /// key inputs bound to `key_vars`, and pins every key-dependent output
+  /// to the bound response. Returns false if a constant-folded output
+  /// contradicts the response or the solver goes UNSAT at level 0 (key
+  /// space empty either way).
+  bool encode_copy(Solver& solver, const std::vector<Var>& key_vars);
+
+ private:
+  const netlist::Netlist* netlist_;
+  std::vector<std::uint8_t> in_cone_;       // per node
+  std::vector<std::int32_t> input_index_;   // PI order or key order, per node
+  std::size_t cone_count_ = 0;
+  std::size_t max_fanin_ = 0;
+
+  // bind_dip() state consumed by encode_copy().
+  std::vector<std::uint8_t> value_;  // key-independent node values
+  std::vector<bool> response_;
+  bool bound_ = false;
+
+  // Scratch reused across copies (no per-DIP allocations at steady state).
+  std::vector<Lit> state_;   // per-node literal-or-constant, one copy
+  std::vector<Lit> lits_;    // reduced fanin literals
+  std::vector<Lit> big_;     // wide-clause buffer
+  std::unique_ptr<bool[]> fanin_values_;  // eval_gate_bits input buffer
+};
+
+struct EquivCheckOptions {
+  /// When enabled, the miter CNF (with the miter output asserted as a
+  /// unit clause) is run through the Preprocessor before solving. No
+  /// variables need freezing: equivalence checking only consumes the
+  /// SAT/UNSAT verdict, never a model.
+  PreprocessConfig preprocess;
+};
+
 /// Proves or refutes equivalence of two netlists under fixed keys.
 /// Interfaces (primary input count / output count) must match.
 /// Returns true iff equivalent (miter UNSAT).
 bool check_equivalent(const netlist::Netlist& a, const netlist::Key& a_key,
-                      const netlist::Netlist& b, const netlist::Key& b_key);
+                      const netlist::Netlist& b, const netlist::Key& b_key,
+                      const EquivCheckOptions& options = {});
 
 /// Convenience: locked netlist vs. its original under the correct key.
 bool check_unlocks(const netlist::Netlist& locked, const netlist::Key& key,
                    const netlist::Netlist& original);
+
+/// The equivalence query of check_equivalent as a standalone CNF (miter
+/// output asserted): SATISFIABLE iff the netlists differ under the fixed
+/// keys. This is the handoff format for the backend portfolio
+/// (sat/backend.hpp) — any external DIMACS solver can answer it. Throws
+/// std::invalid_argument on interface or key-length mismatch.
+DimacsCnf export_equivalence_cnf(const netlist::Netlist& a,
+                                 const netlist::Key& a_key,
+                                 const netlist::Netlist& b,
+                                 const netlist::Key& b_key);
 
 }  // namespace autolock::sat

@@ -1,0 +1,381 @@
+#include "sat/preprocess.hpp"
+
+#include <algorithm>
+
+#include "sat/solver.hpp"
+
+namespace autolock::sat {
+
+namespace {
+
+std::uint64_t signature(const std::vector<Lit>& lits) {
+  std::uint64_t sig = 0;
+  for (const Lit lit : lits) {
+    sig |= std::uint64_t{1} << (lit_var(lit) & 63);
+  }
+  return sig;
+}
+
+bool contains(const std::vector<Lit>& lits, Lit lit) {
+  return std::find(lits.begin(), lits.end(), lit) != lits.end();
+}
+
+enum class SubsumeResult { kNo, kSubsumes, kStrengthens };
+
+/// Does C subsume D (every literal of C appears in D), or self-subsume it
+/// (every literal but one appears; that one appears negated)? In the
+/// latter case resolving C with D on the flipped variable yields D minus
+/// the flipped literal, so D can be strengthened in place.
+SubsumeResult subsume_check(const std::vector<Lit>& c, std::uint64_t sig_c,
+                            const std::vector<Lit>& d, std::uint64_t sig_d,
+                            Lit& strengthen_out) {
+  if (c.size() > d.size() || (sig_c & ~sig_d) != 0) {
+    return SubsumeResult::kNo;
+  }
+  Lit flipped = kUndefLit;
+  for (const Lit lc : c) {
+    if (contains(d, lc)) continue;
+    if (flipped == kUndefLit && contains(d, lit_neg(lc))) {
+      flipped = lit_neg(lc);
+      continue;
+    }
+    return SubsumeResult::kNo;
+  }
+  if (flipped == kUndefLit) return SubsumeResult::kSubsumes;
+  strengthen_out = flipped;
+  return SubsumeResult::kStrengthens;
+}
+
+}  // namespace
+
+bool Preprocessor::enqueue_unit(Lit lit) {
+  const Var v = lit_var(lit);
+  const std::int8_t want = lit_sign(lit) ? 0 : 1;
+  if (value_[v] != -1) return value_[v] == want;
+  value_[v] = want;
+  unit_queue_.push_back(lit);
+  ++stats_.units_fixed;
+  return true;
+}
+
+void Preprocessor::detach_clause(std::size_t ci) {
+  // Occurrence lists are lazy (stale entries are validated on scan), so
+  // detaching is just the dead mark.
+  dead_[ci] = 1;
+}
+
+/// Inserts a normalized derived clause (resolvent or input clause after
+/// level-0 stripping). Returns false on a level-0 conflict.
+bool Preprocessor::add_derived_clause(std::vector<Lit> lits) {
+  // Drop falsified literals / satisfied clauses against current values.
+  std::size_t n = 0;
+  for (const Lit lit : lits) {
+    const int fv = value_[lit_var(lit)];
+    if (fv == -1) {
+      lits[n++] = lit;
+      continue;
+    }
+    if ((fv == 1) != lit_sign(lit)) return true;  // satisfied at level 0
+  }
+  lits.resize(n);
+  if (lits.empty()) return false;
+  if (lits.size() == 1) return enqueue_unit(lits[0]);
+  const auto ci = static_cast<std::uint32_t>(clauses_.size());
+  sig_.push_back(signature(lits));
+  dead_.push_back(0);
+  for (const Lit lit : lits) {
+    occ_[lit].push_back(ci);
+  }
+  clauses_.push_back(std::move(lits));
+  return true;
+}
+
+bool Preprocessor::propagate_units() {
+  while (unit_head_ < unit_queue_.size()) {
+    const Lit lit = unit_queue_[unit_head_++];
+    for (const std::uint32_t ci : occ_[lit]) {
+      // Validate: lazy occurrence lists may point at strengthened clauses
+      // that no longer contain `lit`.
+      if (!dead_[ci] && contains(clauses_[ci], lit)) detach_clause(ci);
+    }
+    const Lit neg = lit_neg(lit);
+    for (const std::uint32_t ci : occ_[neg]) {
+      if (dead_[ci]) continue;
+      std::vector<Lit>& clause = clauses_[ci];
+      const auto it = std::find(clause.begin(), clause.end(), neg);
+      if (it == clause.end()) continue;  // stale entry
+      clause.erase(it);
+      sig_[ci] = signature(clause);
+      if (clause.size() == 1) {
+        const Lit unit = clause[0];
+        detach_clause(ci);
+        if (!enqueue_unit(unit)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Preprocessor::subsumption_sweep(bool& changed) {
+  std::vector<std::uint32_t> candidates;
+  for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+    if (dead_[ci]) continue;
+    const std::vector<Lit>& c = clauses_[ci];
+    // Candidates must contain every variable of C (modulo one flip), so
+    // scanning both polarity lists of C's rarest variable finds them all.
+    Var best_var = lit_var(c[0]);
+    std::size_t best_occ = static_cast<std::size_t>(-1);
+    for (const Lit lit : c) {
+      const Var v = lit_var(lit);
+      const std::size_t occ = occ_[make_lit(v, false)].size() +
+                              occ_[make_lit(v, true)].size();
+      if (occ < best_occ) {
+        best_occ = occ;
+        best_var = v;
+      }
+    }
+    candidates.clear();
+    candidates.insert(candidates.end(), occ_[make_lit(best_var, false)].begin(),
+                      occ_[make_lit(best_var, false)].end());
+    candidates.insert(candidates.end(), occ_[make_lit(best_var, true)].begin(),
+                      occ_[make_lit(best_var, true)].end());
+    for (const std::uint32_t di : candidates) {
+      if (di == ci || dead_[di] || dead_[ci]) continue;
+      Lit strengthen = kUndefLit;
+      switch (subsume_check(c, sig_[ci], clauses_[di], sig_[di], strengthen)) {
+        case SubsumeResult::kNo:
+          break;
+        case SubsumeResult::kSubsumes:
+          detach_clause(di);
+          ++stats_.clauses_subsumed;
+          changed = true;
+          break;
+        case SubsumeResult::kStrengthens: {
+          std::vector<Lit>& d = clauses_[di];
+          d.erase(std::find(d.begin(), d.end(), strengthen));
+          sig_[di] = signature(d);
+          ++stats_.literals_strengthened;
+          changed = true;
+          if (d.size() == 1) {
+            const Lit unit = d[0];
+            detach_clause(di);
+            if (!enqueue_unit(unit) || !propagate_units()) return false;
+          }
+          break;
+        }
+      }
+    }
+  }
+  return propagate_units();
+}
+
+bool Preprocessor::eliminate_variables(bool& changed) {
+  const Var num_vars = static_cast<Var>(value_.size());
+  std::vector<std::uint32_t> pos, neg;
+  std::vector<std::vector<Lit>> resolvents;
+  for (Var v = 0; v < num_vars; ++v) {
+    if (frozen_[v] || eliminated_[v] || value_[v] != -1) continue;
+    const Lit pos_lit = make_lit(v, false);
+    const Lit neg_lit = make_lit(v, true);
+    pos.clear();
+    neg.clear();
+    for (const std::uint32_t ci : occ_[pos_lit]) {
+      if (!dead_[ci] && contains(clauses_[ci], pos_lit)) pos.push_back(ci);
+    }
+    for (const std::uint32_t ci : occ_[neg_lit]) {
+      if (!dead_[ci] && contains(clauses_[ci], neg_lit)) neg.push_back(ci);
+    }
+    if (pos.empty() && neg.empty()) continue;  // unused: handled by map
+    const std::size_t removed = pos.size() + neg.size();
+    if (removed > config_.bve_occurrence_limit) continue;
+
+    // Count (and build) non-tautological resolvents, aborting as soon as
+    // the bounded-growth budget is blown.
+    const std::size_t budget =
+        removed + static_cast<std::size_t>(std::max(config_.bve_growth, 0));
+    resolvents.clear();
+    bool within_budget = true;
+    for (const std::uint32_t pi : pos) {
+      for (const std::uint32_t ni : neg) {
+        std::vector<Lit> merged;
+        bool tautology = false;
+        for (const Lit lit : clauses_[pi]) {
+          if (lit == pos_lit) continue;
+          merged.push_back(lit);
+          mark_[lit] = 1;
+        }
+        for (const Lit lit : clauses_[ni]) {
+          if (lit == neg_lit || mark_[lit] == 1) continue;
+          if (mark_[lit_neg(lit)] == 1) {
+            tautology = true;
+            break;
+          }
+          merged.push_back(lit);
+          mark_[lit] = 1;
+        }
+        for (const Lit lit : merged) mark_[lit] = 0;
+        if (tautology) continue;
+        resolvents.push_back(std::move(merged));
+        if (resolvents.size() > budget) {
+          within_budget = false;
+          break;
+        }
+      }
+      if (!within_budget) break;
+    }
+    if (!within_budget) continue;
+
+    // Eliminate: stash the removed clauses for model extension, then swap
+    // them for the resolvents.
+    ElimRecord record;
+    record.var = v;
+    record.clauses.reserve(removed);
+    for (const std::uint32_t ci : pos) {
+      record.clauses.push_back(clauses_[ci]);
+      detach_clause(ci);
+    }
+    for (const std::uint32_t ci : neg) {
+      record.clauses.push_back(clauses_[ci]);
+      detach_clause(ci);
+    }
+    elim_stack_.push_back(std::move(record));
+    eliminated_[v] = 1;
+    ++stats_.vars_eliminated;
+    changed = true;
+    for (std::vector<Lit>& resolvent : resolvents) {
+      if (!add_derived_clause(std::move(resolvent))) return false;
+    }
+    if (!propagate_units()) return false;
+  }
+  return true;
+}
+
+bool Preprocessor::run(const DimacsCnf& cnf, std::span<const Var> frozen) {
+  const std::size_t num_vars = static_cast<std::size_t>(cnf.num_vars);
+  stats_ = PreprocessStats{};
+  stats_.clauses_in = cnf.clauses.size();
+  stats_.vars_in = num_vars;
+  simplified_ = DimacsCnf{};
+  clauses_.clear();
+  sig_.clear();
+  dead_.clear();
+  occ_.assign(num_vars * 2, {});
+  value_.assign(num_vars, -1);
+  frozen_.assign(num_vars, 0);
+  eliminated_.assign(num_vars, 0);
+  unit_queue_.clear();
+  unit_head_ = 0;
+  elim_stack_.clear();
+  map_.assign(num_vars, -1);
+  mark_.assign(num_vars * 2, 0);
+  for (const Var v : frozen) {
+    frozen_[v] = 1;
+  }
+
+  const auto fail = [this] {
+    simplified_.num_vars = 0;
+    simplified_.clauses = {{}};
+    return false;
+  };
+
+  // Ingest: dedupe literals, drop tautologies, queue units.
+  bool ok = true;
+  std::vector<Lit> scratch;
+  for (const std::vector<Lit>& in : cnf.clauses) {
+    scratch.clear();
+    bool tautology = false;
+    for (const Lit lit : in) {
+      if (mark_[lit] == 1) continue;
+      if (mark_[lit_neg(lit)] == 1) {
+        tautology = true;
+        break;
+      }
+      mark_[lit] = 1;
+      scratch.push_back(lit);
+    }
+    for (const Lit lit : scratch) mark_[lit] = 0;
+    if (tautology) continue;
+    if (!add_derived_clause(scratch)) {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok || !propagate_units()) return fail();
+
+  for (std::uint32_t round = 0; round < config_.max_rounds; ++round) {
+    ++stats_.rounds;
+    bool changed = false;
+    if (!subsumption_sweep(changed)) return fail();
+    if (!eliminate_variables(changed)) return fail();
+    if (!changed) break;
+  }
+
+  // Compact the surviving variables and emit the simplified formula.
+  Var next = 0;
+  for (Var v = 0; v < static_cast<Var>(num_vars); ++v) {
+    if (eliminated_[v] || value_[v] != -1) continue;
+    // Unused unfrozen vars could be dropped too, but mapping them keeps
+    // frozen/unfrozen behavior uniform and costs one solver var each.
+    map_[v] = next++;
+  }
+  simplified_.num_vars = next;
+  for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+    if (dead_[ci]) continue;
+    std::vector<Lit> out;
+    out.reserve(clauses_[ci].size());
+    for (const Lit lit : clauses_[ci]) {
+      out.push_back(make_lit(map_[lit_var(lit)], lit_sign(lit)));
+    }
+    simplified_.clauses.push_back(std::move(out));
+  }
+  stats_.clauses_out = simplified_.clauses.size();
+  stats_.vars_out = static_cast<std::size_t>(next);
+  return true;
+}
+
+std::vector<bool> Preprocessor::extend_model(
+    const std::vector<bool>& model) const {
+  std::vector<bool> full(value_.size(), false);
+  for (Var v = 0; v < static_cast<Var>(value_.size()); ++v) {
+    if (map_[v] >= 0) {
+      full[v] = model[map_[v]];
+    } else if (value_[v] != -1) {
+      full[v] = value_[v] == 1;
+    }
+  }
+  // Replay eliminations newest-first. Setting v true iff some stored
+  // clause with a positive v-literal is otherwise unsatisfied is sound:
+  // if a ~v clause were also otherwise-unsatisfied, their resolvent
+  // (which the model satisfies) would have a true literal in one of the
+  // two "other" parts — contradiction.
+  for (auto it = elim_stack_.rbegin(); it != elim_stack_.rend(); ++it) {
+    const Var v = it->var;
+    bool value = false;
+    for (const std::vector<Lit>& clause : it->clauses) {
+      bool has_pos = false;
+      bool satisfied = false;
+      for (const Lit lit : clause) {
+        if (lit_var(lit) == v) {
+          has_pos = has_pos || !lit_sign(lit);
+          continue;
+        }
+        if (full[lit_var(lit)] != lit_sign(lit)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied && has_pos) {
+        value = true;
+        break;
+      }
+    }
+    full[v] = value;
+  }
+  return full;
+}
+
+bool Preprocessor::load_into(Solver& solver) const {
+  return sat::load_into(solver, simplified_);
+}
+
+}  // namespace autolock::sat

@@ -1,0 +1,137 @@
+// SatELite-style CNF preprocessing: bounded variable elimination (BVE),
+// subsumption, and self-subsuming resolution, with a variable remapper so
+// models and DIMACS exports map back to the original numbering.
+//
+// The preprocessor runs on a DimacsCnf snapshot (Solver::export_cnf()) and
+// produces a simplified formula over a compacted variable space. Three
+// things leave the simplified formula and must be reconstructed on the way
+// back:
+//   - eliminated variables (BVE) — their defining clauses are stored on an
+//     elimination stack and replayed in reverse by extend_model();
+//   - level-0 fixed variables (unit propagation) — reported by
+//     fixed_value();
+//   - unused variables — defaulted to false by extend_model().
+// Variables whose semantics are externally visible (attack inputs, key
+// bits, assumption literals) must be passed as `frozen`: they are never
+// eliminated, so after run() each frozen variable is either mapped
+// (map() >= 0) or fixed (fixed_value() != -1).
+//
+// Equisatisfiability contract: the original CNF is satisfiable iff run()
+// returns true AND the simplified CNF is satisfiable; any model of the
+// simplified CNF extends (extend_model) to a model of the original CNF.
+// Pinned by SolverFuzz.PreprocessAgreesWithPlain over the fuzz corpus.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/clause_allocator.hpp"
+#include "sat/dimacs.hpp"
+
+namespace autolock::sat {
+
+class Solver;
+
+struct PreprocessConfig {
+  /// Master switch for the callers that plumb this through
+  /// (check_equivalent, SatAttackConfig). Off by default: the pinned
+  /// attack trajectories are baselined without preprocessing.
+  bool enabled = false;
+  /// Variables occurring in more than this many clauses (both polarities
+  /// combined) are never considered for elimination — resolving them is
+  /// quadratic and rarely pays off.
+  std::uint32_t bve_occurrence_limit = 16;
+  /// A variable is eliminated only if the number of non-tautological
+  /// resolvents is at most (clauses removed + bve_growth).
+  int bve_growth = 0;
+  /// Subsumption + BVE sweeps repeat until a fixpoint or this many rounds.
+  std::uint32_t max_rounds = 3;
+};
+
+struct PreprocessStats {
+  std::size_t clauses_in = 0;
+  std::size_t clauses_out = 0;
+  std::size_t vars_in = 0;
+  std::size_t vars_out = 0;
+  std::size_t vars_eliminated = 0;
+  std::size_t clauses_subsumed = 0;
+  std::size_t literals_strengthened = 0;  // self-subsuming resolution
+  std::size_t units_fixed = 0;            // level-0 assignments found
+  std::size_t rounds = 0;
+};
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(const PreprocessConfig& config = {})
+      : config_(config) {}
+
+  /// Simplifies `cnf`. `frozen` variables are exempt from elimination.
+  /// Returns false if the formula is unsatisfiable at level 0 (the
+  /// simplified CNF is then the empty clause). May be called repeatedly;
+  /// each call starts fresh.
+  bool run(const DimacsCnf& cnf, std::span<const Var> frozen = {});
+
+  /// The simplified formula over compacted variable numbering.
+  const DimacsCnf& simplified() const noexcept { return simplified_; }
+
+  /// Original var -> simplified var, or -1 if the variable was eliminated,
+  /// fixed, or unused. Frozen variables are never -1 unless fixed.
+  Var map(Var original) const noexcept {
+    return original < static_cast<Var>(map_.size()) ? map_[original] : -1;
+  }
+
+  /// Level-0 forced value of an original var: 0/1, or -1 if not fixed.
+  int fixed_value(Var original) const noexcept {
+    return original < static_cast<Var>(value_.size()) ? value_[original] : -1;
+  }
+
+  /// Extends a model of simplified() (indexed by simplified var) to a
+  /// model of the original formula (indexed by original var): mapped vars
+  /// copy through, fixed vars take their forced value, eliminated vars are
+  /// reconstructed from the elimination stack in reverse order, unused
+  /// vars default to false.
+  std::vector<bool> extend_model(const std::vector<bool>& model) const;
+
+  /// Declares the simplified variables on `solver` (which must be fresh or
+  /// at least hold fewer vars) and adds every simplified clause. Same
+  /// return contract as Solver::add_clause.
+  bool load_into(Solver& solver) const;
+
+  const PreprocessStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct ElimRecord {
+    Var var;
+    // The clauses containing `var` at elimination time (original
+    // numbering, minus literals already falsified at level 0).
+    std::vector<std::vector<Lit>> clauses;
+  };
+
+  bool enqueue_unit(Lit lit);
+  bool propagate_units();
+  bool subsumption_sweep(bool& changed);
+  bool eliminate_variables(bool& changed);
+  void detach_clause(std::size_t ci);
+  bool add_derived_clause(std::vector<Lit> lits);
+
+  PreprocessConfig config_;
+  PreprocessStats stats_;
+  DimacsCnf simplified_;
+
+  // Working state (rebuilt per run()).
+  std::vector<std::vector<Lit>> clauses_;
+  std::vector<std::uint64_t> sig_;   // per-clause var signature
+  std::vector<std::uint8_t> dead_;
+  std::vector<std::vector<std::uint32_t>> occ_;  // per literal; may be stale
+  std::vector<std::int8_t> value_;   // -1 unknown, else 0/1
+  std::vector<std::uint8_t> frozen_;
+  std::vector<std::uint8_t> eliminated_;
+  std::vector<Lit> unit_queue_;
+  std::size_t unit_head_ = 0;
+  std::vector<ElimRecord> elim_stack_;
+  std::vector<Var> map_;
+  std::vector<std::int8_t> mark_;    // per-literal scratch for normalization
+};
+
+}  // namespace autolock::sat

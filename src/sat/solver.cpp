@@ -1,6 +1,7 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <ostream>
 #include <stdexcept>
 
@@ -557,15 +558,21 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
       int bt_level = 0;
       analyze(conflict, learnt, bt_level);
       const std::uint32_t lbd = compute_lbd(learnt);
-      // Never backjump above the assumption prefix — clamp instead (the
-      // asserting literal is still enqueued correctly below the clamp as
-      // long as the learnt clause is attached).
+      // Backjumps MAY land inside (or below) the assumption prefix: learnt
+      // clauses are implied by the formula alone (assumption decisions have
+      // no reason clause, so analysis keeps them as ordinary literals), and
+      // the decision loop below re-extends any retracted assumptions from
+      // trail_lim_.size() before the next branch. No clamping is needed —
+      // pinned by SolverAssumptions.* in tests/test_solver.cpp. (A previous
+      // comment here claimed a clamp that never existed; the audited
+      // invariant is re-extension, not clamping.)
       backtrack(bt_level);
       if (learnt.size() == 1) {
-        if (bt_level != 0) {
-          // Assumption interplay: a unit learnt must go to level 0.
-          backtrack(0);
-        }
+        // analyze() leaves out_btlevel at 0 for a unit learnt (there are no
+        // non-asserting literals to take a max over), so the backjump above
+        // already retracted every decision — including all assumptions —
+        // and the unit lands as a permanent level-0 fact.
+        assert(bt_level == 0);
         enqueue(learnt[0], kNoClause);
       } else {
         const ClauseRef ref =
@@ -585,6 +592,11 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
       decay_clause_activity();
       if (conflict_budget_ != 0 &&
           stats_.conflicts - start_conflicts >= conflict_budget_) {
+        backtrack(0);
+        return SolveResult::kUnknown;
+      }
+      if (interrupt_ != nullptr &&
+          interrupt_->load(std::memory_order_relaxed)) {
         backtrack(0);
         return SolveResult::kUnknown;
       }
@@ -630,6 +642,11 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
       break;
     }
     if (next == kUndefLit) {
+      if (interrupt_ != nullptr &&
+          interrupt_->load(std::memory_order_relaxed)) {
+        backtrack(0);
+        return SolveResult::kUnknown;
+      }
       ++stats_.decisions;
       next = pick_branch_lit();
       if (next == kUndefLit) {
@@ -648,27 +665,35 @@ bool Solver::model_value(Var var) const {
   return assign_[var] == LBool::kTrue;
 }
 
-void Solver::write_dimacs(std::ostream& out) const {
+DimacsCnf Solver::export_cnf() const {
+  DimacsCnf cnf;
+  cnf.num_vars = static_cast<int>(num_vars());
   if (!ok_) {
-    out << "p cnf " << num_vars() << " 1\n0\n";
-    return;
+    cnf.clauses.emplace_back();  // the empty clause
+    return cnf;
   }
   // Level-0 facts are part of the problem (original unit clauses and their
   // consequences; clauses satisfied by them were dropped at add time).
   const std::size_t unit_count =
       trail_lim_.empty() ? trail_.size() : trail_lim_[0];
-  out << "p cnf " << num_vars() << ' ' << clauses_.size() + unit_count << '\n';
+  cnf.clauses.reserve(unit_count + clauses_.size());
   for (std::size_t i = 0; i < unit_count; ++i) {
-    out << to_dimacs(trail_[i]) << " 0\n";
+    cnf.clauses.push_back({trail_[i]});
   }
   for (const ClauseRef ref : clauses_) {
     const Clause clause = arena_[ref];
     const std::uint32_t size = clause.size();
+    std::vector<Lit>& lits = cnf.clauses.emplace_back();
+    lits.reserve(size);
     for (std::uint32_t i = 0; i < size; ++i) {
-      out << to_dimacs(clause[i]) << ' ';
+      lits.push_back(clause[i]);
     }
-    out << "0\n";
   }
+  return cnf;
+}
+
+void Solver::write_dimacs(std::ostream& out) const {
+  sat::write_dimacs(out, export_cnf());
 }
 
 }  // namespace autolock::sat

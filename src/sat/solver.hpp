@@ -14,6 +14,7 @@
 // and the oracle-guided SAT attack (attacks/sat_attack.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
@@ -22,6 +23,8 @@
 #include "sat/clause_allocator.hpp"
 
 namespace autolock::sat {
+
+struct DimacsCnf;
 
 enum class SolveResult { kSat, kUnsat, kUnknown };
 
@@ -63,7 +66,8 @@ class Solver {
   }
 
   /// Solves under the given assumptions. kUnknown is returned only when the
-  /// conflict budget (if set) is exhausted.
+  /// conflict budget (if set) is exhausted or the interrupt flag (if set)
+  /// goes true mid-solve.
   SolveResult solve(const std::vector<Lit>& assumptions = {});
 
   /// Model access (valid after kSat). Unassigned (don't-care) vars read
@@ -78,6 +82,14 @@ class Solver {
     conflict_budget_ = max_conflicts;
   }
 
+  /// Cooperative cancellation for portfolio racing (sat/backend.hpp): while
+  /// the flag reads true, solve() aborts with kUnknown at the next decision
+  /// or conflict. nullptr (default) disables the check. The pointed-to flag
+  /// must outlive every solve() call.
+  void set_interrupt(const std::atomic<bool>* stop) noexcept {
+    interrupt_ = stop;
+  }
+
   /// Live-learnt-clause count that triggers the next reduce_db(). Mostly a
   /// test/bench knob: a tiny limit forces frequent DB reductions and arena
   /// GCs, exercising those paths on small formulas.
@@ -86,6 +98,11 @@ class Solver {
   /// Live learnt clauses currently attached (excludes deleted ones) —
   /// the allocator-backed count reduce_db() budgets against.
   std::size_t num_learnts() const noexcept { return learnts_.size(); }
+
+  /// Live problem (non-learnt, non-unit) clauses. Together with num_vars()
+  /// and stats().arena_bytes this is how the SAT attack surfaces per-DIP
+  /// formula growth.
+  std::size_t num_clauses() const noexcept { return clauses_.size(); }
 
   struct Stats {
     std::uint64_t conflicts = 0;
@@ -116,6 +133,13 @@ class Solver {
   /// not exported. An unsatisfiable-at-level-0 solver exports the empty
   /// clause.
   void write_dimacs(std::ostream& out) const;
+
+  /// The same problem clauses (plus level-0 unit facts) as an in-memory
+  /// CNF over this solver's variable numbering — the handoff format for
+  /// the preprocessor (sat/preprocess.hpp) and the portfolio backends
+  /// (sat/backend.hpp). An unsatisfiable-at-level-0 solver exports the
+  /// empty clause.
+  DimacsCnf export_cnf() const;
 
  private:
   enum class LBool : std::uint8_t { kTrue, kFalse, kUndef };
@@ -213,6 +237,7 @@ class Solver {
 
   std::uint64_t conflict_budget_ = 0;
   std::uint64_t learnt_limit_ = 4096;
+  const std::atomic<bool>* interrupt_ = nullptr;
   Stats stats_;
 };
 

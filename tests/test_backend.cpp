@@ -1,0 +1,223 @@
+// SolverBackend facade + Portfolio racing tests.
+//
+// External solvers are faked with generated shell scripts (canned DIMACS
+// answers, deliberate sleeps, wrong exit codes), so the subprocess
+// plumbing — availability probing, output/exit-code parsing, cooperative
+// kill, deterministic tie-break — is exercised without any real external
+// SAT solver in the image.
+#include "sat/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <string>
+
+#include "util/thread_pool.hpp"
+
+namespace autolock::sat {
+namespace {
+
+/// Writes an executable shell script and removes it on destruction.
+class FakeSolverScript {
+ public:
+  explicit FakeSolverScript(const std::string& body) {
+    char name[] = "/tmp/autolock_fake_solver_XXXXXX";
+    const int fd = mkstemp(name);
+    if (fd >= 0) close(fd);
+    path_ = name;
+    std::ofstream out(path_);
+    out << "#!/bin/sh\n" << body;
+    out.close();
+    chmod(path_.c_str(), 0755);
+  }
+  ~FakeSolverScript() { unlink(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+DimacsCnf simple_sat() {
+  // (x0 | x1) & (~x0 | x1): satisfiable, forces x1 under assumption ~x0.
+  DimacsCnf cnf;
+  cnf.num_vars = 2;
+  cnf.clauses = {{make_lit(0, false), make_lit(1, false)},
+                 {make_lit(0, true), make_lit(1, false)}};
+  return cnf;
+}
+
+DimacsCnf simple_unsat() {
+  DimacsCnf cnf;
+  cnf.num_vars = 1;
+  cnf.clauses = {{make_lit(0, false)}, {make_lit(0, true)}};
+  return cnf;
+}
+
+TEST(CdclBackend, SolvesSatAndUnsat) {
+  CdclBackend backend;
+  EXPECT_TRUE(backend.available());
+  std::atomic<bool> stop{false};
+
+  BackendResult sat = backend.solve(simple_sat(), {}, stop);
+  EXPECT_EQ(sat.result, SolveResult::kSat);
+  EXPECT_EQ(sat.backend, "cdcl");
+  ASSERT_EQ(sat.model.size(), 2u);
+  EXPECT_TRUE(sat.model[0] || sat.model[1]);
+
+  BackendResult unsat = backend.solve(simple_unsat(), {}, stop);
+  EXPECT_EQ(unsat.result, SolveResult::kUnsat);
+}
+
+TEST(CdclBackend, HonorsAssumptions) {
+  CdclBackend backend;
+  std::atomic<bool> stop{false};
+  BackendResult result =
+      backend.solve(simple_sat(), {make_lit(0, true)}, stop);
+  ASSERT_EQ(result.result, SolveResult::kSat);
+  EXPECT_FALSE(result.model[0]);
+  EXPECT_TRUE(result.model[1]);
+
+  // Assumption contradicting the formula: UNSAT, not a crash.
+  result = backend.solve(simple_unsat(), {make_lit(0, false)}, stop);
+  EXPECT_EQ(result.result, SolveResult::kUnsat);
+}
+
+TEST(CdclBackend, InterruptReturnsUnknown) {
+  CdclBackend backend;
+  std::atomic<bool> stop{true};  // raised before the solve even starts
+  BackendResult result = backend.solve(simple_sat(), {}, stop);
+  EXPECT_EQ(result.result, SolveResult::kUnknown);
+}
+
+TEST(SubprocessBackend, AvailabilityProbe) {
+  EXPECT_TRUE(DimacsSubprocessBackend("sh -c 'exit 0' {cnf}").available());
+  EXPECT_TRUE(DimacsSubprocessBackend("/bin/sh {cnf}").available());
+  EXPECT_FALSE(
+      DimacsSubprocessBackend("autolock-no-such-solver {cnf}").available());
+  EXPECT_FALSE(DimacsSubprocessBackend("").available());
+}
+
+TEST(SubprocessBackend, ParsesStatusLinesAndModel) {
+  FakeSolverScript script(
+      "echo 'c fake solver'\n"
+      "echo 's SATISFIABLE'\n"
+      "echo 'v -1 2 0'\n"
+      "exit 10\n");
+  DimacsSubprocessBackend backend(script.path() + " {cnf}", "fake-sat");
+  ASSERT_TRUE(backend.available());
+  std::atomic<bool> stop{false};
+  BackendResult result = backend.solve(simple_sat(), {}, stop);
+  ASSERT_EQ(result.result, SolveResult::kSat);
+  EXPECT_EQ(result.backend, "fake-sat");
+  ASSERT_EQ(result.model.size(), 2u);
+  EXPECT_FALSE(result.model[0]);
+  EXPECT_TRUE(result.model[1]);
+}
+
+TEST(SubprocessBackend, ExitCodeFallbackAndUnknown) {
+  FakeSolverScript unsat_by_exit("exit 20\n");
+  std::atomic<bool> stop{false};
+  BackendResult result =
+      DimacsSubprocessBackend(unsat_by_exit.path() + " {cnf}")
+          .solve(simple_unsat(), {}, stop);
+  EXPECT_EQ(result.result, SolveResult::kUnsat);
+
+  FakeSolverScript crash("exit 1\n");
+  result = DimacsSubprocessBackend(crash.path() + " {cnf}")
+               .solve(simple_sat(), {}, stop);
+  EXPECT_EQ(result.result, SolveResult::kUnknown);
+}
+
+TEST(SubprocessBackend, ReceivesWellFormedDimacsWithAssumptions) {
+  // A "solver" that actually reads the file: counts clauses from the
+  // header and reports them through the exit code, proving the temp CNF
+  // (including baked-in assumption units) reached the subprocess.
+  FakeSolverScript script(
+      "clauses=$(head -1 \"$1\" | cut -d' ' -f4)\n"
+      "exit \"$clauses\"\n");
+  std::atomic<bool> stop{false};
+  // simple_sat has 2 clauses + 1 assumption unit = 3 -> exit 3 = unknown
+  // (that's the point: we only care that the file was well-formed).
+  DimacsSubprocessBackend backend(script.path() + " {cnf}");
+  BackendResult result =
+      backend.solve(simple_sat(), {make_lit(0, true)}, stop);
+  EXPECT_EQ(result.result, SolveResult::kUnknown);
+
+  FakeSolverScript exact(
+      "clauses=$(head -1 \"$1\" | cut -d' ' -f4)\n"
+      "if [ \"$clauses\" = 3 ]; then exit 10; else exit 20; fi\n");
+  result = DimacsSubprocessBackend(exact.path() + " {cnf}")
+               .solve(simple_sat(), {make_lit(0, true)}, stop);
+  EXPECT_EQ(result.result, SolveResult::kSat)
+      << "expected 3 clauses (2 formula + 1 assumption) in the temp CNF";
+}
+
+TEST(Portfolio, SequentialFallbackSkipsUnavailableAndUnknown) {
+  FakeSolverScript broken("exit 1\n");
+  Portfolio portfolio;
+  portfolio.add(DimacsSubprocessBackend("autolock-no-such-solver {cnf}",
+                                        "missing"));
+  portfolio.add(DimacsSubprocessBackend(broken.path() + " {cnf}", "broken"));
+  portfolio.add(CdclBackend{});
+  ASSERT_EQ(portfolio.size(), 3u);
+
+  BackendResult result = portfolio.solve(simple_unsat());
+  EXPECT_EQ(result.result, SolveResult::kUnsat);
+  EXPECT_EQ(result.backend, "cdcl");
+}
+
+TEST(Portfolio, EmptyOrAllUnavailableReturnsUnknown) {
+  Portfolio empty;
+  EXPECT_EQ(empty.solve(simple_sat()).result, SolveResult::kUnknown);
+
+  Portfolio unavailable;
+  unavailable.add(
+      DimacsSubprocessBackend("autolock-no-such-solver {cnf}", "missing"));
+  BackendResult result = unavailable.solve(simple_sat());
+  EXPECT_EQ(result.result, SolveResult::kUnknown);
+  EXPECT_TRUE(result.backend.empty());
+}
+
+TEST(Portfolio, RaceCancelsSlowLoser) {
+  // The slow fake would take 10 s; the in-tree solver answers instantly
+  // and the stop flag kills the subprocess, so the whole race must finish
+  // far under the sleep.
+  FakeSolverScript slow("sleep 10\necho 's SATISFIABLE'\nexit 10\n");
+  Portfolio portfolio;
+  portfolio.add(CdclBackend{});
+  portfolio.add(DimacsSubprocessBackend(slow.path() + " {cnf}", "slow"));
+
+  util::ThreadPool pool(2);
+  const auto start = std::chrono::steady_clock::now();
+  BackendResult result = portfolio.solve(simple_unsat(), {}, &pool);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(result.result, SolveResult::kUnsat);
+  EXPECT_EQ(result.backend, "cdcl");
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            8);
+}
+
+TEST(Portfolio, TieBreakIsLowestIndexed) {
+  // Both backends answer instantly and definitively; after the race
+  // barrier the lowest-indexed one must win regardless of thread timing.
+  FakeSolverScript a("echo 's SATISFIABLE'\necho 'v 1 2 0'\nexit 10\n");
+  FakeSolverScript b("echo 's SATISFIABLE'\necho 'v -1 -2 0'\nexit 10\n");
+  Portfolio portfolio;
+  portfolio.add(DimacsSubprocessBackend(a.path() + " {cnf}", "first"));
+  portfolio.add(DimacsSubprocessBackend(b.path() + " {cnf}", "second"));
+
+  util::ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    BackendResult result = portfolio.solve(simple_sat(), {}, &pool);
+    ASSERT_EQ(result.result, SolveResult::kSat);
+    ASSERT_EQ(result.backend, "first") << "tie-break must be deterministic";
+    ASSERT_TRUE(result.model[0] && result.model[1]);
+  }
+}
+
+}  // namespace
+}  // namespace autolock::sat

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
 #include "locking/mux_lock.hpp"
 #include "locking/rll.hpp"
 #include "netlist/generator.hpp"
@@ -109,9 +113,11 @@ TEST(SatAttack, StatsPopulated) {
 // full trajectory (DIP count, conflict count, exact key bits) so any future
 // solver-core or encoding change that silently alters attack behaviour
 // fails loudly here instead of shifting benchmark numbers. Baseline: the
-// arena/LBD solver core with level-0 pre-pinned DIP copies (re-baselined
-// once in the PR that introduced both; the arena rewrite alone was verified
-// trajectory-identical to the original vector-of-vectors solver).
+// SAT-core-phase-2 incremental loop — one growing formula whose initial
+// miter shares the key-independent remainder between copies, cone-template
+// DIP constraints, lex-min key canonicalization (so the pinned key is the
+// smallest consistent key, not an arbitrary model). Re-baselined when that
+// landed; the previous baseline covered the per-DIP-copy loop.
 
 Key key_from_string(const char* bits) {
   Key key;
@@ -126,8 +132,8 @@ TEST(SatAttack, DeterministicTrajectoryOnSeededRll) {
   const auto result = SatAttack().attack(design.netlist, original);
   ASSERT_TRUE(result.success);
   EXPECT_EQ(result.dip_iterations, 2u);
-  EXPECT_EQ(result.total_conflicts, 89u);
-  EXPECT_EQ(result.recovered_key, key_from_string("0100100101110010"));
+  EXPECT_EQ(result.total_conflicts, 74u);
+  EXPECT_EQ(result.recovered_key, key_from_string("0000000101100000"));
 }
 
 TEST(SatAttack, DeterministicTrajectoryOnSeededDmux) {
@@ -137,8 +143,8 @@ TEST(SatAttack, DeterministicTrajectoryOnSeededDmux) {
   const auto result = SatAttack().attack(design.netlist, original);
   ASSERT_TRUE(result.success);
   EXPECT_EQ(result.dip_iterations, 5u);
-  EXPECT_EQ(result.total_conflicts, 183u);
-  EXPECT_EQ(result.recovered_key, key_from_string("010011111011"));
+  EXPECT_EQ(result.total_conflicts, 93u);
+  EXPECT_EQ(result.recovered_key, key_from_string("000011000011"));
 }
 
 TEST(SatAttack, ResultCarriesSolverCoreStats) {
@@ -150,6 +156,160 @@ TEST(SatAttack, ResultCarriesSolverCoreStats) {
   EXPECT_GT(result.total_propagations, 0u);
   EXPECT_GT(result.peak_arena_bytes, 0u);
   EXPECT_GT(result.mean_lbd, 0.0);
+}
+
+// ---- SAT core phase 2 ------------------------------------------------------
+
+TEST(SatAttack, KeyedOracleThrows) {
+  // A locked netlist is not an oracle: simulating it would silently run
+  // under the all-false key and feed the attack garbage responses.
+  const Netlist original = netlist::gen::c17();
+  const auto design = lock::rll_lock(original, 3, 5);
+  EXPECT_THROW(SatAttack().attack(design.netlist, design.netlist),
+               std::invalid_argument);
+}
+
+/// Locked circuit whose first output is key-INdependent (out1 = a & b) and
+/// second is key-dependent (out2 = (a & b) ^ k), paired with an "oracle"
+/// whose first output is inverted (¬(a & b)) — no key assignment can make
+/// the locked circuit match it, on any input. Used to pin the
+/// inconsistent-oracle detection on both DIP encodings.
+struct InconsistentPair {
+  Netlist locked;
+  Netlist oracle;
+
+  InconsistentPair() {
+    const auto a = locked.add_input("a");
+    const auto b = locked.add_input("b");
+    const auto k = locked.add_input("k", /*is_key=*/true);
+    const auto g = locked.add_gate(netlist::GateType::kAnd, {a, b}, "g");
+    const auto x = locked.add_gate(netlist::GateType::kXor, {g, k}, "x");
+    locked.mark_output(g, "o1");
+    locked.mark_output(x, "o2");
+
+    const auto oa = oracle.add_input("a");
+    const auto ob = oracle.add_input("b");
+    const auto og = oracle.add_gate(netlist::GateType::kAnd, {oa, ob}, "g");
+    const auto on = oracle.add_gate(netlist::GateType::kNot, {og}, "n");
+    oracle.mark_output(on, "o1");
+    oracle.mark_output(og, "o2");
+  }
+};
+
+TEST(SatAttack, InconsistentOracleReportsInfeasible) {
+  // Regression for the old loop ignoring add_clause returns: an oracle
+  // response no key can produce must stop the attack with `infeasible`,
+  // not keep solving on a level-0-dead formula and report a random key.
+  const InconsistentPair pair;
+  for (const DipEncoding encoding :
+       {DipEncoding::kConeTemplate, DipEncoding::kFullCopy}) {
+    SatAttackConfig config;
+    config.dip_encoding = encoding;
+    const auto result = SatAttack(config).attack(pair.locked, pair.oracle);
+    EXPECT_TRUE(result.infeasible)
+        << "encoding " << static_cast<int>(encoding);
+    EXPECT_FALSE(result.success);
+    EXPECT_FALSE(result.budget_exhausted);
+    EXPECT_GE(result.dip_iterations, 1u);  // detected while constraining
+  }
+}
+
+TEST(SatAttack, IncrementalAndFullCopyRecoverIdenticalKeys) {
+  // With lex-min canonicalization the recovered key is a function of the
+  // locked/oracle pair alone: the cone-template incremental path and the
+  // per-DIP-copy baseline must agree bit for bit even though their DIP
+  // trajectories differ. Seeded c432 (RLL) and c880 (D-MUX) workloads.
+  struct Workload {
+    netlist::gen::ProfileId profile;
+    std::uint64_t seed;
+    bool rll;
+    std::size_t key_bits;
+  };
+  const Workload workloads[] = {
+      {netlist::gen::ProfileId::kC432, 3, true, 16},
+      {netlist::gen::ProfileId::kC432, 21, false, 12},
+      {netlist::gen::ProfileId::kC880, 5, false, 12},
+      {netlist::gen::ProfileId::kC880, 7, true, 16},
+  };
+  for (const auto& w : workloads) {
+    const Netlist original = netlist::gen::make_profile(w.profile, w.seed);
+    const auto design = w.rll
+                            ? lock::rll_lock(original, w.key_bits, w.seed + 2)
+                            : lock::dmux_lock(original, w.key_bits, w.seed + 2);
+
+    SatAttackConfig incremental;
+    incremental.dip_encoding = DipEncoding::kConeTemplate;
+    const auto inc = SatAttack(incremental).attack(design.netlist, original);
+
+    SatAttackConfig baseline;
+    baseline.dip_encoding = DipEncoding::kFullCopy;
+    const auto base = SatAttack(baseline).attack(design.netlist, original);
+
+    ASSERT_TRUE(inc.success) << "seed " << w.seed;
+    ASSERT_TRUE(base.success) << "seed " << w.seed;
+    EXPECT_EQ(inc.recovered_key, base.recovered_key)
+        << "canonical keys diverged (seed " << w.seed << ")";
+  }
+}
+
+TEST(SatAttack, PerIterationStatsTrackFormulaGrowth) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC880, 5);
+  const auto design = lock::dmux_lock(original, 12, 9);
+
+  SatAttackConfig incremental;  // defaults: cone template
+  const auto inc = SatAttack(incremental).attack(design.netlist, original);
+  ASSERT_TRUE(inc.success);
+  ASSERT_EQ(inc.iterations.size(), inc.dip_iterations);
+
+  SatAttackConfig baseline;
+  baseline.dip_encoding = DipEncoding::kFullCopy;
+  const auto base = SatAttack(baseline).attack(design.netlist, original);
+  ASSERT_TRUE(base.success);
+  ASSERT_EQ(base.iterations.size(), base.dip_iterations);
+
+  // The whole point of the cone template: per-DIP growth proportional to
+  // the key cone, not the circuit. Every incremental iteration must add
+  // fewer variables than any full-copy iteration adds.
+  std::uint64_t inc_max_vars = 0;
+  for (const auto& it : inc.iterations) {
+    inc_max_vars = std::max(inc_max_vars, it.new_vars);
+    EXPECT_GT(it.arena_bytes, 0u);
+  }
+  std::uint64_t base_min_vars = ~std::uint64_t{0};
+  for (const auto& it : base.iterations) {
+    base_min_vars = std::min(base_min_vars, it.new_vars);
+  }
+  EXPECT_LT(inc_max_vars, base_min_vars);
+}
+
+TEST(SatAttack, PreprocessedAttackAgreesWithPlain) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 3);
+  const auto design = lock::rll_lock(original, 16, 7);
+
+  const auto plain = SatAttack().attack(design.netlist, original);
+  SatAttackConfig config;
+  config.preprocess.enabled = true;
+  const auto preprocessed = SatAttack(config).attack(design.netlist, original);
+
+  ASSERT_TRUE(plain.success);
+  ASSERT_TRUE(preprocessed.success);
+  // Different formula, possibly different trajectory — but the canonical
+  // key is trajectory-independent.
+  EXPECT_EQ(preprocessed.recovered_key, plain.recovered_key);
+}
+
+TEST(SatAttack, PortfolioVerificationReportsBackend) {
+  const Netlist original = netlist::gen::c17();
+  const auto design = lock::rll_lock(original, 3, 5);
+  SatAttackConfig config;
+  // Unavailable external binary: the portfolio must fall back to the
+  // in-tree backend and still verify.
+  config.portfolio_command = "autolock-no-such-solver {cnf}";
+  const auto result = SatAttack(config).attack(design.netlist, original);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.verify_backend, "cdcl");
 }
 
 class SatAttackSweep

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "sat/dimacs.hpp"
 #include "sat/instances.hpp"
 #include "util/rng.hpp"
 
@@ -156,6 +157,89 @@ TEST(Solver, DuplicateAssumptionsOpenEmptyLevelsSafely) {
             SolveResult::kUnsat);
   // Without the conflicting assumption pair the formula is satisfiable.
   EXPECT_EQ(solver.solve({make_lit(a), make_lit(a)}), SolveResult::kSat);
+}
+
+// The next three tests pin the audited assumption-handling invariant
+// (solver.cpp, search loop): a conflict may backjump BELOW the assumption
+// prefix — assumptions are re-extended on the way back up, never clamped.
+// Learnt clauses are implied by the formula alone (assumption decisions
+// carry no reason), so units learnt under assumptions are permanent
+// level-0 facts and the solver must stay fully usable afterwards.
+
+TEST(SolverAssumptions, UnitLearntUnderAssumptionsBecomesPermanentFact) {
+  Solver solver;
+  const Var a = solver.new_var();
+  const Var x = solver.new_var();
+  const Var y = solver.new_var();
+  solver.add_clause(make_lit(x, true), make_lit(y));        // x -> y
+  solver.add_clause(make_lit(x, true), make_lit(y, true));  // x -> ¬y
+  // Assuming {a, x} forces the unit learnt {¬x}: the backjump target is
+  // level 0, beneath BOTH assumption decisions.
+  EXPECT_EQ(solver.solve({make_lit(a), make_lit(x)}), SolveResult::kUnsat);
+  // The learnt unit is formula-implied, so x alone is now refuted...
+  EXPECT_EQ(solver.solve({make_lit(x)}), SolveResult::kUnsat);
+  // ...while the solver remains usable and the formula satisfiable.
+  EXPECT_EQ(solver.solve({make_lit(a)}), SolveResult::kSat);
+  EXPECT_TRUE(solver.model_value(a));
+  EXPECT_FALSE(solver.model_value(x));
+  EXPECT_EQ(solver.solve(), SolveResult::kSat);
+}
+
+TEST(SolverAssumptions, Level0ImpliedAssumptionOpensEmptyLevel) {
+  Solver solver;
+  const Var a = solver.new_var();
+  const Var b = solver.new_var();
+  const Var c = solver.new_var();
+  solver.add_clause(make_lit(a));  // a is a level-0 fact before solving
+  solver.add_clause(make_lit(b, true), make_lit(c));        // b -> c
+  solver.add_clause(make_lit(b, true), make_lit(c, true));  // b -> ¬c
+  // The already-implied assumption `a` opens an empty decision level; the
+  // conflict under `b` must still resolve and report UNSAT cleanly.
+  EXPECT_EQ(solver.solve({make_lit(a), make_lit(b)}), SolveResult::kUnsat);
+  EXPECT_EQ(solver.solve({make_lit(a)}), SolveResult::kSat);
+}
+
+TEST(SolverAssumptions, Level0FalseAssumptionIsUnsatNotCorrupting) {
+  Solver solver;
+  const Var a = solver.new_var();
+  const Var b = solver.new_var();
+  solver.add_clause(make_lit(a, true));  // ¬a is a fact
+  solver.add_clause(make_lit(b));
+  EXPECT_EQ(solver.solve({make_lit(a)}), SolveResult::kUnsat);
+  EXPECT_EQ(solver.solve({make_lit(a), make_lit(b)}), SolveResult::kUnsat);
+  EXPECT_EQ(solver.solve(), SolveResult::kSat);
+  EXPECT_TRUE(solver.model_value(b));
+}
+
+TEST(Solver, ExportCnfRoundTripsUnitsAndClauses) {
+  Solver solver;
+  const Var x = solver.new_var();
+  const Var y = solver.new_var();
+  const Var z = solver.new_var();
+  solver.add_clause(make_lit(x));                              // unit fact
+  solver.add_clause(make_lit(x, true), make_lit(y));           // simplifies
+  solver.add_clause(make_lit(y, true), make_lit(z, true));
+  const DimacsCnf cnf = solver.export_cnf();
+  EXPECT_EQ(cnf.num_vars, 3u);
+
+  Solver reloaded;
+  ASSERT_TRUE(load_into(reloaded, cnf));
+  EXPECT_EQ(reloaded.solve(), SolveResult::kSat);
+  EXPECT_TRUE(reloaded.model_value(x));
+  EXPECT_TRUE(reloaded.model_value(y));
+  EXPECT_FALSE(reloaded.model_value(z));
+  // Level-0 facts export as units: z is already refutable by assumption.
+  EXPECT_EQ(reloaded.solve({make_lit(z)}), SolveResult::kUnsat);
+}
+
+TEST(Solver, ExportCnfOfDeadSolverIsEmptyClause) {
+  Solver solver;
+  const Var x = solver.new_var();
+  solver.add_clause(make_lit(x));
+  EXPECT_FALSE(solver.add_clause(make_lit(x, true)));
+  const DimacsCnf cnf = solver.export_cnf();
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+  EXPECT_TRUE(cnf.clauses[0].empty());
 }
 
 TEST(Solver, ContradictoryAssumptionsUnsat) {
