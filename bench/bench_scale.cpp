@@ -1,0 +1,283 @@
+// bench_scale — the million-gate scale proof for the decode/attack stack.
+//
+// Locks (K=64) and attacks synthetic 100k- and 1M-gate layered designs next
+// to the c880 reference, reporting for each scale:
+//
+//   - streaming .bench I/O throughput (stream_save_file / stream_load_file)
+//   - one-time setup cost (SiteContext build) vs steady-state decode/s
+//     through a recycled EvalWorkspace, with the DecodeTopo incremental
+//     reset counter surfaced so a silent fall-back to full O(N) resets
+//     shows up in the committed baseline
+//   - wrong-key corruption probes/s (64-key lane-transposed batches)
+//   - wall-clock to a full recovered-key guess from the structural link
+//     predictor, and — on c880, where the oracle-guided loop is feasible —
+//     wall-clock to the SAT attack's proven key
+//   - peak RSS (VmHWM from /proc/self/status) after each scale's section
+//
+// The acceptance metric from the scale PR: decode/s on synth100k within 5x
+// of c880 decode/s at the same K ("c880 ratio" column — per-decode work is
+// O(genotype), so the ratio stays flat instead of tracking the three orders
+// of magnitude between the design sizes).
+//
+// --quick runs c880 + synth100k (the CI smoke shape); the full run adds
+// synth1m. Run with --json to refresh BENCH_bench_scale.json.
+#include "bench/common.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "attacks/attack_scratch.hpp"
+#include "attacks/sat_attack.hpp"
+#include "attacks/structural.hpp"
+#include "eval/workspace.hpp"
+#include "locking/mux_lock.hpp"
+#include "netlist/bench_stream.hpp"
+#include "netlist/simulator.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace autolock;
+using benchx::BenchArgs;
+
+constexpr std::size_t kKeyBits = 64;
+
+/// Peak resident set size in MB (VmHWM — the high-water mark, monotone over
+/// the process lifetime). 0.0 when /proc is unavailable.
+double peak_rss_mb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      double kb = 0.0;
+      if (std::sscanf(line.c_str() + 6, "%lf", &kb) == 1) return kb / 1024.0;
+      return 0.0;
+    }
+  }
+  return 0.0;
+}
+
+struct DecodeStats {
+  double rate = 0.0;
+  double seconds = 0.0;
+  std::size_t incremental = 0;  // incremental DecodeTopo resets in the loop
+  std::size_t touched = 0;      // mean DecodeTopo::touched() per decode
+  double ns_per_touched = 0.0;
+};
+
+/// Steady-state decode throughput through one recycled workspace. The first
+/// (untimed) decode pays the netlist copy + name warmup; every timed
+/// iteration must take the recycle + incremental-reset path.
+DecodeStats time_decodes(const netlist::Netlist& original,
+                         const lock::SiteContext& context,
+                         const std::vector<lock::LockSite>& genes,
+                         std::size_t iters) {
+  eval::EvalWorkspace workspace;
+  workspace.reserve(original, genes.size());
+  {
+    util::Rng repair(0xDEC0DEULL);
+    lock::apply_genotype_into(workspace.design, original, context, genes,
+                              repair, workspace.reach);
+  }
+  const std::size_t resets_before = workspace.reach.topo.incremental_resets();
+  std::size_t guard = 0;
+  std::size_t touched = 0;
+  util::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    util::Rng repair(0xDEC0DEULL + i);
+    lock::apply_genotype_into(workspace.design, original, context, genes,
+                              repair, workspace.reach);
+    guard += workspace.design.netlist.size();
+    touched += workspace.reach.topo.touched();
+  }
+  DecodeStats stats;
+  stats.seconds = timer.elapsed_seconds();
+  stats.rate = static_cast<double>(iters) / stats.seconds;
+  stats.incremental =
+      workspace.reach.topo.incremental_resets() - resets_before;
+  stats.touched = touched / iters;
+  stats.ns_per_touched = stats.seconds * 1e9 / static_cast<double>(touched);
+  if (guard == 0) std::abort();  // keep the loop observable
+  return stats;
+}
+
+struct Tables {
+  util::Table io{{"circuit", "nodes", "phase", "seconds", "MB"}};
+  util::Table decode{{"circuit", "K", "mode", "decodes/s", "seconds",
+                      "incr resets", "touched/dec", "ns/touched",
+                      "c880 ratio"}};
+  util::Table probe{{"circuit", "K", "mode", "probes/s", "seconds"}};
+  util::Table attack{
+      {"circuit", "K", "attack", "seconds", "key accuracy", "outcome"}};
+  util::Table rss{{"circuit", "nodes", "metric", "MB"}};
+};
+
+void run_scale(const std::string& name, const netlist::Netlist& original,
+               std::size_t decode_iters, std::size_t probe_reps, bool run_sat,
+               double& c880_ns_touched, Tables& t) {
+  const std::string nodes = std::to_string(original.size());
+
+  // ---- streaming I/O round trip -------------------------------------------
+  // Written into the working directory (the build tree) and removed; the
+  // reparse must reproduce the design node-for-node.
+  {
+    const std::string path = name + "_bench_scale_tmp.bench";
+    util::Timer write_timer;
+    netlist::bench::stream_save_file(original, path);
+    const double write_s = write_timer.elapsed_seconds();
+    double mb = 0.0;
+    {
+      std::ifstream size_probe(path, std::ios::binary | std::ios::ate);
+      mb = static_cast<double>(size_probe.tellg()) / 1e6;
+    }
+    util::Timer parse_timer;
+    const auto reparsed = netlist::bench::stream_load_file(path);
+    const double parse_s = parse_timer.elapsed_seconds();
+    std::remove(path.c_str());
+    // The reparse adds one BUF alias per output port whose name differs
+    // from its driver's node name, so compare interfaces, not node counts.
+    if (reparsed.outputs().size() != original.outputs().size() ||
+        reparsed.primary_inputs().size() != original.primary_inputs().size() ||
+        reparsed.size() < original.size()) {
+      std::abort();
+    }
+    t.io.add_row({name, nodes, "stream write", util::fmt(write_s, 3),
+                  util::fmt(mb, 1)});
+    t.io.add_row({name, nodes, "stream parse", util::fmt(parse_s, 3),
+                  util::fmt(mb, 1)});
+  }
+
+  // ---- one-time site analysis + steady-state decode/s ---------------------
+  util::Timer context_timer;
+  const lock::SiteContext context(original);
+  t.io.add_row({name, nodes, "site context",
+                util::fmt(context_timer.elapsed_seconds(), 3), "0.0"});
+
+  util::Rng genes_rng(0xDECD0ULL);
+  const auto genes = lock::random_genotype(context, kKeyBits, genes_rng);
+  const DecodeStats decode = time_decodes(original, context, genes,
+                                          decode_iters);
+  // The scale acceptance metric: per-touched-gate decode cost vs c880 at
+  // the same K (5x is the budget; O(genotype) decode keeps it near 1x).
+  if (name == "c880") c880_ns_touched = decode.ns_per_touched;
+  t.decode.add_row({name, std::to_string(kKeyBits), "workspace",
+                    util::fmt(decode.rate, 1), util::fmt(decode.seconds, 3),
+                    std::to_string(decode.incremental),
+                    std::to_string(decode.touched),
+                    util::fmt(decode.ns_per_touched, 1),
+                    c880_ns_touched > 0.0
+                        ? util::fmt(decode.ns_per_touched / c880_ns_touched, 2) + "x"
+                        : "-"});
+
+  // ---- corruption probes/s (multi-key lanes) ------------------------------
+  // The pipeline's probe shape: 64 wrong keys sharing 4 random vectors.
+  const auto design = lock::dmux_lock(original, kKeyBits, 7);
+  {
+    const netlist::Simulator dut(design.netlist);
+    const netlist::Simulator reference(original);
+    netlist::SimScratch scratch;
+    const std::size_t probe_keys = 64;
+    const std::size_t probe_vectors = 4;
+
+    util::Rng key_rng(0xBA7C4ULL);
+    netlist::KeyBatch batch;
+    batch.reset(design.key.size());
+    for (std::size_t k = 0; k < probe_keys; ++k) {
+      netlist::Key wrong = design.key;
+      bool differs = false;
+      while (!differs) {
+        for (std::size_t b = 0; b < wrong.size(); ++b) {
+          wrong[b] = key_rng.next_bool();
+          differs = differs || (wrong[b] != design.key[b]);
+        }
+      }
+      batch.push(wrong);
+    }
+
+    std::vector<std::uint64_t> in_words, ref_words;
+    std::vector<double> rates;
+    double sink = 0.0;
+    util::Timer timer;
+    for (std::size_t r = 0; r < probe_reps; ++r) {
+      util::Rng vec_rng(0x7EC ^ r);
+      netlist::Simulator::multi_key_error_rate(
+          dut, batch, reference, netlist::Key{}, probe_vectors, vec_rng,
+          scratch, in_words, ref_words, rates);
+      sink += rates[0];
+    }
+    const double s = timer.elapsed_seconds();
+    if (sink < 0.0) std::abort();  // keep the loop observable
+    const double rate =
+        static_cast<double>(probe_reps * probe_keys * probe_vectors) / s;
+    t.probe.add_row({name, std::to_string(kKeyBits), "multi-key",
+                     util::fmt(rate, 0), util::fmt(s, 3)});
+  }
+
+  // ---- wall-clock to a recovered key --------------------------------------
+  // Structural link predictor at every scale: time to a full key guess.
+  {
+    const attack::StructuralLinkPredictor predictor;
+    attack::AttackScratch scratch;
+    util::Timer timer;
+    const auto score = predictor.run(design, scratch);
+    const double s = timer.elapsed_seconds();
+    t.attack.add_row({name, std::to_string(kKeyBits), "structural",
+                      util::fmt(s, 3), util::fmt(score.accuracy, 3),
+                      "full guess"});
+  }
+  // Oracle-guided SAT attack on the reference circuit only: a proven key,
+  // but the DIP loop's oracle sweeps are O(N) per iteration and the miter
+  // doubles the circuit — infeasible at the synthetic scales.
+  if (run_sat) {
+    const attack::SatAttack sat;
+    util::Timer timer;
+    const auto result = sat.attack(design.netlist, original);
+    const double s = timer.elapsed_seconds();
+    t.attack.add_row({name, std::to_string(kKeyBits), "sat", util::fmt(s, 3),
+                      result.success ? "1.000" : "0.000",
+                      result.success ? "proven key" : "failed"});
+  }
+
+  t.rss.add_row({name, nodes, "peak RSS", util::fmt(peak_rss_mb(), 1)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = benchx::parse_args(argc, argv);
+  Tables t;
+  double c880_ns_touched = 0.0;
+
+  {
+    util::Timer gen_timer;
+    const auto c880 =
+        netlist::gen::make_profile(netlist::gen::ProfileId::kC880, 1);
+    t.io.add_row({"c880", std::to_string(c880.size()), "generate",
+                  util::fmt(gen_timer.elapsed_seconds(), 3), "0.0"});
+    run_scale("c880", c880, args.quick ? 300 : 2000, args.quick ? 50 : 200,
+              /*run_sat=*/true, c880_ns_touched, t);
+  }
+
+  for (const auto& profile : netlist::gen::scale_profiles()) {
+    if (args.quick && profile.name != "synth100k") continue;
+    const std::string name(profile.name);
+    util::Timer gen_timer;
+    const auto original = netlist::gen::make_scale_profile(profile.name, 1);
+    t.io.add_row({name, std::to_string(original.size()), "generate",
+                  util::fmt(gen_timer.elapsed_seconds(), 3), "0.0"});
+    const bool million = profile.gates >= 1'000'000;
+    const std::size_t decode_iters =
+        million ? 25 : (args.quick ? 40 : 200);
+    const std::size_t probe_reps = million ? 4 : (args.quick ? 5 : 20);
+    run_scale(name, original, decode_iters, probe_reps, /*run_sat=*/false,
+              c880_ns_touched, t);
+  }
+
+  benchx::emit(t.io, args, "design build + streaming I/O");
+  benchx::emit(t.decode, args, "decode throughput at scale");
+  benchx::emit(t.probe, args, "corruption probe throughput at scale");
+  benchx::emit(t.attack, args, "time to recovered key");
+  benchx::emit(t.rss, args, "peak memory");
+  return 0;
+}

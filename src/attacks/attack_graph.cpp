@@ -87,10 +87,47 @@ void AttackGraph::build(const Netlist& locked) {
                   }),
       known_links_.end());
 
+  // Key-MUX sink rows (ascending, deduplicated — identical content to the
+  // netlist's cached fanout rows for these nodes), collected in one
+  // ascending pass over every fanin list instead of materializing the full
+  // O(V) vector-of-vectors fanout cache just to read the key-MUX rows.
+  // Sinks arrive in ascending v order; a mux listed twice in one fanin list
+  // is deduplicated by scanning the (tiny) earlier operands.
+  mux_slot_.assign(n, -1);
+  std::int32_t mux_count = 0;
+  for (NodeId m = 0; m < n; ++m) {
+    if (is_key_mux_[m]) mux_slot_[m] = mux_count++;
+  }
+  mux_sink_offsets_.assign(mux_count + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& fi = locked.node(v).fanins;
+    for (std::size_t i = 0; i < fi.size(); ++i) {
+      const std::int32_t s = mux_slot_[fi[i]];
+      if (s < 0) continue;
+      bool dup = false;
+      for (std::size_t j = 0; j < i && !dup; ++j) dup = fi[j] == fi[i];
+      if (!dup) ++mux_sink_offsets_[s + 1];
+    }
+  }
+  for (std::int32_t s = 0; s < mux_count; ++s) {
+    mux_sink_offsets_[s + 1] += mux_sink_offsets_[s];
+  }
+  mux_sink_edges_.resize(mux_sink_offsets_[mux_count]);
+  cursor_.assign(mux_sink_offsets_.begin(), mux_sink_offsets_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& fi = locked.node(v).fanins;
+    for (std::size_t i = 0; i < fi.size(); ++i) {
+      const std::int32_t s = mux_slot_[fi[i]];
+      if (s < 0) continue;
+      bool dup = false;
+      for (std::size_t j = 0; j < i && !dup; ++j) dup = fi[j] == fi[i];
+      if (!dup) mux_sink_edges_[cursor_[s]++] = v;
+    }
+  }
+
   // Decision problems: group key-MUXes by their key input's bit index into
   // per-bit slots (replacing the historical std::map), then emit non-empty
   // slots in ascending bit order.
-  const auto& fanouts = locked.fanouts();
   if (slots_.size() < static_cast<std::size_t>(key_bit_count)) {
     slots_.resize(key_bit_count);
   }
@@ -115,7 +152,10 @@ void AttackGraph::build(const Netlist& locked) {
     }
     auto& problem = slots_[bit];
     problem.key_bit_index = bit;
-    for (const NodeId sink : fanouts[m]) {
+    const std::int32_t slot = mux_slot_[m];
+    for (std::uint32_t e = mux_sink_offsets_[slot];
+         e < mux_sink_offsets_[slot + 1]; ++e) {
+      const NodeId sink = mux_sink_edges_[e];
       if (!present_[sink]) continue;
       // Key value 0 selects in0 as the true driver of `sink`.
       problem.if_zero.push_back(CandidateLink{in0, sink});

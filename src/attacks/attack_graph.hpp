@@ -108,6 +108,13 @@ class AttackGraph {
   std::vector<int> bit_of_node_;
   std::vector<std::uint32_t> cursor_;
   std::vector<KeyBitProblem> slots_;
+  /// Key-MUX sink CSR (dense slot per key MUX): the deduplicated ascending
+  /// gate fanouts of each key MUX, collected in one pass over all fanin
+  /// lists — the per-build replacement for materializing the netlist's full
+  /// vector-of-vectors fanout cache just to read the key-MUX rows.
+  std::vector<std::int32_t> mux_slot_;
+  std::vector<std::uint32_t> mux_sink_offsets_;
+  std::vector<netlist::NodeId> mux_sink_edges_;
 };
 
 }  // namespace autolock::attack

@@ -8,7 +8,30 @@ namespace autolock::lock {
 using netlist::NodeId;
 
 void DecodeTopo::reset(const netlist::CsrFanins& base,
-                       const std::vector<std::uint64_t>& seed_ranks) {
+                       const std::vector<std::uint64_t>& seed_ranks,
+                       std::uint64_t context_token) {
+  if (context_token != 0 && context_token == last_token_ && journal_ok_) {
+    // Same family, intact journal: restore the seed state in O(touched)
+    // instead of O(V + E). Undo base-edge patches in reverse (a slot
+    // patched twice unwinds through its intermediate value), restore the
+    // ranks that moved, and drop the appended tail.
+    for (std::size_t i = edge_journal_.size(); i-- > 0;) {
+      edges_[edge_journal_[i].first] = edge_journal_[i].second;
+    }
+    edge_journal_.clear();
+    for (const NodeId v : dirty_nodes_) {
+      if (v < base_nodes_) rank_[v] = seed_ranks[v];
+    }
+    dirty_nodes_.clear();
+    dirty_.begin_epoch(base_nodes_);
+    tail_offsets_.assign(1, 0);
+    tail_edges_.clear();
+    rank_.resize(base_nodes_);
+    renumbers_ = 0;
+    touched_ = 0;
+    ++incremental_resets_;
+    return;
+  }
   base_nodes_ = base.node_count();
   base_offsets_ = &base.offsets();
   edges_.assign(base.edges().begin(), base.edges().end());
@@ -16,6 +39,76 @@ void DecodeTopo::reset(const netlist::CsrFanins& base,
   tail_edges_.clear();
   rank_.assign(seed_ranks.begin(), seed_ranks.end());
   renumbers_ = 0;
+  touched_ = 0;
+  last_token_ = context_token;
+  journal_ok_ = context_token != 0;
+  edge_journal_.clear();
+  dirty_nodes_.clear();
+  dirty_.begin_epoch(base_nodes_);
+}
+
+void DecodeTopo::order_into(const std::vector<netlist::NodeId>& seed_order,
+                            const std::vector<std::uint64_t>& seed_order_ranks,
+                            const std::vector<std::uint32_t>& seed_pos,
+                            std::vector<netlist::NodeId>& out) {
+  // Two sorted-by-(rank, id) streams merge into the full order:
+  //   - seed_order minus the rank-dirty nodes. Non-dirty base ranks still
+  //     equal their seeds, so the stream stays sorted; after a renumber the
+  //     re-spacing preserves relative order, so it stays monotone too.
+  //   - the dirty lane: base nodes whose rank moved plus every appended
+  //     node, sorted here — O(D log D) for D touched nodes.
+  dirty_sorted_.clear();
+  for (const NodeId v : dirty_nodes_) {
+    if (v < base_nodes_) dirty_sorted_.emplace_back(rank_[v], v);
+  }
+  for (std::size_t v = base_nodes_; v < node_count(); ++v) {
+    dirty_sorted_.emplace_back(rank_[v], static_cast<NodeId>(v));
+  }
+  std::sort(dirty_sorted_.begin(), dirty_sorted_.end());
+  out.clear();
+  out.reserve(node_count());
+  std::size_t d = 0;
+  const std::size_t nd = dirty_sorted_.size();
+  if (renumbers_ == 0) {
+    // No renumber this decode: every non-dirty base rank still equals its
+    // seed, so the base lane's merge keys come from the position-aligned
+    // seed arrays and the skip test from position-marked flags — the whole
+    // merge reads memory in seed-order positions, sequentially. (After a
+    // renumber the current ranks live on another scale than the seeds, so
+    // the keys must be gathered from rank_ below instead.)
+    skip_.begin_epoch(seed_order.size());
+    for (const NodeId v : dirty_nodes_) {
+      if (v < base_nodes_) skip_.mark(seed_pos[v]);
+    }
+    for (std::size_t i = 0; i < seed_order.size(); ++i) {
+      if (skip_.marked(i)) continue;
+      const NodeId v = seed_order[i];
+      const std::uint64_t r = seed_order_ranks[i];
+      while (d < nd && (dirty_sorted_[d].first < r ||
+                        (dirty_sorted_[d].first == r &&
+                         dirty_sorted_[d].second < v))) {
+        out.push_back(dirty_sorted_[d++].second);
+      }
+      out.push_back(v);
+    }
+  } else {
+    for (const NodeId v : seed_order) {
+      if (dirty_.marked(v)) continue;
+      const std::uint64_t r = rank_[v];
+      while (d < nd && (dirty_sorted_[d].first < r ||
+                        (dirty_sorted_[d].first == r &&
+                         dirty_sorted_[d].second < v))) {
+        out.push_back(dirty_sorted_[d++].second);
+      }
+      out.push_back(v);
+    }
+  }
+  while (d < nd) out.push_back(dirty_sorted_[d++].second);
+}
+
+void DecodeTopo::mark_rank_dirty(NodeId v) {
+  dirty_.ensure(v + 1);
+  if (dirty_.try_mark(v)) dirty_nodes_.push_back(v);
 }
 
 void DecodeTopo::reserve(std::size_t base_nodes, std::size_t base_edges,
@@ -44,6 +137,7 @@ bool DecodeTopo::depends_on(NodeId from, NodeId target) {
   while (!stack_.empty()) {
     const NodeId v = stack_.back();
     stack_.pop_back();
+    ++touched_;
     for (NodeId f : fanins(v)) {
       if (f == target) return true;
       if (rank_[f] <= floor) continue;
@@ -73,6 +167,7 @@ bool DecodeTopo::ensure_order(NodeId node, NodeId pivot) {
   while (!stack_.empty()) {
     const NodeId v = stack_.back();
     stack_.pop_back();
+    ++touched_;
     for (NodeId f : fanins(v)) {
       if (f == pivot) return false;
       const std::uint64_t r = rank_[f];
@@ -125,7 +220,9 @@ void DecodeTopo::relabel_window_below(NodeId pivot, std::uint64_t lo) {
       }
       continue;
     }
+    touched_ += window_.size();
     for (std::size_t i = 0; i < window_.size(); ++i) {
+      mark_rank_dirty(window_[i].second);
       rank_[window_[i].second] = lo + (i + 1) * step;
     }
     return;
@@ -133,6 +230,12 @@ void DecodeTopo::relabel_window_below(NodeId pivot, std::uint64_t lo) {
 }
 
 void DecodeTopo::renumber() {
+  // Every rank moves, so the seed-restore journal can no longer reproduce
+  // the reset state: force the next reset onto the full-copy path. The
+  // derived order stays exact — order_into falls back to a full sort of
+  // the dirty lane (renumber preserves relative (rank, id) order, so the
+  // merge against seed_order remains monotone).
+  journal_ok_ = false;
   const std::size_t n = node_count();
   order_scratch_.resize(n);
   for (NodeId v = 0; v < n; ++v) order_scratch_[v] = v;
@@ -145,6 +248,7 @@ void DecodeTopo::renumber() {
   for (std::size_t i = 0; i < n; ++i) {
     rank_[order_scratch_[i]] = (i + 1) * gap;
   }
+  touched_ += n;
   ++renumbers_;
 }
 
@@ -157,6 +261,7 @@ void DecodeTopo::append_node(NodeId id,
   for (NodeId f : node_fanins) tail_edges_.push_back(f);
   tail_offsets_.push_back(static_cast<std::uint32_t>(tail_edges_.size()));
   rank_.push_back(r);
+  ++touched_;
 }
 
 std::size_t DecodeTopo::patch_fanin(NodeId gate, NodeId old_fanin,
@@ -172,8 +277,15 @@ std::size_t DecodeTopo::patch_fanin(NodeId gate, NodeId old_fanin,
     begin = tail_edges_.data() + tail_offsets_[t];
     end = tail_edges_.data() + tail_offsets_[t + 1];
   }
+  const bool journal = gate < base_nodes_;
   for (NodeId* f = begin; f != end; ++f) {
     if (*f == old_fanin) {
+      if (journal) {
+        // Base-edge slots must be restorable by the incremental reset; tail
+        // slots are simply truncated with their nodes.
+        edge_journal_.emplace_back(
+            static_cast<std::uint32_t>(f - edges_.data()), *f);
+      }
       *f = new_fanin;
       ++replaced;
     }

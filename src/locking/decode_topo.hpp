@@ -53,15 +53,33 @@ class DecodeTopo {
   /// Rank spacing of a freshly seeded order. SiteContext multiplies the
   /// original's longest-path levels by this to produce the seed array;
   /// relabels subdivide the gaps and a (rare) global renumber restores
-  /// them.
-  static constexpr std::uint64_t kRankGap = std::uint64_t{1} << 20;
+  /// them. The gap is deliberately huge: each nested relabel into the same
+  /// region divides the available space by its window size, and a window
+  /// at scale can span tens of thousands of nodes — 2^40 survives several
+  /// such nestings where 2^20 forced a global renumber (an O(V log V) sort
+  /// that also poisons the incremental-reset journal) almost every decode.
+  /// Depth stays comfortably inside u64: ~100 levels * 2^40 ≈ 2^47, and a
+  /// renumbered million-node graph peaks near 2^60.
+  static constexpr std::uint64_t kRankGap = std::uint64_t{1} << 40;
 
   /// Rebinds the working graph to a new decode: adjacency := `base` (the
   /// offsets array is aliased, the edge array copied so it can be patched),
   /// ranks := `seed_ranks`. `base` must outlive this object (both live for
   /// the duration of one apply_genotype call; SiteContext owns the base).
+  ///
+  /// `context_token` identifies the (base, seed_ranks) pair — SiteContext
+  /// issues one unique token per instance. When it matches the previous
+  /// reset's token, the rebind is INCREMENTAL: instead of re-copying the
+  /// O(E) edge array and O(V) rank array, the journal of base-edge patches
+  /// is undone, the dirty ranks are restored from `seed_ranks`, and the
+  /// tail is truncated — O(sites touched), which is what makes per-decode
+  /// cost independent of design size. Token 0 (the default) always takes
+  /// the full path. Both paths leave byte-identical state (pinned by
+  /// tests): a rare global renumber() poisons the journal and forces the
+  /// next reset full.
   void reset(const netlist::CsrFanins& base,
-             const std::vector<std::uint64_t>& seed_ranks);
+             const std::vector<std::uint64_t>& seed_ranks,
+             std::uint64_t context_token = 0);
 
   /// Pre-sizes the buffers for a base graph of `base_nodes` nodes and
   /// `base_edges` edges plus up to `extra_nodes` appended nodes (optional —
@@ -125,6 +143,38 @@ class DecodeTopo {
   /// windows are expected to stay bounded, making this almost always 0).
   std::size_t renumber_count() const noexcept { return renumbers_; }
 
+  /// Incremental resets taken since construction (observability: at scale
+  /// every decode after the first through a warm scratch should count).
+  std::size_t incremental_resets() const noexcept {
+    return incremental_resets_;
+  }
+
+  /// Nodes the current decode actually visited or moved since reset():
+  /// cycle-check DFS pops, relabelled window nodes, appended MUX nodes, and
+  /// (when one happens) a full renumber's node count. This is the decode's
+  /// genuine working set — bench_scale divides wall clock by it to show
+  /// per-decode cost tracks touched gates, not design size.
+  std::size_t touched() const noexcept { return touched_; }
+
+  /// Derives a full topological order of the working netlist from the
+  /// maintained ranks: all nodes sorted by (rank, id) — a valid
+  /// linearization because every edge orders its endpoints' ranks strictly,
+  /// and ties are only ever between unordered nodes. `seed_order` must be
+  /// the base nodes pre-sorted by (seed rank, id), with `seed_order_ranks`
+  /// its position-aligned seed ranks and `seed_pos` its inverse permutation
+  /// (SiteContext computes all three once per family); nodes whose rank
+  /// never moved are merged straight from it, so the per-decode cost is
+  /// O(V) with a memcpy-grade constant plus O(D log D) for the D
+  /// rank-dirty/appended nodes — never the O(V + E) Kahn re-sort plus CSR
+  /// fanout rebuild the decode previously paid per genotype. While no
+  /// renumber has happened this decode (the common case), the base lane's
+  /// merge keys and skip flags are read position-sequentially from the
+  /// precomputed arrays — no per-node random access into rank_ at all.
+  void order_into(const std::vector<netlist::NodeId>& seed_order,
+                  const std::vector<std::uint64_t>& seed_order_ranks,
+                  const std::vector<std::uint32_t>& seed_pos,
+                  std::vector<netlist::NodeId>& out);
+
  private:
   /// Ensures rank(node) < rank(pivot) by relabelling node's dependency
   /// window — the fanin closure of `node` restricted to ranks >= rank(pivot)
@@ -153,6 +203,11 @@ class DecodeTopo {
   std::size_t patch_fanin(netlist::NodeId gate, netlist::NodeId old_fanin,
                           netlist::NodeId new_fanin);
 
+  /// Marks `v` rank-dirty (idempotent): its rank no longer matches the
+  /// seed, so the next incremental reset must restore it and order_into
+  /// must merge it explicitly.
+  void mark_rank_dirty(netlist::NodeId v);
+
   std::size_t base_nodes_ = 0;
   const std::vector<std::uint32_t>* base_offsets_ = nullptr;
   std::vector<netlist::NodeId> edges_;       // patched copy of base edges
@@ -166,6 +221,23 @@ class DecodeTopo {
   std::vector<std::pair<std::uint64_t, netlist::NodeId>> window_;
   std::vector<netlist::NodeId> order_scratch_;  // renumber's sort buffer
   std::size_t renumbers_ = 0;
+  std::size_t incremental_resets_ = 0;
+  std::size_t touched_ = 0;
+  // Incremental-reset state. The journal records every base-edge slot
+  // patch_fanin overwrote (slot index, previous value); dirty_ / dirty_nodes_
+  // record every node whose rank left its seed value. A renumber rewrites
+  // ranks wholesale, so it clears journal_ok_ and the next reset falls back
+  // to the full copy.
+  std::uint64_t last_token_ = 0;
+  bool journal_ok_ = false;
+  std::vector<std::pair<std::uint32_t, netlist::NodeId>> edge_journal_;
+  util::EpochFlags dirty_;
+  std::vector<netlist::NodeId> dirty_nodes_;
+  /// order_into's dirty-skip flags indexed by seed-order POSITION (not node
+  /// id), so the merge's skip test reads the stamp array in order.
+  util::EpochFlags skip_;
+  /// order_into's (rank, id) buffer for the dirty/appended merge lane.
+  std::vector<std::pair<std::uint64_t, netlist::NodeId>> dirty_sorted_;
 };
 
 }  // namespace autolock::lock

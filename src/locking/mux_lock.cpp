@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace autolock::lock {
 
@@ -60,7 +61,8 @@ void apply_sites(LockedDesign& design, const SiteContext& context,
   // — never the from-scratch whole-graph DFS the pre-incremental decode
   // ran.
   DecodeTopo& topo = scratch.topo;
-  topo.reset(context.fanin_csr(), context.seed_ranks());
+  topo.reset(context.fanin_csr(), context.seed_ranks(),
+             context.decode_token());
   for (std::size_t t = 0; t < sites.size(); ++t) {
     LockSite site = sites[t];
     const bool ok = context.structurally_valid(site, scratch) &&
@@ -243,19 +245,34 @@ void apply_genotype_into(LockedDesign& out, const Netlist& original,
     // copy.
     out.netlist = original;
   }
-  out.netlist.set_name(original.name() + "_muxlocked");
+  // Rename only when the name actually differs (the recycle path arrives
+  // already named) — the comparison allocates nothing.
+  {
+    constexpr std::string_view kSuffix = "_muxlocked";
+    const std::string& base = original.name();
+    const std::string& current = out.netlist.name();
+    if (current.size() != base.size() + kSuffix.size() ||
+        current.compare(0, base.size(), base) != 0 ||
+        current.compare(base.size(), kSuffix.size(), kSuffix) != 0) {
+      out.netlist.set_name(base + std::string(kSuffix));
+    }
+  }
   out.key.clear();
   out.sites.clear();
   out.mux_pairs.clear();
   out.sites.reserve(sites.size());
   apply_sites(out, context, sites, repair_rng, scratch, options,
               recycle ? prev : 0);
-  // Cheap acyclicity guarantee in place of the full validate(): computing
-  // the topological order throws on a cycle and primes the traversal cache
-  // every downstream attack and simulator construction consumes anyway.
-  // (The dynamic order already proves acyclicity site-by-site; this is the
-  // cache-priming sort, run through the scratch so it allocates nothing.)
-  out.netlist.topological_order(scratch.topo_scratch);
+  // Prime the traversal cache every downstream attack and simulator
+  // construction consumes with the order derived from the decode's dynamic
+  // ranks — an O(V) merge of the context's seed order with the decode's
+  // touched nodes, never the O(V + E) Kahn re-sort plus CSR fanout rebuild
+  // the decode previously paid per genotype. Acyclicity is already proven
+  // site-by-site by the dynamic order; debug builds re-verify the primed
+  // order inside prime_topological_order.
+  scratch.topo.order_into(context.seed_order(), context.seed_order_ranks(),
+                          context.seed_pos(), scratch.topo_scratch.order);
+  out.netlist.prime_topological_order(scratch.topo_scratch.order);
   scratch.last_design = &out;
   scratch.last_original = &original;
   scratch.last_design_version = out.netlist.structural_version();
@@ -272,9 +289,10 @@ std::vector<LockSite> random_genotype(const SiteContext& context,
                                       std::size_t key_bits, util::Rng& rng) {
   std::vector<LockSite> sites;
   sites.reserve(key_bits);
+  ReachScratch scratch;  // one visited set for all key bits, not one per bit
   for (std::size_t t = 0; t < key_bits; ++t) {
     LockSite site;
-    if (!context.sample_site(rng, sites, site)) {
+    if (!context.sample_site(rng, sites, site, scratch)) {
       throw std::runtime_error(
           "random_genotype: cannot place " + std::to_string(key_bits) +
           " MUX pairs in circuit '" + context.original().name() + "'");

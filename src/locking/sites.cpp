@@ -1,26 +1,41 @@
 #include "locking/sites.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace autolock::lock {
 
 using netlist::NodeId;
 
+namespace {
+
+std::uint64_t next_decode_token() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
 SiteContext::SiteContext(const netlist::Netlist& original)
-    : original_(&original) {
-  // Flatten the netlist's cached (deduplicated, ascending) fanout lists
-  // into CSR spans once; every validity query and sample walks these.
-  const auto& fanout_lists = original.fanouts();
-  fanout_offsets_.resize(original.size() + 1);
-  fanout_offsets_[0] = 0;
-  for (NodeId v = 0; v < original.size(); ++v) {
-    fanout_offsets_[v + 1] =
-        fanout_offsets_[v] + static_cast<std::uint32_t>(fanout_lists[v].size());
-  }
-  fanout_edges_.reserve(fanout_offsets_[original.size()]);
-  for (NodeId v = 0; v < original.size(); ++v) {
-    fanout_edges_.insert(fanout_edges_.end(), fanout_lists[v].begin(),
-                         fanout_lists[v].end());
+    : original_(&original), decode_token_(next_decode_token()) {
+  // Deduplicated ascending fanout CSR, derived directly from a flat fanout
+  // pass (per-source runs are ascending, so duplicates are adjacent) — the
+  // same content as flattening the netlist's cached fanout lists, without
+  // materializing that O(V) vector-of-vectors cache at all.
+  {
+    netlist::CsrFanouts raw;
+    raw.build(original);
+    fanout_offsets_.resize(original.size() + 1);
+    fanout_edges_.clear();
+    fanout_edges_.reserve(raw.edges().size());
+    fanout_offsets_[0] = 0;
+    for (NodeId v = 0; v < original.size(); ++v) {
+      const auto outs = raw.fanouts(v);
+      for (std::size_t i = 0; i < outs.size(); ++i) {
+        if (i == 0 || outs[i] != outs[i - 1]) fanout_edges_.push_back(outs[i]);
+      }
+      fanout_offsets_[v + 1] = static_cast<std::uint32_t>(fanout_edges_.size());
+    }
   }
   for (NodeId v = 0; v < original.size(); ++v) {
     // Drivers may be inputs or gates, but not constants (locking a constant
@@ -53,6 +68,30 @@ SiteContext::SiteContext(const netlist::Netlist& original)
     }
     level[v] = depth;
     seed_ranks_[v] = (depth + 1) * DecodeTopo::kRankGap;
+  }
+  // seed_order_ = all nodes by (seed rank, id). Seed ranks are a monotone
+  // function of level, so a counting sort by level with ascending-id fill
+  // produces it in O(V + depth).
+  std::uint64_t max_level = 0;
+  for (NodeId v = 0; v < original.size(); ++v) {
+    max_level = std::max(max_level, level[v]);
+  }
+  std::vector<std::uint32_t> bucket_start(max_level + 2, 0);
+  for (NodeId v = 0; v < original.size(); ++v) {
+    ++bucket_start[level[v] + 1];
+  }
+  for (std::size_t l = 1; l < bucket_start.size(); ++l) {
+    bucket_start[l] += bucket_start[l - 1];
+  }
+  seed_order_.resize(original.size());
+  for (NodeId v = 0; v < original.size(); ++v) {
+    seed_order_[bucket_start[level[v]]++] = v;
+  }
+  seed_order_ranks_.resize(original.size());
+  seed_pos_.resize(original.size());
+  for (std::size_t i = 0; i < seed_order_.size(); ++i) {
+    seed_order_ranks_[i] = seed_ranks_[seed_order_[i]];
+    seed_pos_[seed_order_[i]] = static_cast<std::uint32_t>(i);
   }
 }
 

@@ -134,6 +134,33 @@ class SiteContext {
     return seed_ranks_;
   }
 
+  /// The original's nodes pre-sorted by (seed rank, id) — the base stream
+  /// DecodeTopo::order_into merges the decode's touched nodes into, so the
+  /// decode-final topological order costs O(V) instead of a Kahn re-sort.
+  const std::vector<netlist::NodeId>& seed_order() const noexcept {
+    return seed_order_;
+  }
+
+  /// seed_order's merge keys, position-aligned: entry i is the seed rank of
+  /// seed_order()[i]. Lets order_into's common case stream the base lane
+  /// sequentially instead of gathering rank[v] per node — at a million
+  /// nodes those random reads were the last design-sized per-decode cost.
+  const std::vector<std::uint64_t>& seed_order_ranks() const noexcept {
+    return seed_order_ranks_;
+  }
+
+  /// Inverse of seed_order: seed_pos()[v] is the position of node v in
+  /// seed_order(). order_into marks the decode's dirty nodes by position so
+  /// the skip test during the merge is a sequential read too.
+  const std::vector<std::uint32_t>& seed_pos() const noexcept {
+    return seed_pos_;
+  }
+
+  /// Process-unique identity of this context's (fanin_csr, seed_ranks)
+  /// pair. apply_sites hands it to DecodeTopo::reset so consecutive decodes
+  /// against the same context take the incremental O(touched) rebind.
+  std::uint64_t decode_token() const noexcept { return decode_token_; }
+
  private:
   bool reaches(netlist::NodeId from, netlist::NodeId target,
                ReachScratch& scratch) const;
@@ -151,6 +178,10 @@ class SiteContext {
   std::vector<std::uint32_t> topo_rank_;
   netlist::CsrFanins fanin_csr_;
   std::vector<std::uint64_t> seed_ranks_;
+  std::vector<netlist::NodeId> seed_order_;
+  std::vector<std::uint64_t> seed_order_ranks_;
+  std::vector<std::uint32_t> seed_pos_;
+  std::uint64_t decode_token_ = 0;
 };
 
 }  // namespace autolock::lock

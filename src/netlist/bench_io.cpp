@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "netlist/bench_stream.hpp"
+
 namespace autolock::netlist::bench {
 
 namespace {
@@ -291,44 +293,11 @@ Netlist load_file(const std::string& path) {
 }
 
 std::string write(const Netlist& netlist) {
+  // Single serialization implementation: the streaming writer emits the
+  // exact historical byte sequence, so the in-memory variant is just it
+  // captured into a string.
   std::ostringstream out;
-  out << "# " << netlist.name() << "\n";
-  const auto s = netlist.stats();
-  out << "# " << s.primary_inputs << " primary inputs, " << s.key_inputs
-      << " key inputs, " << s.outputs << " outputs, " << s.gates
-      << " gates, depth " << s.depth << "\n";
-  for (NodeId id : netlist.inputs()) {
-    out << "INPUT(" << netlist.name(id) << ")\n";
-  }
-  for (const auto& port : netlist.outputs()) {
-    out << "OUTPUT(" << netlist.name_text(port.name) << ")\n";
-  }
-  // Output ports whose name differs from the driver need an alias BUF line.
-  std::vector<std::pair<NameId, NodeId>> aliases;
-  for (const auto& port : netlist.outputs()) {
-    if (port.name != netlist.name_id(port.driver)) {
-      aliases.emplace_back(port.name, port.driver);
-    }
-  }
-  for (NodeId id : netlist.topological_order()) {
-    const Node& node = netlist.node(id);
-    if (node.type == GateType::kInput) continue;
-    out << netlist.name(id) << " = ";
-    if (node.type == GateType::kConst0 || node.type == GateType::kConst1) {
-      out << gate_type_name(node.type) << "\n";
-      continue;
-    }
-    out << gate_type_name(node.type) << "(";
-    for (std::size_t i = 0; i < node.fanins.size(); ++i) {
-      if (i) out << ", ";
-      out << netlist.name(node.fanins[i]);
-    }
-    out << ")\n";
-  }
-  for (const auto& [alias, driver] : aliases) {
-    out << netlist.name_text(alias) << " = BUF(" << netlist.name(driver)
-        << ")\n";
-  }
+  stream_write(netlist, out);
   return out.str();
 }
 

@@ -1,0 +1,467 @@
+#include "netlist/bench_stream.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "netlist/bench_io.hpp"
+
+namespace autolock::netlist::bench {
+
+namespace {
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw std::runtime_error("bench parse error at line " +
+                           std::to_string(line_no) + ": " + message);
+}
+
+/// Mirrors the key-shape probe in bench_io.cpp: "keyinput" + digits,
+/// regardless of whether the index fits kMaxKeyBitIndex.
+bool has_key_input_shape(std::string_view name) noexcept {
+  constexpr std::string_view kPrefix = "keyinput";
+  if (name.size() <= kPrefix.size()) return false;
+  if (name.substr(0, kPrefix.size()) != kPrefix) return false;
+  for (char ch : name.substr(kPrefix.size())) {
+    if (!std::isdigit(static_cast<unsigned char>(ch))) return false;
+  }
+  return true;
+}
+
+constexpr std::uint32_t kNoTid = static_cast<std::uint32_t>(-1);
+
+/// Scan-local string interner: every distinct signal name is copied once
+/// into a flat char arena and afterwards addressed by a dense u32 id — the
+/// replacement for the one-std::string-per-occurrence pending records of
+/// the in-memory parser. Open-addressed (power-of-two, linear probing) over
+/// FNV-1a hashes; lookups touch no heap strings.
+class NamePool {
+ public:
+  std::uint32_t intern(std::string_view s) {
+    if ((entries_.size() + 1) * 2 > buckets_.size()) grow();
+    std::size_t b = hash(s) & (buckets_.size() - 1);
+    while (buckets_[b] != 0) {
+      const std::uint32_t tid = buckets_[b] - 1;
+      if (text(tid) == s) return tid;
+      b = (b + 1) & (buckets_.size() - 1);
+    }
+    const std::uint32_t tid = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back({static_cast<std::uint32_t>(arena_.size()),
+                        static_cast<std::uint32_t>(s.size())});
+    arena_.insert(arena_.end(), s.begin(), s.end());
+    buckets_[b] = tid + 1;
+    return tid;
+  }
+
+  std::string_view text(std::uint32_t tid) const noexcept {
+    return {arena_.data() + entries_[tid].offset, entries_[tid].length};
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  static std::size_t hash(std::string_view s) noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char ch : s) {
+      h ^= static_cast<unsigned char>(ch);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+  void grow() {
+    const std::size_t cap = buckets_.empty() ? 1024 : buckets_.size() * 2;
+    std::vector<std::uint32_t> fresh(cap, 0);
+    for (std::uint32_t tid = 0; tid < entries_.size(); ++tid) {
+      std::size_t b = hash(text(tid)) & (cap - 1);
+      while (fresh[b] != 0) b = (b + 1) & (cap - 1);
+      fresh[b] = tid + 1;
+    }
+    buckets_.swap(fresh);
+  }
+
+  std::vector<char> arena_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> buckets_;
+};
+
+/// Flat counterparts of the in-memory parser's pending records: names are
+/// pool ids, operands live in one shared flat vector.
+struct PendingPort {
+  std::uint32_t tid = kNoTid;
+  std::size_t line_no = 0;
+};
+
+struct PendingGate {
+  std::uint32_t tid = kNoTid;
+  GateType type = GateType::kBuf;
+  std::uint32_t op_begin = 0;
+  std::uint32_t op_end = 0;
+  std::size_t line_no = 0;
+};
+
+struct ScanState {
+  NamePool pool;
+  std::vector<PendingPort> inputs;
+  std::vector<PendingPort> outputs;
+  std::vector<PendingGate> gates;
+  std::vector<std::uint32_t> operands;  // flat [op_begin, op_end) storage
+};
+
+/// One line of the grammar — the same decision sequence (and the same
+/// diagnostics, in the same order) as the in-memory parser's scan loop,
+/// operating on views into the chunk buffer.
+void scan_line(std::string_view line, std::size_t line_no, ScanState& s) {
+  const std::size_t hash_pos = line.find('#');
+  if (hash_pos != std::string_view::npos) line = line.substr(0, hash_pos);
+  line = trim(line);
+  if (line.empty()) return;
+
+  const std::size_t eq = line.find('=');
+  const std::size_t first_open = line.find('(');
+  if (eq != std::string_view::npos && first_open != std::string_view::npos &&
+      first_open < eq) {
+    fail(line_no, "unexpected '=' after '('");
+  }
+  if (eq == std::string_view::npos) {
+    // INPUT(...) or OUTPUT(...)
+    const std::size_t open = first_open;
+    const std::size_t close = line.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      fail(line_no, "expected INPUT(name) or OUTPUT(name)");
+    }
+    if (!trim(line.substr(close + 1)).empty()) {
+      fail(line_no, "trailing characters after ')'");
+    }
+    const std::string_view keyword = trim(line.substr(0, open));
+    const std::string_view arg = trim(line.substr(open + 1, close - open - 1));
+    if (arg.empty()) fail(line_no, "empty port name");
+    std::string upper;
+    for (char ch : keyword) {
+      upper.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(ch))));
+    }
+    if (upper == "INPUT") {
+      s.inputs.push_back({s.pool.intern(arg), line_no});
+    } else if (upper == "OUTPUT") {
+      s.outputs.push_back({s.pool.intern(arg), line_no});
+    } else {
+      fail(line_no, "unknown directive '" + std::string{keyword} + "'");
+    }
+    return;
+  }
+
+  PendingGate gate;
+  gate.line_no = line_no;
+  const std::string_view gate_name = trim(line.substr(0, eq));
+  if (gate_name.empty()) fail(line_no, "missing signal name before '='");
+  gate.op_begin = static_cast<std::uint32_t>(s.operands.size());
+  std::string_view rhs = trim(line.substr(eq + 1));
+  const std::size_t open = rhs.find('(');
+  if (open == std::string_view::npos) {
+    // CONST0 / CONST1 extension, or bare alias "a = b" (treated as BUF).
+    if (rhs.find(')') != std::string_view::npos) {
+      fail(line_no, "')' without matching '('");
+    }
+    const std::string_view keyword = trim(rhs);
+    if (const auto type = parse_gate_type(keyword);
+        type && (*type == GateType::kConst0 || *type == GateType::kConst1)) {
+      gate.type = *type;
+      gate.tid = s.pool.intern(gate_name);
+      gate.op_end = gate.op_begin;
+      s.gates.push_back(gate);
+      return;
+    }
+    if (keyword.empty()) fail(line_no, "empty right-hand side");
+    gate.type = GateType::kBuf;
+    gate.tid = s.pool.intern(gate_name);
+    s.operands.push_back(s.pool.intern(keyword));
+    gate.op_end = static_cast<std::uint32_t>(s.operands.size());
+    s.gates.push_back(gate);
+    return;
+  }
+  const std::size_t close = rhs.rfind(')');
+  if (close == std::string_view::npos || close < open) {
+    fail(line_no, "unbalanced parentheses");
+  }
+  if (!trim(rhs.substr(close + 1)).empty()) {
+    fail(line_no, "trailing characters after ')'");
+  }
+  const std::string_view keyword = trim(rhs.substr(0, open));
+  const auto type = parse_gate_type(keyword);
+  if (!type) fail(line_no, "unknown gate type '" + std::string{keyword} + "'");
+  if (is_source(*type) && *type == GateType::kInput) {
+    fail(line_no, "INPUT used as a gate");
+  }
+  gate.type = *type;
+  gate.tid = s.pool.intern(gate_name);
+  const std::string_view args = rhs.substr(open + 1, close - open - 1);
+  if (!trim(args).empty()) {
+    std::size_t start = 0;
+    while (start <= args.size()) {
+      std::size_t comma = args.find(',', start);
+      if (comma == std::string_view::npos) comma = args.size();
+      const std::string_view operand = trim(args.substr(start, comma - start));
+      if (operand.empty()) fail(line_no, "empty operand");
+      s.operands.push_back(s.pool.intern(operand));
+      start = comma + 1;
+    }
+  }
+  gate.op_end = static_cast<std::uint32_t>(s.operands.size());
+  if (gate.op_end == gate.op_begin && *type != GateType::kConst0 &&
+      *type != GateType::kConst1) {
+    fail(line_no, "gate with no operands");
+  }
+  s.gates.push_back(gate);
+}
+
+/// Scan phase: reads `in` chunk by chunk, feeding complete lines (views
+/// into the chunk buffer) to scan_line and carrying the partial last line
+/// to the front of the next read. A line longer than the buffer doubles it.
+void scan_stream(std::istream& in, std::size_t chunk_bytes, ScanState& s) {
+  std::vector<char> buf(std::max<std::size_t>(chunk_bytes, 64));
+  std::size_t have = 0;
+  std::size_t line_no = 0;
+  bool eof = false;
+  while (!eof || have > 0) {
+    if (!eof) {
+      if (have == buf.size()) buf.resize(buf.size() * 2);
+      in.read(buf.data() + have, static_cast<std::streamsize>(buf.size() - have));
+      const std::size_t got = static_cast<std::size_t>(in.gcount());
+      have += got;
+      if (got == 0) eof = true;
+    }
+    std::size_t pos = 0;
+    while (pos < have) {
+      const void* nl = std::memchr(buf.data() + pos, '\n', have - pos);
+      if (nl == nullptr) break;
+      const std::size_t eol =
+          static_cast<std::size_t>(static_cast<const char*>(nl) - buf.data());
+      scan_line({buf.data() + pos, eol - pos}, ++line_no, s);
+      pos = eol + 1;
+    }
+    if (eof && pos < have) {  // final line without a trailing newline
+      scan_line({buf.data() + pos, have - pos}, ++line_no, s);
+      pos = have;
+    }
+    std::memmove(buf.data(), buf.data() + pos, have - pos);
+    have -= pos;
+  }
+}
+
+}  // namespace
+
+Netlist stream_parse(std::istream& in, std::string circuit_name,
+                     std::size_t chunk_bytes) {
+  ScanState s;
+  scan_stream(in, chunk_bytes, s);
+
+  // Build phase: the same definition checks, the same dependency DFS and
+  // the same diagnostics as the in-memory parser, over pool ids instead of
+  // string keys. def_flag mirrors its `defined` map (inputs + materialized
+  // gates), gate_of its `gate_by_name`.
+  const std::size_t pool_n = s.pool.size();
+  std::vector<std::uint8_t> def_flag(pool_n, 0);
+  std::vector<std::uint32_t> gate_of(pool_n, kNoTid);
+  for (const PendingPort& input : s.inputs) {
+    const std::string_view text = s.pool.text(input.tid);
+    if (def_flag[input.tid]) {
+      fail(input.line_no, "duplicate input '" + std::string{text} + "'");
+    }
+    if (has_key_input_shape(text) && !is_key_input_name(text)) {
+      fail(input.line_no,
+           "key input index out of range in '" + std::string{text} + "'");
+    }
+    def_flag[input.tid] = 1;
+  }
+  for (std::uint32_t i = 0; i < s.gates.size(); ++i) {
+    const std::uint32_t tid = s.gates[i].tid;
+    if (def_flag[tid] || gate_of[tid] != kNoTid) {
+      fail(s.gates[i].line_no, "duplicate definition of '" +
+                                   std::string{s.pool.text(tid)} + "'");
+    }
+    gate_of[tid] = i;
+  }
+
+  // Dependency DFS in declaration order — must replicate the in-memory
+  // parser exactly (including pushing every unresolved operand per visit):
+  // mat_order is the node-creation order, and with it the NameId order.
+  std::vector<std::uint8_t> state(s.gates.size(), 0);  // 0=new 1=visiting 2=done
+  std::vector<std::uint32_t> stack;
+  std::vector<std::uint32_t> mat_order;
+  mat_order.reserve(s.gates.size());
+  for (std::uint32_t root = 0; root < s.gates.size(); ++root) {
+    if (state[root] == 2) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const std::uint32_t g = stack.back();
+      if (state[g] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      state[g] = 1;
+      bool ready = true;
+      for (std::uint32_t e = s.gates[g].op_begin; e < s.gates[g].op_end; ++e) {
+        const std::uint32_t op = s.operands[e];
+        if (def_flag[op]) continue;
+        if (gate_of[op] == kNoTid) {
+          fail(s.gates[g].line_no,
+               "undefined operand '" + std::string{s.pool.text(op)} + "'");
+        }
+        if (state[gate_of[op]] == 1) {
+          fail(s.gates[g].line_no, "combinational cycle through '" +
+                                       std::string{s.pool.text(op)} + "'");
+        }
+        if (state[gate_of[op]] == 0) {
+          stack.push_back(gate_of[op]);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      mat_order.push_back(g);
+      def_flag[s.gates[g].tid] = 1;
+      state[g] = 2;
+      stack.pop_back();
+    }
+  }
+  for (const PendingPort& output : s.outputs) {
+    if (!def_flag[output.tid]) {
+      fail(output.line_no, "undefined output '" +
+                               std::string{s.pool.text(output.tid)} + "'");
+    }
+  }
+
+  // Materialize. One intern_batch in node-creation order gives every name
+  // the exact NameId the in-memory parse would have assigned it.
+  Netlist netlist(std::move(circuit_name));
+  netlist.names()->reserve(s.inputs.size() + mat_order.size());
+  netlist.reserve_nodes(s.inputs.size() + mat_order.size(), s.inputs.size());
+  std::vector<std::string_view> texts;
+  texts.reserve(s.inputs.size() + mat_order.size());
+  for (const PendingPort& input : s.inputs) {
+    texts.push_back(s.pool.text(input.tid));
+  }
+  for (const std::uint32_t g : mat_order) {
+    texts.push_back(s.pool.text(s.gates[g].tid));
+  }
+  std::vector<NameId> ids;
+  netlist.names()->intern_batch(texts, ids);
+  std::vector<NameId> name_of(pool_n, kNoName);
+  std::vector<NodeId> node_of(pool_n, kNoNode);
+  std::size_t next_id = 0;
+  for (const PendingPort& input : s.inputs) {
+    name_of[input.tid] = ids[next_id++];
+  }
+  for (const std::uint32_t g : mat_order) {
+    name_of[s.gates[g].tid] = ids[next_id++];
+  }
+  for (const PendingPort& input : s.inputs) {
+    node_of[input.tid] = netlist.add_input(
+        name_of[input.tid], is_key_input_name(s.pool.text(input.tid)));
+  }
+  for (const std::uint32_t g : mat_order) {
+    const PendingGate& gate = s.gates[g];
+    if (gate.type == GateType::kConst0 || gate.type == GateType::kConst1) {
+      node_of[gate.tid] = netlist.add_const(gate.type == GateType::kConst1,
+                                            name_of[gate.tid]);
+      continue;
+    }
+    std::vector<NodeId> fanins;
+    fanins.reserve(gate.op_end - gate.op_begin);
+    for (std::uint32_t e = gate.op_begin; e < gate.op_end; ++e) {
+      fanins.push_back(node_of[s.operands[e]]);
+    }
+    node_of[gate.tid] =
+        netlist.add_gate(gate.type, std::move(fanins), name_of[gate.tid]);
+  }
+  for (const PendingPort& output : s.outputs) {
+    netlist.mark_output(node_of[output.tid], name_of[output.tid]);
+  }
+  netlist.validate();
+  return netlist;
+}
+
+Netlist stream_load_file(const std::string& path, std::size_t chunk_bytes) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bench file: " + path);
+  std::string circuit_name = path;
+  if (const auto slash = circuit_name.find_last_of('/');
+      slash != std::string::npos) {
+    circuit_name = circuit_name.substr(slash + 1);
+  }
+  if (const auto dot = circuit_name.find_last_of('.');
+      dot != std::string::npos) {
+    circuit_name = circuit_name.substr(0, dot);
+  }
+  return stream_parse(in, std::move(circuit_name), chunk_bytes);
+}
+
+void stream_write(const Netlist& netlist, std::ostream& out) {
+  out << "# " << netlist.name() << "\n";
+  const auto s = netlist.stats();
+  out << "# " << s.primary_inputs << " primary inputs, " << s.key_inputs
+      << " key inputs, " << s.outputs << " outputs, " << s.gates
+      << " gates, depth " << s.depth << "\n";
+  for (const NodeId id : netlist.inputs()) {
+    out << "INPUT(" << netlist.name(id) << ")\n";
+  }
+  for (const auto& port : netlist.outputs()) {
+    out << "OUTPUT(" << netlist.name_text(port.name) << ")\n";
+  }
+  // Output ports whose name differs from the driver need an alias BUF line.
+  std::vector<std::pair<NameId, NodeId>> aliases;
+  for (const auto& port : netlist.outputs()) {
+    if (port.name != netlist.name_id(port.driver)) {
+      aliases.emplace_back(port.name, port.driver);
+    }
+  }
+  for (const NodeId id : netlist.topological_order()) {
+    const Node& node = netlist.node(id);
+    if (node.type == GateType::kInput) continue;
+    out << netlist.name(id) << " = ";
+    if (node.type == GateType::kConst0 || node.type == GateType::kConst1) {
+      out << gate_type_name(node.type) << "\n";
+      continue;
+    }
+    out << gate_type_name(node.type) << "(";
+    for (std::size_t i = 0; i < node.fanins.size(); ++i) {
+      if (i) out << ", ";
+      out << netlist.name(node.fanins[i]);
+    }
+    out << ")\n";
+  }
+  for (const auto& [alias, driver] : aliases) {
+    out << netlist.name_text(alias) << " = BUF(" << netlist.name(driver)
+        << ")\n";
+  }
+}
+
+void stream_save_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write bench file: " + path);
+  stream_write(netlist, out);
+  out.flush();
+  if (!out) throw std::runtime_error("I/O error writing: " + path);
+}
+
+}  // namespace autolock::netlist::bench

@@ -191,6 +191,150 @@ Netlist make_random(const RandomCircuitConfig& config, std::uint64_t seed) {
   return netlist;
 }
 
+Netlist make_layered(const LayeredCircuitConfig& config, std::uint64_t seed) {
+  if (config.primary_inputs < 3 || config.outputs == 0 || config.layers < 2 ||
+      config.gates < config.outputs + config.layers - 1) {
+    throw std::invalid_argument("make_layered: infeasible shape");
+  }
+  util::Rng rng(seed ^ 0x1A7E12EDULL);
+  Netlist netlist(config.name);
+  // Bulk reservations: a million-gate build must not pay a reallocation
+  // storm (nodes, inputs, name index) on top of the per-node work.
+  netlist.names()->reserve(config.primary_inputs + config.gates +
+                           config.outputs);
+  netlist.reserve_nodes(config.primary_inputs + config.gates,
+                        config.primary_inputs);
+
+  std::vector<NodeId> prev;  // previous layer, consumed round-robin
+  prev.reserve(config.primary_inputs);
+  for (std::size_t i = 0; i < config.primary_inputs; ++i) {
+    prev.push_back(netlist.add_input("pi" + std::to_string(i)));
+  }
+
+  // Layer widths: the last layer is exactly the outputs; interior layers
+  // share the rest with a deterministic +-25% jitter around the mean.
+  std::vector<std::size_t> widths(config.layers);
+  widths.back() = config.outputs;
+  std::size_t remaining = config.gates - config.outputs;
+  const std::size_t interior = config.layers - 1;
+  for (std::size_t l = 0; l < interior; ++l) {
+    const std::size_t left = interior - l;
+    std::size_t w;
+    if (left == 1) {
+      w = remaining;
+    } else {
+      const std::size_t base = remaining / left;
+      w = base - base / 4 + rng.next_below(base / 2 + 1);
+      w = std::max<std::size_t>(w, 1);
+      w = std::min(w, remaining - (left - 1));  // leave >= 1 per later layer
+    }
+    widths[l] = w;
+    remaining -= w;
+  }
+
+  const auto is_nary = [](GateType t) {
+    return t != GateType::kNot && t != GateType::kBuf;
+  };
+  std::vector<NodeId> layer_nodes;
+  std::vector<NodeId> fanins;
+  for (std::size_t l = 0; l < config.layers; ++l) {
+    const std::size_t width = widths[l];
+    const NodeId layer_start = static_cast<NodeId>(netlist.size());
+    layer_nodes.clear();
+    std::size_t cursor = 0;
+    for (std::size_t g = 0; g < width; ++g) {
+      GateType type = sample_type(config.mix, rng);
+      // The layer's first gate doubles as a guaranteed absorption host.
+      if (g == 0 && !is_nary(type)) type = GateType::kNand;
+      const std::size_t arity =
+          is_nary(type) ? (rng.next_bool(0.82) ? 2 : 3) : 1;
+      fanins.clear();
+      fanins.push_back(prev[cursor]);
+      cursor = cursor + 1 == prev.size() ? 0 : cursor + 1;
+      while (fanins.size() < arity) {
+        NodeId candidate = kNoNode;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const NodeId draw =
+              rng.next_bool(config.long_edge_bias)
+                  ? static_cast<NodeId>(rng.next_below(layer_start))
+                  : prev[rng.next_below(prev.size())];
+          if (std::find(fanins.begin(), fanins.end(), draw) == fanins.end()) {
+            candidate = draw;
+            break;
+          }
+        }
+        if (candidate == kNoNode) {
+          // Deterministic fallback: earlier ids are dense, so a linear scan
+          // from a random start always finds a distinct fanin (layer_start
+          // >= primary_inputs >= 3 >= arity).
+          const NodeId start = static_cast<NodeId>(rng.next_below(layer_start));
+          for (NodeId off = 0; off < layer_start; ++off) {
+            const NodeId draw = (start + off) % layer_start;
+            if (std::find(fanins.begin(), fanins.end(), draw) ==
+                fanins.end()) {
+              candidate = draw;
+              break;
+            }
+          }
+        }
+        fanins.push_back(candidate);
+      }
+      layer_nodes.push_back(netlist.add_gate(
+          type, std::vector<NodeId>(fanins.begin(), fanins.end())));
+    }
+    // Previous-layer nodes the round-robin never reached (width <
+    // prev.size()) are spliced into this layer's n-ary gates as extra
+    // fanins, so no interior node is left driving nothing.
+    if (width < prev.size()) {
+      std::size_t host_cursor = 0;
+      for (std::size_t u = width; u < prev.size(); ++u) {
+        for (std::size_t attempt = 0; attempt < layer_nodes.size(); ++attempt) {
+          const NodeId host = layer_nodes[host_cursor];
+          host_cursor = host_cursor + 1 == layer_nodes.size() ? 0
+                                                              : host_cursor + 1;
+          const auto& host_fanins = netlist.node(host).fanins;
+          if (!is_nary(netlist.node(host).type)) continue;
+          if (std::find(host_fanins.begin(), host_fanins.end(), prev[u]) !=
+              host_fanins.end()) {
+            continue;
+          }
+          netlist.append_fanin(host, prev[u]);
+          break;
+        }
+      }
+    }
+    prev.swap(layer_nodes);
+  }
+
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    netlist.mark_output(prev[i], "po" + std::to_string(i));
+  }
+  netlist.validate();
+  return netlist;
+}
+
+const std::vector<ScaleProfileInfo>& scale_profiles() {
+  static const std::vector<ScaleProfileInfo> kScaleProfiles{
+      {"synth100k", 2'000, 1'500, 100'000, 60},
+      {"synth1m", 10'000, 8'000, 1'000'000, 90},
+  };
+  return kScaleProfiles;
+}
+
+Netlist make_scale_profile(std::string_view name, std::uint64_t seed) {
+  for (const ScaleProfileInfo& info : scale_profiles()) {
+    if (info.name != name) continue;
+    LayeredCircuitConfig config;
+    config.name = std::string(info.name);
+    config.primary_inputs = info.primary_inputs;
+    config.outputs = info.outputs;
+    config.gates = info.gates;
+    config.layers = info.layers;
+    return make_layered(config, seed);
+  }
+  throw std::invalid_argument("unknown scale profile: " + std::string(name));
+}
+
 namespace {
 constexpr std::array<ProfileInfo, 10> kProfiles{{
     {ProfileId::kC17, "c17", 5, 2, 6, 3, false},

@@ -54,6 +54,55 @@ struct RandomCircuitConfig {
 /// sizes exactly as configured, validate() passes.
 Netlist make_random(const RandomCircuitConfig& config, std::uint64_t seed);
 
+/// Shape of a large layered synthetic design. Unlike RandomCircuitConfig
+/// (whose sink-absorption pass is quadratic in the gate count and unusable
+/// past ~10k gates), the layered generator is strictly O(nodes + edges):
+/// gates are placed layer by layer, each gate's first fanin consumes the
+/// previous layer round-robin (so fanout coverage never needs a global sink
+/// sweep), remaining fanins are drawn from the previous layer or — with
+/// `long_edge_bias` — uniformly from any earlier node, and the handful of
+/// previous-layer nodes the round-robin missed are absorbed as extra fanins
+/// of this layer's n-ary gates. The last layer is exactly the output
+/// drivers, so interface sizes are exact.
+struct LayeredCircuitConfig {
+  std::string name = "layered";
+  std::size_t primary_inputs = 64;
+  std::size_t outputs = 32;
+  /// Total gate count, spread over `layers` with the last layer fixed to
+  /// `outputs`. Must be at least outputs + layers - 1.
+  std::size_t gates = 10'000;
+  /// Gate layers (approximate logic depth). At least 2.
+  std::size_t layers = 40;
+  /// Probability that a non-first fanin reaches past the previous layer to
+  /// a uniformly random earlier node (ISCAS-style long reconvergent wires).
+  double long_edge_bias = 0.15;
+  GateMix mix;
+};
+
+/// Generates a layered DAG in O(nodes + edges) time and memory.
+/// Deterministic in (config, seed). Guarantees: acyclic, interface sizes
+/// exactly as configured, gate count exact, validate() passes. Inputs are
+/// named pi<i>, gates n<id>, output ports po<i>.
+Netlist make_layered(const LayeredCircuitConfig& config, std::uint64_t seed);
+
+/// A named large-scale benchmark shape for make_layered. These profiles are
+/// deliberately NOT part of ProfileId/all_profiles(): every bench iterating
+/// the ISCAS suite would otherwise pick up million-gate designs.
+struct ScaleProfileInfo {
+  std::string_view name;  // "synth100k", "synth1m"
+  std::size_t primary_inputs;
+  std::size_t outputs;
+  std::size_t gates;
+  std::size_t layers;
+};
+
+/// All scale profiles, ascending by size.
+const std::vector<ScaleProfileInfo>& scale_profiles();
+
+/// Builds a scale profile by name ("synth100k", "synth1m"); deterministic
+/// in (name, seed). Throws on unknown name.
+Netlist make_scale_profile(std::string_view name, std::uint64_t seed = 1);
+
 /// ISCAS-85 profile identifiers. kC17 is the real circuit; the rest are
 /// synthetic equivalents sized like their namesakes.
 enum class ProfileId {

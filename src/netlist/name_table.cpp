@@ -21,6 +21,28 @@ NameId NameTable::intern(std::string_view text) {
   return id;
 }
 
+void NameTable::reserve(std::size_t expected) {
+  const std::unique_lock lock(mutex_);
+  index_.reserve(texts_.size() + expected);
+}
+
+void NameTable::intern_batch(std::span<const std::string_view> texts,
+                             std::vector<NameId>& out) {
+  out.resize(texts.size());
+  const std::unique_lock lock(mutex_);
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    const auto it = index_.find(texts[i]);
+    if (it != index_.end()) {
+      out[i] = it->second;
+      continue;
+    }
+    const auto id = static_cast<NameId>(texts_.size());
+    texts_.emplace_back(texts[i]);
+    index_.emplace(std::string_view(texts_.back()), id);
+    out[i] = id;
+  }
+}
+
 NameId NameTable::find(std::string_view text) const noexcept {
   const std::shared_lock lock(mutex_);
   const auto it = index_.find(text);

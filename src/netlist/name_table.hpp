@@ -19,9 +19,11 @@
 #include <cstdint>
 #include <deque>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace autolock::netlist {
 
@@ -38,6 +40,20 @@ class NameTable {
 
   /// Returns the id of `text`, interning it first if absent.
   NameId intern(std::string_view text);
+
+  /// Pre-sizes the lookup index for about `expected` additional names.
+  /// Bulk loaders (the streaming .bench reader, the synthetic generators)
+  /// call this once so a million inserts never rehash mid-load.
+  void reserve(std::size_t expected);
+
+  /// Interns every view in `texts` under ONE exclusive lock (vs one
+  /// shared+exclusive round-trip per new name through intern()), writing
+  /// ids into `out` (resized to `texts.size()`). Ids are issued in `texts`
+  /// order, so a batch over fresh names produces the same ids a sequential
+  /// intern() loop would. The views need only live for the call — text is
+  /// copied into the table.
+  void intern_batch(std::span<const std::string_view> texts,
+                    std::vector<NameId>& out);
 
   /// Returns the id of `text`, or kNoName if it was never interned.
   NameId find(std::string_view text) const noexcept;

@@ -65,6 +65,14 @@ void Netlist::index_name(NameId symbol, NodeId id) {
   node_of_name_[symbol] = id;
 }
 
+void Netlist::reserve_nodes(std::size_t nodes, std::size_t input_nodes) {
+  nodes_.reserve(nodes_.size() + nodes);
+  inputs_.reserve(inputs_.size() + input_nodes);
+  // New names intern densely at the end of the shared table, so the name
+  // index grows to about (table size + new nodes) entries.
+  node_of_name_.reserve(names_->size() + nodes);
+}
+
 NodeId Netlist::add_node(Node node) {
   const auto id = static_cast<NodeId>(nodes_.size());
   if (node.name == kNoName) {
@@ -326,6 +334,33 @@ const std::vector<NodeId>& Netlist::topological_order(
     cache_.topo_valid = true;
   }
   return cache_.topo;
+}
+
+void Netlist::prime_topological_order(std::vector<NodeId>& order) const {
+#ifndef NDEBUG
+  // Debug-only validation of the caller's claim: a permutation of all node
+  // ids in which every fanin precedes its gate.
+  if (order.size() != nodes_.size()) {
+    throw std::logic_error("prime_topological_order: wrong length");
+  }
+  std::vector<std::uint32_t> position(nodes_.size(), kNoNode);
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= nodes_.size() || position[order[i]] != kNoNode) {
+      throw std::logic_error("prime_topological_order: not a permutation");
+    }
+    position[order[i]] = i;
+  }
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    for (const NodeId f : nodes_[v].fanins) {
+      if (position[f] >= position[v]) {
+        throw std::logic_error("prime_topological_order: edge out of order");
+      }
+    }
+  }
+#endif
+  const std::scoped_lock lock(cache_mutex_);
+  cache_.topo.swap(order);
+  cache_.topo_valid = true;
 }
 
 std::vector<NodeId> Netlist::compute_topological_order() const {

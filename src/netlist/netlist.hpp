@@ -77,6 +77,13 @@ class Netlist {
 
   // ---- construction ------------------------------------------------------
 
+  /// Pre-allocates node, input and name-index storage for about `nodes`
+  /// nodes (of which about `input_nodes` are inputs). Bulk-construction
+  /// paths — the streaming .bench reader, the synthetic generators — call
+  /// this once before their add_input/add_gate loop so a million-node build
+  /// never pays a geometric-growth reallocation storm.
+  void reserve_nodes(std::size_t nodes, std::size_t input_nodes = 0);
+
   /// Adds a primary input (or key input). Name must be unique and non-empty.
   NodeId add_input(std::string_view node_name, bool is_key = false);
   /// Id-taking overload (symbol must come from this netlist's table).
@@ -189,6 +196,17 @@ class Netlist {
   /// netlist it produces). When the cache is already valid the scratch is
   /// untouched.
   const std::vector<NodeId>& topological_order(TopoScratch& scratch) const;
+
+  /// Installs `order` (contents swapped in; `order` receives the cache's
+  /// previous buffer) as the cached topological order, replacing the Kahn
+  /// recomputation the next traversal accessor would run. The caller must
+  /// guarantee `order` is a valid topological order over exactly the
+  /// current nodes — the genotype decode derives one incrementally from its
+  /// dynamic rank structure (DecodeTopo) instead of re-sorting the whole
+  /// design, which is what makes per-decode cost independent of design
+  /// size. Debug builds verify the claim in O(V+E); release builds trust it
+  /// (the decode invariant is property-tested against Kahn).
+  void prime_topological_order(std::vector<NodeId>& order) const;
 
   /// Fanout adjacency: fanouts[v] = gates having v as a fanin (deduplicated,
   /// ascending). Output ports are not edges. Cached like topological_order().

@@ -361,13 +361,23 @@ std::size_t optimized_gate_count_with_key_bit(const Netlist& input,
                                               std::size_t bit, bool value,
                                               OptScratch& scratch) {
   const auto& all_inputs = input.inputs();
-  scratch.pinned.assign(all_inputs.size(), std::nullopt);
+  // The vector is all-nullopt except the single slot the previous query
+  // pinned — reset just that slot unless the interface width changed, so a
+  // SCOPE sweep (2 * key_bits queries per design) costs O(1) here, not
+  // O(inputs) per query.
+  if (scratch.pinned.size() != all_inputs.size()) {
+    scratch.pinned.assign(all_inputs.size(), std::nullopt);
+  } else if (scratch.last_pinned < scratch.pinned.size()) {
+    scratch.pinned[scratch.last_pinned] = std::nullopt;
+  }
+  scratch.last_pinned = static_cast<std::size_t>(-1);
   std::size_t key_seen = 0;
   bool found = false;
   for (std::size_t i = 0; i < all_inputs.size(); ++i) {
     if (!input.node(all_inputs[i]).is_key_input) continue;
     if (key_seen++ == bit) {
       scratch.pinned[i] = value;
+      scratch.last_pinned = i;
       found = true;
       break;
     }

@@ -60,6 +60,10 @@ struct OptScratch {
   std::vector<NodeId> drivers;
   std::vector<NodeId> stack;
   std::vector<std::optional<bool>> pinned;
+  /// Index into `pinned` set by the previous SCOPE query (SIZE_MAX = none):
+  /// a repeat query over the same interface clears just that slot instead
+  /// of re-assigning the whole O(inputs) vector.
+  std::size_t last_pinned = static_cast<std::size_t>(-1);
   util::EpochFlags marks;
 };
 

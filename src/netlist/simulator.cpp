@@ -22,7 +22,18 @@ void KeyBatch::push(const Key& key) {
 }
 
 void Simulator::rebind(const Netlist& netlist) {
+  // Same object, no structural mutation since the previous rebind: the
+  // captured order and flattened step arrays are still exact — skip the
+  // O(V + E) rebuild. Repeated probes against an unchanged design (the
+  // corruption loop re-probing one locked netlist with many key batches)
+  // make this O(1).
+  if (netlist_ == &netlist &&
+      bound_version_ == netlist.structural_version() &&
+      order_.size() == netlist.size()) {
+    return;
+  }
   netlist_ = &netlist;
+  bound_version_ = netlist.structural_version();
   order_ = netlist.topological_order();  // copy-assign: reuses capacity
   primary_inputs_.clear();
   key_inputs_.clear();

@@ -206,6 +206,9 @@ class Simulator {
                      std::vector<std::uint64_t>& out) const;
 
   const Netlist* netlist_ = nullptr;
+  /// The bound netlist's structural_version() at capture — rebind() against
+  /// the same object at the same version is an O(1) no-op.
+  std::uint64_t bound_version_ = 0;
   std::vector<NodeId> order_;
   std::vector<NodeId> primary_inputs_;
   std::vector<NodeId> key_inputs_;

@@ -29,6 +29,14 @@ class EpochFlags {
     }
   }
 
+  /// Grows the domain to at least `n` slots without invalidating current
+  /// marks (new slots come up unmarked). For traversals whose domain grows
+  /// mid-epoch — e.g. decode dirty-tracking over a netlist that appends
+  /// nodes while the epoch is live.
+  void ensure(std::size_t n) {
+    if (stamps_.size() < n) stamps_.resize(n, 0);
+  }
+
   bool marked(std::size_t i) const noexcept { return stamps_[i] == epoch_; }
 
   void mark(std::size_t i) noexcept { stamps_[i] = epoch_; }

@@ -1,0 +1,213 @@
+#include "netlist/bench_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace autolock::netlist::bench {
+namespace {
+
+/// The streaming contract: stream_parse over the same bytes produces the
+/// same netlist as parse — node for node, with identical NameIds.
+void expect_identical(const Netlist& a, const Netlist& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId v = 0; v < a.size(); ++v) {
+    const Node& na = a.node(v);
+    const Node& nb = b.node(v);
+    EXPECT_EQ(na.type, nb.type) << "node " << v;
+    EXPECT_EQ(na.name, nb.name) << "node " << v;
+    EXPECT_EQ(na.fanins, nb.fanins) << "node " << v;
+    EXPECT_EQ(a.name(v), b.name(v)) << "node " << v;
+  }
+  EXPECT_EQ(a.inputs(), b.inputs());
+  EXPECT_EQ(a.primary_inputs(), b.primary_inputs());
+  EXPECT_EQ(a.key_inputs(), b.key_inputs());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+    EXPECT_EQ(a.outputs()[i].driver, b.outputs()[i].driver);
+    EXPECT_EQ(a.outputs()[i].name, b.outputs()[i].name);
+  }
+}
+
+Netlist stream_parse_text(const std::string& text,
+                          std::size_t chunk_bytes = kStreamChunkBytes) {
+  std::istringstream in(text);
+  return stream_parse(in, "bench", chunk_bytes);
+}
+
+TEST(BenchStream, C17MatchesInMemoryParse) {
+  const std::string text = write(gen::c17());
+  expect_identical(parse(text), stream_parse_text(text));
+}
+
+TEST(BenchStream, ChunkBoundariesDoNotChangeTheResult) {
+  const std::string text = write(gen::c17());
+  const Netlist reference = parse(text);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, kStreamChunkBytes}) {
+    expect_identical(reference, stream_parse_text(text, chunk));
+  }
+}
+
+TEST(BenchStream, UseBeforeDefinitionAndCommentsMatch) {
+  const std::string text = R"(
+# header comment
+INPUT(a)   # trailing comment
+INPUT(keyinput0)
+
+OUTPUT(y)
+y = AND(mid, keyinput0)
+mid = NOT(a)
+c0 = CONST0
+alias = mid
+OUTPUT(alias)
+)";
+  const Netlist reference = parse(text);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{13},
+                                  kStreamChunkBytes}) {
+    expect_identical(reference, stream_parse_text(text, chunk));
+  }
+}
+
+TEST(BenchStream, RandomCircuitsMatchAcrossChunkSizes) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    gen::RandomCircuitConfig config;
+    config.primary_inputs = 12;
+    config.outputs = 5;
+    config.gates = 80;
+    const std::string text = write(gen::make_random(config, seed));
+    const Netlist reference = parse(text);
+    expect_identical(reference, stream_parse_text(text));
+    expect_identical(reference, stream_parse_text(text, 17));
+  }
+}
+
+TEST(BenchStream, LayeredCircuitRoundTrips) {
+  gen::LayeredCircuitConfig config;
+  config.primary_inputs = 24;
+  config.outputs = 10;
+  config.gates = 500;
+  config.layers = 12;
+  const Netlist original = gen::make_layered(config, 5);
+  const std::string text = write(original);
+  const Netlist reference = parse(text);
+  expect_identical(reference, stream_parse_text(text));
+  // The reparse is functionally the original circuit.
+  const Simulator sim_a(original);
+  const Simulator sim_b(reference);
+  util::Rng rng(99);
+  EXPECT_TRUE(
+      Simulator::equivalent_on_random_vectors(sim_a, {}, sim_b, {}, 64, rng));
+}
+
+TEST(BenchStream, StreamWriteMatchesInMemoryWrite) {
+  gen::RandomCircuitConfig config;
+  config.primary_inputs = 8;
+  config.outputs = 4;
+  config.gates = 40;
+  const Netlist original = gen::make_random(config, 11);
+  std::ostringstream out;
+  stream_write(original, out);
+  EXPECT_EQ(out.str(), write(original));
+}
+
+TEST(BenchStream, FileRoundTripPreservesEverything) {
+  const Netlist original = gen::c17();
+  const std::string path = "test_bench_stream_tmp.bench";
+  stream_save_file(original, path);
+  const Netlist reparsed = stream_load_file(path);
+  std::remove(path.c_str());
+  expect_identical(parse(write(original), "test_bench_stream_tmp"), reparsed);
+}
+
+std::string stream_parse_error(const std::string& text,
+                               std::size_t chunk_bytes = kStreamChunkBytes) {
+  try {
+    (void)stream_parse_text(text, chunk_bytes);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+std::string parse_error(const std::string& text) {
+  try {
+    (void)parse(text);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(BenchStream, MalformedFixturesProduceIdenticalErrors) {
+  const std::string dir = AUTOLOCK_TEST_DATA_DIR;
+  const char* files[] = {
+      "/malformed_unbalanced.bench",
+      "/malformed_eq_in_directive.bench",
+      "/malformed_empty_operand.bench",
+      "/malformed_key_index.bench",
+  };
+  for (const char* file : files) {
+    std::ifstream in(dir + file);
+    ASSERT_TRUE(in) << file;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const std::string expected = parse_error(text);
+    ASSERT_FALSE(expected.empty()) << file;
+    // Same message through every chunking, including pathological sizes.
+    EXPECT_EQ(stream_parse_error(text), expected) << file;
+    EXPECT_EQ(stream_parse_error(text, 1), expected) << file;
+    try {
+      (void)stream_load_file(dir + file);
+      FAIL() << file << " parsed without error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()), expected) << file;
+    }
+  }
+}
+
+TEST(BenchStream, SyntheticErrorCasesMatchInMemoryMessages) {
+  const char* cases[] = {
+      "INPUT(a)\nOUTPUT(y)\ny = AND(a,,a)\n",       // empty operand
+      "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n",         // unknown gate type
+      "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n",            // duplicate input
+      "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n",   // undefined operand
+      "INPUT(a)\nOUTPUT(y)\ny = BUF(z)\nz = BUF(y)\n",  // cycle
+      "INPUT(a)\nOUTPUT(ghost)\na2 = BUF(a)\n",     // undefined output
+      "INPUT(a)\nWIDGET(a)\n",                      // unknown directive
+      "INPUT(a)\ny = AND(a\nOUTPUT(y)\n",           // unbalanced parens
+      "INPUT(keyinput99999999999)\nOUTPUT(keyinput99999999999)\n",
+      "INPUT(a)\nOUTPUT(y)\ny = AND(a, a)\ny = NOT(a)\n",  // duplicate def
+  };
+  for (const char* text : cases) {
+    const std::string expected = parse_error(text);
+    ASSERT_FALSE(expected.empty()) << text;
+    EXPECT_EQ(stream_parse_error(text), expected) << text;
+    EXPECT_EQ(stream_parse_error(text, 3), expected) << text;
+  }
+}
+
+TEST(BenchStream, LongLinesSpanManyChunks) {
+  // One gate whose operand list is far longer than the chunk size.
+  std::string text = "OUTPUT(y)\n";
+  std::string operands;
+  for (int i = 0; i < 200; ++i) {
+    text += "INPUT(verylonginputname" + std::to_string(i) + ")\n";
+    if (i) operands += ", ";
+    operands += "verylonginputname" + std::to_string(i);
+  }
+  text += "y = AND(" + operands + ")\n";
+  const Netlist reference = parse(text);
+  expect_identical(reference, stream_parse_text(text, 16));
+}
+
+}  // namespace
+}  // namespace autolock::netlist::bench

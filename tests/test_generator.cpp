@@ -102,6 +102,48 @@ INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileSweep,
                                            ProfileId::kC6288,
                                            ProfileId::kC7552));
 
+TEST(Generator, LayeredDeterministicWithExactInterface) {
+  LayeredCircuitConfig config;
+  config.primary_inputs = 32;
+  config.outputs = 12;
+  config.gates = 800;
+  config.layers = 16;
+  const Netlist a = make_layered(config, 7);
+  const Netlist b = make_layered(config, 7);
+  const Netlist c = make_layered(config, 8);
+  EXPECT_EQ(bench::write(a), bench::write(b));
+  EXPECT_NE(bench::write(a), bench::write(c));
+  EXPECT_EQ(a.primary_inputs().size(), 32u);
+  EXPECT_EQ(a.outputs().size(), 12u);
+  EXPECT_EQ(a.stats().gates, 800u);
+  a.validate();
+}
+
+TEST(Generator, LayeredAllGatesLive) {
+  LayeredCircuitConfig config;
+  config.primary_inputs = 16;
+  config.outputs = 8;
+  config.gates = 300;
+  config.layers = 10;
+  const Netlist n = make_layered(config, 3);
+  const auto live = n.live_mask();
+  for (NodeId v = 0; v < n.size(); ++v) {
+    if (n.node(v).type == GateType::kInput) continue;
+    EXPECT_TRUE(live[v]) << "dead gate " << n.name(v);
+  }
+}
+
+TEST(Generator, ScaleProfilesAscendingAndLookupByName) {
+  const auto& profiles = scale_profiles();
+  ASSERT_GE(profiles.size(), 2u);
+  std::size_t previous = 0;
+  for (const auto& info : profiles) {
+    EXPECT_GT(info.gates, previous);
+    previous = info.gates;
+  }
+  EXPECT_THROW(make_scale_profile("synthbogus", 1), std::invalid_argument);
+}
+
 TEST(Analysis, UndirectedAdjacencySymmetric) {
   const Netlist n = make_profile(ProfileId::kC432, 3);
   const auto adj = undirected_adjacency(n);

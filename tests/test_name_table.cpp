@@ -31,6 +31,30 @@ TEST(NameTable, InternDedupesAndRoundTrips) {
   EXPECT_THROW(table.text(99), std::out_of_range);
 }
 
+TEST(NameTable, InternBatchMatchesSequentialIntern) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 500; ++i) names.push_back("net" + std::to_string(i / 2));
+  std::vector<std::string_view> views(names.begin(), names.end());
+
+  NameTable sequential;
+  std::vector<NameId> expected;
+  for (const auto& name : names) expected.push_back(sequential.intern(name));
+
+  NameTable batched;
+  batched.reserve(names.size());
+  std::vector<NameId> ids;
+  batched.intern_batch(views, ids);
+  EXPECT_EQ(ids, expected);  // same ids, duplicates deduped identically
+  EXPECT_EQ(batched.size(), sequential.size());
+  for (const NameId id : ids) {
+    EXPECT_EQ(batched.text(id), sequential.text(id));
+  }
+  // A second batch over already-interned names issues nothing new.
+  batched.intern_batch(views, ids);
+  EXPECT_EQ(ids, expected);
+  EXPECT_EQ(batched.size(), sequential.size());
+}
+
 TEST(NameTable, TextViewsSurviveGrowth) {
   NameTable table;
   const NameId first = table.intern("first");
