@@ -17,6 +17,7 @@
 #include "attacks/muxlink.hpp"
 #include "core/ga.hpp"
 #include "eval/workspace.hpp"
+#include "locking/compound.hpp"
 #include "locking/mux_lock.hpp"
 #include "netlist/simulator.hpp"
 #include "util/timer.hpp"
@@ -38,7 +39,7 @@ struct Measurement {
 
 Measurement time_decodes(const netlist::Netlist& original,
                          const lock::SiteContext& context,
-                         const std::vector<lock::LockSite>& genes,
+                         const lock::Genotype& genes,
                          std::size_t iters, bool workspace_mode) {
   eval::EvalWorkspace workspace;
   std::size_t guard = 0;
@@ -91,6 +92,7 @@ int main(int argc, char** argv) {
       {"circuit", "K", "mode", "attacks/s", "seconds", "last loss"});
   util::Table scaling_table(
       {"circuit", "K", "mode", "gens/s", "seconds", "speedup"});
+  util::Table compound_table({"circuit", "K", "mode", "rate/s", "seconds"});
   // Context for the scaling section: on a 1-core host (the CI container)
   // parallel_for_sharded degenerates to the serial loop and the speedup
   // column is expected to sit at 1.0x — that shape is the host's fault, not
@@ -260,6 +262,45 @@ int main(int argc, char** argv) {
                          util::fmt(warm.last_epoch_loss, 4)});
     }
 
+    // ---- compound genotype throughput (MUX + RLL + Anti-SAT genes) ---------
+    // The scheme-polymorphic decode path: same workload shapes as the pure
+    // MUX sections above, but each genotype carries RLL XOR/XNOR sites and
+    // one Anti-SAT block alongside the MUX pairs, so the decode exercises
+    // every gene arm plus the wider key layout (K column = decoded key
+    // bits, not gene count). Rows: decode rate in both allocation modes,
+    // then compound GA generations/s through run(spec, pipeline).
+    {
+      lock::GenotypeSpec spec;
+      spec.mux_sites = w.key_bits;
+      spec.rll_gates = 4;
+      spec.antisat_width = 4;
+      util::Rng compound_rng(0xC0DEC0ULL);
+      const auto compound_genes =
+          lock::random_genotype(context, spec, compound_rng);
+      const std::size_t compound_bits =
+          lock::key_layout(compound_genes).size();
+      for (const bool workspace_mode : {false, true}) {
+        const Measurement m = time_decodes(original, context, compound_genes,
+                                           decode_iters, workspace_mode);
+        compound_table.add_row(
+            {std::string(info.name), std::to_string(compound_bits),
+             workspace_mode ? "decode workspace" : "decode legacy",
+             util::fmt(m.rate, 1), util::fmt(m.seconds, 3)});
+      }
+      eval::EvalPipeline pipeline(
+          original, attack_mix_config(true, ga_config.seed));
+      ga::GeneticAlgorithm ga(original, ga_config);
+      util::Timer timer;
+      const auto result = ga.run(spec, pipeline);
+      const double s = timer.elapsed_seconds();
+      (void)result;
+      compound_table.add_row(
+          {std::string(info.name), std::to_string(compound_bits),
+           "ga workspace",
+           util::fmt(static_cast<double>(ga_config.generations) / s, 3),
+           util::fmt(s, 3)});
+    }
+
     // ---- GA thread scaling (workspace mode, parallel_for_sharded) ----------
     {
       double single_thread_rate = 0.0;
@@ -291,6 +332,7 @@ int main(int argc, char** argv) {
   benchx::emit(ga_table, args, "GA generation throughput");
   benchx::emit(corruption_table, args, "corruption probe throughput");
   benchx::emit(gnn_table, args, "gnn attack throughput (muxlink)");
+  benchx::emit(compound_table, args, "compound genotype throughput");
   benchx::emit(scaling_table, args, "GA thread scaling");
   benchx::emit(host_table, args, "thread scaling host");
   return 0;

@@ -71,7 +71,7 @@ struct DecodeStats {
 /// iteration must take the recycle + incremental-reset path.
 DecodeStats time_decodes(const netlist::Netlist& original,
                          const lock::SiteContext& context,
-                         const std::vector<lock::LockSite>& genes,
+                         const lock::Genotype& genes,
                          std::size_t iters) {
   eval::EvalWorkspace workspace;
   workspace.reserve(original, genes.size());

@@ -5,7 +5,9 @@
 // Commands:
 //   lock_file_tool gen <profile> <out.bench> [seed]      write a benchmark circuit
 //   lock_file_tool lock <in.bench> <out.bench> <K> [scheme] [seed]
-//        scheme: dmux (default) | rll | autolock
+//        scheme: dmux (default) | rll | antisat | compound | autolock
+//        compound = K D-MUX key bits plus one Anti-SAT block (key grows by
+//        2 * width extra bits; layout documented in locking/compound.hpp)
 //   lock_file_tool attack <locked.bench>                  run MuxLink (prints key guess)
 //   lock_file_tool report <locked.bench> <original.bench> [attack...]
 //        score any registered attack(s) against the ground-truth key
@@ -20,6 +22,7 @@
 #include "attacks/muxlink.hpp"
 #include "core/autolock.hpp"
 #include "eval/registry.hpp"
+#include "locking/antisat.hpp"
 #include "locking/rll.hpp"
 #include "locking/verify.hpp"
 #include "netlist/bench_io.hpp"
@@ -59,6 +62,10 @@ int cmd_lock(int argc, char** argv) {
   lock::LockedDesign design;
   if (scheme == "rll") {
     design = lock::rll_lock(original, key_bits, seed);
+  } else if (scheme == "antisat") {
+    design = lock::antisat_lock(original, {}, seed);
+  } else if (scheme == "compound") {
+    design = lock::compound_lock(original, key_bits, {}, seed);
   } else if (scheme == "autolock") {
     AutoLockConfig config;
     config.fitness_attack = FitnessAttack::kMuxLinkGnn;
@@ -78,7 +85,7 @@ int cmd_lock(int argc, char** argv) {
   }
   netlist::bench::save_file(design.netlist, argv[3]);
   std::printf("wrote %s  scheme=%s  K=%zu\nkey = ", argv[3], scheme.c_str(),
-              key_bits);
+              design.key.size());
   for (const bool bit : design.key) std::printf("%d", bit ? 1 : 0);
   std::printf("\n");
   return 0;
@@ -194,7 +201,7 @@ int main(int argc, char** argv) {
                  "  lock_file_tool gen <profile> <out.bench> [seed]\n"
                  "  lock_file_tool stats <in.bench>\n"
                  "  lock_file_tool lock <in.bench> <out.bench> <K> "
-                 "[dmux|rll|autolock] [seed]\n"
+                 "[dmux|rll|antisat|compound|autolock] [seed]\n"
                  "  lock_file_tool attack <locked.bench>\n"
                  "  lock_file_tool report <locked.bench> <original.bench> "
                  "[attack...]\n"

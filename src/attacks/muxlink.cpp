@@ -158,6 +158,7 @@ MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked,
   result.predicted_bits.assign(static_cast<std::size_t>(max_bit) + 1, 0);
   result.margins.assign(static_cast<std::size_t>(max_bit) + 1, 0.0);
   result.thresholded_bits.assign(static_cast<std::size_t>(max_bit) + 1, -1);
+  result.bit_attacked.assign(static_cast<std::size_t>(max_bit) + 1, 0);
 
   for (const auto& problem : graph.problems()) {
     auto mean_prob = [&](const std::vector<CandidateLink>& links) {
@@ -181,6 +182,7 @@ MuxLinkResult MuxLinkAttack::attack(const netlist::Netlist& locked,
     result.margins[bit] = margin;
     result.thresholded_bits[bit] =
         margin >= config_.decision_threshold ? decision : -1;
+    result.bit_attacked[bit] = 1;
   }
   return result;
 }
@@ -191,14 +193,29 @@ MuxLinkScore MuxLinkAttack::score(const MuxLinkResult& result,
   score.key_bits = correct_key.size();
   if (correct_key.empty()) return score;
 
-  std::size_t correct = 0;
+  double correct = 0.0;
+  std::size_t attacked = 0;
   std::size_t decided = 0;
   std::size_t decided_correct = 0;
   for (std::size_t bit = 0; bit < correct_key.size(); ++bit) {
+    // A bit without a MUX-link hypothesis (non-MUX key gate, or beyond the
+    // attacked range) scores as a coin flip: crediting the forced-0 default
+    // would reward the attack for key bits it never examined. Results from
+    // older serializations may lack the mask; fall back to "has a
+    // prediction slot" so hand-built results keep their semantics.
+    const bool bit_attacked =
+        result.bit_attacked.empty()
+            ? bit < result.predicted_bits.size()
+            : bit < result.bit_attacked.size() && result.bit_attacked[bit] != 0;
+    if (!bit_attacked) {
+      correct += 0.5;
+      continue;
+    }
+    ++attacked;
     const int truth = correct_key[bit] ? 1 : 0;
     const int forced =
         bit < result.predicted_bits.size() ? result.predicted_bits[bit] : 0;
-    if (forced == truth) ++correct;
+    if (forced == truth) correct += 1.0;
     const int soft =
         bit < result.thresholded_bits.size() ? result.thresholded_bits[bit] : -1;
     if (soft != -1) {
@@ -206,8 +223,9 @@ MuxLinkScore MuxLinkAttack::score(const MuxLinkResult& result,
       if (soft == truth) ++decided_correct;
     }
   }
-  score.accuracy =
-      static_cast<double>(correct) / static_cast<double>(correct_key.size());
+  score.accuracy = correct / static_cast<double>(correct_key.size());
+  score.attacked_fraction =
+      static_cast<double>(attacked) / static_cast<double>(correct_key.size());
   score.decided_fraction =
       static_cast<double>(decided) / static_cast<double>(correct_key.size());
   score.precision = decided == 0 ? 0.0

@@ -51,15 +51,22 @@ struct MuxLinkResult {
   std::vector<double> margins;
   /// Thresholded decision per bit: 0, 1, or -1 (undecided).
   std::vector<int> thresholded_bits;
+  /// 1 iff the attack formed a key-MUX hypothesis for this bit. Key bits
+  /// driven by non-MUX key gates (RLL XOR/XNOR, anti-SAT blocks) have no
+  /// MUX link problem and stay 0; score() credits them as coin flips
+  /// instead of letting the forced-0 default silently score on zero bits.
+  std::vector<char> bit_attacked;
   double first_epoch_loss = 0.0;
   double last_epoch_loss = 0.0;
   std::size_t train_samples = 0;
 };
 
 struct MuxLinkScore {
-  double accuracy = 0.0;         // forced decisions correct / all bits
-  double precision = 0.0;        // correct / decided (thresholded)
-  double decided_fraction = 0.0; // decided / all bits
+  double accuracy = 0.0;          // forced decisions correct / all bits
+                                  // (unattacked bits count 0.5 — coin flip)
+  double precision = 0.0;         // correct / decided (thresholded)
+  double decided_fraction = 0.0;  // decided / all bits
+  double attacked_fraction = 0.0; // bits with a MUX hypothesis / all bits
   std::size_t key_bits = 0;
 };
 

@@ -222,6 +222,7 @@ MuxLinkResult StructuralLinkPredictor::attack(const netlist::Netlist& locked,
   result.predicted_bits.assign(static_cast<std::size_t>(max_bit) + 1, 0);
   result.margins.assign(static_cast<std::size_t>(max_bit) + 1, 0.0);
   result.thresholded_bits.assign(static_cast<std::size_t>(max_bit) + 1, -1);
+  result.bit_attacked.assign(static_cast<std::size_t>(max_bit) + 1, 0);
 
   for (const auto& problem : graph.problems()) {
     auto mean_prob = [&](const std::vector<CandidateLink>& links) {
@@ -240,6 +241,7 @@ MuxLinkResult StructuralLinkPredictor::attack(const netlist::Netlist& locked,
     result.margins[bit] = margin;
     result.thresholded_bits[bit] =
         margin >= config_.decision_threshold ? decision : -1;
+    result.bit_attacked[bit] = 1;
   }
   return result;
 }

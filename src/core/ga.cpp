@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/gene_ops.hpp"
 #include "eval/pipeline.hpp"
 #include "util/log.hpp"
 
 namespace autolock::ga {
 
 using lock::LockedDesign;
-using lock::LockSite;
 
 GeneticAlgorithm::GeneticAlgorithm(const netlist::Netlist& original,
                                    GaConfig config)
@@ -63,48 +63,13 @@ Genotype GeneticAlgorithm::select_parent(
 
 std::pair<Genotype, Genotype> GeneticAlgorithm::crossover(
     const Genotype& a, const Genotype& b, util::Rng& rng) const {
-  Genotype child1 = a;
-  Genotype child2 = b;
-  if (a.size() != b.size() || a.size() < 2 ||
-      !rng.next_bool(config_.crossover_rate)) {
-    return {std::move(child1), std::move(child2)};
-  }
-  if (config_.crossover == CrossoverOp::kOnePoint) {
-    const std::size_t cut = 1 + rng.next_below(a.size() - 1);
-    for (std::size_t i = cut; i < a.size(); ++i) {
-      child1[i] = b[i];
-      child2[i] = a[i];
-    }
-  } else {
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      if (rng.next_bool()) {
-        child1[i] = b[i];
-        child2[i] = a[i];
-      }
-    }
-  }
-  return {std::move(child1), std::move(child2)};
+  return GeneOps(context_).crossover(a, b, config_.crossover,
+                                     config_.crossover_rate, rng);
 }
 
 void GeneticAlgorithm::mutate(Genotype& genes, util::Rng& rng) const {
-  for (std::size_t i = 0; i < genes.size(); ++i) {
-    if (!rng.next_bool(config_.mutation_rate)) continue;
-    if (rng.next_bool(config_.key_flip_rate)) {
-      genes[i].key_bit = !genes[i].key_bit;
-      continue;
-    }
-    // Re-sample the site against the other genes (approximate: collisions
-    // with later genes are resolved by decode-time repair).
-    std::vector<LockSite> others;
-    others.reserve(genes.size() - 1);
-    for (std::size_t j = 0; j < genes.size(); ++j) {
-      if (j != i) others.push_back(genes[j]);
-    }
-    LockSite fresh;
-    if (context_.sample_site(rng, others, fresh)) {
-      genes[i] = fresh;
-    }
-  }
+  GeneOps(context_).mutate(genes, config_.mutation_rate,
+                           config_.key_flip_rate, rng);
 }
 
 GaResult GeneticAlgorithm::run(std::size_t key_bits, const FitnessFn& fitness,
@@ -119,17 +84,24 @@ GaResult GeneticAlgorithm::run(std::size_t key_bits, const FitnessFn& fitness,
 
 GaResult GeneticAlgorithm::run(std::size_t key_bits,
                                eval::EvalPipeline& pipeline) {
+  lock::GenotypeSpec spec;
+  spec.mux_sites = key_bits;
+  return run(spec, pipeline);
+}
+
+GaResult GeneticAlgorithm::run(const lock::GenotypeSpec& spec,
+                               eval::EvalPipeline& pipeline) {
   if (&pipeline.original() != original_) {
     throw std::invalid_argument(
         "GeneticAlgorithm::run: pipeline was built on a different netlist");
   }
   util::Rng rng(config_.seed);
 
-  // ---- initialization: N independent random D-MUX lockings ---------------
+  // ---- initialization: N independent random lockings of spec's shape -----
   std::vector<Individual> population(config_.population);
   for (std::size_t i = 0; i < population.size(); ++i) {
     util::Rng init_rng = rng.fork();
-    population[i].genes = lock::random_genotype(context_, key_bits, init_rng);
+    population[i].genes = lock::random_genotype(context_, spec, init_rng);
   }
 
   GaResult result;

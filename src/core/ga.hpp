@@ -1,18 +1,22 @@
-// Genetic algorithm over MUX-locking genotypes — the paper's optimization
+// Genetic algorithm over locking genotypes — the paper's optimization
 // engine.
 //
-// The genotype is exactly the paper's: a list of LockSites
-// {f_i, f_j, g_i, g_j, k}, one per key bit. Decoding (apply_genotype)
-// produces the locked netlist; the fitness function runs an attack on it
-// ("the fitness of each genotype is measured by MuxLink accuracy, where
-// lower accuracy indicates higher fitness").
+// The genotype generalizes the paper's: a list of tagged genes
+// (locking/gene.hpp) — the paper's MUX LockSites {f_i, f_j, g_i, g_j, k},
+// plus optional RLL and Anti-SAT genes for compound locking. Decoding
+// (apply_genotype) produces the locked netlist; the fitness function runs
+// an attack on it ("the fitness of each genotype is measured by MuxLink
+// accuracy, where lower accuracy indicates higher fitness"). MUX-only runs
+// (the run(key_bits, ...) overloads) reproduce the historical MUX-only
+// trajectories bit for bit.
 //
 // Operators (paper §II: selection, crossover, mutation):
 //   selection: tournament or roulette-wheel
 //   crossover: one-point or uniform over the gene list
-//   mutation:  per-gene — flip the key bit (cheap local move) or re-sample
-//              the whole site (exploration); invalid offspring genes are
-//              repaired at decode time and written back.
+//   mutation:  per-gene, dispatched on the gene kind by core/gene_ops.hpp —
+//              flip the key bit (cheap local move) or re-sample the gene
+//              (exploration); invalid offspring genes are repaired at
+//              decode time and written back.
 // Elitism preserves the best individuals.
 //
 // Evaluation (genotype decode, attack scoring, the collision-safe fitness
@@ -40,7 +44,7 @@ class EvalPipeline;
 
 namespace autolock::ga {
 
-using Genotype = std::vector<lock::LockSite>;
+using Genotype = lock::Genotype;
 
 enum class SelectionOp { kTournament, kRoulette };
 enum class CrossoverOp { kOnePoint, kUniform };
@@ -108,6 +112,12 @@ class GeneticAlgorithm {
   /// the fitness target. All evaluation goes through `pipeline`, which must
   /// have been built on the same original netlist.
   GaResult run(std::size_t key_bits, eval::EvalPipeline& pipeline);
+
+  /// Scheme-polymorphic variant: the population seeds from random mixed
+  /// genotypes of `spec`'s shape (MUX + RLL + Anti-SAT genes), and every
+  /// operator dispatches per gene kind. run(key_bits, ...) is exactly
+  /// run({.mux_sites = key_bits}, ...).
+  GaResult run(const lock::GenotypeSpec& spec, eval::EvalPipeline& pipeline);
 
   /// Convenience wrapper: builds a sequential single-use EvalPipeline around
   /// `fitness` (borrowing `pool` for population fan-out when given) and runs.

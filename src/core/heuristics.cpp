@@ -2,11 +2,11 @@
 
 #include <cmath>
 
+#include "core/gene_ops.hpp"
 #include "eval/pipeline.hpp"
 
 namespace autolock::ga {
 
-using lock::LockSite;
 using lock::SiteContext;
 
 namespace {
@@ -42,22 +42,11 @@ eval::EvalPipelineConfig wrap_fitness(const FitnessFn& fitness,
   return config;
 }
 
-/// Single-gene neighbourhood move shared by hill climbing and annealing.
+/// Single-gene neighbourhood move shared by hill climbing and annealing;
+/// dispatches on the gene kind through the shared GeneOps operators.
 void mutate_one_gene(Genotype& genes, const SiteContext& context,
                      double key_flip_rate, util::Rng& rng) {
-  if (genes.empty()) return;
-  const std::size_t i = rng.next_below(genes.size());
-  if (rng.next_bool(key_flip_rate)) {
-    genes[i].key_bit = !genes[i].key_bit;
-    return;
-  }
-  std::vector<LockSite> others;
-  others.reserve(genes.size() - 1);
-  for (std::size_t j = 0; j < genes.size(); ++j) {
-    if (j != i) others.push_back(genes[j]);
-  }
-  LockSite fresh;
-  if (context.sample_site(rng, others, fresh)) genes[i] = fresh;
+  GeneOps(context).mutate_one(genes, key_flip_rate, rng);
 }
 
 }  // namespace

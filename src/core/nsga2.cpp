@@ -4,12 +4,12 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/gene_ops.hpp"
 #include "eval/pipeline.hpp"
 
 namespace autolock::ga {
 
 using lock::LockedDesign;
-using lock::LockSite;
 
 Nsga2::Nsga2(const netlist::Netlist& original, Nsga2Config config)
     : original_(&original), context_(original), config_(config) {
@@ -124,6 +124,13 @@ Nsga2Result Nsga2::run(std::size_t key_bits, std::size_t num_objectives,
 }
 
 Nsga2Result Nsga2::run(std::size_t key_bits, eval::EvalPipeline& pipeline) {
+  lock::GenotypeSpec spec;
+  spec.mux_sites = key_bits;
+  return run(spec, pipeline);
+}
+
+Nsga2Result Nsga2::run(const lock::GenotypeSpec& spec,
+                       eval::EvalPipeline& pipeline) {
   if (&pipeline.original() != original_) {
     throw std::invalid_argument(
         "Nsga2::run: pipeline was built on a different netlist");
@@ -136,44 +143,15 @@ Nsga2Result Nsga2::run(std::size_t key_bits, eval::EvalPipeline& pipeline) {
     result.evaluations += pipeline.evaluate_population(pop, generation).evaluated;
   };
 
-  // Shared variation operators (duplicated from GeneticAlgorithm privately
-  // on purpose: the two engines evolve independently in benchmarks).
+  // Variation is shared with the single-objective GA through the GeneOps
+  // dispatch (core/gene_ops.hpp); the two engines still evolve independent
+  // RNG streams in benchmarks.
+  const GeneOps ops(context_);
   auto crossover = [&](const Genotype& a, const Genotype& b) {
-    Genotype child1 = a;
-    Genotype child2 = b;
-    if (a.size() == b.size() && a.size() >= 2 &&
-        rng.next_bool(config_.crossover_rate)) {
-      if (config_.crossover == CrossoverOp::kOnePoint) {
-        const std::size_t cut = 1 + rng.next_below(a.size() - 1);
-        for (std::size_t i = cut; i < a.size(); ++i) {
-          child1[i] = b[i];
-          child2[i] = a[i];
-        }
-      } else {
-        for (std::size_t i = 0; i < a.size(); ++i) {
-          if (rng.next_bool()) {
-            child1[i] = b[i];
-            child2[i] = a[i];
-          }
-        }
-      }
-    }
-    return std::make_pair(std::move(child1), std::move(child2));
+    return ops.crossover(a, b, config_.crossover, config_.crossover_rate, rng);
   };
   auto mutate = [&](Genotype& genes) {
-    for (std::size_t i = 0; i < genes.size(); ++i) {
-      if (!rng.next_bool(config_.mutation_rate)) continue;
-      if (rng.next_bool(config_.key_flip_rate)) {
-        genes[i].key_bit = !genes[i].key_bit;
-        continue;
-      }
-      std::vector<LockSite> others;
-      for (std::size_t j = 0; j < genes.size(); ++j) {
-        if (j != i) others.push_back(genes[j]);
-      }
-      LockSite fresh;
-      if (context_.sample_site(rng, others, fresh)) genes[i] = fresh;
-    }
+    ops.mutate(genes, config_.mutation_rate, config_.key_flip_rate, rng);
   };
   auto tournament = [&](const std::vector<MoIndividual>& pop) -> const MoIndividual& {
     const MoIndividual& a = pop[rng.next_below(pop.size())];
@@ -186,7 +164,7 @@ Nsga2Result Nsga2::run(std::size_t key_bits, eval::EvalPipeline& pipeline) {
   std::vector<MoIndividual> population(config_.population);
   for (auto& individual : population) {
     util::Rng init_rng = rng.fork();
-    individual.genes = lock::random_genotype(context_, key_bits, init_rng);
+    individual.genes = lock::random_genotype(context_, spec, init_rng);
   }
   evaluate(population, 0);
   {

@@ -13,12 +13,12 @@
 #include <unordered_map>
 #include <vector>
 
-#include "locking/sites.hpp"
+#include "locking/gene.hpp"
 
 namespace autolock::eval {
 
 /// Same type as ga::Genotype (an alias either way).
-using Genotype = std::vector<lock::LockSite>;
+using Genotype = lock::Genotype;
 
 /// FNV-1a over the gene words. Used only for bucketing — never as the key.
 struct GenotypeHash {
@@ -28,12 +28,16 @@ struct GenotypeHash {
       h ^= value;
       h *= 0x100000001b3ULL;
     };
-    for (const lock::LockSite& site : genes) {
-      mix(site.f_i);
-      mix(site.f_j);
-      mix(site.g_i);
-      mix(site.g_j);
-      mix(site.key_bit ? 0x9E3779B9ULL : 0x85EBCA6BULL);
+    for (const lock::Gene& gene : genes) {
+      mix(static_cast<std::uint64_t>(gene.kind));
+      mix(gene.f_i);
+      mix(gene.f_j);
+      mix(gene.g_i);
+      mix(gene.g_j);
+      mix(gene.key_bit ? 0x9E3779B9ULL : 0x85EBCA6BULL);
+      mix(gene.width);
+      mix(gene.seed);
+      mix(gene.splice_output ? 0x2545F491ULL : 0x27D4EB2FULL);
     }
     return static_cast<std::size_t>(h);
   }

@@ -261,11 +261,11 @@ ga::Evaluation EvalPipeline::evaluate(ga::Genotype& genes,
     ensure_workspaces(1);
     EvalWorkspace& workspace = *workspaces_.front();
     decode_into(workspace, genes, repair_seed);
-    genes = workspace.design.sites;  // write repaired genes back
+    genes = workspace.design.genes;  // write repaired genes back
     eval = score(workspace.design, &workspace);
   } else {
     LockedDesign design = decode(genes, repair_seed);
-    genes = design.sites;
+    genes = design.genes;
     eval = score(design);
   }
   evaluations_.fetch_add(1, std::memory_order_relaxed);
@@ -295,11 +295,11 @@ std::vector<double> EvalPipeline::evaluate_objectives(
     ensure_workspaces(1);
     EvalWorkspace& workspace = *workspaces_.front();
     decode_into(workspace, genes, repair_seed);
-    genes = workspace.design.sites;
+    genes = workspace.design.genes;
     objectives = score_objectives(workspace.design, &workspace);
   } else {
     LockedDesign design = decode(genes, repair_seed);
-    genes = design.sites;
+    genes = design.genes;
     objectives = score_objectives(design);
   }
   evaluations_.fetch_add(1, std::memory_order_relaxed);
@@ -362,12 +362,12 @@ EvalPipeline::BatchStats EvalPipeline::evaluate_batch(
       EvalWorkspace& workspace = *workspaces_[shard];
       decode_into(workspace, population[i].genes,
                   batch_repair_seed(generation, i));
-      population[i].genes = workspace.design.sites;
+      population[i].genes = workspace.design.genes;
       result_of(population[i]) = compute(workspace.design, &workspace);
     } else {
       LockedDesign design =
           decode(population[i].genes, batch_repair_seed(generation, i));
-      population[i].genes = design.sites;
+      population[i].genes = design.genes;
       result_of(population[i]) = compute(design, nullptr);
     }
     evaluations_.fetch_add(1, std::memory_order_relaxed);

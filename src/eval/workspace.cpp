@@ -4,11 +4,15 @@ namespace autolock::eval {
 
 void EvalWorkspace::reserve(const netlist::Netlist& original,
                             std::size_t key_bits) {
-  // A locked design adds one key input and two MUXes per key bit.
+  // A MUX gene adds one key input and two MUXes per key bit; RLL genes add
+  // two nodes per bit and anti-SAT genes (4n + 4) nodes for 2n bits — so
+  // three nodes per key bit bounds every gene kind (for widths >= 2).
   const std::size_t locked_nodes = original.size() + 3 * key_bits;
   design.key.reserve(key_bits);
   design.sites.reserve(key_bits);
   design.mux_pairs.reserve(key_bits);
+  design.genes.reserve(key_bits);
+  design.applied.reserve(key_bits);
   reach.visited.begin_epoch(locked_nodes);
   reach.stack.reserve(64);
   std::size_t original_edges = 0;

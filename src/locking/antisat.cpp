@@ -1,138 +1,49 @@
 #include "locking/antisat.hpp"
 
 #include <stdexcept>
-#include <string>
-#include <vector>
 
+#include "locking/compound.hpp"
 #include "util/rng.hpp"
 
 namespace autolock::lock {
 
-using netlist::GateType;
 using netlist::Netlist;
-using netlist::NodeId;
-
-namespace {
-
-/// Appends the Anti-SAT block to `design.netlist`, using key-input names
-/// starting at index `key_base`. Returns the block output B.
-NodeId build_block(LockedDesign& design, const std::vector<NodeId>& taps,
-                   std::size_t key_base, util::Rng& rng) {
-  Netlist& net = design.netlist;
-  const std::size_t n = taps.size();
-
-  // K1 and K2, with K1 == K2 as the correct key (random per-bit values).
-  std::vector<NodeId> k1(n), k2(n);
-  std::vector<bool> key_value(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    key_value[i] = rng.next_bool();
-    k1[i] = net.add_input("keyinput" + std::to_string(key_base + i), true);
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    k2[i] = net.add_input("keyinput" + std::to_string(key_base + n + i), true);
-  }
-  for (std::size_t i = 0; i < n; ++i) design.key.push_back(key_value[i]);
-  for (std::size_t i = 0; i < n; ++i) design.key.push_back(key_value[i]);
-
-  // g(X ⊕ K1) and g(X ⊕ K2) with g = AND. The correct key value k makes
-  // (x ⊕ k) feed both ANDs identically, so B = g AND NOT g = 0.
-  std::vector<NodeId> xor1(n), xor2(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    xor1[i] = net.add_gate(GateType::kXor, {taps[i], k1[i]},
-                           "asat_x1_" + std::to_string(key_base + i));
-    xor2[i] = net.add_gate(GateType::kXor, {taps[i], k2[i]},
-                           "asat_x2_" + std::to_string(key_base + i));
-  }
-  const NodeId g1 =
-      net.add_gate(GateType::kAnd, xor1, "asat_g1_" + std::to_string(key_base));
-  const NodeId g2 = net.add_gate(GateType::kNand, xor2,
-                                 "asat_g2n_" + std::to_string(key_base));
-  return net.add_gate(GateType::kAnd, {g1, g2},
-                      "asat_b_" + std::to_string(key_base));
-}
-
-/// XORs `block` into the design. With `splice_at_output` a random primary
-/// output is corrupted (guaranteed observable); otherwise a random internal
-/// wire. `pre_block_size` is the netlist size before the Anti-SAT block was
-/// built, so the block's own wires are never corrupted.
-void splice_block(LockedDesign& design, NodeId block, NodeId pre_block_size,
-                  bool splice_at_output, util::Rng& rng) {
-  Netlist& net = design.netlist;
-  if (splice_at_output) {
-    const std::size_t port = rng.next_below(net.outputs().size());
-    const NodeId driver = net.outputs()[port].driver;
-    const NodeId mixed =
-        net.add_gate(GateType::kXor, {driver, block}, "asat_mix");
-    net.set_output_driver(port, mixed);
-    return;
-  }
-  std::vector<std::pair<NodeId, NodeId>> wires;
-  for (NodeId v = 0; v < pre_block_size; ++v) {
-    for (const NodeId fanin : net.node(v).fanins) {
-      if (net.node(fanin).type == GateType::kInput) continue;
-      wires.emplace_back(fanin, v);
-    }
-  }
-  if (wires.empty()) {
-    throw std::runtime_error("antisat_lock: no internal wire to corrupt");
-  }
-  const auto [driver, sink] = wires[rng.next_below(wires.size())];
-  const NodeId mixed =
-      net.add_gate(GateType::kXor, {driver, block}, "asat_mix");
-  if (net.replace_fanin(sink, driver, mixed) == 0) {
-    throw std::logic_error("antisat_lock: wire vanished");
-  }
-}
-
-}  // namespace
 
 LockedDesign antisat_lock(const Netlist& original,
                           const AntiSatOptions& options, std::uint64_t seed) {
   if (options.width < 2) {
     throw std::invalid_argument("antisat_lock: width must be >= 2");
   }
-  const auto primary = original.primary_inputs();
-  if (primary.size() < options.width) {
+  if (original.primary_inputs().size() < options.width) {
     throw std::invalid_argument("antisat_lock: circuit has too few inputs");
   }
-  util::Rng rng(seed ^ 0xA5A7ULL);
-  LockedDesign design{original, {}, {}, {}};
+  const SiteContext context(original);
+  // The gene seed is the historical block-stream seed, so taps, key values
+  // and the splice draw reproduce the pre-genotype netlists bit for bit.
+  const Genotype genes{
+      Gene::antisat(options.width, seed ^ 0xA5A7ULL, options.splice_at_output)};
+  util::Rng repair_rng(seed);  // never drawn: anti-SAT genes need no repair
+  auto design = apply_genotype(original, context, genes, repair_rng);
   design.netlist.set_name(original.name() + "_antisat");
-
-  const auto tap_indices = rng.sample_indices(primary.size(), options.width);
-  std::vector<NodeId> taps;
-  taps.reserve(options.width);
-  for (const std::size_t i : tap_indices) taps.push_back(primary[i]);
-
-  const auto pre_block_size = static_cast<NodeId>(design.netlist.size());
-  const NodeId block = build_block(design, taps, 0, rng);
-  splice_block(design, block, pre_block_size, options.splice_at_output, rng);
-  design.netlist.validate();
   return design;
 }
 
 LockedDesign compound_lock(const Netlist& original, std::size_t mux_key_bits,
                            const AntiSatOptions& options, std::uint64_t seed) {
-  // Stage 1: D-MUX locking.
-  LockedDesign design = dmux_lock(original, mux_key_bits, seed);
-  design.netlist.set_name(original.name() + "_compound");
-
-  // Stage 2: Anti-SAT block on top of the MUX-locked netlist, with key
-  // indices continuing after the MUX bits.
-  util::Rng rng(seed ^ 0xC03B0ULL);
-  const auto primary = design.netlist.primary_inputs();
-  if (primary.size() < options.width) {
+  // One genotype, decoded in one pass: MUX genes first (the ML-facing
+  // stage), then the Anti-SAT gene (the SAT-facing stage) — key bits follow
+  // gene order, so the layout is MUX bits, then K1, then K2 (see
+  // locking/compound.hpp).
+  util::Rng rng(seed);
+  const SiteContext context(original);
+  auto genes = random_genotype(context, mux_key_bits, rng);
+  if (context.primary_inputs().size() < options.width) {
     throw std::invalid_argument("compound_lock: circuit has too few inputs");
   }
-  const auto tap_indices = rng.sample_indices(primary.size(), options.width);
-  std::vector<NodeId> taps;
-  taps.reserve(options.width);
-  for (const std::size_t i : tap_indices) taps.push_back(primary[i]);
-
-  const auto pre_block_size = static_cast<NodeId>(design.netlist.size());
-  const NodeId block = build_block(design, taps, mux_key_bits, rng);
-  splice_block(design, block, pre_block_size, options.splice_at_output, rng);
-  design.netlist.validate();
+  genes.push_back(
+      Gene::antisat(options.width, seed ^ 0xC03B0ULL, options.splice_at_output));
+  auto design = apply_genotype(original, context, genes, rng);
+  design.netlist.set_name(original.name() + "_compound");
   return design;
 }
 

@@ -1,0 +1,692 @@
+#include "locking/compound.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "locking/mux_lock.hpp"
+
+namespace autolock::lock {
+
+using netlist::GateType;
+using netlist::NameId;
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+/// The interned {keyinput<t>, keymux<t>a, keymux<t>b, keyxor<t>} symbols
+/// for key bit `t`, from the scratch cache; interns only the first time a
+/// given bit index is seen per design family. The suffixed names are
+/// formatted into a stack buffer (NameTable::intern takes a string_view),
+/// so even a cold cache builds no heap strings — pinned by the zero-intern
+/// regression in test_mux_lock.cpp.
+const std::array<NameId, 4>& key_bit_names(const Netlist& net, std::size_t t,
+                                           ReachScratch& scratch) {
+  netlist::NameTable& table = *net.names();
+  if (scratch.key_name_table != net.names()) {
+    scratch.key_name_table = net.names();
+    scratch.key_names.clear();
+  }
+  while (scratch.key_names.size() <= t) {
+    const unsigned long long bit = scratch.key_names.size();
+    char buf[32];
+    const auto format = [&](const char* pattern) {
+      const int len = std::snprintf(buf, sizeof buf, pattern, bit);
+      return table.intern({buf, static_cast<std::size_t>(len)});
+    };
+    const NameId key_input = format("keyinput%llu");
+    const NameId mux_a = format("keymux%llua");
+    const NameId mux_b = format("keymux%llub");
+    const NameId key_xor = format("keyxor%llu");
+    scratch.key_names.push_back({key_input, mux_a, mux_b, key_xor});
+  }
+  return scratch.key_names[t];
+}
+
+/// Interns pattern-%llu(index) without building a heap string. Used for the
+/// anti-SAT block's internal gate names (fresh appends only — the recycle
+/// path never touches names).
+NameId intern_indexed(const Netlist& net, const char* pattern,
+                      std::size_t index) {
+  char buf[32];
+  const int len = std::snprintf(buf, sizeof buf, pattern,
+                                static_cast<unsigned long long>(index));
+  return net.names()->intern({buf, static_cast<std::size_t>(len)});
+}
+
+/// Decodes one MUX gene (exactly the historical per-site decode step).
+/// `site` comes in as the gene's MUX view and leaves as the possibly
+/// repaired site that was actually applied.
+void apply_mux_gene(LockedDesign& design, const SiteContext& context,
+                    LockSite& site, util::Rng& repair_rng,
+                    ReachScratch& scratch, const MuxLockOptions& options,
+                    std::size_t key_offset, NodeId first, bool recycled,
+                    AppliedGene& rec) {
+  DecodeTopo& topo = scratch.topo;
+  const bool ok = context.structurally_valid(site, scratch) &&
+                  SiteContext::edges_available(site, design.sites) &&
+                  applicable_to_working_ranks(topo, site);
+  if (!ok) {
+    if (!options.repair_invalid) {
+      throw std::runtime_error("apply_genotype: invalid site at key bit " +
+                               std::to_string(key_offset));
+    }
+    bool repaired = false;
+    for (int attempt = 0; attempt < 64 && !repaired; ++attempt) {
+      LockSite candidate;
+      if (!context.sample_site(repair_rng, design.sites, candidate, scratch)) {
+        break;
+      }
+      if (applicable_to_working_ranks(topo, candidate)) {
+        site = candidate;
+        repaired = true;
+      }
+    }
+    if (!repaired) {
+      throw std::runtime_error(
+          "apply_genotype: could not repair invalid site at key bit " +
+          std::to_string(key_offset) + " (circuit too small or saturated)");
+    }
+  }
+
+  // Wire so that select == site.key_bit restores the original paths.
+  const NodeId a0 = site.key_bit ? site.f_j : site.f_i;
+  const NodeId a1 = site.key_bit ? site.f_i : site.f_j;
+  NodeId sel, m1, m2;
+  if (recycled) {
+    // Recycle the previous decode's nodes for this bit (ids, names, types
+    // and is_key flags are decode-invariant within a family).
+    sel = first;
+    m1 = sel + 1;
+    m2 = sel + 2;
+    const NodeId m1_fanins[3] = {sel, a0, a1};
+    const NodeId m2_fanins[3] = {sel, a1, a0};
+    design.netlist.set_gate_fanins(m1, m1_fanins);
+    design.netlist.set_gate_fanins(m2, m2_fanins);
+  } else {
+    const auto& names = key_bit_names(design.netlist, key_offset, scratch);
+    sel = design.netlist.add_input(names[0], /*is_key=*/true);
+    m1 = design.netlist.add_gate(GateType::kMux, {sel, a0, a1}, names[1]);
+    m2 = design.netlist.add_gate(GateType::kMux, {sel, a1, a0}, names[2]);
+  }
+  if (design.netlist.replace_fanin(site.g_i, site.f_i, m1) == 0 ||
+      design.netlist.replace_fanin(site.g_j, site.f_j, m2) == 0) {
+    throw std::logic_error("apply_genotype: edge vanished during rewiring");
+  }
+  topo.insert_mux_pair(site.f_i, site.f_j, site.g_i, site.g_j, a0, a1, sel,
+                       m1, m2);
+  design.key.push_back(site.key_bit);
+  design.sites.push_back(site);
+  design.mux_pairs.emplace_back(m1, m2);
+  rec.node_count = 3;
+}
+
+/// Decodes one RLL gene: an XOR/XNOR key gate spliced into the gene's
+/// (driver, sink) wire. Invalid wires (stale after crossover, or already
+/// consumed by an earlier gene) are repaired from the context's wire pool.
+void apply_rll_gene(LockedDesign& design, const SiteContext& context,
+                    Gene& gene, util::Rng& repair_rng, ReachScratch& scratch,
+                    const MuxLockOptions& options, std::size_t key_offset,
+                    NodeId first, bool recycled, AppliedGene& rec) {
+  DecodeTopo& topo = scratch.topo;
+  const Netlist& original = context.original();
+  NodeId driver = gene.f_i;
+  NodeId sink = gene.g_i;
+  const auto wire_ok = [&](NodeId d, NodeId s) {
+    if (d >= original.size() || s >= original.size()) return false;
+    const auto type = original.node(d).type;
+    if (type == GateType::kConst0 || type == GateType::kConst1) return false;
+    // The wire must still exist in the WORKING netlist — an earlier gene
+    // may have consumed it (its fanin slot now holds that gene's key
+    // logic), in which case locking it again is meaningless.
+    return topo.has_fanin(s, d);
+  };
+  if (!wire_ok(driver, sink)) {
+    if (!options.repair_invalid) {
+      throw std::runtime_error("apply_genotype: invalid RLL gene at key bit " +
+                               std::to_string(key_offset));
+    }
+    const auto& pool = context.rll_wires();
+    bool repaired = false;
+    for (int attempt = 0; attempt < 64 && !repaired && !pool.empty();
+         ++attempt) {
+      const auto& wire = pool[repair_rng.next_below(pool.size())];
+      if (topo.has_fanin(wire.second, wire.first)) {
+        driver = wire.first;
+        sink = wire.second;
+        repaired = true;
+      }
+    }
+    if (!repaired) {
+      throw std::runtime_error(
+          "apply_genotype: could not repair invalid RLL gene at key bit " +
+          std::to_string(key_offset) + " (circuit too small or saturated)");
+    }
+  }
+  const GateType gate_type =
+      gene.key_bit ? GateType::kXnor : GateType::kXor;
+  NodeId key_in, key_gate;
+  if (recycled) {
+    key_in = first;
+    key_gate = first + 1;
+    const NodeId gate_fanins[2] = {key_in, driver};
+    design.netlist.set_gate_fanins(key_gate, gate_fanins);
+    // The recycled gate may have been the other polarity last decode.
+    design.netlist.set_gate_type(key_gate, gate_type);
+  } else {
+    const auto& names = key_bit_names(design.netlist, key_offset, scratch);
+    key_in = design.netlist.add_input(names[0], /*is_key=*/true);
+    key_gate = design.netlist.add_gate(gate_type, {key_in, driver}, names[3]);
+  }
+  if (design.netlist.replace_fanin(sink, driver, key_gate) == 0) {
+    throw std::logic_error("apply_genotype: edge vanished during rewiring");
+  }
+  topo.insert_rll_gate(driver, sink, key_in, key_gate);
+  design.key.push_back(gene.key_bit);
+  gene.f_i = driver;
+  gene.g_i = sink;
+  rec.node_count = 2;
+  rec.driver = driver;
+  rec.sink = sink;
+}
+
+/// Decodes one Anti-SAT gene: the block's taps, correct key values and
+/// splice location all derive from the gene-local RNG stream seeded by
+/// gene.seed — identical to the standalone antisat_lock stream, so the
+/// wrapper schemes reproduce their historical netlists bit for bit.
+void apply_antisat_gene(LockedDesign& design, const SiteContext& context,
+                        const Gene& gene, ReachScratch& scratch,
+                        std::size_t key_offset, NodeId first, bool recycled,
+                        AppliedGene& rec) {
+  DecodeTopo& topo = scratch.topo;
+  Netlist& net = design.netlist;
+  const std::size_t n = gene.width;
+  if (n < 2) {
+    throw std::runtime_error(
+        "apply_genotype: anti-SAT gene needs width >= 2 (key bit " +
+        std::to_string(key_offset) + ")");
+  }
+  const auto& primary = context.primary_inputs();
+  if (primary.size() < n) {
+    throw std::runtime_error(
+        "apply_genotype: circuit has too few inputs for an anti-SAT gene of "
+        "width " +
+        std::to_string(n));
+  }
+  util::Rng grng(gene.seed);
+  const auto tap_indices = grng.sample_indices(primary.size(), n);
+
+  // Node-id layout inside the gene's 4n + 4 consecutive ids:
+  //   [K1 inputs x n][K2 inputs x n][x1_i, x2_i interleaved x n]
+  //   [g1][g2n][b][mix]
+  const NodeId k1_base = first;
+  const NodeId k2_base = first + static_cast<NodeId>(n);
+  const NodeId xor_base = first + static_cast<NodeId>(2 * n);
+  const NodeId g1 = first + static_cast<NodeId>(4 * n);
+  const NodeId g2n = g1 + 1;
+  const NodeId b = g1 + 2;
+  const NodeId mix = g1 + 3;
+  rec.node_count = static_cast<std::uint32_t>(4 * n + 4);
+  rec.width = gene.width;
+  rec.splice_output = gene.splice_output;
+
+  // K1 == K2 is the correct key; the per-bit values are drawn here, in the
+  // standalone scheme's stream position (before the splice draw).
+  const std::size_t key_start = design.key.size();
+  for (std::size_t i = 0; i < n; ++i) design.key.push_back(grng.next_bool());
+  for (std::size_t i = 0; i < n; ++i) {
+    design.key.push_back(design.key[key_start + i]);
+  }
+
+  if (!recycled) {
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)net.add_input(key_bit_names(net, key_offset + i, scratch)[0],
+                          /*is_key=*/true);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)net.add_input(key_bit_names(net, key_offset + n + i, scratch)[0],
+                          /*is_key=*/true);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId tap = primary[tap_indices[i]];
+    const NodeId k1 = k1_base + static_cast<NodeId>(i);
+    const NodeId k2 = k2_base + static_cast<NodeId>(i);
+    const NodeId x1 = xor_base + static_cast<NodeId>(2 * i);
+    const NodeId x2 = x1 + 1;
+    if (recycled) {
+      const NodeId x1_fanins[2] = {tap, k1};
+      const NodeId x2_fanins[2] = {tap, k2};
+      net.set_gate_fanins(x1, x1_fanins);
+      net.set_gate_fanins(x2, x2_fanins);
+    } else {
+      (void)net.add_gate(GateType::kXor, {tap, k1},
+                         intern_indexed(net, "asat_x1_%llu", key_offset + i));
+      (void)net.add_gate(GateType::kXor, {tap, k2},
+                         intern_indexed(net, "asat_x2_%llu", key_offset + i));
+    }
+  }
+  auto& fanins = scratch.gene_fanins;
+  fanins.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    fanins.push_back(xor_base + static_cast<NodeId>(2 * i));
+  }
+  if (recycled) {
+    net.set_gate_fanins(g1, fanins);
+  } else {
+    (void)net.add_gate(GateType::kAnd, {fanins.begin(), fanins.end()},
+                       intern_indexed(net, "asat_g1_%llu", key_offset));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    fanins[i] = xor_base + static_cast<NodeId>(2 * i + 1);
+  }
+  if (recycled) {
+    net.set_gate_fanins(g2n, fanins);
+  } else {
+    (void)net.add_gate(GateType::kNand, {fanins.begin(), fanins.end()},
+                       intern_indexed(net, "asat_g2n_%llu", key_offset));
+  }
+  const NodeId b_fanins[2] = {g1, g2n};
+  if (recycled) {
+    net.set_gate_fanins(b, b_fanins);
+  } else {
+    (void)net.add_gate(GateType::kAnd, {g1, g2n},
+                       intern_indexed(net, "asat_b_%llu", key_offset));
+  }
+
+  // Splice target (the last draw of the gene stream, as in the standalone
+  // scheme: block first, splice second).
+  NodeId displaced;
+  NodeId sink = netlist::kNoNode;
+  if (gene.splice_output) {
+    rec.port = static_cast<std::uint32_t>(
+        grng.next_below(net.outputs().size()));
+    displaced = net.outputs()[rec.port].driver;
+  } else {
+    // Raw (undeduplicated) wire pool over everything that precedes the
+    // gene's own nodes, input drivers excluded — the standalone scheme's
+    // draw distribution.
+    auto& pool = scratch.splice_pool;
+    pool.clear();
+    for (NodeId v = 0; v < first; ++v) {
+      for (const NodeId fanin : net.node(v).fanins) {
+        if (net.node(fanin).type == GateType::kInput) continue;
+        pool.emplace_back(fanin, v);
+      }
+    }
+    if (pool.empty()) {
+      throw std::runtime_error(
+          "apply_genotype: no internal wire for an anti-SAT gene to corrupt");
+    }
+    const auto wire = pool[grng.next_below(pool.size())];
+    displaced = wire.first;
+    sink = wire.second;
+  }
+  const NodeId mix_fanins[2] = {displaced, b};
+  if (recycled) {
+    net.set_gate_fanins(mix, mix_fanins);
+  } else {
+    (void)net.add_gate(GateType::kXor, {displaced, b},
+                       intern_indexed(net, "asat_mix_%llu", key_offset));
+  }
+  if (gene.splice_output) {
+    net.set_output_driver(rec.port, mix);
+  } else if (net.replace_fanin(sink, displaced, mix) == 0) {
+    throw std::logic_error("apply_genotype: wire vanished during rewiring");
+  }
+  rec.driver = displaced;
+  rec.sink = sink;
+
+  // Mirror the block in the dynamic order. An output-spliced block feeds no
+  // working-graph node, so it floats above every current rank; an
+  // internal-spliced block must fit strictly between its lows (taps and the
+  // displaced driver) and the sink gate — ensure_order first demotes any
+  // tap ranked at or above the sink (taps are primary inputs, so the sink
+  // can never be in their fanin closure and the demote cannot fail).
+  fanins.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    fanins.push_back(primary[tap_indices[i]]);
+  }
+  fanins.push_back(displaced);
+  if (!gene.splice_output) {
+    for (const NodeId low : fanins) {
+      if (!topo.ensure_order(low, sink)) {
+        throw std::logic_error(
+            "apply_genotype: anti-SAT splice wire closed a cycle");
+      }
+    }
+  }
+  const DecodeTopo::BlockSlots slots = topo.block_slots(
+      fanins, gene.splice_output ? netlist::kNoNode : sink, /*levels=*/5);
+  const std::uint64_t r_keys = slots.base + slots.step;
+  const std::uint64_t r_xors = slots.base + 2 * slots.step;
+  const std::uint64_t r_gs = slots.base + 3 * slots.step;
+  const std::uint64_t r_b = slots.base + 4 * slots.step;
+  const std::uint64_t r_mix = slots.base + 5 * slots.step;
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    topo.append_node(first + static_cast<NodeId>(i),
+                     std::span<const NodeId>{}, r_keys);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId x1_fanins[2] = {primary[tap_indices[i]],
+                                 k1_base + static_cast<NodeId>(i)};
+    const NodeId x2_fanins[2] = {primary[tap_indices[i]],
+                                 k2_base + static_cast<NodeId>(i)};
+    topo.append_node(xor_base + static_cast<NodeId>(2 * i), x1_fanins, r_xors);
+    topo.append_node(xor_base + static_cast<NodeId>(2 * i + 1), x2_fanins,
+                     r_xors);
+  }
+  fanins.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    fanins.push_back(xor_base + static_cast<NodeId>(2 * i));
+  }
+  topo.append_node(g1, fanins, r_gs);
+  for (std::size_t i = 0; i < n; ++i) {
+    fanins[i] = xor_base + static_cast<NodeId>(2 * i + 1);
+  }
+  topo.append_node(g2n, fanins, r_gs);
+  topo.append_node(b, b_fanins, r_b);
+  topo.append_node(mix, mix_fanins, r_mix);
+  if (!gene.splice_output &&
+      topo.splice_fanin(sink, displaced, mix) == 0) {
+    throw std::logic_error("apply_genotype: wire vanished during rewiring");
+  }
+}
+
+/// Shared decode loop. `out.netlist` must already hold a copy of the
+/// original netlist; key/sites/mux_pairs/genes/applied must be empty. When
+/// `recycled_genes` is nonzero, the netlist additionally already contains
+/// the (undone) key-logic tail nodes of a previous decode of the same
+/// family and gene profile: the first `recycled_genes` genes rewrite those
+/// nodes' fanins (and, for RLL, type) in place instead of appending fresh
+/// nodes — same ids, same names, same resulting netlist, no allocation.
+void apply_genes(LockedDesign& design, const SiteContext& context,
+                 const Genotype& genes, util::Rng& repair_rng,
+                 ReachScratch& scratch, const MuxLockOptions& options,
+                 std::size_t recycled_genes = 0) {
+  // Decode-local dynamic topological order over the working netlist: seeded
+  // from the original's longest-path levels, relabelled incrementally per
+  // accepted gene. Every applicability query below is an O(1) rank
+  // comparison in the common case, with a rank-window-bounded DFS otherwise
+  // — never the from-scratch whole-graph DFS the pre-incremental decode
+  // ran.
+  DecodeTopo& topo = scratch.topo;
+  topo.reset(context.fanin_csr(), context.seed_ranks(),
+             context.decode_token());
+  NodeId next_node = static_cast<NodeId>(context.original().size());
+  std::size_t key_offset = 0;
+  for (std::size_t t = 0; t < genes.size(); ++t) {
+    const bool recycled = t < recycled_genes;
+    AppliedGene rec;
+    rec.kind = genes[t].kind;
+    rec.key_offset = static_cast<std::uint32_t>(key_offset);
+    rec.first_node = next_node;
+    switch (genes[t].kind) {
+      case GeneKind::kMux: {
+        LockSite site = genes[t].site();
+        apply_mux_gene(design, context, site, repair_rng, scratch, options,
+                       key_offset, next_node, recycled, rec);
+        design.genes.push_back(Gene(site));
+        break;
+      }
+      case GeneKind::kRll: {
+        Gene gene = genes[t];
+        apply_rll_gene(design, context, gene, repair_rng, scratch, options,
+                       key_offset, next_node, recycled, rec);
+        design.genes.push_back(gene);
+        break;
+      }
+      case GeneKind::kAntiSat: {
+        apply_antisat_gene(design, context, genes[t], scratch, key_offset,
+                           next_node, recycled, rec);
+        design.genes.push_back(genes[t]);
+        break;
+      }
+    }
+    design.applied.push_back(rec);
+    next_node += static_cast<NodeId>(rec.node_count);
+    key_offset += design.genes.back().key_bits();
+  }
+}
+
+}  // namespace
+
+LockedDesign apply_genotype(const Netlist& original,
+                            const SiteContext& context, const Genotype& genes,
+                            util::Rng& repair_rng,
+                            const MuxLockOptions& options) {
+  LockedDesign design{original, {}, {}, {}};
+  design.netlist.set_name(original.name() + "_muxlocked");
+  ReachScratch scratch;
+  apply_genes(design, context, genes, repair_rng, scratch, options);
+  design.netlist.validate();
+  return design;
+}
+
+void apply_genotype_into(LockedDesign& out, const Netlist& original,
+                         const SiteContext& context, const Genotype& genes,
+                         util::Rng& repair_rng, ReachScratch& scratch,
+                         const MuxLockOptions& options) {
+  // Fast path: when this (out, original) pair is the one the previous
+  // decode through this scratch produced — and the caller has not shrunk
+  // the genotype's per-gene profile or mutated the design since — the
+  // previous rewiring is undone in place and the key-logic tail nodes are
+  // recycled, skipping the netlist copy and all node re-insertion. Falls
+  // back to the full copy on any mismatch; both paths produce identical
+  // designs.
+  const std::size_t prev = out.applied.size();
+  // The structural-version comparison makes the netlist side watertight:
+  // ANY structural mutation of the netlist since the previous decode (by
+  // the caller, or by a decode through a different scratch) bumps the
+  // version and drops this call to the copy path.
+  bool recycle =
+      scratch.last_design == &out && scratch.last_original == &original &&
+      scratch.last_design_version == out.netlist.structural_version() &&
+      out.genes.size() == prev && genes.size() >= prev &&
+      out.netlist.names() == original.names();
+  // Tail nodes are only reusable gene-by-gene when the new genotype's
+  // prefix has the same per-gene shape (kind, and for anti-SAT the width
+  // and splice mode, which fix the node count and types).
+  std::size_t expected_nodes = original.size();
+  for (std::size_t t = 0; recycle && t < prev; ++t) {
+    const AppliedGene& rec = out.applied[t];
+    recycle = rec.kind == genes[t].kind &&
+              (rec.kind != GeneKind::kAntiSat ||
+               (rec.width == genes[t].width &&
+                rec.splice_output == genes[t].splice_output));
+    expected_nodes += rec.node_count;
+  }
+  recycle = recycle && out.netlist.size() == expected_nodes;
+  // The version cannot see edits to the out.genes/out.applied metadata
+  // vectors themselves, so additionally require every recorded splice to
+  // still be wired exactly where its record says — otherwise the undo
+  // below would have nothing to revert. Any mismatch falls back to the
+  // copy.
+  for (std::size_t t = 0; recycle && t < prev; ++t) {
+    const AppliedGene& rec = out.applied[t];
+    const auto wired = [&](NodeId gate, NodeId node) {
+      if (gate >= out.netlist.size()) return false;
+      for (NodeId f : out.netlist.node(gate).fanins) {
+        if (f == node) return true;
+      }
+      return false;
+    };
+    switch (rec.kind) {
+      case GeneKind::kMux:
+        recycle = wired(out.genes[t].g_i, rec.first_node + 1) &&
+                  wired(out.genes[t].g_j, rec.first_node + 2);
+        break;
+      case GeneKind::kRll:
+        recycle = wired(rec.sink, rec.first_node + 1);
+        break;
+      case GeneKind::kAntiSat: {
+        const NodeId mix = rec.first_node + rec.node_count - 1;
+        if (rec.splice_output) {
+          recycle = rec.port < out.netlist.outputs().size() &&
+                    out.netlist.outputs()[rec.port].driver == mix;
+        } else {
+          recycle = wired(rec.sink, mix);
+        }
+        break;
+      }
+    }
+  }
+  scratch.last_design = nullptr;
+  if (recycle) {
+    // Revert the previous rewiring in reverse gene order: each splice
+    // occupies exactly the fanin slots (or output port) of the driver it
+    // displaced, and its key logic feeds nothing else.
+    for (std::size_t t = prev; t-- > 0;) {
+      const AppliedGene& rec = out.applied[t];
+      switch (rec.kind) {
+        case GeneKind::kMux: {
+          const Gene& g = out.genes[t];
+          if (out.netlist.replace_fanin(g.g_i, rec.first_node + 1, g.f_i) ==
+                  0 ||
+              out.netlist.replace_fanin(g.g_j, rec.first_node + 2, g.f_j) ==
+                  0) {
+            throw std::logic_error("apply_genotype_into: undo lost an edge");
+          }
+          break;
+        }
+        case GeneKind::kRll:
+          if (out.netlist.replace_fanin(rec.sink, rec.first_node + 1,
+                                        rec.driver) == 0) {
+            throw std::logic_error("apply_genotype_into: undo lost an edge");
+          }
+          break;
+        case GeneKind::kAntiSat: {
+          const NodeId mix = rec.first_node + rec.node_count - 1;
+          if (rec.splice_output) {
+            out.netlist.set_output_driver(rec.port, rec.driver);
+          } else if (out.netlist.replace_fanin(rec.sink, mix, rec.driver) ==
+                     0) {
+            throw std::logic_error("apply_genotype_into: undo lost an edge");
+          }
+          break;
+        }
+      }
+    }
+  } else {
+    // Copy-assignment reuses the destination's node/name storage where the
+    // allocator permits; the first decode into a workspace pays the full
+    // copy.
+    out.netlist = original;
+  }
+  // Rename only when the name actually differs (the recycle path arrives
+  // already named) — the comparison allocates nothing.
+  {
+    constexpr std::string_view kSuffix = "_muxlocked";
+    const std::string& base = original.name();
+    const std::string& current = out.netlist.name();
+    if (current.size() != base.size() + kSuffix.size() ||
+        current.compare(0, base.size(), base) != 0 ||
+        current.compare(base.size(), kSuffix.size(), kSuffix) != 0) {
+      out.netlist.set_name(base + std::string(kSuffix));
+    }
+  }
+  out.key.clear();
+  out.sites.clear();
+  out.mux_pairs.clear();
+  out.genes.clear();
+  out.applied.clear();
+  out.sites.reserve(genes.size());
+  out.genes.reserve(genes.size());
+  out.applied.reserve(genes.size());
+  apply_genes(out, context, genes, repair_rng, scratch, options,
+              recycle ? prev : 0);
+  // Prime the traversal cache every downstream attack and simulator
+  // construction consumes with the order derived from the decode's dynamic
+  // ranks — an O(V) merge of the context's seed order with the decode's
+  // touched nodes, never the O(V + E) Kahn re-sort plus CSR fanout rebuild
+  // the decode previously paid per genotype. Acyclicity is already proven
+  // gene-by-gene by the dynamic order; debug builds re-verify the primed
+  // order inside prime_topological_order.
+  scratch.topo.order_into(context.seed_order(), context.seed_order_ranks(),
+                          context.seed_pos(), scratch.topo_scratch.order);
+  out.netlist.prime_topological_order(scratch.topo_scratch.order);
+  scratch.last_design = &out;
+  scratch.last_original = &original;
+  scratch.last_design_version = out.netlist.structural_version();
+}
+
+void warm_decode_names(const Netlist& original, std::size_t key_bits,
+                       ReachScratch& scratch) {
+  if (key_bits != 0) {
+    (void)key_bit_names(original, key_bits - 1, scratch);
+  }
+}
+
+Genotype random_genotype(const SiteContext& context, std::size_t key_bits,
+                         util::Rng& rng) {
+  Genotype genes;
+  genes.reserve(key_bits);
+  std::vector<LockSite> sites;
+  sites.reserve(key_bits);
+  ReachScratch scratch;  // one visited set for all key bits, not one per bit
+  for (std::size_t t = 0; t < key_bits; ++t) {
+    LockSite site;
+    if (!context.sample_site(rng, sites, site, scratch)) {
+      throw std::runtime_error(
+          "random_genotype: cannot place " + std::to_string(key_bits) +
+          " MUX pairs in circuit '" + context.original().name() + "'");
+    }
+    sites.push_back(site);
+    genes.push_back(Gene(site));
+  }
+  return genes;
+}
+
+Genotype random_genotype(const SiteContext& context, const GenotypeSpec& spec,
+                         util::Rng& rng) {
+  Genotype genes = random_genotype(context, spec.mux_sites, rng);
+  genes.reserve(spec.mux_sites + spec.rll_gates +
+                (spec.antisat_width != 0 ? 1 : 0));
+  if (spec.rll_gates != 0) {
+    const auto& pool = context.rll_wires();
+    if (pool.size() < spec.rll_gates) {
+      throw std::runtime_error("random_genotype: circuit has only " +
+                               std::to_string(pool.size()) +
+                               " lockable wires, need " +
+                               std::to_string(spec.rll_gates));
+    }
+    std::vector<std::size_t> chosen;
+    chosen.reserve(spec.rll_gates);
+    for (std::size_t t = 0; t < spec.rll_gates; ++t) {
+      // Prefer distinct wires; after a few collisions accept the duplicate
+      // and let decode repair it (keeps the draw count bounded).
+      std::size_t idx = 0;
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        idx = rng.next_below(pool.size());
+        bool taken = false;
+        for (const std::size_t c : chosen) taken = taken || c == idx;
+        if (!taken) break;
+      }
+      chosen.push_back(idx);
+      genes.push_back(
+          Gene::rll(pool[idx].first, pool[idx].second, rng.next_bool()));
+    }
+  }
+  if (spec.antisat_width != 0) {
+    genes.push_back(Gene::antisat(spec.antisat_width, rng(),
+                                  spec.antisat_splice_output));
+  }
+  return genes;
+}
+
+std::vector<KeyBitSlot> key_layout(const Genotype& genes) {
+  std::vector<KeyBitSlot> slots;
+  std::size_t total = 0;
+  for (const Gene& gene : genes) total += gene.key_bits();
+  slots.reserve(total);
+  for (std::size_t g = 0; g < genes.size(); ++g) {
+    for (std::size_t b = 0; b < genes[g].key_bits(); ++b) {
+      slots.push_back({g, genes[g].kind, b});
+    }
+  }
+  return slots;
+}
+
+}  // namespace autolock::lock

@@ -27,6 +27,7 @@ void DecodeTopo::reset(const netlist::CsrFanins& base,
     tail_offsets_.assign(1, 0);
     tail_edges_.clear();
     rank_.resize(base_nodes_);
+    max_rank_ = seed_max_rank_;
     renumbers_ = 0;
     touched_ = 0;
     ++incremental_resets_;
@@ -38,6 +39,9 @@ void DecodeTopo::reset(const netlist::CsrFanins& base,
   tail_offsets_.assign(1, 0);
   tail_edges_.clear();
   rank_.assign(seed_ranks.begin(), seed_ranks.end());
+  seed_max_rank_ = 0;
+  for (const std::uint64_t r : rank_) seed_max_rank_ = std::max(seed_max_rank_, r);
+  max_rank_ = seed_max_rank_;
   renumbers_ = 0;
   touched_ = 0;
   last_token_ = context_token;
@@ -248,12 +252,12 @@ void DecodeTopo::renumber() {
   for (std::size_t i = 0; i < n; ++i) {
     rank_[order_scratch_[i]] = (i + 1) * gap;
   }
+  max_rank_ = n * gap;
   touched_ += n;
   ++renumbers_;
 }
 
-void DecodeTopo::append_node(NodeId id,
-                             std::initializer_list<NodeId> node_fanins,
+void DecodeTopo::append_node(NodeId id, std::span<const NodeId> node_fanins,
                              std::uint64_t r) {
   if (id != node_count()) {
     throw std::logic_error("DecodeTopo::append_node: ids out of step");
@@ -261,6 +265,7 @@ void DecodeTopo::append_node(NodeId id,
   for (NodeId f : node_fanins) tail_edges_.push_back(f);
   tail_offsets_.push_back(static_cast<std::uint32_t>(tail_edges_.size()));
   rank_.push_back(r);
+  max_rank_ = std::max(max_rank_, r);
   ++touched_;
 }
 
@@ -318,6 +323,55 @@ void DecodeTopo::insert_mux_pair(NodeId f_i, NodeId f_j, NodeId g_i,
   }
   if (patch_fanin(g_i, f_i, m1) == 0 || patch_fanin(g_j, f_j, m2) == 0) {
     throw std::logic_error("DecodeTopo::insert_mux_pair: edge not mirrored");
+  }
+}
+
+void DecodeTopo::insert_rll_gate(NodeId driver, NodeId sink, NodeId key_in,
+                                 NodeId gate) {
+  // The edge driver -> sink exists, so rank(driver) < rank(sink) strictly;
+  // the key input and key gate slot into that gap.
+  for (int attempt = 0;; ++attempt) {
+    const std::uint64_t low = rank_[driver];
+    const std::uint64_t high = rank_[sink];
+    const std::uint64_t step = (high - low) / 3;
+    if (step == 0) {
+      if (attempt != 0) {
+        throw std::logic_error("DecodeTopo::insert_rll_gate: no rank space");
+      }
+      renumber();
+      continue;
+    }
+    append_node(key_in, {}, low + step);
+    append_node(gate, {key_in, driver}, low + 2 * step);
+    break;
+  }
+  if (patch_fanin(sink, driver, gate) == 0) {
+    throw std::logic_error("DecodeTopo::insert_rll_gate: edge not mirrored");
+  }
+}
+
+DecodeTopo::BlockSlots DecodeTopo::block_slots(std::span<const NodeId> lows,
+                                               NodeId sink,
+                                               std::size_t levels) {
+  if (sink == netlist::kNoNode) {
+    // No downstream constraint: the block sits above the whole graph.
+    std::uint64_t base = max_rank_;
+    for (const NodeId v : lows) base = std::max(base, rank_[v]);
+    return {base, kRankGap};
+  }
+  for (int attempt = 0;; ++attempt) {
+    std::uint64_t low = 0;
+    for (const NodeId v : lows) low = std::max(low, rank_[v]);
+    const std::uint64_t high = rank_[sink];
+    const std::uint64_t step = high > low ? (high - low) / (levels + 1) : 0;
+    if (step == 0) {
+      if (attempt != 0) {
+        throw std::logic_error("DecodeTopo::block_slots: no rank space");
+      }
+      renumber();
+      continue;
+    }
+    return {low, step};
   }
 }
 

@@ -139,6 +139,45 @@ class DecodeTopo {
                        netlist::NodeId sel, netlist::NodeId m1,
                        netlist::NodeId m2);
 
+  /// Mirrors one accepted RLL gene insertion: a new key input `key_in` (no
+  /// fanins) and key gate `gate` = {key_in, driver} replacing the `driver`
+  /// fanin of `sink`. The two ids must be consecutive, in that order,
+  /// starting at node_count(). Precondition: the working netlist has the
+  /// edge driver -> sink (so rank(driver) < rank(sink) already holds).
+  void insert_rll_gate(netlist::NodeId driver, netlist::NodeId sink,
+                       netlist::NodeId key_in, netlist::NodeId gate);
+
+  /// Rank slots for an appended multi-level block (the anti-SAT decode):
+  /// level L of the block gets rank base + (L + 1) * step. The slots sit
+  /// strictly above every node in `lows` and — when `sink` != kNoNode —
+  /// strictly below rank(sink) for up to `levels` levels; the caller must
+  /// have established rank(low) < rank(sink) for every low (ensure_order).
+  /// Without a sink the slots sit above every rank in the working graph.
+  /// May renumber once when the gap below `sink` is exhausted, so read the
+  /// slots before appending and do not cache ranks across this call.
+  struct BlockSlots {
+    std::uint64_t base = 0;
+    std::uint64_t step = 0;
+  };
+  BlockSlots block_slots(std::span<const netlist::NodeId> lows,
+                         netlist::NodeId sink, std::size_t levels);
+
+  /// Appends node `id` (== node_count()) with `node_fanins` at rank `r` —
+  /// the caller guarantees every fanin ranks strictly below `r` (use
+  /// block_slots). Mirrors a netlist add_input/add_gate.
+  void append_node(netlist::NodeId id,
+                   std::span<const netlist::NodeId> node_fanins,
+                   std::uint64_t r);
+
+  /// Mirrors a netlist-side replace_fanin on the working graph: replaces
+  /// every `old_fanin` slot of `gate` with `new_fanin` and returns the
+  /// replacement count (must agree with the netlist). Precondition:
+  /// rank(new_fanin) < rank(gate).
+  std::size_t splice_fanin(netlist::NodeId gate, netlist::NodeId old_fanin,
+                           netlist::NodeId new_fanin) {
+    return patch_fanin(gate, old_fanin, new_fanin);
+  }
+
   /// Global renumbers performed since reset() (observability: the relabel
   /// windows are expected to stay bounded, making this almost always 0).
   std::size_t renumber_count() const noexcept { return renumbers_; }
@@ -193,10 +232,14 @@ class DecodeTopo {
   /// Re-spaces all ranks kRankGap apart, preserving the current order.
   void renumber();
 
-  /// Appends node `id` (== node_count()) with `fanins` at rank `r`.
+  /// initializer_list convenience for the fixed-shape insertions above.
   void append_node(netlist::NodeId id,
                    std::initializer_list<netlist::NodeId> node_fanins,
-                   std::uint64_t r);
+                   std::uint64_t r) {
+    append_node(id, std::span<const netlist::NodeId>{node_fanins.begin(),
+                                                     node_fanins.size()},
+                r);
+  }
 
   /// Replaces every `old_fanin` in gate's mirrored fanin span. Returns the
   /// number of replacements (the netlist-side replace_fanin must agree).
@@ -220,6 +263,11 @@ class DecodeTopo {
   /// relative-order sort runs over contiguous keys.
   std::vector<std::pair<std::uint64_t, netlist::NodeId>> window_;
   std::vector<netlist::NodeId> order_scratch_;  // renumber's sort buffer
+  /// Upper bound on every current rank (exact after reset/renumber; relabels
+  /// only demote, appends update it). block_slots' sink-less mode places
+  /// appended blocks strictly above it.
+  std::uint64_t max_rank_ = 0;
+  std::uint64_t seed_max_rank_ = 0;  // max seed rank, restored on reset
   std::size_t renumbers_ = 0;
   std::size_t incremental_resets_ = 0;
   std::size_t touched_ = 0;

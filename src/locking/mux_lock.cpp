@@ -1,130 +1,15 @@
 #include "locking/mux_lock.hpp"
 
-#include <cstdio>
-#include <stdexcept>
-#include <string>
-#include <string_view>
+#include <utility>
 
 namespace autolock::lock {
 
-using netlist::GateType;
 using netlist::Netlist;
 using netlist::NodeId;
 
-namespace {
-
-/// The interned {keyinput<t>, keymux<t>a, keymux<t>b} symbols for key bit
-/// `t`, from the scratch cache; interns only the first time a given bit
-/// index is seen per design family. The suffixed names are formatted into a
-/// stack buffer (NameTable::intern takes a string_view), so even a cold
-/// cache builds no heap strings — pinned by the zero-intern regression in
-/// test_mux_lock.cpp.
-const std::array<netlist::NameId, 3>& key_bit_names(const Netlist& net,
-                                                    std::size_t t,
-                                                    ReachScratch& scratch) {
-  netlist::NameTable& table = *net.names();
-  if (scratch.key_name_table != net.names()) {
-    scratch.key_name_table = net.names();
-    scratch.key_names.clear();
-  }
-  while (scratch.key_names.size() <= t) {
-    const unsigned long long bit = scratch.key_names.size();
-    char buf[32];
-    const auto format = [&](const char* pattern) {
-      const int len = std::snprintf(buf, sizeof buf, pattern, bit);
-      return table.intern({buf, static_cast<std::size_t>(len)});
-    };
-    const netlist::NameId key_input = format("keyinput%llu");
-    const netlist::NameId mux_a = format("keymux%llua");
-    const netlist::NameId mux_b = format("keymux%llub");
-    scratch.key_names.push_back({key_input, mux_a, mux_b});
-  }
-  return scratch.key_names[t];
-}
-
-/// Shared decode loop. `out.netlist` must already hold a copy of the
-/// original netlist; key/sites/mux_pairs must be empty. When
-/// `recycled_tail` is nonzero, the netlist additionally already contains
-/// the (undone) key-input/MUX tail nodes of a previous decode of the same
-/// family: the first `recycled_tail` sites rewrite those nodes' fanins in
-/// place instead of appending fresh nodes — same ids, same names, same
-/// resulting netlist, no allocation.
-void apply_sites(LockedDesign& design, const SiteContext& context,
-                 const std::vector<LockSite>& sites, util::Rng& repair_rng,
-                 ReachScratch& scratch, const MuxLockOptions& options,
-                 std::size_t recycled_tail = 0) {
-  const NodeId first_tail = static_cast<NodeId>(context.original().size());
-  // Decode-local dynamic topological order over the working netlist: seeded
-  // from the original's longest-path levels, relabelled incrementally per
-  // accepted site. Every applicability query below is an O(1) rank
-  // comparison in the common case, with a rank-window-bounded DFS otherwise
-  // — never the from-scratch whole-graph DFS the pre-incremental decode
-  // ran.
-  DecodeTopo& topo = scratch.topo;
-  topo.reset(context.fanin_csr(), context.seed_ranks(),
-             context.decode_token());
-  for (std::size_t t = 0; t < sites.size(); ++t) {
-    LockSite site = sites[t];
-    const bool ok = context.structurally_valid(site, scratch) &&
-                    SiteContext::edges_available(site, design.sites) &&
-                    applicable_to_working_ranks(topo, site);
-    if (!ok) {
-      if (!options.repair_invalid) {
-        throw std::runtime_error("apply_genotype: invalid site at key bit " +
-                                 std::to_string(t));
-      }
-      bool repaired = false;
-      for (int attempt = 0; attempt < 64 && !repaired; ++attempt) {
-        LockSite candidate;
-        if (!context.sample_site(repair_rng, design.sites, candidate,
-                                 scratch)) {
-          break;
-        }
-        if (applicable_to_working_ranks(topo, candidate)) {
-          site = candidate;
-          repaired = true;
-        }
-      }
-      if (!repaired) {
-        throw std::runtime_error(
-            "apply_genotype: could not repair invalid site at key bit " +
-            std::to_string(t) + " (circuit too small or saturated)");
-      }
-    }
-
-    // Wire so that select == site.key_bit restores the original paths.
-    const NodeId a0 = site.key_bit ? site.f_j : site.f_i;
-    const NodeId a1 = site.key_bit ? site.f_i : site.f_j;
-    NodeId sel, m1, m2;
-    if (t < recycled_tail) {
-      // Recycle the previous decode's nodes for this bit (ids, names, types
-      // and is_key flags are decode-invariant within a family).
-      sel = first_tail + static_cast<NodeId>(3 * t);
-      m1 = sel + 1;
-      m2 = sel + 2;
-      const NodeId m1_fanins[3] = {sel, a0, a1};
-      const NodeId m2_fanins[3] = {sel, a1, a0};
-      design.netlist.set_gate_fanins(m1, m1_fanins);
-      design.netlist.set_gate_fanins(m2, m2_fanins);
-    } else {
-      const auto& names = key_bit_names(design.netlist, t, scratch);
-      sel = design.netlist.add_input(names[0], /*is_key=*/true);
-      m1 = design.netlist.add_gate(GateType::kMux, {sel, a0, a1}, names[1]);
-      m2 = design.netlist.add_gate(GateType::kMux, {sel, a1, a0}, names[2]);
-    }
-    if (design.netlist.replace_fanin(site.g_i, site.f_i, m1) == 0 ||
-        design.netlist.replace_fanin(site.g_j, site.f_j, m2) == 0) {
-      throw std::logic_error("apply_genotype: edge vanished during rewiring");
-    }
-    topo.insert_mux_pair(site.f_i, site.f_j, site.g_i, site.g_j, a0, a1, sel,
-                         m1, m2);
-    design.key.push_back(site.key_bit);
-    design.sites.push_back(site);
-    design.mux_pairs.emplace_back(m1, m2);
-  }
-}
-
-}  // namespace
+// The genotype decode itself (apply_genotype / apply_genotype_into /
+// random_genotype / warm_decode_names) lives in locking/compound.cpp — it
+// handles every gene kind; this file keeps the MUX-specific pieces.
 
 namespace testing {
 
@@ -177,137 +62,12 @@ bool applicable_to_working_ranks(DecodeTopo& topo, const LockSite& site) {
   return true;
 }
 
-LockedDesign apply_genotype(const Netlist& original,
-                            const SiteContext& context,
-                            std::vector<LockSite> sites, util::Rng& repair_rng,
-                            const MuxLockOptions& options) {
-  LockedDesign design{original, {}, {}, {}};
-  design.netlist.set_name(original.name() + "_muxlocked");
-  ReachScratch scratch;
-  apply_sites(design, context, sites, repair_rng, scratch, options);
-  design.netlist.validate();
-  return design;
-}
-
-void apply_genotype_into(LockedDesign& out, const Netlist& original,
-                         const SiteContext& context,
-                         const std::vector<LockSite>& sites,
-                         util::Rng& repair_rng, ReachScratch& scratch,
-                         const MuxLockOptions& options) {
-  // Fast path: when this (out, original) pair is the one the previous
-  // decode through this scratch produced — and the caller has not shrunk
-  // the key or mutated the design since — the previous rewiring is undone
-  // in place and the key-input/MUX tail nodes are recycled, skipping the
-  // netlist copy and all node re-insertion. Falls back to the full copy on
-  // any mismatch; both paths produce identical designs.
-  const std::size_t prev = out.sites.size();
-  // The structural-version comparison makes the netlist side watertight:
-  // ANY structural mutation of the netlist since the previous decode (by
-  // the caller, or by a decode through a different scratch) bumps the
-  // version and drops this call to the copy path.
-  bool recycle =
-      scratch.last_design == &out && scratch.last_original == &original &&
-      scratch.last_design_version == out.netlist.structural_version() &&
-      out.mux_pairs.size() == prev && sites.size() >= prev &&
-      out.netlist.size() == original.size() + 3 * prev &&
-      out.netlist.names() == original.names();
-  // The version cannot see edits to the out.sites/out.mux_pairs metadata
-  // vectors themselves, so additionally require every recorded splice to
-  // still be wired exactly where its site says — otherwise the undo below
-  // would have nothing to revert. Any mismatch falls back to the copy.
-  for (std::size_t t = 0; recycle && t < prev; ++t) {
-    const auto wired = [&](NodeId gate, NodeId mux) {
-      if (gate >= out.netlist.size()) return false;
-      for (NodeId f : out.netlist.node(gate).fanins) {
-        if (f == mux) return true;
-      }
-      return false;
-    };
-    recycle = wired(out.sites[t].g_i, out.mux_pairs[t].first) &&
-              wired(out.sites[t].g_j, out.mux_pairs[t].second);
-  }
-  scratch.last_design = nullptr;
-  if (recycle) {
-    // Revert the previous rewiring: each MUX occupies exactly the fanin
-    // slots of the driver it replaced, and feeds nothing else.
-    for (std::size_t t = prev; t-- > 0;) {
-      const LockSite& s = out.sites[t];
-      if (out.netlist.replace_fanin(s.g_i, out.mux_pairs[t].first, s.f_i) ==
-              0 ||
-          out.netlist.replace_fanin(s.g_j, out.mux_pairs[t].second, s.f_j) ==
-              0) {
-        throw std::logic_error("apply_genotype_into: undo lost an edge");
-      }
-    }
-  } else {
-    // Copy-assignment reuses the destination's node/name storage where the
-    // allocator permits; the first decode into a workspace pays the full
-    // copy.
-    out.netlist = original;
-  }
-  // Rename only when the name actually differs (the recycle path arrives
-  // already named) — the comparison allocates nothing.
-  {
-    constexpr std::string_view kSuffix = "_muxlocked";
-    const std::string& base = original.name();
-    const std::string& current = out.netlist.name();
-    if (current.size() != base.size() + kSuffix.size() ||
-        current.compare(0, base.size(), base) != 0 ||
-        current.compare(base.size(), kSuffix.size(), kSuffix) != 0) {
-      out.netlist.set_name(base + std::string(kSuffix));
-    }
-  }
-  out.key.clear();
-  out.sites.clear();
-  out.mux_pairs.clear();
-  out.sites.reserve(sites.size());
-  apply_sites(out, context, sites, repair_rng, scratch, options,
-              recycle ? prev : 0);
-  // Prime the traversal cache every downstream attack and simulator
-  // construction consumes with the order derived from the decode's dynamic
-  // ranks — an O(V) merge of the context's seed order with the decode's
-  // touched nodes, never the O(V + E) Kahn re-sort plus CSR fanout rebuild
-  // the decode previously paid per genotype. Acyclicity is already proven
-  // site-by-site by the dynamic order; debug builds re-verify the primed
-  // order inside prime_topological_order.
-  scratch.topo.order_into(context.seed_order(), context.seed_order_ranks(),
-                          context.seed_pos(), scratch.topo_scratch.order);
-  out.netlist.prime_topological_order(scratch.topo_scratch.order);
-  scratch.last_design = &out;
-  scratch.last_original = &original;
-  scratch.last_design_version = out.netlist.structural_version();
-}
-
-void warm_decode_names(const Netlist& original, std::size_t key_bits,
-                       ReachScratch& scratch) {
-  if (key_bits != 0) {
-    (void)key_bit_names(original, key_bits - 1, scratch);
-  }
-}
-
-std::vector<LockSite> random_genotype(const SiteContext& context,
-                                      std::size_t key_bits, util::Rng& rng) {
-  std::vector<LockSite> sites;
-  sites.reserve(key_bits);
-  ReachScratch scratch;  // one visited set for all key bits, not one per bit
-  for (std::size_t t = 0; t < key_bits; ++t) {
-    LockSite site;
-    if (!context.sample_site(rng, sites, site, scratch)) {
-      throw std::runtime_error(
-          "random_genotype: cannot place " + std::to_string(key_bits) +
-          " MUX pairs in circuit '" + context.original().name() + "'");
-    }
-    sites.push_back(site);
-  }
-  return sites;
-}
-
 LockedDesign dmux_lock(const Netlist& original, std::size_t key_bits,
                        std::uint64_t seed) {
   util::Rng rng(seed);
   const SiteContext context(original);
-  auto sites = random_genotype(context, key_bits, rng);
-  auto design = apply_genotype(original, context, std::move(sites), rng);
+  auto genes = random_genotype(context, key_bits, rng);
+  auto design = apply_genotype(original, context, std::move(genes), rng);
   design.netlist.set_name(original.name() + "_dmux");
   return design;
 }

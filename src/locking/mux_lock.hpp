@@ -1,6 +1,7 @@
-// MUX-based locking: the AutoLock genotype decoder and the D-MUX baseline.
+// Genotype decoding (scheme-polymorphic) and the D-MUX baseline.
 //
-// Decoding (genotype -> locked netlist) follows the paper: each LockSite
+// Decoding (genotype -> locked netlist) walks the tagged genes in order and
+// assigns key bits in gene order. For the paper's MUX genes, each LockSite
 // {f_i, f_j, g_i, g_j, k} inserts a key-controlled pair of multiplexers
 //
 //      M1 = MUX(keyinput_t, ., .)  -> replaces the f_i input of g_i
@@ -10,15 +11,20 @@
 // value swaps them (g_i sees f_j and g_j sees f_i). Both polarities are
 // structurally symmetric — the defining property of D-MUX-style locking that
 // forces attacks to reason about the surrounding locality rather than the
-// key gate itself.
+// key gate itself. RLL and Anti-SAT genes splice XOR/XNOR key gates and
+// Anti-SAT blocks the same way their standalone schemes do (locking/rll.hpp,
+// locking/antisat.hpp); see locking/compound.hpp for the key-bit layout of
+// mixed genotypes.
 //
 // D-MUX baseline ("dmux_lock"): K sites sampled uniformly at random with
 // random key bits — exactly how the paper seeds the GA population.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "locking/gene.hpp"
 #include "locking/sites.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/simulator.hpp"
@@ -30,53 +36,60 @@ namespace autolock::lock {
 struct LockedDesign {
   netlist::Netlist netlist;  // the locked netlist (original is untouched)
   netlist::Key key;          // correct key; bit t belongs to keyinput<t>
-  std::vector<LockSite> sites;  // applied sites (repairs written back)
-  /// Per site: the two inserted MUX node ids {M1, M2} in the locked netlist.
+  /// MUX genes only: the applied LockSites in gene order (repairs written
+  /// back) — the MUX-structural view attacks and tests consume.
+  std::vector<LockSite> sites;
+  /// Per MUX gene: the two inserted MUX node ids {M1, M2}.
   std::vector<std::pair<netlist::NodeId, netlist::NodeId>> mux_pairs;
+  /// The full applied genotype (repairs written back), all schemes.
+  Genotype genes;
+  /// Per-gene decode record, aligned with `genes` (see AppliedGene).
+  std::vector<AppliedGene> applied;
 };
 
 struct MuxLockOptions {
-  /// When a genotype site is structurally invalid (stale gene after
-  /// crossover/mutation, or cross-site cycle), re-sample a fresh valid site
-  /// instead of failing. The repaired gene is written back into `sites`.
+  /// When a genotype gene is structurally invalid (stale gene after
+  /// crossover/mutation, or cross-gene clash), re-sample a fresh valid gene
+  /// of the same kind instead of failing. The repaired gene is written back
+  /// into the design's `genes` (and `sites` for MUX genes).
   bool repair_invalid = true;
 };
 
 /// Decodes a genotype into a locked netlist. Throws std::runtime_error if a
-/// site is invalid and repair is disabled (or repair cannot find a valid
-/// replacement). The returned design always has exactly sites.size() key
-/// bits and passes netlist.validate().
+/// gene is invalid and repair is disabled (or repair cannot find a valid
+/// replacement). The returned design always has exactly
+/// sum(gene.key_bits()) key bits and passes netlist.validate().
 LockedDesign apply_genotype(const netlist::Netlist& original,
-                            const SiteContext& context,
-                            std::vector<LockSite> sites, util::Rng& repair_rng,
+                            const SiteContext& context, const Genotype& genes,
+                            util::Rng& repair_rng,
                             const MuxLockOptions& options = {});
 
 /// Buffer-reusing decode for evaluation loops: writes the locked design
-/// into `out` (its netlist buffers, key, site and MUX-pair vectors are
+/// into `out` (its netlist buffers, key, gene and MUX-pair vectors are
 /// reused across calls) and runs every cycle check through `scratch`.
 /// Produces a design identical to apply_genotype, but skips the full
-/// structural validate() — the per-site acyclicity checks plus the final
+/// structural validate() — the per-gene acyclicity checks plus the final
 /// topological-order computation (which throws on a cycle) already cover
 /// everything decode can get wrong, and the construction-side invariants
 /// (names, arity) are enforced by the Netlist mutators themselves.
 ///
 /// Keep the (out, scratch) pairing stable across calls: when consecutive
 /// decodes reuse the same pair against the same original, the previous
-/// rewiring is undone in place and the key-MUX tail nodes are recycled
-/// instead of re-copying the netlist (a structural mutation of `out`
-/// between decodes safely falls back to the copy path). Cycle checks run
-/// against an incrementally maintained dynamic topological order — see
-/// locking/decode_topo.hpp.
+/// rewiring is undone in place and the key-logic tail nodes are recycled
+/// instead of re-copying the netlist — for every gene kind, as long as the
+/// genotype's per-gene (kind, width, splice) profile matches the previous
+/// decode's prefix (a structural mutation of `out` between decodes safely
+/// falls back to the copy path). Cycle checks run against an incrementally
+/// maintained dynamic topological order — see locking/decode_topo.hpp.
 void apply_genotype_into(LockedDesign& out, const netlist::Netlist& original,
-                         const SiteContext& context,
-                         const std::vector<LockSite>& sites,
+                         const SiteContext& context, const Genotype& genes,
                          util::Rng& repair_rng, ReachScratch& scratch,
                          const MuxLockOptions& options = {});
 
-/// Pre-interns the decode-generated names ({keyinput<t>, keymux<t>a/b} for
-/// t in [0, key_bits)) into `original`'s name table and fills `scratch`'s
-/// cache, so even the very first apply_genotype_into through a fresh
-/// workspace builds no name strings.
+/// Pre-interns the decode-generated names ({keyinput<t>, keymux<t>a/b,
+/// keyxor<t>} for t in [0, key_bits)) into `original`'s name table and
+/// fills `scratch`'s cache, so even the very first apply_genotype_into
+/// through a fresh workspace builds no name strings.
 void warm_decode_names(const netlist::Netlist& original, std::size_t key_bits,
                        ReachScratch& scratch);
 
@@ -84,10 +97,10 @@ void warm_decode_names(const netlist::Netlist& original, std::size_t key_bits,
 LockedDesign dmux_lock(const netlist::Netlist& original, std::size_t key_bits,
                        std::uint64_t seed);
 
-/// The production applicability check decode runs per candidate site: a
+/// The production applicability check decode runs per candidate MUX site: a
 /// site is applicable to the working netlist iff the edges it locks are
-/// still present (no earlier site consumed them) and the two cross edges do
-/// not close a cycle given all previously inserted MUX pairs — answered
+/// still present (no earlier gene consumed them) and the two cross edges do
+/// not close a cycle given all previously inserted key logic — answered
 /// against `topo`'s incrementally maintained ranks. Site ids must be in
 /// range (decode guarantees this via SiteContext::structurally_valid).
 bool applicable_to_working_ranks(DecodeTopo& topo, const LockSite& site);
@@ -104,10 +117,18 @@ bool applicable_to_working_dfs(const netlist::Netlist& working,
 
 }  // namespace testing
 
-/// Random genotype of `key_bits` valid, pairwise edge-disjoint sites
-/// (the paper's population initialisation: "lock the provided ON with a key
-/// of size K ... repeated N times with random keys").
-std::vector<LockSite> random_genotype(const SiteContext& context,
-                                      std::size_t key_bits, util::Rng& rng);
+/// Random MUX-only genotype of `key_bits` valid, pairwise edge-disjoint
+/// sites (the paper's population initialisation: "lock the provided ON with
+/// a key of size K ... repeated N times with random keys").
+Genotype random_genotype(const SiteContext& context, std::size_t key_bits,
+                         util::Rng& rng);
+
+/// Random mixed genotype following `spec`: MUX sites first (same sampling
+/// stream as the MUX-only overload), then RLL genes on distinct random
+/// wires, then one Anti-SAT gene (its taps/keys/splice derived from a
+/// freshly drawn gene seed). A pure-MUX spec draws the identical stream as
+/// the MUX-only overload.
+Genotype random_genotype(const SiteContext& context, const GenotypeSpec& spec,
+                         util::Rng& rng);
 
 }  // namespace autolock::lock

@@ -1,39 +1,22 @@
 #include "locking/rll.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 #include <string>
-#include <utility>
-#include <vector>
 
+#include "locking/compound.hpp"
 #include "util/rng.hpp"
 
 namespace autolock::lock {
 
-using netlist::GateType;
 using netlist::Netlist;
-using netlist::NodeId;
 
 LockedDesign rll_lock(const Netlist& original, std::size_t key_bits,
                       std::uint64_t seed) {
   util::Rng rng(seed);
-  LockedDesign design{original, {}, {}, {}};
-  design.netlist.set_name(original.name() + "_rll");
-
-  // Collect all lockable wires (driver -> gate fanin slot). Constants are
-  // excluded for the same reason as in MUX locking.
-  std::vector<std::pair<NodeId, NodeId>> wires;  // (driver, sink gate)
-  for (NodeId v = 0; v < original.size(); ++v) {
-    for (NodeId fanin : original.node(v).fanins) {
-      const auto type = original.node(fanin).type;
-      if (type == GateType::kConst0 || type == GateType::kConst1) continue;
-      wires.emplace_back(fanin, v);
-    }
-  }
-  // A gate may list the same driver twice; replace_fanin rewires every
-  // occurrence at once, so such wires must appear only once in the pool.
-  std::sort(wires.begin(), wires.end());
-  wires.erase(std::unique(wires.begin(), wires.end()), wires.end());
+  const SiteContext context(original);
+  // The context's wire pool is exactly the pool this scheme historically
+  // built inline: every fanin edge, constants excluded, deduplicated.
+  const auto& wires = context.rll_wires();
   if (wires.size() < key_bits) {
     throw std::runtime_error("rll_lock: circuit has only " +
                              std::to_string(wires.size()) +
@@ -41,22 +24,14 @@ LockedDesign rll_lock(const Netlist& original, std::size_t key_bits,
                              std::to_string(key_bits));
   }
   const auto chosen = rng.sample_indices(wires.size(), key_bits);
-
+  Genotype genes;
+  genes.reserve(key_bits);
   for (std::size_t t = 0; t < key_bits; ++t) {
-    const auto [driver, sink] = wires[chosen[t]];
-    const bool key_bit = rng.next_bool();
-    const NodeId key_in = design.netlist.add_input(
-        "keyinput" + std::to_string(t), /*is_key=*/true);
-    const NodeId key_gate = design.netlist.add_gate(
-        key_bit ? GateType::kXnor : GateType::kXor, {key_in, driver},
-        "keyxor" + std::to_string(t));
-    if (design.netlist.replace_fanin(sink, driver, key_gate) == 0) {
-      throw std::logic_error("rll_lock: wire vanished during rewiring");
-    }
-    design.key.push_back(key_bit);
+    genes.push_back(Gene::rll(wires[chosen[t]].first, wires[chosen[t]].second,
+                              rng.next_bool()));
   }
-
-  design.netlist.validate();
+  auto design = apply_genotype(original, context, genes, rng);
+  design.netlist.set_name(original.name() + "_rll");
   return design;
 }
 

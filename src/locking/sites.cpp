@@ -93,6 +93,30 @@ SiteContext::SiteContext(const netlist::Netlist& original)
     seed_order_ranks_[i] = seed_ranks_[seed_order_[i]];
     seed_pos_[seed_order_[i]] = static_cast<std::uint32_t>(i);
   }
+  primary_inputs_ = original.primary_inputs();
+}
+
+const std::vector<std::pair<NodeId, NodeId>>& SiteContext::rll_wires() const {
+  std::call_once(rll_wires_once_, [this] {
+    // Same pool rll_lock always built: every fanin edge of the original,
+    // constants excluded, sorted and deduplicated so each physical wire
+    // appears once.
+    std::vector<std::pair<NodeId, NodeId>> wires;
+    for (NodeId v = 0; v < original_->size(); ++v) {
+      for (const NodeId fanin : original_->node(v).fanins) {
+        const auto type = original_->node(fanin).type;
+        if (type == netlist::GateType::kConst0 ||
+            type == netlist::GateType::kConst1) {
+          continue;
+        }
+        wires.emplace_back(fanin, v);
+      }
+    }
+    std::sort(wires.begin(), wires.end());
+    wires.erase(std::unique(wires.begin(), wires.end()), wires.end());
+    rll_wires_ = std::move(wires);
+  });
+  return rll_wires_;
 }
 
 bool SiteContext::reaches(NodeId from, NodeId target,

@@ -12,7 +12,9 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "locking/decode_topo.hpp"
@@ -51,14 +53,19 @@ struct ReachScratch {
   const void* last_design = nullptr;
   const netlist::Netlist* last_original = nullptr;
   std::uint64_t last_design_version = 0;
-  /// key_names[t] = interned {keyinput<t>, keymux<t>a, keymux<t>b}, built
-  /// lazily against `key_name_table` (and rebuilt if the scratch moves to a
-  /// different design family). With the cache warm, apply_genotype_into
-  /// never builds a name string. Holding the shared_ptr keeps the table
-  /// alive, so the identity check can never be fooled by a new family's
-  /// table reusing a dead table's address.
+  /// key_names[t] = interned {keyinput<t>, keymux<t>a, keymux<t>b,
+  /// keyxor<t>}, built lazily against `key_name_table` (and rebuilt if the
+  /// scratch moves to a different design family). With the cache warm,
+  /// apply_genotype_into never builds a name string. Holding the shared_ptr
+  /// keeps the table alive, so the identity check can never be fooled by a
+  /// new family's table reusing a dead table's address.
   std::shared_ptr<const netlist::NameTable> key_name_table;
-  std::vector<std::array<netlist::NameId, 3>> key_names;
+  std::vector<std::array<netlist::NameId, 4>> key_names;
+  /// Internal-splice candidate wires for anti-SAT gene decode (rebuilt per
+  /// gene — the pool depends on the working netlist at that point).
+  std::vector<std::pair<netlist::NodeId, netlist::NodeId>> splice_pool;
+  /// Fanin-id assembly buffer for appended n-ary block gates.
+  std::vector<netlist::NodeId> gene_fanins;
 };
 
 struct LockSite {
@@ -121,6 +128,20 @@ class SiteContext {
     return candidate_drivers_;
   }
 
+  /// Lockable single wires of the original netlist as (driver, sink gate)
+  /// pairs, each listed once — the RLL gene domain. Excludes constant
+  /// drivers (locking a constant leaks the key bit) and deduplicates
+  /// multi-slot fanins (replace_fanin rewires every duplicate slot at
+  /// once). Built lazily on first use; thread-safe.
+  const std::vector<std::pair<netlist::NodeId, netlist::NodeId>>& rll_wires()
+      const;
+
+  /// The original's primary (non-key) inputs in creation order — the
+  /// anti-SAT tap domain, cached once per context.
+  const std::vector<netlist::NodeId>& primary_inputs() const noexcept {
+    return primary_inputs_;
+  }
+
   /// CSR view of the original's fanin adjacency. DecodeTopo::reset copies
   /// its edge array as the decode-time working mirror.
   const netlist::CsrFanins& fanin_csr() const noexcept { return fanin_csr_; }
@@ -170,6 +191,9 @@ class SiteContext {
   std::vector<std::uint32_t> fanout_offsets_;
   std::vector<netlist::NodeId> fanout_edges_;
   std::vector<netlist::NodeId> candidate_drivers_;
+  std::vector<netlist::NodeId> primary_inputs_;
+  mutable std::once_flag rll_wires_once_;
+  mutable std::vector<std::pair<netlist::NodeId, netlist::NodeId>> rll_wires_;
   /// Position of every node in the original's topological order. A forward
   /// path from `from` to `target` can only pass through nodes whose rank
   /// lies strictly between the endpoints' ranks, which bounds every

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <stdexcept>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "netlist/bench_io.hpp"
@@ -422,23 +423,40 @@ void stream_write(const Netlist& netlist, std::ostream& out) {
   out << "# " << s.primary_inputs << " primary inputs, " << s.key_inputs
       << " key inputs, " << s.outputs << " outputs, " << s.gates
       << " gates, depth " << s.depth << "\n";
+  // Output ports whose name differs from the driver need an alias BUF line.
+  // An output splice (anti-SAT, compound) leaves the displaced driver in
+  // the netlist under the port's old name; emitting both the alias and that
+  // gate would define the name twice, so any non-driver node that still
+  // holds an aliased port name is written under a fresh mangled name.
+  std::vector<std::pair<NameId, NodeId>> aliases;
+  std::unordered_map<NodeId, std::string> renamed;
+  for (const auto& port : netlist.outputs()) {
+    if (port.name == netlist.name_id(port.driver)) continue;
+    aliases.emplace_back(port.name, port.driver);
+    const NodeId holder = netlist.find(port.name);
+    if (holder != kNoNode && holder != port.driver &&
+        !renamed.contains(holder)) {
+      std::string fresh(netlist.name_text(port.name));
+      fresh += "_displaced";
+      while (netlist.names()->find(fresh) != kNoName) fresh += '_';
+      renamed.emplace(holder, std::move(fresh));
+    }
+  }
+  const auto printed = [&](NodeId id) -> std::string_view {
+    const auto it = renamed.find(id);
+    return it == renamed.end() ? netlist.name(id)
+                               : std::string_view(it->second);
+  };
   for (const NodeId id : netlist.inputs()) {
-    out << "INPUT(" << netlist.name(id) << ")\n";
+    out << "INPUT(" << printed(id) << ")\n";
   }
   for (const auto& port : netlist.outputs()) {
     out << "OUTPUT(" << netlist.name_text(port.name) << ")\n";
   }
-  // Output ports whose name differs from the driver need an alias BUF line.
-  std::vector<std::pair<NameId, NodeId>> aliases;
-  for (const auto& port : netlist.outputs()) {
-    if (port.name != netlist.name_id(port.driver)) {
-      aliases.emplace_back(port.name, port.driver);
-    }
-  }
   for (const NodeId id : netlist.topological_order()) {
     const Node& node = netlist.node(id);
     if (node.type == GateType::kInput) continue;
-    out << netlist.name(id) << " = ";
+    out << printed(id) << " = ";
     if (node.type == GateType::kConst0 || node.type == GateType::kConst1) {
       out << gate_type_name(node.type) << "\n";
       continue;
@@ -446,13 +464,12 @@ void stream_write(const Netlist& netlist, std::ostream& out) {
     out << gate_type_name(node.type) << "(";
     for (std::size_t i = 0; i < node.fanins.size(); ++i) {
       if (i) out << ", ";
-      out << netlist.name(node.fanins[i]);
+      out << printed(node.fanins[i]);
     }
     out << ")\n";
   }
   for (const auto& [alias, driver] : aliases) {
-    out << netlist.name_text(alias) << " = BUF(" << netlist.name(driver)
-        << ")\n";
+    out << netlist.name_text(alias) << " = BUF(" << printed(driver) << ")\n";
   }
 }
 

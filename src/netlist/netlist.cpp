@@ -239,6 +239,29 @@ void Netlist::set_gate_fanins(NodeId gate, std::span<const NodeId> new_fanins) {
   invalidate_traversal_cache();
 }
 
+void Netlist::set_gate_type(NodeId gate, GateType new_type) {
+  if (!valid_id(gate)) {
+    throw std::invalid_argument("Netlist::set_gate_type: id out of range");
+  }
+  Node& node = nodes_[gate];
+  if (is_source(node.type) || is_source(new_type)) {
+    throw std::invalid_argument(
+        "Netlist::set_gate_type: source types cannot be rewritten");
+  }
+  const Arity arity = gate_arity(new_type);
+  if (node.fanins.size() < arity.min ||
+      (arity.max != 0 && node.fanins.size() > arity.max)) {
+    throw std::invalid_argument(
+        std::string("Netlist::set_gate_type: bad fanin count for ") +
+        std::string(gate_type_name(new_type)));
+  }
+  if (node.type == new_type) return;
+  node.type = new_type;
+  // The graph shape is unchanged, but downstream consumers (simulators,
+  // feature extractors) key on the version too — bump it like any mutation.
+  invalidate_traversal_cache();
+}
+
 void Netlist::append_fanin(NodeId gate, NodeId fanin) {
   if (!valid_id(gate) || !valid_id(fanin)) {
     throw std::invalid_argument("Netlist::append_fanin: id out of range");

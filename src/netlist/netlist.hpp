@@ -123,6 +123,13 @@ class Netlist {
   /// keeping the graph acyclic (safe when fanin < gate in creation order).
   void append_fanin(NodeId gate, NodeId fanin);
 
+  /// Rewrites a gate's type in place (source types are rejected on either
+  /// side, and the current fanin count must satisfy the new type's arity).
+  /// The decode recycle path retypes recycled key gates (e.g. an RLL
+  /// XOR <-> XNOR when the gene's key bit changed between decodes) instead
+  /// of destroying and re-adding them.
+  void set_gate_type(NodeId gate, GateType new_type);
+
   // ---- accessors ---------------------------------------------------------
 
   const std::string& name() const noexcept { return name_; }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "locking/antisat.hpp"
+#include "locking/verify.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/simulator.hpp"
 #include "util/rng.hpp"
@@ -262,6 +264,41 @@ TEST(BenchWrite, AliasedOutputGetsBufLine) {
   const Netlist reparsed = parse(text);
   EXPECT_EQ(reparsed.outputs().size(), 1u);
   EXPECT_EQ(reparsed.output_name(0), "different_name");
+}
+
+TEST(BenchWrite, DisplacedDriverHoldingPortNameIsRenamed) {
+  // Output-splice shape: the port keeps its name, a new gate drives it, and
+  // the old driver (named after the port, as every parsed circuit names its
+  // output gates) stays behind as a fanin. The writer must not define 'y'
+  // twice — once as the old gate, once as the port's BUF alias.
+  Netlist n;
+  const auto a = n.add_input("a");
+  const auto y = n.add_gate(GateType::kNot, {a}, "y");
+  n.mark_output(y, "y");
+  const auto mix = n.add_gate(GateType::kXor, {y, a}, "mix");
+  n.set_output_driver(0, mix);
+  const std::string text = write(n);
+  const Netlist reparsed = parse(text, "renamed");  // threw before the fix
+  EXPECT_EQ(reparsed.outputs().size(), 1u);
+  const Simulator sim_a(n);
+  const Simulator sim_b(reparsed);
+  EXPECT_TRUE(Simulator::equivalent_exhaustive(sim_a, {}, sim_b, {}));
+}
+
+TEST(BenchRoundTrip, AntiSatOutputSpliceSurvivesReparse) {
+  // End-to-end shape of the writer collision: parse a circuit (drivers take
+  // the port names), splice an anti-SAT block into an output, write, and
+  // reparse. The reloaded netlist must still unlock with the same key.
+  const Netlist original =
+      parse(write(gen::make_profile(gen::ProfileId::kC432, 3)), "c432rt");
+  const auto design = lock::antisat_lock(original, {}, 3);
+  const Netlist loaded = parse(write(design.netlist), "locked");
+  EXPECT_NO_THROW(loaded.validate());
+  EXPECT_EQ(loaded.key_inputs().size(), design.key.size());
+  lock::LockedDesign reloaded;
+  reloaded.netlist = loaded;
+  reloaded.key = design.key;
+  EXPECT_TRUE(lock::verify_unlocks(reloaded, original));
 }
 
 }  // namespace

@@ -39,12 +39,31 @@ TEST(MuxLinkScore, EmptyKey) {
   EXPECT_EQ(score.accuracy, 0.0);
 }
 
-TEST(MuxLinkScore, MissingPredictionsCountAsZeroGuess) {
-  MuxLinkResult result;  // empty predictions
+TEST(MuxLinkScore, MissingPredictionsCountAsCoinFlip) {
+  MuxLinkResult result;  // empty predictions: the attack never saw these bits
   const Key truth{false, false};
   const auto score = MuxLinkAttack::score(result, truth);
-  EXPECT_DOUBLE_EQ(score.accuracy, 1.0);  // default guess 0 happens to match
+  // The old behavior credited the forced-0 default, scoring 1.0 here purely
+  // because the key happened to be all zeros. Unexamined bits are coin flips.
+  EXPECT_DOUBLE_EQ(score.accuracy, 0.5);
   EXPECT_DOUBLE_EQ(score.decided_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(score.attacked_fraction, 0.0);
+}
+
+TEST(MuxLinkScore, UnattackedBitsInMaskCountAsCoinFlip) {
+  // Mixed genotype shape: bits 0 and 3 have MUX hypotheses, bits 1-2 belong
+  // to a non-MUX key gate sandwiched between them.
+  MuxLinkResult result;
+  result.predicted_bits = {1, 0, 0, 0};
+  result.thresholded_bits = {1, -1, -1, 0};
+  result.bit_attacked = {1, 0, 0, 1};
+  const Key truth{true, false, false, false};
+  const auto score = MuxLinkAttack::score(result, truth);
+  // Attacked: bit 0 correct, bit 3 correct -> 2.0; unattacked: 2 * 0.5.
+  EXPECT_DOUBLE_EQ(score.accuracy, 0.75);
+  EXPECT_DOUBLE_EQ(score.attacked_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(score.decided_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(score.precision, 1.0);
 }
 
 TEST(MuxLink, NoProblemsOnRllLockedDesign) {
@@ -54,6 +73,12 @@ TEST(MuxLink, NoProblemsOnRllLockedDesign) {
   const MuxLinkAttack attacker(fast_config());
   const auto result = attacker.attack(design.netlist);
   EXPECT_TRUE(result.predicted_bits.empty());
+  // No MUX key gates -> no hypotheses -> every bit scores as a coin flip
+  // instead of a free forced-0 guess.
+  const auto score = MuxLinkAttack::score(result, design.key);
+  EXPECT_DOUBLE_EQ(score.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(score.decided_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(score.attacked_fraction, 0.0);
 }
 
 TEST(MuxLink, ProducesDecisionForEveryBit) {

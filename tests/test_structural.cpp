@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "locking/antisat.hpp"
 #include "locking/rll.hpp"
 #include "netlist/generator.hpp"
 
@@ -28,6 +29,33 @@ TEST(Structural, EmptyOnRll) {
   const auto design = lock::rll_lock(original, 8, 5);
   const StructuralLinkPredictor attacker;
   EXPECT_TRUE(attacker.attack(design.netlist).predicted_bits.empty());
+}
+
+TEST(Structural, CoinFlipScoreOnAntiSatKeyBits) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC432, 5);
+  const auto design = lock::antisat_lock(original, {}, 5);
+  const StructuralLinkPredictor attacker;
+  const auto score =
+      MuxLinkAttack::score(attacker.attack(design.netlist), design.key);
+  // Anti-SAT key gates carry no MUX hypotheses: the attack must not score
+  // on them (the old forced-0 default credited every zero key bit).
+  EXPECT_DOUBLE_EQ(score.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(score.attacked_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(score.decided_fraction, 0.0);
+}
+
+TEST(Structural, MarksCompoundMuxBitsAttacked) {
+  const Netlist original =
+      netlist::gen::make_profile(netlist::gen::ProfileId::kC880, 5);
+  const auto design = lock::compound_lock(original, 8, {}, 5);
+  const StructuralLinkPredictor attacker;
+  const auto result = attacker.attack(design.netlist);
+  ASSERT_EQ(result.bit_attacked.size(), 8u);  // the 8 MUX bits, no anti-SAT
+  for (std::size_t b = 0; b < 8; ++b) EXPECT_EQ(result.bit_attacked[b], 1);
+  const auto score = MuxLinkAttack::score(result, design.key);
+  EXPECT_DOUBLE_EQ(score.attacked_fraction,
+                   8.0 / static_cast<double>(design.key.size()));
 }
 
 TEST(Structural, Deterministic) {

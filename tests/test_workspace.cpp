@@ -236,7 +236,7 @@ TEST(WorkspaceDecode, MatchesApplyGenotypeAndSurvivesReuse) {
   const auto genes_b = lock::random_genotype(context, 10, rng);
 
   eval::EvalWorkspace workspace;
-  const auto check = [&](const std::vector<lock::LockSite>& genes,
+  const auto check = [&](const lock::Genotype& genes,
                          std::uint64_t seed) {
     util::Rng repair_fresh(seed);
     const auto fresh = lock::apply_genotype(original, context, genes,
