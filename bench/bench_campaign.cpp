@@ -1,0 +1,73 @@
+// The scenario-matrix campaign: scheme x attack x circuit x optimizer in one
+// sweep, with every cell double-checked by the verification stage (SAT
+// correct-key equivalence, key-layout round trip, report invariants,
+// determinism re-run). This is the repo's whole-matrix regression gate:
+//
+//   bench_campaign            full matrix -> BENCH_bench_campaign.{json,md}
+//   bench_campaign --quick    c432 subset -> BENCH_bench_campaign_quick.*
+//
+// Unlike the other benches, the report files are written directly from
+// campaign::to_json / to_markdown (NOT through the benchx JSON sink): the
+// campaign report is deterministic by construction — two seeded runs are
+// byte-identical, and a --quick cell equals the same cell of the committed
+// full baseline — so CI diffs it hard instead of tracking deltas. Exit
+// status is 0 only if every cell's verification passed.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench/common.hpp"
+#include "campaign/campaign.hpp"
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace autolock;
+  const benchx::BenchArgs args = benchx::parse_args(argc, argv);
+
+  campaign::CampaignSpec spec =
+      args.quick ? campaign::quick_spec() : campaign::full_spec();
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      spec.threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      spec.seed = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    }
+  }
+
+  std::cout << "running campaign '" << spec.name << "' (seed " << spec.seed
+            << ", threads " << spec.threads << ")...\n";
+  const campaign::CampaignResult result = campaign::run(spec);
+
+  std::cout << "\n" << campaign::to_markdown(result);
+  std::cout << "\ntotal " << util::fmt(result.total_seconds, 1) << "s over "
+            << result.cells.size() << " cells ("
+            << result.locks.size() << " lock jobs)\n";
+
+  const std::string stem =
+      args.quick ? "BENCH_bench_campaign_quick" : "BENCH_bench_campaign";
+  if (!write_file(stem + ".json", campaign::to_json(result)) ||
+      !write_file(stem + ".md", campaign::to_markdown(result))) {
+    std::cerr << "failed to write " << stem << ".{json,md}\n";
+    return 2;
+  }
+  std::cout << "wrote " << stem << ".json and " << stem << ".md\n";
+
+  if (!result.all_passed()) {
+    std::cerr << "verification FAILED in "
+              << (result.cells.size() - result.cells_passed) << " cell(s)\n";
+    return 1;
+  }
+  return 0;
+}

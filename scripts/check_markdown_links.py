@@ -25,6 +25,7 @@ DOC_GLOBS = [
     "CHANGES.md",
     "docs/**/*.md",
     "bench/README.md",
+    "tests/README.md",
 ]
 
 

@@ -52,7 +52,7 @@ void mutate_one_gene(Genotype& genes, const SiteContext& context,
 }  // namespace
 
 HeuristicResult random_search(eval::EvalPipeline& pipeline,
-                              std::size_t key_bits,
+                              const lock::GenotypeSpec& spec,
                               const RandomSearchConfig& config) {
   util::Rng rng(config.seed);
   PipelineEvaluator evaluator(pipeline);
@@ -60,7 +60,7 @@ HeuristicResult random_search(eval::EvalPipeline& pipeline,
   result.best.eval.fitness = -1e300;
   for (std::size_t e = 0; e < config.evaluations; ++e) {
     util::Rng draw = rng.fork();
-    Genotype genes = lock::random_genotype(pipeline.context(), key_bits, draw);
+    Genotype genes = lock::random_genotype(pipeline.context(), spec, draw);
     const Evaluation eval = evaluator.evaluate(genes);
     if (eval.fitness > result.best.eval.fitness) {
       result.best = Individual{std::move(genes), eval};
@@ -71,6 +71,13 @@ HeuristicResult random_search(eval::EvalPipeline& pipeline,
   return result;
 }
 
+HeuristicResult random_search(eval::EvalPipeline& pipeline,
+                              std::size_t key_bits,
+                              const RandomSearchConfig& config) {
+  return random_search(pipeline, lock::GenotypeSpec{.mux_sites = key_bits},
+                       config);
+}
+
 HeuristicResult random_search(const netlist::Netlist& original,
                               std::size_t key_bits, const FitnessFn& fitness,
                               const RandomSearchConfig& config) {
@@ -78,7 +85,8 @@ HeuristicResult random_search(const netlist::Netlist& original,
   return random_search(pipeline, key_bits, config);
 }
 
-HeuristicResult hill_climb(eval::EvalPipeline& pipeline, std::size_t key_bits,
+HeuristicResult hill_climb(eval::EvalPipeline& pipeline,
+                           const lock::GenotypeSpec& spec,
                            const HillClimbConfig& config) {
   util::Rng rng(config.seed ^ 0x41C9ULL);
   PipelineEvaluator evaluator(pipeline);
@@ -93,7 +101,7 @@ HeuristicResult hill_climb(eval::EvalPipeline& pipeline, std::size_t key_bits,
   while (evaluator.evaluations < config.evaluations) {
     if (need_restart) {
       util::Rng draw = rng.fork();
-      current = lock::random_genotype(pipeline.context(), key_bits, draw);
+      current = lock::random_genotype(pipeline.context(), spec, draw);
       current_eval = evaluator.evaluate(current);
       need_restart = false;
       stale = 0;
@@ -119,6 +127,12 @@ HeuristicResult hill_climb(eval::EvalPipeline& pipeline, std::size_t key_bits,
   return result;
 }
 
+HeuristicResult hill_climb(eval::EvalPipeline& pipeline, std::size_t key_bits,
+                           const HillClimbConfig& config) {
+  return hill_climb(pipeline, lock::GenotypeSpec{.mux_sites = key_bits},
+                    config);
+}
+
 HeuristicResult hill_climb(const netlist::Netlist& original,
                            std::size_t key_bits, const FitnessFn& fitness,
                            const HillClimbConfig& config) {
@@ -127,7 +141,7 @@ HeuristicResult hill_climb(const netlist::Netlist& original,
 }
 
 HeuristicResult simulated_annealing(eval::EvalPipeline& pipeline,
-                                    std::size_t key_bits,
+                                    const lock::GenotypeSpec& spec,
                                     const AnnealingConfig& config) {
   util::Rng rng(config.seed ^ 0x5AULL);
   PipelineEvaluator evaluator(pipeline);
@@ -135,7 +149,7 @@ HeuristicResult simulated_annealing(eval::EvalPipeline& pipeline,
   result.best.eval.fitness = -1e300;
 
   util::Rng draw = rng.fork();
-  Genotype current = lock::random_genotype(pipeline.context(), key_bits, draw);
+  Genotype current = lock::random_genotype(pipeline.context(), spec, draw);
   Evaluation current_eval = evaluator.evaluate(current);
   result.best = Individual{current, current_eval};
   result.trajectory.push_back(current_eval.fitness);
@@ -162,6 +176,13 @@ HeuristicResult simulated_annealing(eval::EvalPipeline& pipeline,
   }
   result.evaluations = evaluator.evaluations;
   return result;
+}
+
+HeuristicResult simulated_annealing(eval::EvalPipeline& pipeline,
+                                    std::size_t key_bits,
+                                    const AnnealingConfig& config) {
+  return simulated_annealing(pipeline,
+                             lock::GenotypeSpec{.mux_sites = key_bits}, config);
 }
 
 HeuristicResult simulated_annealing(const netlist::Netlist& original,

@@ -42,6 +42,15 @@ struct RandomSearchConfig {
 /// overloads wrap the callback in a single-use pipeline. Pipeline overloads
 /// expect a pipeline built on the same original netlist with caching
 /// disabled (every proposal counts as one evaluation).
+///
+/// Like the GA and NSGA-II, every heuristic has a scheme-polymorphic
+/// GenotypeSpec overload (proposals drawn by random_genotype(context, spec,
+/// rng), moves dispatched per gene kind); the key_bits overloads are exactly
+/// the pure-MUX spec {.mux_sites = key_bits} and keep their historical
+/// trajectories (a pure-MUX spec draws the identical RNG stream).
+HeuristicResult random_search(eval::EvalPipeline& pipeline,
+                              const lock::GenotypeSpec& spec,
+                              const RandomSearchConfig& config);
 HeuristicResult random_search(eval::EvalPipeline& pipeline,
                               std::size_t key_bits,
                               const RandomSearchConfig& config);
@@ -60,6 +69,9 @@ struct HillClimbConfig {
 };
 
 /// Stochastic first-improvement hill climbing with optional restarts.
+HeuristicResult hill_climb(eval::EvalPipeline& pipeline,
+                           const lock::GenotypeSpec& spec,
+                           const HillClimbConfig& config);
 HeuristicResult hill_climb(eval::EvalPipeline& pipeline, std::size_t key_bits,
                            const HillClimbConfig& config);
 HeuristicResult hill_climb(const netlist::Netlist& original,
@@ -76,6 +88,9 @@ struct AnnealingConfig {
 };
 
 /// Classic simulated annealing (Metropolis criterion on fitness delta).
+HeuristicResult simulated_annealing(eval::EvalPipeline& pipeline,
+                                    const lock::GenotypeSpec& spec,
+                                    const AnnealingConfig& config);
 HeuristicResult simulated_annealing(eval::EvalPipeline& pipeline,
                                     std::size_t key_bits,
                                     const AnnealingConfig& config);

@@ -28,6 +28,7 @@ AttackReport from_muxlink_score(std::string name,
   report.accuracy = score.accuracy;
   report.precision = score.precision;
   report.decided_fraction = score.decided_fraction;
+  report.attacked_fraction = score.attacked_fraction;
   report.key_recovery = score.accuracy;
   report.key_recovered = score.key_bits > 0 && score.accuracy >= 1.0;
   report.seconds = seconds;

@@ -29,6 +29,10 @@ struct AttackReport {
   double accuracy = 0.0;          // forced-decision key-bit accuracy
   double precision = 0.0;         // correctness among confidently-decided bits
   double decided_fraction = 0.0;  // decided bits / all bits
+  /// Key bits the attack actually reached (link-prediction attacks skip
+  /// bits whose structural query is degenerate; whole-key attacks report
+  /// 1.0). A low value means accuracy speaks for few bits.
+  double attacked_fraction = 1.0;
   double key_recovery = 0.0;      // fraction of key bits exactly recovered
   bool key_recovered = false;     // full (functional) key recovery
   double seconds = 0.0;           // wall time of the attack run
